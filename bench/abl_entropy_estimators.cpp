@@ -1,0 +1,61 @@
+// Ablation: entropy estimator bias correction and outlier robustness.
+//
+// The paper argues (Sec 4.4) that the histogram entropy estimator is robust
+// against outliers while sample variance is not, and that this is why
+// entropy out-detects variance behind congested routers (Fig 6 obs. 2).
+// This bench quantifies that argument: detection rate of variance vs
+// entropy (plain / Miller-Madow / Moddemeijer) and the robust MAD/IQR
+// extensions on a congested path.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/figures.hpp"
+
+using namespace linkpad;
+
+int main(int argc, char** argv) {
+  auto args = bench::make_figure_parser(
+      "abl_entropy_estimators",
+      "Ablation: estimator robustness on a congested path (n = 1000)");
+  if (!args.parse(argc, argv)) return 1;
+  const auto opts = bench::figure_options(args);
+
+  const std::size_t windows = std::max<std::size_t>(
+      12, static_cast<std::size_t>(200 * opts.effort));
+
+  core::FigureSeries fig;
+  fig.title = "Ablation: feature robustness vs cross-traffic utilization";
+  fig.x_label = "utilization";
+  fig.y_label = "detection rate";
+  fig.x = {0.05, 0.25, 0.45};
+
+  const std::vector<std::pair<std::string, classify::FeatureKind>> features = {
+      {"sample variance", classify::FeatureKind::kSampleVariance},
+      {"sample entropy", classify::FeatureKind::kSampleEntropy},
+      {"MAD", classify::FeatureKind::kMedianAbsDeviation},
+      {"IQR", classify::FeatureKind::kInterquartileRange},
+  };
+  for (const auto& [name, kind] : features) {
+    fig.curves.push_back(core::Curve{name, {}});
+  }
+
+  for (std::size_t i = 0; i < fig.x.size(); ++i) {
+    const auto scenario = core::lab_cross_traffic(core::make_cit(), fig.x[i]);
+    std::vector<classify::FeatureKind> kinds;
+    for (const auto& [name, kind] : features) kinds.push_back(kind);
+    const auto rates = core::detection_rates_on_scenario(
+        scenario, kinds, 1000, windows, windows, opts.seed + i);
+    for (std::size_t f = 0; f < rates.size(); ++f) {
+      fig.curves[f].y.push_back(rates[f]);
+    }
+  }
+  bench::print_figure(fig, args);
+
+  if (!args.flag("--csv")) {
+    std::cout << "\nExpectation: variance degrades fastest with utilization "
+                 "(outlier-sensitive);\nentropy and the robust dispersion "
+                 "features (MAD/IQR) hold up better — the paper's\nFig 6 "
+                 "observation (2), extended to two more robust statistics.\n";
+  }
+  return 0;
+}

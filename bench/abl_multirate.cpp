@@ -1,0 +1,54 @@
+// Extension (paper Sec 6): more than two payload rate classes. "Our
+// technique can be easily extended to multiple ones by performing more
+// off-line training." This bench runs the m-ary adversary on m equally
+// spaced rates in [10, 40] pps and prints the confusion matrix plus the
+// detection rate as m grows.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/experiment.hpp"
+
+using namespace linkpad;
+
+int main(int argc, char** argv) {
+  auto args = bench::make_figure_parser(
+      "abl_multirate", "Extension: m-ary payload rate classification");
+  if (!args.parse(argc, argv)) return 1;
+  const auto opts = bench::figure_options(args);
+
+  const std::size_t windows = std::max<std::size_t>(
+      12, static_cast<std::size_t>(150 * opts.effort));
+
+  util::TextTable table({"m classes", "chance", "detection rate", "per-class rates"});
+  for (std::size_t m : {2u, 3u, 4u, 6u}) {
+    core::ExperimentSpec spec;
+    spec.scenario = core::lab_multirate(core::make_cit(), m);
+    spec.adversary.feature = classify::FeatureKind::kSampleVariance;
+    spec.adversary.window_size = 2000;
+    spec.train_windows = windows;
+    spec.test_windows = windows;
+    spec.seed = opts.seed + m;
+    const auto result = core::run_experiment(spec);
+
+    std::string per_class;
+    for (std::size_t c = 0; c < m; ++c) {
+      if (c) per_class += " ";
+      per_class += util::fmt(
+          result.confusion.per_class_rate(static_cast<ClassLabel>(c)), 2);
+    }
+    table.add_row({std::to_string(m), util::fmt(1.0 / m, 3),
+                   util::fmt(result.detection_rate, 4), per_class});
+  }
+
+  if (args.flag("--csv")) {
+    table.write_csv(std::cout);
+  } else {
+    std::cout << "== Extension: multi-rate classification (CIT, n = 2000, "
+                 "variance feature) ==\n\n"
+              << table.to_string()
+              << "\nExpectation: detection stays far above 1/m chance but "
+                 "degrades as classes\npack closer in variance; edge classes "
+                 "(10/40 pps) remain easiest.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Extension: the security / bandwidth / latency trade-off (the NetCamo
+// coupling the paper cites). Sweeps the timer mean tau; each point is
+// designed (sigma_T) for the same leak bound, and its bandwidth overhead
+// and payload latency are reported — the frontier a deployment engineer
+// actually chooses from.
+#include <iostream>
+
+#include "analysis/overhead.hpp"
+#include "common.hpp"
+#include "core/piat_model.hpp"
+#include "core/scenarios.hpp"
+
+using namespace linkpad;
+
+int main(int argc, char** argv) {
+  auto args = bench::make_figure_parser(
+      "abl_overhead", "Extension: security/QoS/overhead trade-off frontier");
+  if (!args.parse(argc, argv)) return 1;
+  const auto opts = bench::figure_options(args);
+  (void)opts;
+
+  // Measure the gateway once (the design procedure's input).
+  const auto cit = core::lab_zero_cross(core::make_cit());
+  const auto vc = core::predict_components(cit.config_for(0), cit.config_for(1));
+
+  analysis::DesignInputs in;
+  in.sigma2_gw_low = vc.sigma2_gw_low;
+  in.sigma2_gw_high = vc.sigma2_gw_high;
+  in.n_max = 1e5;
+  in.v_max = 0.55;
+  in.payload_peak = core::constants::kRateHigh;
+
+  const std::vector<Seconds> taus = {2.5e-3, 5e-3, 10e-3, 15e-3, 20e-3, 25e-3};
+  const auto frontier =
+      analysis::padding_tradeoff(in, taus, core::constants::kWireBytes);
+
+  util::TextTable table({"tau (ms)", "wire (pps)", "overhead (kbit/s)",
+                         "dummy frac", "mean delay (ms)", "sigma_T (us)",
+                         "worst predicted v"});
+  for (const auto& p : frontier) {
+    const double worst_v =
+        std::max({p.design.v_mean, p.design.v_variance, p.design.v_entropy});
+    table.add_row({util::fmt(p.tau * 1e3, 1),
+                   util::fmt(p.cost.wire_rate, 0),
+                   util::fmt(p.cost.overhead_bps / 1e3, 1),
+                   util::fmt(p.cost.dummy_fraction, 3),
+                   util::fmt(p.cost.mean_payload_delay * 1e3, 2),
+                   util::fmt(p.design.sigma_timer * 1e6, 2),
+                   util::fmt(worst_v, 4)});
+  }
+
+  if (args.flag("--csv")) {
+    table.write_csv(std::cout);
+  } else {
+    std::cout << "== Extension: padding trade-off frontier (leak bound v <= "
+              << in.v_max << " at n <= " << in.n_max << ") ==\n\n"
+              << table.to_string()
+              << "\nReading: faster timers buy latency with bandwidth "
+                 "(overhead ~ 1/tau at fixed\npacket size) while the "
+                 "designed sigma_T keeps the leak at the same bound —\n"
+                 "security is NOT what tau trades away; tau trades QoS "
+                 "against dummy bandwidth,\nexactly the NetCamo coupling the "
+                 "paper describes.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Extension: the SEQUENTIAL adversary (Wald SPRT). The paper's Fig 5(b)
+// security argument counts fixed-sample sizes; a sequential attacker stops
+// as soon as the evidence crosses Wald's thresholds, spending far fewer
+// packets on average for the same error rates. This bench measures the
+// average sample cost of the SPRT at 1% errors across padding strengths
+// and compares it with the fixed-sample n(99%) from Theorem 2.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/theory.hpp"
+#include "classify/sequential.hpp"
+#include "common.hpp"
+#include "core/experiment.hpp"
+
+using namespace linkpad;
+
+int main(int argc, char** argv) {
+  auto args = bench::make_figure_parser(
+      "abl_sequential", "Extension: SPRT adversary vs fixed-sample attack");
+  if (!args.parse(argc, argv)) return 1;
+  const auto opts = bench::figure_options(args);
+
+  const std::size_t batch = 100;
+  const std::size_t train_windows = std::max<std::size_t>(
+      30, static_cast<std::size_t>(250 * opts.effort));
+  const int trials = std::max(10, static_cast<int>(30 * opts.effort));
+
+  util::TextTable table({"sigma_T (us)", "r_hat", "SPRT mean PIATs",
+                         "SPRT accuracy", "fixed-n(99%) (Thm 2)"});
+
+  for (double sigma_us : {0.0, 5.0, 10.0}) {
+    core::ExperimentSpec spec;
+    spec.scenario = core::lab_zero_cross(
+        sigma_us > 0.0 ? core::make_vit(sigma_us * 1e-6) : core::make_cit());
+    spec.adversary.feature = classify::FeatureKind::kSampleVariance;
+    spec.adversary.window_size = batch;
+    spec.seed = opts.seed + static_cast<std::uint64_t>(sigma_us);
+
+    std::vector<std::vector<double>> train = {
+        core::generate_class_stream(spec, 0, train_windows * batch, 1),
+        core::generate_class_stream(spec, 1, train_windows * batch, 1)};
+    classify::Adversary adversary(spec.adversary);
+    adversary.train(train);
+    const double r_hat = analysis::estimate_variance_ratio(train[0], train[1]);
+
+    classify::SequentialConfig scfg;
+    scfg.batch_size = batch;
+    classify::SequentialDetector detector(adversary, scfg);
+
+    double total_piats = 0.0;
+    int correct = 0, decided = 0;
+    for (int t = 0; t < trials; ++t) {
+      const std::size_t truth = static_cast<std::size_t>(t % 2);
+      const auto stream =
+          core::generate_class_stream(spec, truth, batch * 3000, 10 + t);
+      const auto out = detector.decide(stream);
+      total_piats += static_cast<double>(out.piats_used);
+      if (out.decided) {
+        ++decided;
+        if (static_cast<std::size_t>(out.decision) == truth) ++correct;
+      }
+    }
+
+    const double fixed_n = analysis::sample_size_for_detection(
+        classify::FeatureKind::kSampleVariance, r_hat, 0.99);
+    table.add_row(
+        {util::fmt(sigma_us, 1), util::fmt(r_hat, 4),
+         util::fmt(total_piats / trials, 0),
+         decided > 0 ? util::fmt(double(correct) / decided, 3) : "n/a",
+         std::isfinite(fixed_n) ? util::fmt_sci(fixed_n, 2) : "inf"});
+  }
+
+  if (args.flag("--csv")) {
+    table.write_csv(std::cout);
+  } else {
+    std::cout << "== Extension: sequential (SPRT) adversary at 1% error "
+                 "targets ==\n\n"
+              << table.to_string()
+              << "\nReading: the SPRT reaches 99%-grade decisions with a "
+                 "fraction of the\nfixed-sample cost, and its cost grows the "
+                 "same way as sigma_T rises —\nVIT still wins, but the "
+                 "defender's 'sample budget' margin is thinner than\nthe "
+                 "fixed-n analysis suggests.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation: observation-point sweep. The paper contrasts a tap "right at
+// the output of the sender gateway" with one "maximally far" behind 15
+// routers; this bench fills in the curve — detection rate vs the number of
+// congested hops between GW1 and the adversary.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/figures.hpp"
+
+using namespace linkpad;
+
+int main(int argc, char** argv) {
+  auto args = bench::make_figure_parser(
+      "abl_tap_position",
+      "Ablation: detection rate vs tap distance from GW1 (n = 1000)");
+  if (!args.parse(argc, argv)) return 1;
+  const auto opts = bench::figure_options(args);
+
+  const std::size_t windows = std::max<std::size_t>(
+      12, static_cast<std::size_t>(200 * opts.effort));
+
+  core::FigureSeries fig;
+  fig.title = "Ablation: tap position (hops of rho = 0.3 between GW1 and tap)";
+  fig.x_label = "hops before tap";
+  fig.y_label = "detection rate";
+  core::Curve var{"sample variance", {}};
+  core::Curve ent{"sample entropy", {}};
+
+  for (std::size_t hops : {0u, 1u, 2u, 4u, 8u}) {
+    auto scenario = core::lab_zero_cross(core::make_cit());
+    for (std::size_t h = 0; h < hops; ++h) {
+      sim::HopConfig hop;
+      hop.name = "hop-" + std::to_string(h);
+      hop.bandwidth_bps = 1e9;
+      hop.cross_utilization = 0.3;
+      hop.cross_packet_bytes = 1500;
+      scenario.base.hops_before_tap.push_back(hop);
+    }
+    const auto rates = core::detection_rates_on_scenario(
+        scenario,
+        {classify::FeatureKind::kSampleVariance,
+         classify::FeatureKind::kSampleEntropy},
+        1000, windows, windows, opts.seed + hops);
+    fig.x.push_back(static_cast<double>(hops));
+    var.y.push_back(rates[0]);
+    ent.y.push_back(rates[1]);
+  }
+  fig.curves = {var, ent};
+  bench::print_figure(fig, args);
+
+  if (!args.flag("--csv")) {
+    std::cout << "\nExpectation: every congested hop adds queueing noise "
+                 "(sigma_net^2 grows\nlinearly in hops), so detection decays "
+                 "toward 50% with distance — quantifying\nwhy the paper's "
+                 "remote (WAN) adversary is weaker than the local one.\n";
+  }
+  return 0;
+}

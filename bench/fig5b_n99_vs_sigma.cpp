@@ -1,0 +1,19 @@
+// Fig 5(b): theoretical sample size n(99%) an adversary needs for a 99%
+// detection rate, as a function of the VIT timer spread sigma_T
+// (Theorems 2/3 inverted at the calibrated gateway variances).
+//
+// Paper anchor: at sigma_T = 1 ms, n(99%) > 1e11 — "virtually impossible
+// for an attacker to retrieve such a large sample".
+#include "common.hpp"
+
+using namespace linkpad;
+
+int main(int argc, char** argv) {
+  auto args = bench::make_figure_parser(
+      "fig5b_n99_vs_sigma", "Fig 5(b): theoretical n(99%) vs sigma_T");
+  if (!args.parse(argc, argv)) return 1;
+
+  const auto fig = core::fig5b_n99_vs_sigma(bench::figure_options(args));
+  bench::print_figure(fig, args, /*log_x=*/true, /*log_y=*/true);
+  return 0;
+}

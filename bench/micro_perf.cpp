@@ -1,0 +1,135 @@
+// Micro benchmarks (google-benchmark): throughput of the hot paths that
+// bound experiment wall-clock — the DES event loop, PIAT generation through
+// the full testbed, feature extraction, KDE evaluation and the M/G/1
+// stationary-wait sampler.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "classify/feature.hpp"
+#include "core/scenarios.hpp"
+#include "sim/mg1.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/testbed.hpp"
+#include "stats/kde.hpp"
+#include "util/rng.hpp"
+
+using namespace linkpad;
+
+namespace {
+
+void BM_RngUniform(benchmark::State& state) {
+  util::Xoshiro256pp rng(1);
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += rng.uniform01();
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_StandardNormal(benchmark::State& state) {
+  util::Xoshiro256pp rng(2);
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += stats::sample_standard_normal(rng);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StandardNormal);
+
+void BM_SchedulerEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int fired = 0;
+    // Self-rescheduling chain of 10k events.
+    std::function<void()> tick = [&] {
+      if (++fired < 10000) sim.schedule_in(1e-3, tick);
+    };
+    sim.schedule_in(1e-3, tick);
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SchedulerEventLoop);
+
+void BM_TestbedPiatGeneration(benchmark::State& state) {
+  const auto scenario = core::lab_zero_cross(core::make_cit());
+  util::RngFactory factory(3);
+  for (auto _ : state) {
+    auto rng = factory.make(static_cast<std::uint64_t>(state.iterations()));
+    sim::Testbed bed(scenario.config_for(1), rng);
+    benchmark::DoNotOptimize(bed.collect_piats(5000));
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_TestbedPiatGeneration);
+
+void BM_TestbedPiatGenerationWanPath(benchmark::State& state) {
+  const auto scenario = core::wan(core::make_cit(), 15.0);
+  util::RngFactory factory(4);
+  for (auto _ : state) {
+    auto rng = factory.make(static_cast<std::uint64_t>(state.iterations()));
+    sim::Testbed bed(scenario.config_for(1), rng);
+    benchmark::DoNotOptimize(bed.collect_piats(5000));
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_TestbedPiatGenerationWanPath);
+
+void BM_Mg1WaitSample(benchmark::State& state) {
+  sim::Mg1WaitSampler sampler(0.45, 12e-6, sim::ServiceModel::kDeterministic);
+  util::Xoshiro256pp rng(5);
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += sampler.sample(rng);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Mg1WaitSample);
+
+std::vector<double> bench_window(std::size_t n) {
+  util::Xoshiro256pp rng(6);
+  stats::Normal dist(10e-3, 10e-6);
+  std::vector<double> w(n);
+  for (auto& x : w) x = dist.sample(rng);
+  return w;
+}
+
+void BM_FeatureVariance(benchmark::State& state) {
+  const auto window = bench_window(static_cast<std::size_t>(state.range(0)));
+  classify::SampleVarianceFeature feature;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feature.extract(window));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FeatureVariance)->Arg(1000)->Arg(4000);
+
+void BM_FeatureEntropy(benchmark::State& state) {
+  const auto window = bench_window(static_cast<std::size_t>(state.range(0)));
+  classify::SampleEntropyFeature feature(3e-6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feature.extract(window));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FeatureEntropy)->Arg(1000)->Arg(4000);
+
+void BM_KdePdf(benchmark::State& state) {
+  const auto data = bench_window(static_cast<std::size_t>(state.range(0)));
+  stats::GaussianKde kde(data);
+  util::Xoshiro256pp rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kde.pdf(10e-3 + rng.uniform(-3e-5, 3e-5)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KdePdf)->Arg(250)->Arg(1000);
+
+}  // namespace

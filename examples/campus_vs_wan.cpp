@@ -1,0 +1,78 @@
+// campus_vs_wan: where may I still deploy CIT? A deployment study over a
+// simulated day on both of the paper's remote environments (Sec 5.3),
+// reporting detection rate per time slot plus the day's worst case — the
+// number a security engineer actually cares about.
+//
+// Run: ./campus_vs_wan [--slots 8] [--windows 100]
+#include <cstdio>
+#include <iostream>
+
+#include "core/figures.hpp"
+#include "core/scenarios.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace linkpad;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("campus_vs_wan",
+                       "CIT exposure across a day: campus vs WAN tap");
+  args.add_option("--slots", "8", "time slots across the 24h day");
+  args.add_option("--windows", "100", "train/test windows per class");
+  args.add_option("--seed", "23", "root RNG seed");
+  if (!args.parse(argc, argv)) return 1;
+
+  const auto slots = static_cast<std::size_t>(args.integer("--slots"));
+  const auto windows = static_cast<std::size_t>(args.integer("--windows"));
+  const auto seed = static_cast<std::uint64_t>(args.integer("--seed"));
+
+  util::TextTable table({"hour", "campus util", "campus detection",
+                         "wan util", "wan detection"});
+  std::vector<double> hours, campus_v, wan_v;
+  double campus_worst = 0.0, wan_worst = 0.0;
+
+  for (std::size_t i = 0; i < slots; ++i) {
+    const double hour = 24.0 * static_cast<double>(i) / slots;
+    const auto campus_rates = core::detection_rates_on_scenario(
+        core::campus(core::make_cit(), hour),
+        {classify::FeatureKind::kSampleEntropy}, 1000, windows, windows,
+        seed + i);
+    const auto wan_rates = core::detection_rates_on_scenario(
+        core::wan(core::make_cit(), hour),
+        {classify::FeatureKind::kSampleEntropy}, 1000, windows, windows,
+        seed + 100 + i);
+
+    hours.push_back(hour);
+    campus_v.push_back(campus_rates[0]);
+    wan_v.push_back(wan_rates[0]);
+    campus_worst = std::max(campus_worst, campus_rates[0]);
+    wan_worst = std::max(wan_worst, wan_rates[0]);
+
+    table.add_row({util::fmt(hour, 1),
+                   util::fmt(core::campus_profile().utilization_at(hour), 3),
+                   util::fmt(campus_rates[0], 4),
+                   util::fmt(core::wan_profile().utilization_at(hour), 3),
+                   util::fmt(wan_rates[0], 4)});
+  }
+
+  std::printf("CIT padding, entropy adversary at n = 1000, across a day:\n\n");
+  std::cout << table.to_string() << '\n';
+
+  util::PlotOptions plot;
+  plot.x_label = "hour of day";
+  plot.y_label = "detection rate";
+  plot.y_fixed = true;
+  plot.y_min = 0.4;
+  plot.y_max = 1.0;
+  std::cout << util::render_plot({util::Series{"campus", hours, campus_v},
+                                  util::Series{"wan", hours, wan_v}},
+                                 plot);
+
+  std::printf("\nWorst-case over the day: campus %.3f, wan %.3f.\n",
+              campus_worst, wan_worst);
+  std::printf("Security is a worst-case business: both exceed coin-flipping,\n"
+              "so CIT is unsafe in either deployment — the quiet 2 AM Internet\n"
+              "is exactly when the remote adversary does best (paper Sec 5.3).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// live_loopback: the padding gateway on REAL OS timers and UDP sockets.
+//
+// Sends a padded stream across the loopback interface with CIT and then
+// VIT timers, measuring PIATs at a receiving sniffer thread with monotonic
+// timestamps — the physical experiment of the paper scaled to one host.
+// Real scheduler wake-up latency takes the role of delta_gw; you can watch
+// your own machine's jitter become the CIT leak.
+//
+// Run: ./live_loopback [--tau-ms 2] [--packets 1500]
+#include <cstdio>
+
+#include "live/live_testbed.hpp"
+#include "stats/descriptive.hpp"
+#include "util/cli.hpp"
+
+using namespace linkpad;
+
+namespace {
+
+void report(const char* label, const live::LiveResult& result,
+            const live::LiveGatewayConfig& cfg) {
+  std::printf("%s\n", label);
+  std::printf("  sent %llu packets (%llu payload, %llu dummy), received %llu\n",
+              static_cast<unsigned long long>(cfg.packet_count),
+              static_cast<unsigned long long>(result.gateway.payload_sent),
+              static_cast<unsigned long long>(result.gateway.dummy_sent),
+              static_cast<unsigned long long>(result.received));
+  if (result.piats.empty()) {
+    std::printf("  (no PIATs captured)\n");
+    return;
+  }
+  std::printf("  PIAT: mean %.3f ms, std %.1f us, min %.3f ms, max %.3f ms\n",
+              result.piat_summary.mean * 1e3, result.piat_summary.stddev * 1e6,
+              result.piat_summary.min * 1e3, result.piat_summary.max * 1e3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("live_loopback",
+                       "real-time padding gateway over loopback UDP");
+  args.add_option("--tau-ms", "2", "timer mean interval in milliseconds");
+  args.add_option("--packets", "1500", "wire packets per run");
+  args.add_option("--payload-pps", "120", "payload packet rate");
+  if (!args.parse(argc, argv)) return 1;
+
+  live::LiveGatewayConfig cfg;
+  cfg.tau = args.num("--tau-ms") * 1e-3;
+  cfg.packet_count = static_cast<std::size_t>(args.integer("--packets"));
+  cfg.payload_rate = args.num("--payload-pps");
+
+  std::printf("Live loopback padding testbed (tau = %.1f ms, %zu packets)\n\n",
+              cfg.tau * 1e3, cfg.packet_count);
+
+  std::printf("[1] CIT run...\n");
+  const auto cit = live::run_live_experiment(cfg);
+  report("CIT:", cit, cfg);
+
+  live::LiveGatewayConfig vit_cfg = cfg;
+  vit_cfg.sigma_timer = cfg.tau / 2.0;
+  std::printf("\n[2] VIT run (sigma_T = %.1f ms)...\n", vit_cfg.sigma_timer * 1e3);
+  const auto vit = live::run_live_experiment(vit_cfg);
+  report("VIT:", vit, vit_cfg);
+
+  if (!cit.piats.empty() && !vit.piats.empty()) {
+    const double ratio =
+        vit.piat_summary.variance / cit.piat_summary.variance;
+    std::printf("\nVar(PIAT) VIT / CIT = %.1fx — the VIT spread dwarfs the "
+                "host's own jitter,\nwhich is precisely why the adversary's "
+                "variance ratio r collapses to 1.\n",
+                ratio);
+    std::printf("The CIT std-dev above IS your machine's scheduler jitter: "
+                "on the paper's\nTimeSys RT gateway it was ~10 us; whatever "
+                "it is here, it leaks the same way.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: the paper's headline result in ~80 lines.
+//
+// 1. Build the zero-cross-traffic lab system with CIT padding (timer mean
+//    10 ms) and measure the padded stream at 10 pps vs 40 pps payload.
+// 2. Attack it with the Bayes adversary (sample variance & entropy at
+//    n = 1000): CIT leaks — detection rate is near 100%.
+// 3. Switch the gateway to VIT (sigma_T = 100 us): detection collapses to
+//    coin-flipping, at identical bandwidth cost.
+//
+// Run: ./quickstart [--seed 7]
+#include <cstdio>
+
+#include "analysis/theory.hpp"
+#include "core/experiment.hpp"
+#include "core/piat_model.hpp"
+#include "core/scenarios.hpp"
+#include "util/cli.hpp"
+
+using namespace linkpad;
+
+namespace {
+
+void attack(const core::Scenario& scenario, std::uint64_t seed) {
+  for (const auto feature : {classify::FeatureKind::kSampleMean,
+                             classify::FeatureKind::kSampleVariance,
+                             classify::FeatureKind::kSampleEntropy}) {
+    core::ExperimentSpec spec;
+    spec.scenario = scenario;
+    spec.adversary.feature = feature;
+    spec.adversary.window_size = 1000;
+    spec.train_windows = 120;
+    spec.test_windows = 120;
+    spec.seed = seed;
+    const auto result = core::run_experiment(spec);
+    std::printf("  %-16s detection rate %5.1f%%  (theory %5.1f%%, r_hat %.3f)\n",
+                classify::feature_name(feature).c_str(),
+                100.0 * result.detection_rate,
+                result.predicted ? 100.0 * *result.predicted : 0.0,
+                result.r_hat);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("quickstart", "CIT leaks, VIT does not — the paper in one run");
+  args.add_option("--seed", "7", "root RNG seed");
+  if (!args.parse(argc, argv)) return 1;
+  const auto seed = static_cast<std::uint64_t>(args.integer("--seed"));
+
+  std::printf("Link padding vs traffic analysis (Fu et al., ICPP 2003)\n");
+  std::printf("Payload rates to hide: 10 pps vs 40 pps; timer mean 10 ms.\n\n");
+
+  const auto cit = core::lab_zero_cross(core::make_cit());
+  const auto vc = core::predict_components(cit.config_for(0), cit.config_for(1));
+  std::printf("[1] CIT gateway, tap at GW1 (adversary's best case)\n");
+  std::printf("    predicted PIAT variance ratio r = %.3f\n", vc.ratio());
+  attack(cit, seed);
+
+  std::printf("\n[2] Same system, VIT gateway (sigma_T = 100 us)\n");
+  using namespace units;
+  const auto vit = core::lab_zero_cross(core::make_vit(100.0_us));
+  const auto vc2 = core::predict_components(vit.config_for(0), vit.config_for(1));
+  std::printf("    predicted PIAT variance ratio r = %.6f\n", vc2.ratio());
+  attack(vit, seed);
+
+  std::printf("\nSame mean rate on the wire in both cases — VIT costs no extra\n"
+              "bandwidth; it only randomizes WHEN the timer fires.\n");
+  return 0;
+}

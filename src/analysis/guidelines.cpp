@@ -1,0 +1,98 @@
+#include "analysis/guidelines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/roots.hpp"
+#include "util/check.hpp"
+
+namespace linkpad::analysis {
+
+namespace {
+
+// Security design must not rely on the paper's Chebyshev-style Theorem 2/3
+// approximations: they underestimate the adversary near r ≈ 1 (see
+// theory.hpp). We bound every studied feature by the LARGER of the theorem
+// estimate and the CLT sampling-law rate.
+double worst_feature_rate(double r, double n) {
+  return std::max({detection_rate_mean_exact(r),
+                   detection_rate_variance(r, n),
+                   detection_rate_entropy(r, n),
+                   detection_rate_variance_clt(r, n),
+                   detection_rate_entropy_clt(r, n)});
+}
+
+}  // namespace
+
+double required_ratio_for(double n_max, double v_max) {
+  LINKPAD_EXPECTS(n_max >= 2.0);
+  LINKPAD_EXPECTS(v_max > 0.5 && v_max < 1.0);
+
+  auto gap = [&](double r) { return worst_feature_rate(r, n_max) - v_max; };
+  // worst_feature_rate is increasing in r with value 0.5 at r = 1.
+  const double r_lo = 1.0 + 1e-12;
+  if (gap(r_lo) >= 0.0) return 1.0;
+  return find_root_expanding(gap, r_lo, 1.0 + 1e-6, 1e-12, 1e12);
+}
+
+DesignRecommendation design_padding_system(const DesignInputs& in) {
+  LINKPAD_EXPECTS(in.v_max > 0.5 && in.v_max < 1.0);
+  LINKPAD_EXPECTS(in.tau > 0.0);
+  LINKPAD_EXPECTS(in.sigma2_gw_low > 0.0);
+  LINKPAD_EXPECTS(in.sigma2_gw_high >= in.sigma2_gw_low);
+  LINKPAD_EXPECTS(in.sigma2_net >= 0.0);
+  const double wire_rate = 1.0 / in.tau;
+  if (wire_rate < in.payload_peak) {
+    throw std::invalid_argument(
+        "design_padding_system: timer interval too long to carry the peak "
+        "payload rate (queue would grow without bound)");
+  }
+
+  DesignRecommendation rec;
+  rec.required_ratio = required_ratio_for(in.n_max, in.v_max);
+
+  const double a_low = in.sigma2_net + in.sigma2_gw_low;
+  const double a_high = in.sigma2_net + in.sigma2_gw_high;
+
+  double sigma2_timer = 0.0;
+  if (a_high / a_low > rec.required_ratio) {
+    // (σ_T² + a_high) / (σ_T² + a_low) = r*  ⇒  σ_T² = (a_high − r*·a_low)/(r*−1)
+    sigma2_timer =
+        (a_high - rec.required_ratio * a_low) / (rec.required_ratio - 1.0);
+  }
+  rec.sigma_timer = std::sqrt(std::max(sigma2_timer, 0.0));
+
+  VarianceComponents vc;
+  vc.sigma2_timer = sigma2_timer;
+  vc.sigma2_net = in.sigma2_net;
+  vc.sigma2_gw_low = in.sigma2_gw_low;
+  vc.sigma2_gw_high = in.sigma2_gw_high;
+  const double r = vc.ratio();
+
+  rec.v_mean = detection_rate_mean_exact(r);
+  rec.v_variance = std::max(detection_rate_variance(r, in.n_max),
+                            detection_rate_variance_clt(r, in.n_max));
+  rec.v_entropy = std::max(detection_rate_entropy(r, in.n_max),
+                           detection_rate_entropy_clt(r, in.n_max));
+  rec.wire_rate = wire_rate;
+  rec.dummy_fraction = 1.0 - in.payload_peak / wire_rate;
+  // A payload packet arriving at a random phase waits τ/2 on average for
+  // the next timer fire (plus negligible queueing at the studied loads).
+  rec.mean_queueing_delay = in.tau / 2.0;
+
+  std::ostringstream why;
+  why << "target v<=" << in.v_max << " up to n=" << in.n_max
+      << " requires r<=" << rec.required_ratio << "; system r_CIT="
+      << a_high / a_low << " => "
+      << (sigma2_timer > 0.0
+              ? "VIT with sigma_T=" + std::to_string(rec.sigma_timer * 1e6) +
+                    "us"
+              : std::string("CIT already suffices"))
+      << "; achieved r=" << r;
+  rec.rationale = why.str();
+  return rec;
+}
+
+}  // namespace linkpad::analysis

@@ -1,0 +1,51 @@
+// Design guidelines (paper Sec 1 & 6): configure a padding system so the
+// detection rate stays below a target against a bounded adversary.
+//
+// The designer knows (or measures) the gateway jitter variances σ_gw,l²,
+// σ_gw,h² and the network noise σ_net² at the most exposed tap point, and
+// assumes the adversary cannot collect more than n_max PIATs of one payload
+// epoch (traffic rates do not persist forever — the paper's argument for
+// why VIT wins). The guideline solves for the smallest timer spread σ_T
+// that caps EVERY studied feature's detection rate at v_max.
+#pragma once
+
+#include <string>
+
+#include "analysis/theory.hpp"
+#include "util/types.hpp"
+
+namespace linkpad::analysis {
+
+/// Inputs to the design procedure.
+struct DesignInputs {
+  double sigma2_gw_low = 0.0;   ///< measured σ_gw,l² (s²)
+  double sigma2_gw_high = 0.0;  ///< measured σ_gw,h² (s²)
+  double sigma2_net = 0.0;      ///< σ_net² at the most exposed tap (s²)
+  double n_max = 1e6;           ///< adversary's largest credible sample
+  double v_max = 0.55;          ///< tolerated detection rate (0.5 … 1)
+  Seconds tau = 10e-3;          ///< timer mean interval (QoS-driven)
+  PacketsPerSecond payload_peak = 40.0;  ///< highest payload rate to carry
+};
+
+/// Result of the design procedure.
+struct DesignRecommendation {
+  double required_ratio = 1.0;   ///< largest admissible r
+  Seconds sigma_timer = 0.0;     ///< recommended σ_T (0 ⇒ CIT is safe)
+  double v_mean = 0.5;           ///< predicted rates at (r, n_max)
+  double v_variance = 0.5;
+  double v_entropy = 0.5;
+  double dummy_fraction = 0.0;   ///< share of wire packets that are dummies
+  double wire_rate = 0.0;        ///< packets/s on the wire
+  Seconds mean_queueing_delay = 0.0;  ///< payload QoS cost of padding
+  std::string rationale;         ///< human-readable summary
+};
+
+/// Largest variance ratio r such that mean/variance/entropy detection rates
+/// all stay ≤ v_max for sample sizes up to n_max.
+double required_ratio_for(double n_max, double v_max);
+
+/// Full design procedure. Throws if v_max ≤ 0.5 (unreachable: 0.5 is the
+/// random-guessing floor) or if the timer mean cannot carry payload_peak.
+DesignRecommendation design_padding_system(const DesignInputs& inputs);
+
+}  // namespace linkpad::analysis

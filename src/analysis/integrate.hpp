@@ -1,0 +1,14 @@
+// Adaptive Simpson quadrature — used for the numeric Bayes-error integrals
+// over KDE-estimated densities (eq. 5/7 when no closed form applies).
+#pragma once
+
+#include <functional>
+
+namespace linkpad::analysis {
+
+/// Integrate f over [a, b] with adaptive Simpson to absolute tolerance
+/// `tol`. `max_depth` bounds recursion (each level halves the interval).
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 double tol = 1e-10, int max_depth = 40);
+
+}  // namespace linkpad::analysis

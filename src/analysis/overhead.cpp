@@ -1,0 +1,52 @@
+#include "analysis/overhead.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace linkpad::analysis {
+
+PaddingCost padding_cost(Seconds tau, PacketsPerSecond payload_peak,
+                         int wire_bytes) {
+  LINKPAD_EXPECTS(tau > 0.0);
+  LINKPAD_EXPECTS(payload_peak >= 0.0);
+  LINKPAD_EXPECTS(wire_bytes > 0);
+
+  PaddingCost cost;
+  cost.wire_rate = 1.0 / tau;
+  if (cost.wire_rate < payload_peak) {
+    throw std::invalid_argument(
+        "padding_cost: wire rate below peak payload rate — the gateway "
+        "queue would grow without bound");
+  }
+  cost.dummy_fraction = 1.0 - payload_peak / cost.wire_rate;
+  cost.wire_bandwidth_bps = cost.wire_rate * wire_bytes * 8.0;
+  cost.overhead_bps = cost.wire_bandwidth_bps - payload_peak * wire_bytes * 8.0;
+  // A payload packet arriving at a uniformly random phase waits for the
+  // next fire: mean τ/2, worst ≈ τ (queueing beyond that is negligible
+  // while payload_peak < wire_rate; validated in the QoS integration test).
+  cost.mean_payload_delay = tau / 2.0;
+  cost.worst_payload_delay = tau;
+  return cost;
+}
+
+std::vector<TradeoffPoint> padding_tradeoff(const DesignInputs& inputs,
+                                            const std::vector<Seconds>& taus,
+                                            int wire_bytes) {
+  LINKPAD_EXPECTS(!taus.empty());
+  std::vector<TradeoffPoint> points;
+  points.reserve(taus.size());
+  for (const Seconds tau : taus) {
+    TradeoffPoint point;
+    point.tau = tau;
+    point.cost = padding_cost(tau, inputs.payload_peak, wire_bytes);
+
+    DesignInputs in = inputs;
+    in.tau = tau;
+    point.design = design_padding_system(in);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace linkpad::analysis

@@ -1,0 +1,50 @@
+// Padding cost accounting and the security/QoS/overhead trade-off
+// (the NetCamo [9] concern the paper inherits: "the delay experienced by
+// packets of a protected flow is tightly coupled to the bandwidth required
+// to send both payload and dummy packets").
+//
+// Link padding pays twice: dummy bandwidth (wire rate 1/τ regardless of
+// payload) and payload latency (a packet waits for the next timer fire).
+// `padding_tradeoff` sweeps the timer mean τ and, at each point, runs the
+// design procedure for the target leak bound — yielding the (overhead,
+// delay, σ_T) frontier a deployment engineer picks from.
+#pragma once
+
+#include <vector>
+
+#include "analysis/guidelines.hpp"
+#include "util/types.hpp"
+
+namespace linkpad::analysis {
+
+/// Static padding costs at one operating point.
+struct PaddingCost {
+  PacketsPerSecond wire_rate = 0.0;    ///< 1/τ
+  double dummy_fraction = 0.0;         ///< share of wire packets carrying no payload
+  double wire_bandwidth_bps = 0.0;     ///< constant on-the-wire bandwidth
+  double overhead_bps = 0.0;           ///< wire bandwidth minus peak payload bandwidth
+  Seconds mean_payload_delay = 0.0;    ///< E[wait for next fire] = τ/2
+  Seconds worst_payload_delay = 0.0;   ///< ≈ τ (arrival just after a fire)
+};
+
+/// Cost of running a padded link at timer mean `tau` carrying payload up to
+/// `payload_peak` pps with constant `wire_bytes` packets. Throws when the
+/// wire cannot carry the peak payload (1/τ < payload_peak).
+PaddingCost padding_cost(Seconds tau, PacketsPerSecond payload_peak,
+                         int wire_bytes);
+
+/// One point on the security/QoS/overhead frontier.
+struct TradeoffPoint {
+  Seconds tau = 0.0;
+  PaddingCost cost{};
+  DesignRecommendation design{};  ///< σ_T etc. for the requested leak bound
+};
+
+/// Sweep timer means and design each point for the same DesignInputs
+/// (v_max, n_max, measured jitter). `taus` must all satisfy
+/// 1/τ ≥ inputs.payload_peak. Returns points in the order given.
+std::vector<TradeoffPoint> padding_tradeoff(const DesignInputs& inputs,
+                                            const std::vector<Seconds>& taus,
+                                            int wire_bytes);
+
+}  // namespace linkpad::analysis

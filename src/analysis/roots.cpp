@@ -1,0 +1,88 @@
+#include "analysis/roots.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace linkpad::analysis {
+
+double find_root(const std::function<double(double)>& f, double a, double b,
+                 double tol, int max_iter) {
+  LINKPAD_EXPECTS(b > a);
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  if ((fa < 0.0) == (fb < 0.0)) {
+    throw std::invalid_argument("find_root: f(a) and f(b) have the same sign");
+  }
+
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol1 = 2.0 * 1e-16 * std::abs(b) + 0.5 * tol;
+    const double xm = 0.5 * (c - b);
+    if (std::abs(xm) <= tol1 || fb == 0.0) return b;
+
+    if (std::abs(e) >= tol1 && std::abs(fa) > std::abs(fb)) {
+      // Attempt inverse quadratic / secant interpolation.
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::abs(p);
+      if (2.0 * p < std::min(3.0 * xm * q - std::abs(tol1 * q), std::abs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol1) ? d : (xm > 0.0 ? tol1 : -tol1);
+    fb = f(b);
+    if ((fb < 0.0) == (fc < 0.0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  return b;
+}
+
+double find_root_expanding(const std::function<double(double)>& f, double a,
+                           double b0, double tol, double expand_limit) {
+  LINKPAD_EXPECTS(b0 > a);
+  const double fa = f(a);
+  if (fa == 0.0) return a;
+  double b = b0;
+  while (b < expand_limit) {
+    const double fb = f(b);
+    if (fb == 0.0) return b;
+    if ((fa < 0.0) != (fb < 0.0)) return find_root(f, a, b, tol);
+    b *= 4.0;
+  }
+  throw std::invalid_argument("find_root_expanding: no sign change found");
+}
+
+}  // namespace linkpad::analysis

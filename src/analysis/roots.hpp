@@ -1,0 +1,20 @@
+// Scalar root finding (Brent's method) — used to invert detection-rate
+// curves (n(p) of Fig 5b, σ_T design targets).
+#pragma once
+
+#include <functional>
+
+namespace linkpad::analysis {
+
+/// Find x in [a, b] with f(x) = 0; requires sign(f(a)) != sign(f(b)).
+/// Brent's method: bisection safety with secant/inverse-quadratic speed.
+double find_root(const std::function<double(double)>& f, double a, double b,
+                 double tol = 1e-12, int max_iter = 200);
+
+/// Expand [a, b] geometrically upward until f changes sign, then solve.
+/// Used when only a lower starting point is known (e.g. n ≥ 2).
+double find_root_expanding(const std::function<double(double)>& f, double a,
+                           double b0, double tol = 1e-12,
+                           double expand_limit = 1e18);
+
+}  // namespace linkpad::analysis

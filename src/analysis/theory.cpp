@@ -1,0 +1,227 @@
+#include "analysis/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "analysis/integrate.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/special_math.hpp"
+#include "util/check.hpp"
+
+namespace linkpad::analysis {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// r treated as 1 below this gap: every formula's limit is v = 0.5.
+constexpr double kUnitRatioEps = 1e-12;
+}  // namespace
+
+double VarianceComponents::ratio() const {
+  const double denom = sigma2_timer + sigma2_net + sigma2_gw_low;
+  LINKPAD_EXPECTS(denom > 0.0);
+  return (sigma2_timer + sigma2_net + sigma2_gw_high) / denom;
+}
+
+double estimate_variance_ratio(std::span<const double> piats_low,
+                               std::span<const double> piats_high) {
+  const double vl = stats::sample_variance(piats_low);
+  const double vh = stats::sample_variance(piats_high);
+  LINKPAD_EXPECTS(vl > 0.0 && vh > 0.0);
+  const double r = vh / vl;
+  // Orientation is irrelevant to a Bayes decision between the two classes;
+  // downstream formulas assume r >= 1.
+  return r >= 1.0 ? r : 1.0 / r;
+}
+
+// ------------------------------------------------------------- Theorem 1
+
+double detection_rate_mean_exact(double r) {
+  LINKPAD_EXPECTS(r > 0.0);
+  if (r < 1.0) r = 1.0 / r;
+  if (r - 1.0 < kUnitRatioEps) return 0.5;
+  // Likelihood crossing of N(0,1) vs N(0,r) at |x| = a, a² = r·ln r/(r−1);
+  // v = ½[P(|X₀| ≤ a) + P(|X₁| > a)] = ½ + Φ(a) − Φ(a/√r).
+  const double a = std::sqrt(r * std::log(r) / (r - 1.0));
+  return 0.5 + stats::normal_cdf(a) - stats::normal_cdf(a / std::sqrt(r));
+}
+
+double detection_rate_mean_paper(double r) {
+  LINKPAD_EXPECTS(r > 0.0);
+  if (r < 1.0) r = 1.0 / r;
+  const double root = std::sqrt(r);
+  return 1.0 - 1.0 / (root + 1.0 / root);
+}
+
+// ------------------------------------------------------------- Theorem 2
+
+double variance_feature_constant(double r) {
+  LINKPAD_EXPECTS(r > 0.0);
+  if (r < 1.0) r = 1.0 / r;
+  if (r - 1.0 < kUnitRatioEps) return kInf;
+  const double lr = std::log(r);
+  const double t1 = 1.0 - lr / (r - 1.0);          // distance of σ_l² to d
+  const double t2 = r / (r - 1.0) * lr - 1.0;      // distance of σ_h² to d
+  return 0.5 / (t1 * t1) + 0.5 / (t2 * t2);
+}
+
+double detection_rate_variance(double r, double n) {
+  LINKPAD_EXPECTS(n >= 2.0);
+  const double c = variance_feature_constant(r);
+  if (!std::isfinite(c)) return 0.5;
+  return std::max(1.0 - c / (n - 1.0), 0.5);
+}
+
+// ------------------------------------------------------------- Theorem 3
+
+double entropy_feature_constant(double r) {
+  LINKPAD_EXPECTS(r > 0.0);
+  if (r < 1.0) r = 1.0 / r;
+  if (r - 1.0 < kUnitRatioEps) return kInf;
+  const double lr = std::log(r);
+  const double u1 = std::log(r / (r - 1.0) * lr);  // log-scale distances
+  const double u2 = std::log((r - 1.0) / lr);
+  return 0.5 / (u1 * u1) + 0.5 / (u2 * u2);
+}
+
+double detection_rate_entropy(double r, double n) {
+  LINKPAD_EXPECTS(n >= 2.0);
+  const double c = entropy_feature_constant(r);
+  if (!std::isfinite(c)) return 0.5;
+  return std::max(1.0 - c / n, 0.5);
+}
+
+// --------------------------------------------------------------- n(p)
+
+double sample_size_for_detection(classify::FeatureKind kind, double r,
+                                 double p) {
+  LINKPAD_EXPECTS(p > 0.0 && p < 1.0);
+  if (r < 1.0) r = 1.0 / r;
+  if (p <= 0.5) return 2.0;
+
+  switch (kind) {
+    case classify::FeatureKind::kSampleMean:
+      // Sample size does not help the mean feature (Theorem 1, obs. 1).
+      return detection_rate_mean_exact(r) >= p ? 2.0 : kInf;
+    case classify::FeatureKind::kSampleVariance: {
+      const double c = variance_feature_constant(r);
+      if (!std::isfinite(c)) return kInf;
+      return c / (1.0 - p) + 1.0;
+    }
+    case classify::FeatureKind::kSampleEntropy: {
+      const double c = entropy_feature_constant(r);
+      if (!std::isfinite(c)) return kInf;
+      return c / (1.0 - p);
+    }
+    default:
+      // Extension features have no closed form here.
+      return kInf;
+  }
+}
+
+// ---------------------------------------------------- generic Bayes theory
+
+double bayes_detection_gaussians(const stats::Normal& f0,
+                                 const stats::Normal& f1, double p0,
+                                 double p1) {
+  LINKPAD_EXPECTS(p0 > 0.0 && p1 > 0.0);
+  LINKPAD_EXPECTS(std::abs(p0 + p1 - 1.0) < 1e-9);
+
+  const double m0 = f0.mean(), s0 = f0.sigma();
+  const double m1 = f1.mean(), s1 = f1.sigma();
+
+  // g(x) = log(p0 f0) − log(p1 f1) = A x² + B x + C;  g ≥ 0 ⇒ decide class 0.
+  const double A = 0.5 / (s1 * s1) - 0.5 / (s0 * s0);
+  const double B = m0 / (s0 * s0) - m1 / (s1 * s1);
+  const double C = 0.5 * m1 * m1 / (s1 * s1) - 0.5 * m0 * m0 / (s0 * s0) +
+                   std::log(p0 * s1 / (p1 * s0));
+
+  const double scale = std::max({std::abs(A) * s0 * s0, std::abs(B) * s0, 1.0});
+  if (std::abs(A) * s0 * s0 < 1e-14 * scale) {
+    // Equal variances: linear boundary (or none).
+    if (std::abs(B) * s0 < 1e-14 * scale) {
+      return std::max(p0, p1);  // identical densities: guess the bigger prior
+    }
+    const double x_star = -C / B;
+    if (B > 0.0) {
+      // class 0 region is x >= x_star
+      return p0 * (1.0 - f0.cdf(x_star)) + p1 * f1.cdf(x_star);
+    }
+    return p0 * f0.cdf(x_star) + p1 * (1.0 - f1.cdf(x_star));
+  }
+
+  const double disc = B * B - 4.0 * A * C;
+  if (disc <= 0.0) {
+    // No real boundary: g keeps the sign of A everywhere.
+    return A > 0.0 ? p0 : p1;
+  }
+  const double sq = std::sqrt(disc);
+  double x1 = (-B - sq) / (2.0 * A);
+  double x2 = (-B + sq) / (2.0 * A);
+  if (x1 > x2) std::swap(x1, x2);
+
+  if (A > 0.0) {
+    // class 0 outside [x1, x2]
+    return p0 * (f0.cdf(x1) + 1.0 - f0.cdf(x2)) +
+           p1 * (f1.cdf(x2) - f1.cdf(x1));
+  }
+  // class 0 inside [x1, x2]
+  return p0 * (f0.cdf(x2) - f0.cdf(x1)) +
+         p1 * (f1.cdf(x1) + 1.0 - f1.cdf(x2));
+}
+
+double bayes_detection_numeric(const std::function<double(double)>& f0,
+                               const std::function<double(double)>& f1,
+                               double p0, double p1, double lo, double hi) {
+  LINKPAD_EXPECTS(hi > lo);
+  return integrate(
+      [&](double x) { return std::max(p0 * f0(x), p1 * f1(x)); }, lo, hi,
+      1e-9);
+}
+
+// ------------------------------------------------ feature sampling theory
+
+stats::Normal feature_sampling_law(classify::FeatureKind kind, double mu,
+                                   double sigma2, double n) {
+  LINKPAD_EXPECTS(sigma2 > 0.0);
+  LINKPAD_EXPECTS(n >= 2.0);
+  switch (kind) {
+    case classify::FeatureKind::kSampleMean:
+      return stats::Normal(mu, std::sqrt(sigma2 / n));
+    case classify::FeatureKind::kSampleVariance:
+      return stats::Normal(sigma2, std::sqrt(2.0 * sigma2 * sigma2 / (n - 1.0)));
+    case classify::FeatureKind::kSampleEntropy:
+      return stats::Normal(stats::normal_differential_entropy(sigma2),
+                           std::sqrt(0.5 / n));
+    default:
+      LINKPAD_EXPECTS(false && "no sampling law for extension features");
+  }
+  return stats::Normal(0.0, 1.0);  // unreachable
+}
+
+double predicted_detection_rate(classify::FeatureKind kind, double mu,
+                                double sigma2_low, double sigma2_high,
+                                double n) {
+  const auto law_low = feature_sampling_law(kind, mu, sigma2_low, n);
+  const auto law_high = feature_sampling_law(kind, mu, sigma2_high, n);
+  return bayes_detection_gaussians(law_low, law_high, 0.5, 0.5);
+}
+
+double detection_rate_variance_clt(double r, double n) {
+  LINKPAD_EXPECTS(n >= 3.0);
+  if (r < 1.0) r = 1.0 / r;
+  if (r - 1.0 < kUnitRatioEps) return 0.5;
+  return predicted_detection_rate(classify::FeatureKind::kSampleVariance,
+                                  0.0, 1.0, r, n);
+}
+
+double detection_rate_entropy_clt(double r, double n) {
+  LINKPAD_EXPECTS(n >= 3.0);
+  if (r < 1.0) r = 1.0 / r;
+  if (r - 1.0 < kUnitRatioEps) return 0.5;
+  return predicted_detection_rate(classify::FeatureKind::kSampleEntropy, 0.0,
+                                  1.0, r, n);
+}
+
+}  // namespace linkpad::analysis

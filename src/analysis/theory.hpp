@@ -1,0 +1,134 @@
+// Closed-form detection-rate theory (paper Section 4).
+//
+// The padded stream's PIAT is modelled as X = T + δ_gw + δ_net (eq. 8) with
+// every term normal, so X_l ~ N(µ, σ_l²) and X_h ~ N(µ, σ_h²) (eqs. 12–15)
+// and everything depends on the variance ratio r = σ_h²/σ_l² ≥ 1 (eq. 16).
+//
+// Implemented results:
+//  * Theorem 1 (sample mean): both the printed approximation and the EXACT
+//    equal-mean two-Gaussian Bayes detection rate
+//        v = 1/2 + Φ(a) − Φ(a/√r),  a = sqrt(r·ln r/(r−1)),
+//    derived in docs/THEORY.md. (The published formula is typographically
+//    ambiguous in the PDF; see DESIGN.md. We expose both.)
+//  * Theorem 2 (sample variance), eqs. (20)–(21), exactly as printed.
+//  * Theorem 3 (sample entropy), eqs. (22)–(23), exactly as printed.
+//  * n(p): the sample size needed for detection rate p (Fig 5b).
+//  * Exact Bayes detection rate between two arbitrary Gaussians (used for
+//    the "Estimation" curves of Fig 4b via the feature sampling theory).
+//  * Numeric Bayes detection rate between two arbitrary densities (eq. 7 by
+//    quadrature; works on KDE models too).
+//  * Feature sampling theory: the approximate Gaussian law of each feature
+//    statistic over windows of size n.
+#pragma once
+
+#include <functional>
+
+#include "classify/feature.hpp"
+#include "stats/distributions.hpp"
+
+namespace linkpad::analysis {
+
+/// The four variance components of eq. (16).
+struct VarianceComponents {
+  double sigma2_timer = 0.0;    ///< σ_T² of the VIT interval (0 for CIT)
+  double sigma2_net = 0.0;      ///< σ_net², network queueing noise at the tap
+  double sigma2_gw_low = 0.0;   ///< σ_gw,l², gateway jitter at rate ω_l
+  double sigma2_gw_high = 0.0;  ///< σ_gw,h², gateway jitter at rate ω_h
+
+  /// r = (σ_T² + σ_net² + σ_gw,h²) / (σ_T² + σ_net² + σ_gw,l²), eq. (16).
+  [[nodiscard]] double ratio() const;
+};
+
+/// r̂ from two measured PIAT samples (sample-variance ratio, oriented so
+/// that r̂ ≥ 1 never fails downstream monotonicity assumptions).
+double estimate_variance_ratio(std::span<const double> piats_low,
+                               std::span<const double> piats_high);
+
+// ----------------------------------------------------------- Theorem 1 --
+
+/// Exact Bayes detection rate for equal-mean normals with variance ratio r.
+/// Independent of sample size n (the paper's observation 1).
+double detection_rate_mean_exact(double r);
+
+/// The printed approximation of eq. (18): v ≈ 1 − 1/(√r + 1/√r)
+/// (the unique reading with v(1)=1/2, v(∞)=1; tracks the exact form).
+double detection_rate_mean_paper(double r);
+
+// ----------------------------------------------------------- Theorem 2 --
+
+/// C_Y of eq. (21).
+double variance_feature_constant(double r);
+
+/// Theorem 2, eq. (20): v_Y ≈ max(1 − C_Y/(n−1), 0.5).
+double detection_rate_variance(double r, double n);
+
+// ----------------------------------------------------------- Theorem 3 --
+
+/// C_H̃ of eq. (23).
+double entropy_feature_constant(double r);
+
+/// Theorem 3, eq. (22): v_H̃ ≈ max(1 − C_H̃/n, 0.5).
+double detection_rate_entropy(double r, double n);
+
+// ------------------------------------------------------------- inverses --
+
+/// Minimal sample size n(p) for feature `kind` to reach detection rate p
+/// at variance ratio r. Returns +inf for the mean feature (its rate cannot
+/// be raised by sampling more) and when r == 1. This is the quantity of
+/// Fig 5(b).
+double sample_size_for_detection(classify::FeatureKind kind, double r,
+                                 double p);
+
+// ------------------------------------------------- generic Bayes theory --
+
+/// Exact two-class Bayes detection rate between arbitrary normals
+/// f0 = N(µ0,σ0²), f1 = N(µ1,σ1²) with priors (p0, p1): solves the
+/// likelihood-ratio boundary exactly (quadratic) and integrates with Φ.
+double bayes_detection_gaussians(const stats::Normal& f0,
+                                 const stats::Normal& f1, double p0,
+                                 double p1);
+
+/// Numeric Bayes detection rate ∫ max(p0·f0, p1·f1) over [lo, hi] by
+/// adaptive quadrature — for KDE or any other density pair.
+double bayes_detection_numeric(const std::function<double(double)>& f0,
+                               const std::function<double(double)>& f1,
+                               double p0, double p1, double lo, double hi);
+
+// --------------------------------------------- feature sampling theory --
+
+/// Approximate Gaussian law of a feature statistic computed over windows of
+/// n i.i.d. N(µ, σ²) PIATs:
+///   mean     ~ N(µ, σ²/n)                         (exact)
+///   variance ~ N(σ², 2σ⁴/(n−1))                   (CLT on χ²)
+///   entropy  ~ N(½ln(2πeσ²) + c(Δh), 1/(2n))      (delta method; the
+///             bin-width offset c is common to both classes and irrelevant
+///             to the Bayes boundary, so it is omitted)
+stats::Normal feature_sampling_law(classify::FeatureKind kind, double mu,
+                                   double sigma2, double n);
+
+/// "Estimation" curve of Fig 4(b): predicted detection rate of `kind` at
+/// window size n given the two PIAT variances, via the exact Gaussian Bayes
+/// rate between the two feature sampling laws.
+double predicted_detection_rate(classify::FeatureKind kind, double mu,
+                                double sigma2_low, double sigma2_high,
+                                double n);
+
+// ------------------------------------------------- CLT (sampling-law) --
+
+/// Detection rate of the variance feature from the CLT sampling laws
+/// (exact Gaussian Bayes between N(1, 2/(n−1)) and N(r, 2r²/(n−1)); the
+/// statistic is scale-invariant so only (r, n) matter).
+///
+/// NOTE: Theorems 2/3 are Chebyshev-style approximations; near r ≈ 1 they
+/// substantially UNDERESTIMATE the adversary (e.g. r = 1.11, n = 800:
+/// Theorem 2 says 51%, the CLT law — and the measured adversary — say
+/// ~86%). Use these for security DESIGN; use the theorem forms to
+/// reproduce the paper's curves. See docs/THEORY.md and the
+/// `abl_theory_accuracy` bench.
+double detection_rate_variance_clt(double r, double n);
+
+/// CLT counterpart for the entropy feature (means ½ln r apart, common
+/// std-dev ≈ sqrt(1/(2n))).
+double detection_rate_entropy_clt(double r, double n);
+
+}  // namespace linkpad::analysis

@@ -1,0 +1,103 @@
+#include "classify/adversary.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+
+namespace linkpad::classify {
+
+Adversary::Adversary(const AdversaryConfig& config) : config_(config) {
+  LINKPAD_EXPECTS(config.window_size >= 2);
+}
+
+std::vector<std::span<const double>> Adversary::windows_of(
+    std::span<const double> stream, std::size_t n) {
+  std::vector<std::span<const double>> out;
+  const std::size_t count = stream.size() / n;
+  out.reserve(count);
+  for (std::size_t w = 0; w < count; ++w) {
+    out.push_back(stream.subspan(w * n, n));
+  }
+  return out;
+}
+
+void Adversary::train(const std::vector<std::vector<double>>& class_streams,
+                      std::vector<double> priors) {
+  LINKPAD_EXPECTS(class_streams.size() >= 2);
+  if (priors.empty()) {
+    priors.assign(class_streams.size(),
+                  1.0 / static_cast<double>(class_streams.size()));
+  }
+  LINKPAD_EXPECTS(priors.size() == class_streams.size());
+
+  // Δh for the entropy feature: fixed once, from pooled training data,
+  // using Scott's histogram bin rule at the window size.
+  bin_width_ = config_.entropy_bin_width;
+  if (config_.feature == FeatureKind::kSampleEntropy && bin_width_ <= 0.0) {
+    stats::RunningStats pooled;
+    for (const auto& stream : class_streams) {
+      for (double x : stream) pooled.add(x);
+    }
+    LINKPAD_EXPECTS(pooled.count() >= 2);
+    const double n = static_cast<double>(config_.window_size);
+    bin_width_ = 3.49 * pooled.stddev() * std::pow(n, -1.0 / 3.0);
+    LINKPAD_ENSURES(bin_width_ > 0.0);
+  }
+  extractor_ =
+      make_feature(config_.feature, bin_width_, config_.entropy_bias);
+
+  training_features_.clear();
+  training_features_.reserve(class_streams.size());
+  for (const auto& stream : class_streams) {
+    const auto windows = windows_of(stream, config_.window_size);
+    LINKPAD_EXPECTS(windows.size() >= 2);
+    std::vector<double> features;
+    features.reserve(windows.size());
+    for (const auto& w : windows) features.push_back(extractor_->extract(w));
+    training_features_.push_back(std::move(features));
+  }
+
+  priors_ = priors;
+  classifier_ =
+      BayesClassifier::train(training_features_, priors_, config_.density,
+                             config_.bandwidth, config_.fixed_bandwidth);
+}
+
+const BayesClassifier& Adversary::classifier() const {
+  LINKPAD_EXPECTS(classifier_.has_value());
+  return *classifier_;
+}
+
+double Adversary::feature_of(std::span<const double> window) const {
+  LINKPAD_EXPECTS(extractor_ != nullptr);
+  LINKPAD_EXPECTS(window.size() >= config_.window_size);
+  return extractor_->extract(window.first(config_.window_size));
+}
+
+ClassLabel Adversary::classify_window(std::span<const double> window) const {
+  LINKPAD_EXPECTS(classifier_.has_value());
+  return classifier_->classify(feature_of(window));
+}
+
+ConfusionMatrix Adversary::evaluate(
+    const std::vector<std::vector<double>>& class_test_streams) const {
+  LINKPAD_EXPECTS(classifier_.has_value());
+  LINKPAD_EXPECTS(class_test_streams.size() == classifier_->num_classes());
+
+  ConfusionMatrix cm(class_test_streams.size());
+  for (std::size_t c = 0; c < class_test_streams.size(); ++c) {
+    for (const auto& w :
+         windows_of(class_test_streams[c], config_.window_size)) {
+      cm.add(static_cast<ClassLabel>(c), classifier_->classify(extractor_->extract(w)));
+    }
+  }
+  return cm;
+}
+
+double Adversary::detection_rate(
+    const std::vector<std::vector<double>>& class_test_streams) const {
+  return evaluate(class_test_streams).detection_rate(priors_);
+}
+
+}  // namespace linkpad::classify

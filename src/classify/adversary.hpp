@@ -1,0 +1,91 @@
+// The complete adversary of paper Sec 3.3: off-line training followed by
+// run-time classification.
+//
+// Off-line phase ("the adversary reconstructs the entire link padding
+// system"): he feeds per-class PIAT streams — produced by HIS replica of the
+// gateways — through the chosen feature statistic over windows of size n,
+// then fits a Gaussian-KDE density per class and derives Bayes rules.
+//
+// Run-time phase: a captured window of n PIATs is reduced to its feature
+// value and classified by maximum posterior.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "classify/bayes.hpp"
+#include "classify/evaluation.hpp"
+#include "classify/feature.hpp"
+#include "util/types.hpp"
+
+namespace linkpad::classify {
+
+/// Adversary hyper-parameters.
+struct AdversaryConfig {
+  FeatureKind feature = FeatureKind::kSampleEntropy;
+  std::size_t window_size = 1000;  ///< n, the PIAT sample size
+
+  /// Entropy bin width Δh; 0 selects automatically from pooled training
+  /// data via Scott's histogram rule (constant thereafter, per the paper).
+  double entropy_bin_width = 0.0;
+  stats::EntropyBias entropy_bias = stats::EntropyBias::kNone;
+
+  DensityKind density = DensityKind::kKde;
+  stats::BandwidthRule bandwidth = stats::BandwidthRule::kSilverman;
+  double fixed_bandwidth = 0.0;  ///< used with BandwidthRule::kFixed
+};
+
+/// Trainable + evaluable adversary.
+class Adversary {
+ public:
+  explicit Adversary(const AdversaryConfig& config);
+
+  /// Off-line training. `class_streams[i]` is a long PIAT stream recorded
+  /// at payload rate ω_i on the adversary's replica; it is chopped into
+  /// disjoint windows of `window_size`. Priors default to equal.
+  void train(const std::vector<std::vector<double>>& class_streams,
+             std::vector<double> priors = {});
+
+  /// Run-time classification of one captured window (size ≥ window_size;
+  /// only the first window_size entries are used).
+  [[nodiscard]] ClassLabel classify_window(std::span<const double> window) const;
+
+  /// Feature value of a window (for inspection / plots).
+  [[nodiscard]] double feature_of(std::span<const double> window) const;
+
+  /// Chop per-class test streams into windows and classify each; returns
+  /// the confusion matrix.
+  [[nodiscard]] ConfusionMatrix evaluate(
+      const std::vector<std::vector<double>>& class_test_streams) const;
+
+  /// evaluate().detection_rate() with the training priors.
+  [[nodiscard]] double detection_rate(
+      const std::vector<std::vector<double>>& class_test_streams) const;
+
+  [[nodiscard]] bool trained() const { return classifier_.has_value(); }
+  [[nodiscard]] const BayesClassifier& classifier() const;
+  [[nodiscard]] const AdversaryConfig& config() const { return config_; }
+
+  /// The Δh actually in use (after auto-selection).
+  [[nodiscard]] double entropy_bin_width() const { return bin_width_; }
+
+  /// Training features per class (for plotting the f(s|ω) of Fig 2).
+  [[nodiscard]] const std::vector<std::vector<double>>& training_features() const {
+    return training_features_;
+  }
+
+  /// Chop a stream into disjoint windows of `n` (shared helper).
+  static std::vector<std::span<const double>> windows_of(
+      std::span<const double> stream, std::size_t n);
+
+ private:
+  AdversaryConfig config_;
+  double bin_width_ = 0.0;
+  std::unique_ptr<FeatureExtractor> extractor_;
+  std::optional<BayesClassifier> classifier_;
+  std::vector<double> priors_;
+  std::vector<std::vector<double>> training_features_;
+};
+
+}  // namespace linkpad::classify

@@ -1,0 +1,87 @@
+#include "classify/density_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+
+namespace linkpad::classify {
+
+namespace {
+constexpr double kLogFloor = -745.0;
+}
+
+// -------------------------------------------------------------- KdeDensity
+
+KdeDensity::KdeDensity(std::span<const double> data, stats::BandwidthRule rule,
+                       double fixed_bandwidth)
+    : kde_(data, rule, fixed_bandwidth) {}
+
+double KdeDensity::log_pdf(double x) const { return kde_.log_pdf(x); }
+double KdeDensity::pdf(double x) const { return kde_.pdf(x); }
+
+// --------------------------------------------------------- GaussianDensity
+
+GaussianDensity::GaussianDensity(std::span<const double> data) {
+  LINKPAD_EXPECTS(data.size() >= 2);
+  mean_ = stats::mean(data);
+  sigma_ = std::max(stats::sample_stddev(data),
+                    std::max(std::abs(mean_) * 1e-12, 1e-300));
+}
+
+GaussianDensity::GaussianDensity(double mean, double sigma)
+    : mean_(mean), sigma_(sigma) {
+  LINKPAD_EXPECTS(sigma > 0.0);
+}
+
+double GaussianDensity::log_pdf(double x) const {
+  const double z = (x - mean_) / sigma_;
+  return -0.5 * z * z - std::log(sigma_) - 0.5 * std::log(2.0 * M_PI);
+}
+
+double GaussianDensity::pdf(double x) const { return std::exp(log_pdf(x)); }
+
+// -------------------------------------------------------- HistogramDensity
+
+HistogramDensity::HistogramDensity(std::span<const double> data,
+                                   std::size_t bins)
+    : hist_(stats::Histogram::from_data(data, bins)) {
+  // One pseudo-count spread over the whole range keeps log_pdf finite in
+  // empty bins without visibly distorting populated ones.
+  smoothing_mass_ =
+      1.0 / (static_cast<double>(hist_.total() + 1) * (hist_.hi() - hist_.lo()));
+}
+
+double HistogramDensity::pdf(double x) const {
+  if (x < hist_.lo() || x >= hist_.hi()) return smoothing_mass_;
+  const auto bin = std::min(
+      static_cast<std::size_t>((x - hist_.lo()) / hist_.bin_width()),
+      hist_.bins() - 1);
+  return std::max(hist_.density(bin), smoothing_mass_);
+}
+
+double HistogramDensity::log_pdf(double x) const {
+  const double p = pdf(x);
+  return p > 0.0 ? std::log(p) : kLogFloor;
+}
+
+// ----------------------------------------------------------------- factory
+
+std::unique_ptr<DensityModel> make_density(DensityKind kind,
+                                           std::span<const double> data,
+                                           stats::BandwidthRule rule,
+                                           double fixed_bandwidth,
+                                           std::size_t histogram_bins) {
+  switch (kind) {
+    case DensityKind::kKde:
+      return std::make_unique<KdeDensity>(data, rule, fixed_bandwidth);
+    case DensityKind::kGaussian:
+      return std::make_unique<GaussianDensity>(data);
+    case DensityKind::kHistogram:
+      return std::make_unique<HistogramDensity>(data, histogram_bins);
+  }
+  return nullptr;
+}
+
+}  // namespace linkpad::classify

@@ -1,0 +1,90 @@
+#include "classify/edf_classifier.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "classify/adversary.hpp"
+#include "stats/edf.hpp"
+#include "util/check.hpp"
+
+namespace linkpad::classify {
+
+EdfClassifier EdfClassifier::train(
+    const std::vector<std::vector<double>>& class_streams, EdfDistance distance,
+    std::size_t max_reference) {
+  LINKPAD_EXPECTS(class_streams.size() >= 2);
+  LINKPAD_EXPECTS(max_reference >= 16);
+
+  EdfClassifier clf;
+  clf.distance_ = distance;
+  clf.references_.reserve(class_streams.size());
+  for (const auto& stream : class_streams) {
+    LINKPAD_EXPECTS(stream.size() >= 16);
+    std::vector<double> reference(stream.begin(), stream.end());
+    std::sort(reference.begin(), reference.end());
+    if (reference.size() > max_reference) {
+      // Thin by quantiles of the SORTED sample: preserves the EDF shape
+      // exactly at bounded cost. (Temporal-stride thinning is unsafe here:
+      // padded PIAT streams carry periodic structure from CBR payloads,
+      // and a resonant stride samples a single phase of that cycle.)
+      std::vector<double> thinned;
+      thinned.reserve(max_reference);
+      const double step = static_cast<double>(reference.size()) /
+                          static_cast<double>(max_reference);
+      for (std::size_t k = 0; k < max_reference; ++k) {
+        const auto idx = static_cast<std::size_t>(
+            (static_cast<double>(k) + 0.5) * step);
+        thinned.push_back(reference[std::min(idx, reference.size() - 1)]);
+      }
+      reference = std::move(thinned);
+    }
+    clf.references_.push_back(std::move(reference));
+  }
+  return clf;
+}
+
+std::vector<double> EdfClassifier::distances(
+    std::span<const double> window) const {
+  LINKPAD_EXPECTS(!window.empty());
+  std::vector<double> sorted(window.begin(), window.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  std::vector<double> out;
+  out.reserve(references_.size());
+  for (const auto& reference : references_) {
+    out.push_back(distance_ == EdfDistance::kKolmogorovSmirnov
+                      ? stats::ks_distance_sorted(sorted, reference)
+                      : stats::cvm_distance_sorted(sorted, reference));
+  }
+  return out;
+}
+
+ClassLabel EdfClassifier::classify_window(
+    std::span<const double> window) const {
+  const auto ds = distances(window);
+  ClassLabel best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < ds.size(); ++c) {
+    if (ds[c] < best_d) {
+      best_d = ds[c];
+      best = static_cast<ClassLabel>(c);
+    }
+  }
+  return best;
+}
+
+ConfusionMatrix EdfClassifier::evaluate(
+    const std::vector<std::vector<double>>& class_test_streams,
+    std::size_t window_size) const {
+  LINKPAD_EXPECTS(class_test_streams.size() == references_.size());
+  ConfusionMatrix cm(references_.size());
+  for (std::size_t c = 0; c < class_test_streams.size(); ++c) {
+    for (const auto& w :
+         Adversary::windows_of(class_test_streams[c], window_size)) {
+      cm.add(static_cast<ClassLabel>(c), classify_window(w));
+    }
+  }
+  return cm;
+}
+
+}  // namespace linkpad::classify

@@ -1,0 +1,59 @@
+// EDF adversary (extension): nearest-distribution classification.
+//
+// The paper's adversary compresses each PIAT window into ONE scalar
+// (mean / variance / entropy). A stronger attacker keeps the whole
+// empirical CDF: train by pooling each class's PIATs into a reference
+// EDF, classify a captured window by the smallest KS or CvM distance to
+// the references. This uses every moment at once and upper-bounds what
+// the scalar features can see — the `abl_edf_adversary` bench measures
+// how much margin that costs the defender.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "classify/evaluation.hpp"
+#include "util/types.hpp"
+
+namespace linkpad::classify {
+
+/// Distance between a window's EDF and a class reference EDF.
+enum class EdfDistance {
+  kKolmogorovSmirnov,  ///< sup-norm: sensitive to the largest CDF gap
+  kCramerVonMises,     ///< L2-norm: integrates the gap over the body
+};
+
+/// Nearest-distribution classifier over per-class reference EDFs.
+class EdfClassifier {
+ public:
+  /// Train from one long PIAT stream per class. Each reference keeps at
+  /// most `max_reference` points (uniformly thinned), which bounds the
+  /// per-classification cost at O(window + max_reference).
+  static EdfClassifier train(
+      const std::vector<std::vector<double>>& class_streams,
+      EdfDistance distance = EdfDistance::kKolmogorovSmirnov,
+      std::size_t max_reference = 20000);
+
+  /// Classify one captured window (unsorted input; copied internally).
+  [[nodiscard]] ClassLabel classify_window(std::span<const double> window) const;
+
+  /// Distance from `window` to each class reference (for inspection).
+  [[nodiscard]] std::vector<double> distances(
+      std::span<const double> window) const;
+
+  /// Chop per-class test streams into `window_size` windows and classify.
+  [[nodiscard]] ConfusionMatrix evaluate(
+      const std::vector<std::vector<double>>& class_test_streams,
+      std::size_t window_size) const;
+
+  [[nodiscard]] std::size_t num_classes() const { return references_.size(); }
+  [[nodiscard]] EdfDistance distance_kind() const { return distance_; }
+
+ private:
+  EdfClassifier() = default;
+
+  EdfDistance distance_ = EdfDistance::kKolmogorovSmirnov;
+  std::vector<std::vector<double>> references_;  // sorted per class
+};
+
+}  // namespace linkpad::classify

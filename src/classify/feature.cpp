@@ -1,0 +1,72 @@
+#include "classify/feature.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+
+namespace linkpad::classify {
+
+std::string feature_name(FeatureKind kind) {
+  switch (kind) {
+    case FeatureKind::kSampleMean: return "sample mean";
+    case FeatureKind::kSampleVariance: return "sample variance";
+    case FeatureKind::kSampleEntropy: return "sample entropy";
+    case FeatureKind::kMedianAbsDeviation: return "MAD";
+    case FeatureKind::kInterquartileRange: return "IQR";
+  }
+  return "unknown";
+}
+
+double SampleMeanFeature::extract(std::span<const double> window) const {
+  return stats::mean(window);
+}
+
+double SampleVarianceFeature::extract(std::span<const double> window) const {
+  return stats::sample_variance(window);
+}
+
+SampleEntropyFeature::SampleEntropyFeature(double bin_width,
+                                           stats::EntropyBias bias)
+    : bin_width_(bin_width), bias_(bias) {
+  LINKPAD_EXPECTS(bin_width > 0.0);
+}
+
+double SampleEntropyFeature::extract(std::span<const double> window) const {
+  return stats::sample_entropy(window, bin_width_, bias_);
+}
+
+double MadFeature::extract(std::span<const double> window) const {
+  const double med = stats::median(window);
+  std::vector<double> dev(window.size());
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    dev[i] = std::abs(window[i] - med);
+  }
+  return stats::median(dev);
+}
+
+double IqrFeature::extract(std::span<const double> window) const {
+  return stats::iqr(window);
+}
+
+std::unique_ptr<FeatureExtractor> make_feature(FeatureKind kind,
+                                               double entropy_bin_width,
+                                               stats::EntropyBias bias) {
+  switch (kind) {
+    case FeatureKind::kSampleMean:
+      return std::make_unique<SampleMeanFeature>();
+    case FeatureKind::kSampleVariance:
+      return std::make_unique<SampleVarianceFeature>();
+    case FeatureKind::kSampleEntropy:
+      return std::make_unique<SampleEntropyFeature>(entropy_bin_width, bias);
+    case FeatureKind::kMedianAbsDeviation:
+      return std::make_unique<MadFeature>();
+    case FeatureKind::kInterquartileRange:
+      return std::make_unique<IqrFeature>();
+  }
+  return nullptr;
+}
+
+}  // namespace linkpad::classify

@@ -1,0 +1,88 @@
+// Feature statistics of a PIAT window (paper Sec 3.3 step 1).
+//
+// The adversary reduces each captured window {X_1..X_n} to one scalar
+// feature s before classification. The paper studies sample mean, sample
+// variance and sample entropy; we add two robust extensions (median absolute
+// deviation, interquartile range) for the ablation benches — both are
+// dispersion features like variance, but much less outlier-sensitive, which
+// probes the paper's observation that outliers from congested routers hurt
+// the variance feature more than entropy.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "stats/entropy.hpp"
+
+namespace linkpad::classify {
+
+/// Feature selection.
+enum class FeatureKind {
+  kSampleMean,
+  kSampleVariance,
+  kSampleEntropy,
+  kMedianAbsDeviation,  ///< extension: robust scale feature
+  kInterquartileRange,  ///< extension: robust scale feature
+};
+
+/// Human-readable feature name ("sample mean", ...).
+std::string feature_name(FeatureKind kind);
+
+/// Stateless reducer from a PIAT window to a scalar.
+class FeatureExtractor {
+ public:
+  virtual ~FeatureExtractor() = default;
+  [[nodiscard]] virtual double extract(std::span<const double> window) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Sample mean, eq. (17).
+class SampleMeanFeature final : public FeatureExtractor {
+ public:
+  [[nodiscard]] double extract(std::span<const double> window) const override;
+  [[nodiscard]] std::string name() const override { return "sample mean"; }
+};
+
+/// Unbiased sample variance, eq. (19).
+class SampleVarianceFeature final : public FeatureExtractor {
+ public:
+  [[nodiscard]] double extract(std::span<const double> window) const override;
+  [[nodiscard]] std::string name() const override { return "sample variance"; }
+};
+
+/// Histogram entropy with constant bin width, eq. (25).
+class SampleEntropyFeature final : public FeatureExtractor {
+ public:
+  SampleEntropyFeature(double bin_width,
+                       stats::EntropyBias bias = stats::EntropyBias::kNone);
+
+  [[nodiscard]] double extract(std::span<const double> window) const override;
+  [[nodiscard]] std::string name() const override { return "sample entropy"; }
+  [[nodiscard]] double bin_width() const { return bin_width_; }
+
+ private:
+  double bin_width_;
+  stats::EntropyBias bias_;
+};
+
+/// Median absolute deviation about the median (extension).
+class MadFeature final : public FeatureExtractor {
+ public:
+  [[nodiscard]] double extract(std::span<const double> window) const override;
+  [[nodiscard]] std::string name() const override { return "MAD"; }
+};
+
+/// Interquartile range (extension).
+class IqrFeature final : public FeatureExtractor {
+ public:
+  [[nodiscard]] double extract(std::span<const double> window) const override;
+  [[nodiscard]] std::string name() const override { return "IQR"; }
+};
+
+/// Factory. `entropy_bin_width` is required (> 0) for kSampleEntropy.
+std::unique_ptr<FeatureExtractor> make_feature(
+    FeatureKind kind, double entropy_bin_width = 0.0,
+    stats::EntropyBias bias = stats::EntropyBias::kNone);
+
+}  // namespace linkpad::classify

@@ -1,0 +1,82 @@
+#include "classify/sequential.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+
+namespace linkpad::classify {
+
+SequentialDetector::SequentialDetector(const Adversary& adversary,
+                                       const SequentialConfig& config)
+    : adversary_(adversary), config_(config) {
+  LINKPAD_EXPECTS(adversary.trained());
+  LINKPAD_EXPECTS(adversary.classifier().num_classes() == 2);
+  LINKPAD_EXPECTS(adversary.config().window_size == config.batch_size);
+  LINKPAD_EXPECTS(config.alpha > 0.0 && config.alpha < 0.5);
+  LINKPAD_EXPECTS(config.beta > 0.0 && config.beta < 0.5);
+  LINKPAD_EXPECTS(config.batch_size >= 2);
+  LINKPAD_EXPECTS(config.max_batches >= 1);
+
+  upper_ = std::log((1.0 - config.beta) / config.alpha);
+  lower_ = std::log(config.beta / (1.0 - config.alpha));
+
+  // Mean LLR increment per batch under each class, estimated on the
+  // adversary's own training features (he owns the replica, so this is
+  // within the threat model).
+  const auto& clf = adversary_.classifier();
+  auto mean_increment = [&](const std::vector<double>& features) {
+    double acc = 0.0;
+    for (double s : features) {
+      acc += clf.density(1).log_pdf(s) - clf.density(0).log_pdf(s);
+    }
+    return acc / static_cast<double>(features.size());
+  };
+  mean_llr_low_ = mean_increment(adversary_.training_features()[0]);
+  mean_llr_high_ = mean_increment(adversary_.training_features()[1]);
+}
+
+SequentialOutcome SequentialDetector::decide(
+    std::span<const double> stream) const {
+  const auto& clf = adversary_.classifier();
+  const std::size_t n = config_.batch_size;
+  const std::size_t batches =
+      std::min(stream.size() / n, config_.max_batches);
+
+  SequentialOutcome out;
+  double llr = 0.0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const double s = adversary_.feature_of(stream.subspan(b * n, n));
+    llr += clf.density(1).log_pdf(s) - clf.density(0).log_pdf(s);
+    ++out.batches_used;
+    if (llr >= upper_) {
+      out.decided = true;
+      out.decision = 1;
+      break;
+    }
+    if (llr <= lower_) {
+      out.decided = true;
+      out.decision = 0;
+      break;
+    }
+  }
+  out.piats_used = out.batches_used * n;
+  out.final_llr = llr;
+  return out;
+}
+
+double SequentialDetector::expected_batches(ClassLabel truth) const {
+  LINKPAD_EXPECTS(truth == 0 || truth == 1);
+  const double a = config_.alpha;
+  const double b = config_.beta;
+  // Wald: E_0[N] ≈ [(1−a)·lower + a·upper] / E_0[inc],
+  //       E_1[N] ≈ [b·lower + (1−b)·upper] / E_1[inc].
+  if (truth == 0) {
+    LINKPAD_EXPECTS(mean_llr_low_ < 0.0);
+    return ((1.0 - a) * lower_ + a * upper_) / mean_llr_low_;
+  }
+  LINKPAD_EXPECTS(mean_llr_high_ > 0.0);
+  return (b * lower_ + (1.0 - b) * upper_) / mean_llr_high_;
+}
+
+}  // namespace linkpad::classify

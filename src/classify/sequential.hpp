@@ -1,0 +1,70 @@
+// Sequential adversary (extension): Wald's SPRT on feature batches.
+//
+// The paper's Fig 5(b) argument is that VIT forces the fixed-sample-size
+// adversary to capture astronomically many PIATs. A sharper attacker does
+// not fix n in advance: he accumulates the log-likelihood ratio of small
+// feature batches and stops the moment Wald's thresholds are crossed —
+// reaching the same error rates with (often several times) fewer packets
+// on average. `bench/abl_sequential` quantifies how much of the paper's
+// sample-size security margin this recovers for the attacker, which is why
+// the design guideline recommends budgeting n_max generously.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "classify/adversary.hpp"
+#include "util/types.hpp"
+
+namespace linkpad::classify {
+
+/// SPRT configuration.
+struct SequentialConfig {
+  double alpha = 0.01;        ///< tolerated P(decide ω_h | truth ω_l)
+  double beta = 0.01;         ///< tolerated P(decide ω_l | truth ω_h)
+  std::size_t batch_size = 100;   ///< PIATs reduced to one feature per step
+  std::size_t max_batches = 10000;  ///< give up (undecided) after this many
+};
+
+/// Outcome of one sequential run.
+struct SequentialOutcome {
+  bool decided = false;       ///< false = ran out of data/budget
+  ClassLabel decision = 0;    ///< valid when decided
+  std::size_t batches_used = 0;
+  std::size_t piats_used = 0; ///< batches_used * batch_size
+  double final_llr = 0.0;     ///< log-likelihood ratio at stopping time
+};
+
+/// Wald sequential probability ratio test on top of a trained two-class
+/// Adversary (its per-class feature densities provide the likelihoods).
+class SequentialDetector {
+ public:
+  /// `adversary` must be trained with exactly two classes and with
+  /// window_size == config.batch_size. Keeps a reference — the adversary
+  /// must outlive the detector.
+  SequentialDetector(const Adversary& adversary, const SequentialConfig& config);
+
+  /// Consume consecutive batches from `stream` until a decision or the
+  /// stream/budget is exhausted.
+  [[nodiscard]] SequentialOutcome decide(std::span<const double> stream) const;
+
+  /// Wald's decision thresholds (log scale): accept ω_h above `upper`,
+  /// accept ω_l below `lower`.
+  [[nodiscard]] double upper_threshold() const { return upper_; }
+  [[nodiscard]] double lower_threshold() const { return lower_; }
+
+  /// Wald's approximation of the expected number of BATCHES to decide,
+  /// given the true class's mean and variance of the per-batch LLR
+  /// increment (measured from training features).
+  [[nodiscard]] double expected_batches(ClassLabel truth) const;
+
+ private:
+  const Adversary& adversary_;
+  SequentialConfig config_;
+  double upper_ = 0.0;
+  double lower_ = 0.0;
+  double mean_llr_low_ = 0.0;   ///< E[increment | ω_l] (negative drift)
+  double mean_llr_high_ = 0.0;  ///< E[increment | ω_h] (positive drift)
+};
+
+}  // namespace linkpad::classify

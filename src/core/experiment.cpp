@@ -1,0 +1,95 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+
+#include "analysis/theory.hpp"
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace linkpad::core {
+
+namespace {
+
+std::optional<double> theory_prediction(classify::FeatureKind kind,
+                                        double r_hat, double n) {
+  switch (kind) {
+    case classify::FeatureKind::kSampleMean:
+      return analysis::detection_rate_mean_exact(r_hat);
+    case classify::FeatureKind::kSampleVariance:
+      return analysis::detection_rate_variance(r_hat, n);
+    case classify::FeatureKind::kSampleEntropy:
+      return analysis::detection_rate_entropy(r_hat, n);
+    default:
+      return std::nullopt;  // extension features: no closed form
+  }
+}
+
+}  // namespace
+
+std::vector<double> generate_class_stream(const ExperimentSpec& spec,
+                                          std::size_t class_index,
+                                          std::size_t piats,
+                                          std::uint64_t stream_salt) {
+  const util::RngFactory factory(spec.seed);
+  auto rng = factory.make(stream_salt, class_index);
+  return sim::collect_piats(spec.scenario.config_for(class_index), rng, piats);
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  const std::size_t num_classes = spec.scenario.payload_rates.size();
+  LINKPAD_EXPECTS(num_classes >= 2);
+  LINKPAD_EXPECTS(spec.train_windows >= 2 && spec.test_windows >= 1);
+
+  const std::size_t n = spec.adversary.window_size;
+  const std::size_t train_piats = spec.train_windows * n;
+  const std::size_t test_piats = spec.test_windows * n;
+
+  // Off-line phase: the adversary replicates the system per class.
+  std::vector<std::vector<double>> train_streams(num_classes);
+  std::vector<std::vector<double>> test_streams(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    // Separate runs for training and run-time capture: the adversary trains
+    // on HIS replica, then observes the live system (fresh randomness).
+    train_streams[c] = generate_class_stream(spec, c, train_piats, /*salt=*/1);
+    test_streams[c] = generate_class_stream(spec, c, test_piats, /*salt=*/2);
+  }
+
+  classify::Adversary adversary(spec.adversary);
+  adversary.train(train_streams);
+
+  ExperimentResult result;
+  result.confusion = adversary.evaluate(test_streams);
+  result.detection_rate = result.confusion.detection_rate();
+  result.ci = stats::proportion_ci(
+      static_cast<std::size_t>(std::llround(
+          result.detection_rate * static_cast<double>(result.confusion.total()))),
+      result.confusion.total(), 0.95);
+
+  const auto sum_low = stats::summarize(train_streams.front());
+  const auto sum_high = stats::summarize(train_streams.back());
+  result.piat_mean_low = sum_low.mean;
+  result.piat_mean_high = sum_high.mean;
+  result.piat_var_low = sum_low.variance;
+  result.piat_var_high = sum_high.variance;
+
+  if (num_classes == 2) {
+    result.r_hat = analysis::estimate_variance_ratio(train_streams[0],
+                                                     train_streams[1]);
+    result.predicted = theory_prediction(spec.adversary.feature, result.r_hat,
+                                         static_cast<double>(n));
+  }
+  return result;
+}
+
+std::vector<ExperimentResult> run_sweep(
+    const std::vector<ExperimentSpec>& specs) {
+  std::vector<ExperimentResult> results(specs.size());
+  util::parallel_for(specs.size(), [&](std::size_t i) {
+    results[i] = run_experiment(specs[i]);
+  });
+  return results;
+}
+
+}  // namespace linkpad::core

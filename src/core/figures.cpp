@@ -1,0 +1,327 @@
+#include "core/figures.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "analysis/theory.hpp"
+#include "classify/adversary.hpp"
+#include "core/experiment.hpp"
+#include "core/piat_model.hpp"
+#include "stats/kde.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace linkpad::core {
+
+const Curve& FigureSeries::curve(const std::string& name) const {
+  for (const auto& c : curves) {
+    if (c.name == name) return c;
+  }
+  throw std::invalid_argument("FigureSeries: no curve named '" + name + "'");
+}
+
+namespace {
+
+std::size_t scaled(std::size_t base, double effort) {
+  return std::max<std::size_t>(8, static_cast<std::size_t>(
+                                      std::llround(base * effort)));
+}
+
+/// Shared worker: build per-class train/test streams once, then train and
+/// evaluate one adversary per feature. Returns {empirical rate, theory
+/// prediction} per feature (theory from the measured r̂).
+struct FeaturePoint {
+  double empirical = 0.5;
+  double theory = 0.5;
+};
+
+std::vector<FeaturePoint> evaluate_point(
+    const Scenario& scenario, const std::vector<classify::FeatureKind>& features,
+    std::size_t n, std::size_t train_windows, std::size_t test_windows,
+    std::uint64_t seed) {
+  const util::RngFactory factory(seed);
+  const std::size_t classes = scenario.payload_rates.size();
+
+  std::vector<std::vector<double>> train(classes), test(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    auto rng_train = factory.make(1, c);
+    auto rng_test = factory.make(2, c);
+    train[c] = sim::collect_piats(scenario.config_for(c), rng_train,
+                                  train_windows * n);
+    test[c] = sim::collect_piats(scenario.config_for(c), rng_test,
+                                 test_windows * n);
+  }
+
+  double r_hat = 1.0;
+  if (classes == 2) {
+    r_hat = analysis::estimate_variance_ratio(train[0], train[1]);
+  }
+
+  std::vector<FeaturePoint> out;
+  out.reserve(features.size());
+  for (const auto kind : features) {
+    classify::AdversaryConfig cfg;
+    cfg.feature = kind;
+    cfg.window_size = n;
+    classify::Adversary adversary(cfg);
+    adversary.train(train);
+
+    FeaturePoint fp;
+    fp.empirical = adversary.detection_rate(test);
+    switch (kind) {
+      case classify::FeatureKind::kSampleMean:
+        fp.theory = analysis::detection_rate_mean_exact(r_hat);
+        break;
+      case classify::FeatureKind::kSampleVariance:
+        fp.theory = analysis::detection_rate_variance(r_hat,
+                                                      static_cast<double>(n));
+        break;
+      case classify::FeatureKind::kSampleEntropy:
+        fp.theory = analysis::detection_rate_entropy(r_hat,
+                                                     static_cast<double>(n));
+        break;
+      default:
+        fp.theory = std::numeric_limits<double>::quiet_NaN();
+        break;
+    }
+    out.push_back(fp);
+  }
+  return out;
+}
+
+const std::vector<classify::FeatureKind> kPaperFeatures = {
+    classify::FeatureKind::kSampleMean,
+    classify::FeatureKind::kSampleVariance,
+    classify::FeatureKind::kSampleEntropy,
+};
+
+}  // namespace
+
+std::vector<double> detection_rates_on_scenario(
+    const Scenario& scenario, const std::vector<classify::FeatureKind>& features,
+    std::size_t window_size, std::size_t train_windows,
+    std::size_t test_windows, std::uint64_t seed) {
+  const auto points = evaluate_point(scenario, features, window_size,
+                                     train_windows, test_windows, seed);
+  std::vector<double> rates;
+  rates.reserve(points.size());
+  for (const auto& p : points) rates.push_back(p.empirical);
+  return rates;
+}
+
+// --------------------------------------------------------------- Fig 4(a)
+
+Fig4aResult fig4a_piat_pdf(const FigureOptions& options) {
+  const auto scenario = lab_zero_cross(make_cit());
+  const std::size_t count = scaled(40000, options.effort);
+
+  const util::RngFactory factory(options.seed);
+  auto rng_low = factory.make(1, 0);
+  auto rng_high = factory.make(1, 1);
+  const auto low = sim::collect_piats(scenario.config_for(0), rng_low, count);
+  const auto high = sim::collect_piats(scenario.config_for(1), rng_high, count);
+
+  Fig4aResult result;
+  result.summary_low = stats::summarize(low);
+  result.summary_high = stats::summarize(high);
+  result.r_hat = result.summary_high.variance / result.summary_low.variance;
+
+  const double lo =
+      std::min(result.summary_low.min, result.summary_high.min);
+  const double hi =
+      std::max(result.summary_low.max, result.summary_high.max);
+  const stats::GaussianKde kde_low(low);
+  const stats::GaussianKde kde_high(high);
+  constexpr std::size_t kGrid = 161;
+  result.grid.reserve(kGrid);
+  for (std::size_t i = 0; i < kGrid; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / (kGrid - 1);
+    result.grid.push_back(x);
+    result.pdf_low.push_back(kde_low.pdf(x));
+    result.pdf_high.push_back(kde_high.pdf(x));
+  }
+  return result;
+}
+
+// --------------------------------------------------------------- Fig 4(b)
+
+FigureSeries fig4b_detection_vs_n(const FigureOptions& options) {
+  FigureSeries fig;
+  fig.title = "Fig 4(b): CIT, zero cross traffic — detection rate vs sample size";
+  fig.x_label = "sample size n";
+  fig.y_label = "detection rate";
+  fig.x = {100, 200, 400, 700, 1000, 1500, 2000, 3000};
+  if (options.effort < 0.3) fig.x = {100, 400, 1000, 2000};
+
+  const std::size_t train_w = scaled(250, options.effort);
+  const std::size_t test_w = scaled(250, options.effort);
+  const auto scenario = lab_zero_cross(make_cit());
+
+  std::vector<std::vector<FeaturePoint>> points(fig.x.size());
+  util::parallel_for(fig.x.size(), [&](std::size_t i) {
+    points[i] = evaluate_point(scenario, kPaperFeatures,
+                               static_cast<std::size_t>(fig.x[i]), train_w,
+                               test_w, options.seed + i);
+  });
+
+  const char* names[] = {"sample mean", "sample variance", "sample entropy"};
+  for (std::size_t f = 0; f < 3; ++f) {
+    Curve emp{std::string(names[f]) + " experiment", {}};
+    Curve thy{std::string(names[f]) + " theory", {}};
+    for (const auto& p : points) {
+      emp.y.push_back(p[f].empirical);
+      thy.y.push_back(p[f].theory);
+    }
+    fig.curves.push_back(std::move(emp));
+    fig.curves.push_back(std::move(thy));
+  }
+  return fig;
+}
+
+// --------------------------------------------------------------- Fig 5(a)
+
+FigureSeries fig5a_detection_vs_sigma(const FigureOptions& options) {
+  FigureSeries fig;
+  fig.title = "Fig 5(a): VIT — detection rate vs sigma_T (n = 2000)";
+  fig.x_label = "sigma_T (s)";
+  fig.y_label = "detection rate";
+  using namespace units;
+  fig.x = {1.0_us, 2.0_us, 5.0_us, 10.0_us, 20.0_us,
+           50.0_us, 100.0_us, 300.0_us, 1.0_ms};
+  if (options.effort < 0.3) fig.x = {1.0_us, 10.0_us, 100.0_us, 1.0_ms};
+
+  const std::size_t n = 2000;
+  const std::size_t train_w = scaled(150, options.effort);
+  const std::size_t test_w = scaled(150, options.effort);
+
+  const std::vector<classify::FeatureKind> features = {
+      classify::FeatureKind::kSampleVariance,
+      classify::FeatureKind::kSampleEntropy,
+  };
+
+  std::vector<std::vector<FeaturePoint>> points(fig.x.size());
+  util::parallel_for(fig.x.size(), [&](std::size_t i) {
+    const auto scenario = lab_zero_cross(make_vit(fig.x[i]));
+    points[i] =
+        evaluate_point(scenario, features, n, train_w, test_w, options.seed + i);
+  });
+
+  const char* names[] = {"sample variance", "sample entropy"};
+  for (std::size_t f = 0; f < 2; ++f) {
+    Curve emp{std::string(names[f]) + " experiment", {}};
+    Curve thy{std::string(names[f]) + " theory", {}};
+    for (const auto& p : points) {
+      emp.y.push_back(p[f].empirical);
+      thy.y.push_back(p[f].theory);
+    }
+    fig.curves.push_back(std::move(emp));
+    fig.curves.push_back(std::move(thy));
+  }
+  return fig;
+}
+
+// --------------------------------------------------------------- Fig 5(b)
+
+FigureSeries fig5b_n99_vs_sigma(const FigureOptions& options) {
+  FigureSeries fig;
+  fig.title = "Fig 5(b): theoretical sample size for 99% detection vs sigma_T";
+  fig.x_label = "sigma_T (s)";
+  fig.y_label = "n(99%)";
+
+  // Calibrated effective gateway variances of the lab system (predicted
+  // from the scenario constants — no simulation needed for this figure).
+  const auto scenario = lab_zero_cross(make_cit());
+  const auto components =
+      predict_components(scenario.config_for(0), scenario.config_for(1));
+
+  constexpr int kPoints = 25;
+  Curve var_curve{"sample variance", {}};
+  Curve ent_curve{"sample entropy", {}};
+  (void)options;
+  for (int i = 0; i < kPoints; ++i) {
+    // log sweep 1 µs … 1 ms
+    const double sigma =
+        1e-6 * std::pow(10.0, 3.0 * static_cast<double>(i) / (kPoints - 1));
+    analysis::VarianceComponents vc = components;
+    vc.sigma2_timer = sigma * sigma;
+    const double r = vc.ratio();
+    fig.x.push_back(sigma);
+    var_curve.y.push_back(analysis::sample_size_for_detection(
+        classify::FeatureKind::kSampleVariance, r, 0.99));
+    ent_curve.y.push_back(analysis::sample_size_for_detection(
+        classify::FeatureKind::kSampleEntropy, r, 0.99));
+  }
+  fig.curves.push_back(std::move(var_curve));
+  fig.curves.push_back(std::move(ent_curve));
+  return fig;
+}
+
+// ------------------------------------------------------------------ Fig 6
+
+FigureSeries fig6_detection_vs_utilization(const FigureOptions& options) {
+  FigureSeries fig;
+  fig.title = "Fig 6: CIT with cross traffic — detection rate vs utilization (n = 1000)";
+  fig.x_label = "shared link utilization";
+  fig.y_label = "detection rate";
+  fig.x = {0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5};
+  if (options.effort < 0.3) fig.x = {0.05, 0.2, 0.4};
+
+  const std::size_t n = 1000;
+  const std::size_t train_w = scaled(250, options.effort);
+  const std::size_t test_w = scaled(250, options.effort);
+
+  std::vector<std::vector<FeaturePoint>> points(fig.x.size());
+  util::parallel_for(fig.x.size(), [&](std::size_t i) {
+    const auto scenario = lab_cross_traffic(make_cit(), fig.x[i]);
+    points[i] = evaluate_point(scenario, kPaperFeatures, n, train_w, test_w,
+                               options.seed + i);
+  });
+
+  const char* names[] = {"sample mean", "sample variance", "sample entropy"};
+  for (std::size_t f = 0; f < 3; ++f) {
+    Curve emp{names[f], {}};
+    for (const auto& p : points) emp.y.push_back(p[f].empirical);
+    fig.curves.push_back(std::move(emp));
+  }
+  return fig;
+}
+
+// ------------------------------------------------------------------ Fig 8
+
+FigureSeries fig8_detection_vs_hour(bool wan_path,
+                                    const FigureOptions& options) {
+  FigureSeries fig;
+  fig.title = wan_path
+                  ? "Fig 8(b): WAN Ohio -> Texas — detection rate vs time of day (n = 1000)"
+                  : "Fig 8(a): Texas A&M campus — detection rate vs time of day (n = 1000)";
+  fig.x_label = "hour of day";
+  fig.y_label = "detection rate";
+
+  const double step = options.effort >= 1.0 ? 1.0 : 3.0;
+  for (double h = 0.0; h < 24.0; h += step) fig.x.push_back(h);
+
+  const std::size_t n = 1000;
+  const std::size_t train_w = scaled(150, options.effort);
+  const std::size_t test_w = scaled(150, options.effort);
+
+  std::vector<std::vector<FeaturePoint>> points(fig.x.size());
+  util::parallel_for(fig.x.size(), [&](std::size_t i) {
+    const auto scenario = wan_path ? wan(make_cit(), fig.x[i])
+                                   : campus(make_cit(), fig.x[i]);
+    points[i] = evaluate_point(scenario, kPaperFeatures, n, train_w, test_w,
+                               options.seed + i);
+  });
+
+  const char* names[] = {"sample mean", "sample variance", "sample entropy"};
+  for (std::size_t f = 0; f < 3; ++f) {
+    Curve emp{names[f], {}};
+    for (const auto& p : points) emp.y.push_back(p[f].empirical);
+    fig.curves.push_back(std::move(emp));
+  }
+  return fig;
+}
+
+}  // namespace linkpad::core

@@ -1,0 +1,71 @@
+#include "core/piat_model.hpp"
+
+#include "analysis/theory.hpp"
+#include "sim/hop.hpp"
+#include "sim/jitter.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace linkpad::core {
+
+namespace {
+
+/// Effective (per-PIAT) gateway jitter variance with the mean payload
+/// arrivals per timer interval a = rate · E[T]; see
+/// GatewayJitterModel::effective_piat_variance for the derivation.
+double effective_gateway_variance(const sim::TestbedConfig& cfg) {
+  const sim::GatewayJitterModel model(cfg.jitter);
+  const double arrivals =
+      cfg.payload_rate * cfg.policy->mean_interval();
+  return model.effective_piat_variance(arrivals);
+}
+
+/// Effective network noise: 2 · Σ_hop Var(W_hop).
+double effective_net_variance(const sim::TestbedConfig& cfg) {
+  sim::PathModel path(cfg.hops_before_tap, cfg.wire_bytes);
+  return 2.0 * path.total_wait_variance();
+}
+
+}  // namespace
+
+analysis::VarianceComponents predict_components(const sim::TestbedConfig& low,
+                                                const sim::TestbedConfig& high) {
+  LINKPAD_EXPECTS(low.policy != nullptr && high.policy != nullptr);
+  LINKPAD_EXPECTS(low.payload_rate <= high.payload_rate);
+
+  analysis::VarianceComponents vc;
+  vc.sigma2_timer = low.policy->interval_variance();
+  vc.sigma2_net = effective_net_variance(low);
+  vc.sigma2_gw_low = effective_gateway_variance(low);
+  vc.sigma2_gw_high = effective_gateway_variance(high);
+  return vc;
+}
+
+double predict_piat_variance(const sim::TestbedConfig& cfg) {
+  LINKPAD_EXPECTS(cfg.policy != nullptr);
+  return cfg.policy->interval_variance() + effective_gateway_variance(cfg) +
+         effective_net_variance(cfg);
+}
+
+MeasuredComponents measure_components(const sim::TestbedConfig& low,
+                                      const sim::TestbedConfig& high,
+                                      std::size_t piats_per_class,
+                                      std::uint64_t seed) {
+  LINKPAD_EXPECTS(piats_per_class >= 2);
+  const util::RngFactory factory(seed);
+
+  auto run = [&](const sim::TestbedConfig& cfg, std::uint64_t stream) {
+    auto rng = factory.make(stream);
+    return sim::collect_piats(cfg, rng, piats_per_class);
+  };
+  const auto piats_low = run(low, 0);
+  const auto piats_high = run(high, 1);
+
+  MeasuredComponents mc;
+  mc.sigma2_low = stats::sample_variance(piats_low);
+  mc.sigma2_high = stats::sample_variance(piats_high);
+  mc.ratio = mc.sigma2_high / mc.sigma2_low;
+  return mc;
+}
+
+}  // namespace linkpad::core

@@ -1,0 +1,42 @@
+// Bridge between the simulator's physical parameters and the paper's
+// variance decomposition X = T + δ_gw + δ_net (eq. 8).
+//
+// One modelling subtlety the closed forms gloss over: the gateway jitter and
+// hop waits enter each INTER-arrival as a difference of two consecutive
+// per-packet terms (X_k = t_k − t_{k−1}), so their variance appears DOUBLED
+// in Var(PIAT) (and consecutive PIATs are MA(1)-correlated — harmless for
+// the marginal-feature classifiers studied here). The paper's σ_gw², σ_net²
+// are therefore the *effective* per-PIAT quantities: σ² = 2·Var(per-packet).
+// This module computes those effective components from a TestbedConfig so
+// theory curves can be predicted before running a single packet.
+#pragma once
+
+#include "analysis/theory.hpp"
+#include "sim/testbed.hpp"
+
+namespace linkpad::core {
+
+/// Effective variance components of eq. (16) predicted from two testbed
+/// configurations (low / high payload rate). The configs must differ only
+/// in payload rate.
+analysis::VarianceComponents predict_components(const sim::TestbedConfig& low,
+                                                const sim::TestbedConfig& high);
+
+/// Predicted Var(PIAT) for one config (σ_T² + 2Var(δ_gw) + 2Var(W_net)).
+double predict_piat_variance(const sim::TestbedConfig& cfg);
+
+/// Measure variance components empirically: runs the testbed at both rates
+/// and estimates (σ_l², σ_h²) from `piats_per_class` samples; the split
+/// into timer/gateway/net parts follows the config's known σ_T² and hop
+/// theory. Used by calibration tests and the guidelines example.
+struct MeasuredComponents {
+  double sigma2_low = 0.0;   ///< Var(PIAT) at ω_l
+  double sigma2_high = 0.0;  ///< Var(PIAT) at ω_h
+  double ratio = 1.0;        ///< r̂ = σ̂_h²/σ̂_l²
+};
+MeasuredComponents measure_components(const sim::TestbedConfig& low,
+                                      const sim::TestbedConfig& high,
+                                      std::size_t piats_per_class,
+                                      std::uint64_t seed);
+
+}  // namespace linkpad::core

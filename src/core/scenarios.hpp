@@ -1,0 +1,79 @@
+// Calibrated scenario presets reproducing the paper's four experimental
+// environments (Sec 5). All constants trace to the calibration section of
+// DESIGN.md; the paper-visible anchors are:
+//   * timer mean τ = 10 ms, payload rates {10, 40} pps, equal priors;
+//   * zero-cross lab: σ(PIAT) ≈ 10 µs, r_CIT ≈ 1.3 (Fig 4);
+//   * lab + cross traffic: shared 1 Gbit/s output link, utilization is the
+//     Fig 6 x-axis;
+//   * campus: 4 routers, light diurnal load (Fig 8a);
+//   * WAN: 15 routers, one congested peering hop, strong diurnal load
+//     (Fig 8b, path "spans over 15 routers").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/diurnal.hpp"
+#include "sim/testbed.hpp"
+#include "sim/timer_policy.hpp"
+
+namespace linkpad::core {
+
+/// Paper-wide constants.
+namespace constants {
+/// Mean timer interval E(T) = 10 ms (Sec 5).
+inline constexpr Seconds kTau = 10e-3;
+/// Low / high payload rates (Sec 5).
+inline constexpr PacketsPerSecond kRateLow = 10.0;
+inline constexpr PacketsPerSecond kRateHigh = 40.0;
+/// Constant wire packet size for the padded stream.
+inline constexpr int kWireBytes = 1000;
+}  // namespace constants
+
+/// A named experimental environment: one TestbedConfig template plus the
+/// payload-rate classes the adversary must distinguish.
+struct Scenario {
+  std::string name;
+  std::vector<PacketsPerSecond> payload_rates;  ///< one class per rate
+  sim::TestbedConfig base;  ///< payload_rate is overwritten per class
+
+  /// TestbedConfig for class index c.
+  [[nodiscard]] sim::TestbedConfig config_for(std::size_t c) const;
+};
+
+/// CIT policy at the paper's τ.
+std::shared_ptr<const sim::TimerPolicy> make_cit(Seconds tau = constants::kTau);
+
+/// VIT-normal policy at the paper's τ with interval std-dev sigma.
+std::shared_ptr<const sim::TimerPolicy> make_vit(Seconds sigma,
+                                                 Seconds tau = constants::kTau);
+
+/// Laboratory, no cross traffic, tap right at GW1's output (Sec 5.1.1) —
+/// the adversary's best case.
+Scenario lab_zero_cross(std::shared_ptr<const sim::TimerPolicy> policy);
+
+/// Laboratory with cross traffic through the shared router output link at
+/// the given utilization (Sec 5.2 / Fig 6). Tap after the router.
+Scenario lab_cross_traffic(std::shared_ptr<const sim::TimerPolicy> policy,
+                           double utilization);
+
+/// Texas A&M campus path at a given hour of day (Sec 5.3 / Fig 8a):
+/// 4 enterprise hops with a light diurnal load.
+Scenario campus(std::shared_ptr<const sim::TimerPolicy> policy, double hour);
+
+/// Ohio State → Texas A&M Internet path at a given hour (Sec 5.3 / Fig 8b):
+/// 15 hops — edge, one congested peering bottleneck, fast backbone.
+Scenario wan(std::shared_ptr<const sim::TimerPolicy> policy, double hour);
+
+/// The diurnal profiles used by campus()/wan() (exposed for plots/tests).
+const sim::DiurnalProfile& campus_profile();
+const sim::DiurnalProfile& wan_profile();
+
+/// Multi-rate extension (paper Sec 6): m equally spaced rates in
+/// [rate_lo, rate_hi] on the zero-cross lab setup.
+Scenario lab_multirate(std::shared_ptr<const sim::TimerPolicy> policy,
+                       std::size_t m, PacketsPerSecond rate_lo = 10.0,
+                       PacketsPerSecond rate_hi = 40.0);
+
+}  // namespace linkpad::core

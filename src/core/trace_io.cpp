@@ -1,0 +1,89 @@
+#include "core/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <stdexcept>
+
+namespace linkpad::core {
+
+namespace {
+constexpr std::array<char, 4> kMagic = {'L', 'P', 'T', '1'};
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": " + path);
+}
+}  // namespace
+
+void save_trace_csv(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) fail("save_trace_csv: cannot open", path);
+  out << "# linkpad PIAT trace\n";
+  if (!trace.description.empty()) out << "# " << trace.description << '\n';
+  out << std::setprecision(17);
+  for (double x : trace.piats) out << x << '\n';
+  if (!out) fail("save_trace_csv: write error", path);
+}
+
+Trace load_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("load_trace_csv: cannot open", path);
+  Trace trace;
+  std::string line;
+  bool first_comment = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // First comment is the format banner; the second carries description.
+      if (!first_comment && trace.description.empty() && line.size() > 2) {
+        trace.description = line.substr(2);
+      }
+      first_comment = false;
+      continue;
+    }
+    trace.piats.push_back(std::stod(line));
+  }
+  return trace;
+}
+
+void save_trace_binary(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("save_trace_binary: cannot open", path);
+  out.write(kMagic.data(), kMagic.size());
+  const std::uint64_t desc_len = trace.description.size();
+  out.write(reinterpret_cast<const char*>(&desc_len), sizeof(desc_len));
+  out.write(trace.description.data(),
+            static_cast<std::streamsize>(desc_len));
+  const std::uint64_t count = trace.piats.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(trace.piats.data()),
+            static_cast<std::streamsize>(count * sizeof(double)));
+  if (!out) fail("save_trace_binary: write error", path);
+}
+
+Trace load_trace_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("load_trace_binary: cannot open", path);
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) fail("load_trace_binary: bad magic", path);
+
+  Trace trace;
+  std::uint64_t desc_len = 0;
+  in.read(reinterpret_cast<char*>(&desc_len), sizeof(desc_len));
+  if (!in || desc_len > (1u << 20)) fail("load_trace_binary: bad header", path);
+  trace.description.resize(desc_len);
+  in.read(trace.description.data(), static_cast<std::streamsize>(desc_len));
+
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count > (1ull << 32)) fail("load_trace_binary: bad count", path);
+  trace.piats.resize(count);
+  in.read(reinterpret_cast<char*>(trace.piats.data()),
+          static_cast<std::streamsize>(count * sizeof(double)));
+  if (!in) fail("load_trace_binary: truncated data", path);
+  return trace;
+}
+
+}  // namespace linkpad::core

@@ -1,0 +1,97 @@
+#include "live/live_gateway.hpp"
+
+#include <chrono>
+#include <optional>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace linkpad::live {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration to_duration(Seconds s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+}  // namespace
+
+LiveGatewayStats run_live_gateway(const LiveGatewayConfig& config,
+                                  std::uint16_t destination_port,
+                                  const std::atomic<bool>* cancel) {
+  LINKPAD_EXPECTS(config.tau > 0.0);
+  LINKPAD_EXPECTS(config.wire_bytes >=
+                  static_cast<int>(sizeof(WireHeader)));
+  LINKPAD_EXPECTS(config.packet_count > 0);
+
+  UdpSocket socket = UdpSocket::connect_loopback(destination_port);
+
+  // Payload producer: a token counter incremented at payload_rate.
+  std::atomic<std::int64_t> payload_queue{0};
+  std::atomic<bool> stop_payload{false};
+  std::thread payload_thread([&] {
+    const auto period = to_duration(1.0 / config.payload_rate);
+    auto next = Clock::now() + period;
+    while (!stop_payload.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_until(next);
+      next += period;
+      payload_queue.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  stats::Rng rng(config.seed);
+  // VIT intervals truncated at tau/100, mirroring sim::NormalIntervalTimer.
+  std::optional<stats::TruncatedNormal> vit;
+  if (config.sigma_timer > 0.0) {
+    vit.emplace(config.tau, config.sigma_timer, config.tau / 100.0);
+  }
+
+  std::vector<std::byte> datagram(static_cast<std::size_t>(config.wire_bytes));
+  LiveGatewayStats stats;
+
+  auto deadline = Clock::now() + to_duration(config.tau);
+  for (std::uint64_t seq = 0; seq < config.packet_count; ++seq) {
+    std::this_thread::sleep_until(deadline);
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) break;
+
+    WireHeader header;
+    header.sequence = seq;
+    // Claim one queued payload token if available.
+    std::int64_t tokens = payload_queue.load(std::memory_order_relaxed);
+    bool is_payload = false;
+    while (tokens > 0) {
+      if (payload_queue.compare_exchange_weak(tokens, tokens - 1,
+                                              std::memory_order_relaxed)) {
+        is_payload = true;
+        break;
+      }
+    }
+    header.is_payload = is_payload ? 1 : 0;
+    if (is_payload) {
+      ++stats.payload_sent;
+    } else {
+      ++stats.dummy_sent;
+    }
+
+    std::memcpy(datagram.data(), &header, sizeof(header));
+    socket.send(datagram);
+
+    const Seconds interval = vit ? vit->sample(rng) : config.tau;
+    deadline += to_duration(interval);
+    // If we overran past the next deadline (scheduler stall), push it out:
+    // real periodic timers coalesce rather than burst.
+    const auto now = Clock::now();
+    if (deadline <= now) deadline = now + to_duration(config.tau / 100.0);
+  }
+
+  stop_payload.store(true, std::memory_order_relaxed);
+  payload_thread.join();
+  return stats;
+}
+
+}  // namespace linkpad::live

@@ -1,0 +1,53 @@
+// Real-time padding gateway: the paper's GW1 timer loop executed against
+// the actual OS clock, emitting real UDP datagrams on loopback.
+//
+// A payload thread produces "user packets" (a counter) at the configured
+// rate; the gateway thread sleeps to absolute deadlines S_k = S_{k−1} + T_k
+// (drift-free, like a kernel periodic timer) and on each wake-up sends one
+// constant-size datagram — payload if the queue is non-empty, dummy
+// otherwise. Scheduler wake-up latency plays the role of δ_gw here, for
+// real: no simulation involved.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "live/udp_channel.hpp"
+#include "stats/distributions.hpp"
+#include "util/types.hpp"
+
+namespace linkpad::live {
+
+/// Wire header of a live padded datagram (remaining bytes are padding).
+struct WireHeader {
+  std::uint64_t sequence = 0;
+  std::uint8_t is_payload = 0;  ///< instrumentation only; a real deployment
+                                ///< encrypts this away (the receiver-side
+                                ///< sniffer never reads it for detection)
+};
+
+/// Gateway configuration.
+struct LiveGatewayConfig {
+  Seconds tau = 1e-3;            ///< timer mean interval (1 ms default so
+                                 ///< tests finish quickly; paper uses 10 ms)
+  Seconds sigma_timer = 0.0;     ///< 0 ⇒ CIT, > 0 ⇒ VIT(normal, truncated)
+  PacketsPerSecond payload_rate = 100.0;
+  std::size_t packet_count = 1000;  ///< wire packets to emit, then stop
+  int wire_bytes = 256;             ///< constant datagram size
+  std::uint64_t seed = 1;           ///< VIT interval randomness
+};
+
+/// Emission statistics after a run.
+struct LiveGatewayStats {
+  std::uint64_t payload_sent = 0;
+  std::uint64_t dummy_sent = 0;
+};
+
+/// Run the gateway loop synchronously (blocks until packet_count datagrams
+/// were sent to 127.0.0.1:`destination_port`). Thread-safe to run while a
+/// receiver thread drains the socket.
+LiveGatewayStats run_live_gateway(const LiveGatewayConfig& config,
+                                  std::uint16_t destination_port,
+                                  const std::atomic<bool>* cancel = nullptr);
+
+}  // namespace linkpad::live

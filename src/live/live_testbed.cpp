@@ -1,0 +1,65 @@
+#include "live/live_testbed.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace linkpad::live {
+
+LiveResult run_live_experiment(const LiveGatewayConfig& config,
+                               int timeout_ms) {
+  LINKPAD_EXPECTS(timeout_ms > 0);
+
+  UdpSocket receiver = UdpSocket::bind_loopback();
+  const std::uint16_t port = receiver.port();
+
+  LiveResult result;
+  std::vector<double> arrivals;
+  arrivals.reserve(config.packet_count);
+
+  std::atomic<bool> cancel{false};
+  std::thread capture([&] {
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+    std::vector<std::byte> buffer(
+        static_cast<std::size_t>(config.wire_bytes) + 64);
+    const auto hard_deadline =
+        t0 + std::chrono::milliseconds(timeout_ms);
+    while (arrivals.size() < config.packet_count) {
+      const auto now = Clock::now();
+      if (now >= hard_deadline) break;
+      const auto budget = std::chrono::duration_cast<std::chrono::milliseconds>(
+          hard_deadline - now);
+      const auto got = receiver.recv(
+          buffer, std::min<std::chrono::milliseconds>(
+                      budget, std::chrono::milliseconds(250)));
+      if (!got) continue;
+      const auto stamp =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      arrivals.push_back(stamp);
+      if (*got >= sizeof(WireHeader)) {
+        WireHeader header;
+        std::memcpy(&header, buffer.data(), sizeof(header));
+        if (header.is_payload != 0) ++result.payload_received;
+      }
+    }
+  });
+
+  result.gateway = run_live_gateway(config, port, &cancel);
+
+  capture.join();
+
+  result.received = arrivals.size();
+  result.piats.reserve(arrivals.size() > 0 ? arrivals.size() - 1 : 0);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    result.piats.push_back(arrivals[i] - arrivals[i - 1]);
+  }
+  if (!result.piats.empty()) {
+    result.piat_summary = stats::summarize(result.piats);
+  }
+  return result;
+}
+
+}  // namespace linkpad::live

@@ -1,0 +1,33 @@
+// Orchestrates a full live loopback experiment: receiver (the adversary's
+// capture device) + gateway sender, returning the measured PIAT series.
+//
+// This is the empirical counterpart of sim::Testbed running against the
+// real kernel: the captured PIATs contain genuine scheduler wake-up jitter,
+// NIC-loopback queueing and clock granularity. Absolute numbers depend on
+// the host; the structural claims (same PIAT mean across payload rates,
+// VIT variance ≫ CIT variance) are what the live tests assert.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "live/live_gateway.hpp"
+#include "stats/descriptive.hpp"
+
+namespace linkpad::live {
+
+/// Result of one live run.
+struct LiveResult {
+  std::vector<double> piats;        ///< measured at the receiver (seconds)
+  stats::Summary piat_summary;      ///< summarize(piats)
+  LiveGatewayStats gateway;         ///< payload/dummy accounting
+  std::uint64_t received = 0;       ///< datagrams captured
+  std::uint64_t payload_received = 0;
+};
+
+/// Run gateway + receiver on loopback; blocks until the configured packet
+/// count was sent and the receiver drained (or `timeout_ms` passed).
+LiveResult run_live_experiment(const LiveGatewayConfig& config,
+                               int timeout_ms = 30000);
+
+}  // namespace linkpad::live

@@ -1,0 +1,98 @@
+#include "live/udp_channel.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace linkpad::live {
+
+namespace {
+[[noreturn]] void fail(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+}  // namespace
+
+UdpSocket UdpSocket::bind_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) fail("socket");
+  UdpSocket sock(fd);
+
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    fail("bind");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    fail("getsockname");
+  }
+  sock.port_ = ntohs(bound.sin_port);
+  return sock;
+}
+
+UdpSocket UdpSocket::connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) fail("socket");
+  UdpSocket sock(fd);
+
+  sockaddr_in addr = loopback_addr(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    fail("connect");
+  }
+  sock.port_ = port;
+  return sock;
+}
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(other.port_) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = other.port_;
+  }
+  return *this;
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpSocket::send(std::span<const std::byte> payload) {
+  const ssize_t n = ::send(fd_, payload.data(), payload.size(), 0);
+  if (n < 0) fail("send");
+  if (static_cast<std::size_t>(n) != payload.size()) {
+    throw std::runtime_error("UdpSocket::send: short datagram write");
+  }
+}
+
+std::optional<std::size_t> UdpSocket::recv(std::span<std::byte> buffer,
+                                           std::chrono::milliseconds timeout) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+  if (ready < 0) fail("poll");
+  if (ready == 0) return std::nullopt;
+
+  const ssize_t n = ::recv(fd_, buffer.data(), buffer.size(), 0);
+  if (n < 0) fail("recv");
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace linkpad::live

@@ -1,0 +1,50 @@
+// Thin RAII wrapper over a POSIX UDP socket bound/connected on loopback.
+//
+// The live testbed sends the padded stream as real UDP datagrams through
+// the kernel network stack so that the measured PIATs contain genuine OS
+// scheduler + network-stack jitter — the physical phenomenon the paper's
+// gateway experiments measure on TimeSys Linux.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace linkpad::live {
+
+/// Movable, non-copyable UDP socket handle.
+class UdpSocket {
+ public:
+  /// Bind to 127.0.0.1:`port` (0 = kernel-assigned; read back via port()).
+  static UdpSocket bind_loopback(std::uint16_t port = 0);
+
+  /// Create an unbound socket "connected" to 127.0.0.1:`port`.
+  static UdpSocket connect_loopback(std::uint16_t port);
+
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+  ~UdpSocket();
+
+  /// Send one datagram (connected sockets only). Throws on error.
+  void send(std::span<const std::byte> payload);
+
+  /// Receive one datagram with a timeout. Returns the byte count, or
+  /// std::nullopt if the timeout expired.
+  std::optional<std::size_t> recv(std::span<std::byte> buffer,
+                                  std::chrono::milliseconds timeout);
+
+  /// Locally bound port (bound sockets only).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  explicit UdpSocket(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace linkpad::live

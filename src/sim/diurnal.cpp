@@ -1,0 +1,45 @@
+#include "sim/diurnal.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace linkpad::sim {
+
+namespace {
+// Circular distance between two hours on the 24h clock.
+double hour_distance(double a, double b) {
+  double d = std::abs(a - b);
+  if (d > 12.0) d = 24.0 - d;
+  return d;
+}
+}  // namespace
+
+DiurnalProfile::DiurnalProfile(double quiet, double peak, double peak_hour,
+                               double width_hours)
+    : quiet_(quiet), peak_(peak), peak_hour_(peak_hour),
+      width_hours_(width_hours) {
+  LINKPAD_EXPECTS(quiet >= 0.0 && quiet < 1.0);
+  LINKPAD_EXPECTS(peak >= quiet && peak < 1.0);
+  LINKPAD_EXPECTS(peak_hour >= 0.0 && peak_hour < 24.0);
+  LINKPAD_EXPECTS(width_hours > 0.0);
+
+  double acc = 0.0;
+  for (int i = 0; i < 24 * 4; ++i) {
+    acc += utilization_at(i / 4.0);
+  }
+  mean_ = acc / (24.0 * 4.0);
+}
+
+double DiurnalProfile::utilization_at(double hour) const {
+  const double h = hour - 24.0 * std::floor(hour / 24.0);
+  const double d = hour_distance(h, peak_hour_);
+  const double bump = std::exp(-0.5 * (d / width_hours_) * (d / width_hours_));
+  return quiet_ + (peak_ - quiet_) * bump;
+}
+
+double DiurnalProfile::scale_at(double hour) const {
+  return utilization_at(hour) / mean_;
+}
+
+}  // namespace linkpad::sim

@@ -1,0 +1,42 @@
+// Diurnal (time-of-day) load profiles for the campus / WAN experiments.
+//
+// Fig 8 plots detection rate over a full captured day (campus data from
+// 2003-03-24, WAN from 2003-03-26). The dominant effect is that network
+// utilization — and with it σ_net — follows a daily rhythm: quiet around
+// 04:00, busy through the afternoon. We model utilization as a smooth
+// day curve built from a base level plus a work-hours bump, the standard
+// shape of enterprise/Internet diurnal load.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace linkpad::sim {
+
+/// Smooth 24-hour utilization profile.
+class DiurnalProfile {
+ public:
+  /// `quiet` = utilization at the nightly trough, `peak` = at the afternoon
+  /// maximum, `peak_hour` in [0,24), `width_hours` controls how wide the
+  /// daytime bump is.
+  DiurnalProfile(double quiet, double peak, double peak_hour = 15.0,
+                 double width_hours = 5.0);
+
+  /// Utilization at `hour` in [0, 24) (wraps around midnight).
+  [[nodiscard]] double utilization_at(double hour) const;
+
+  /// Scale factor relative to the profile's own mean; convenient for
+  /// PathModel::scale_utilization.
+  [[nodiscard]] double scale_at(double hour) const;
+
+  [[nodiscard]] double quiet() const { return quiet_; }
+  [[nodiscard]] double peak() const { return peak_; }
+
+ private:
+  double quiet_;
+  double peak_;
+  double peak_hour_;
+  double width_hours_;
+  double mean_;
+};
+
+}  // namespace linkpad::sim

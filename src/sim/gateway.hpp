@@ -1,0 +1,79 @@
+// The padding gateway GW1 (paper Sec 3.2).
+//
+// Behaviour exactly as specified: payload packets from the protected subnet
+// are queued; an interrupt-driven timer fires at designed instants
+// S_k = S_{k−1} + T_k (absolute scheduling, so CIT does not drift); at each
+// fire the gateway emits the head-of-queue payload packet, or a dummy if the
+// queue is empty. The *actual* emission happens at S_k + δ_k where δ_k comes
+// from the GatewayJitterModel and depends on how many payload packets
+// arrived since the previous interrupt — the leak under study.
+//
+// All packets leave with the same constant `wire_bytes` size (Sec 3.2
+// remark 3): the adversary learns nothing from sizes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "sim/jitter.hpp"
+#include "sim/packet.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/timer_policy.hpp"
+#include "stats/descriptive.hpp"
+
+namespace linkpad::sim {
+
+/// Operational counters exposed for invariant checks and QoS reporting.
+struct GatewayStats {
+  std::uint64_t payload_in = 0;       ///< payload packets accepted
+  std::uint64_t payload_out = 0;      ///< payload packets emitted
+  std::uint64_t dummy_out = 0;        ///< dummy packets emitted
+  std::uint64_t dropped = 0;          ///< payload drops (queue overflow)
+  std::uint64_t timer_fires = 0;      ///< interrupts processed
+  stats::RunningStats queueing_delay; ///< payload wait in GW1 (QoS metric)
+};
+
+/// Sender-side padding gateway.
+class PaddingGateway final : public PacketSink {
+ public:
+  /// `queue_capacity` bounds the payload queue (packets beyond it drop, as a
+  /// real box would); the paper's rates (≤ 40 pps payload vs 100 pps timer)
+  /// keep the queue nearly empty.
+  PaddingGateway(Simulation& sim, std::unique_ptr<TimerPolicy> policy,
+                 const JitterParams& jitter, stats::Rng& rng,
+                 PacketSink& downstream, int wire_bytes = 1000,
+                 std::size_t queue_capacity = 4096);
+
+  /// Payload ingress (TrafficSource sink interface).
+  void on_packet(const Packet& packet, Seconds now) override;
+
+  /// Arm the timer; first designed fire after one interval from now.
+  void start();
+
+  [[nodiscard]] const GatewayStats& stats() const { return stats_; }
+  [[nodiscard]] const TimerPolicy& policy() const { return *policy_; }
+
+  /// Emitted wire rate = 1 / E[T]; constant regardless of payload rate —
+  /// the perfect-secrecy property padding is built on.
+  [[nodiscard]] PacketsPerSecond wire_rate() const;
+
+ private:
+  void on_timer_fire();
+
+  Simulation& sim_;
+  std::unique_ptr<TimerPolicy> policy_;
+  GatewayJitterModel jitter_;
+  stats::Rng& rng_;
+  PacketSink& downstream_;
+  int wire_bytes_;
+  std::size_t queue_capacity_;
+
+  std::deque<Packet> queue_;
+  unsigned arrivals_since_fire_ = 0;
+  Seconds next_designed_fire_ = 0;
+  PacketId next_wire_id_ = 0;
+  GatewayStats stats_;
+};
+
+}  // namespace linkpad::sim

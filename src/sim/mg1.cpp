@@ -1,0 +1,109 @@
+#include "sim/mg1.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace linkpad::sim {
+
+double TrimodalMix::mean_bytes() {
+  double m = 0.0;
+  for (int i = 0; i < 3; ++i) m += kSizes[i] * kProbs[i];
+  return m;
+}
+
+Mg1WaitSampler::Mg1WaitSampler(double rho, Seconds mean_service,
+                               ServiceModel model)
+    : rho_(rho), mean_service_(mean_service), model_(model) {
+  LINKPAD_EXPECTS(rho >= 0.0 && rho < 1.0);
+  LINKPAD_EXPECTS(mean_service > 0.0);
+
+  const double s = mean_service_;
+  switch (model_) {
+    case ServiceModel::kDeterministic:
+      es1_ = s;
+      es2_ = s * s;
+      es3_ = s * s * s;
+      break;
+    case ServiceModel::kExponential:
+      es1_ = s;
+      es2_ = 2.0 * s * s;
+      es3_ = 6.0 * s * s * s;
+      break;
+    case ServiceModel::kTrimodal: {
+      // Service time of size-b packet is (b / mean_bytes) * mean_service, so
+      // the mix's E[S] equals `mean_service` by construction.
+      const double mb = TrimodalMix::mean_bytes();
+      es1_ = es2_ = es3_ = 0.0;
+      for (int i = 0; i < 3; ++i) {
+        const double si = TrimodalMix::kSizes[i] / mb * s;
+        es1_ += TrimodalMix::kProbs[i] * si;
+        es2_ += TrimodalMix::kProbs[i] * si * si;
+        es3_ += TrimodalMix::kProbs[i] * si * si * si;
+      }
+      break;
+    }
+  }
+}
+
+void Mg1WaitSampler::set_rho(double rho) {
+  LINKPAD_EXPECTS(rho >= 0.0 && rho < 1.0);
+  rho_ = rho;
+}
+
+Seconds Mg1WaitSampler::sample_residual(stats::Rng& rng) const {
+  switch (model_) {
+    case ServiceModel::kDeterministic:
+      // Residual of a constant S is Uniform(0, S].
+      return mean_service_ * (1.0 - rng.uniform01());
+    case ServiceModel::kExponential:
+      // Memoryless: residual is Exp(mean_service) again.
+      return -mean_service_ * std::log1p(-rng.uniform01());
+    case ServiceModel::kTrimodal: {
+      // Residual density (1−F)/E[S]: pick a component size-biased by its
+      // service time, then a uniform residual within it.
+      const double mb = TrimodalMix::mean_bytes();
+      double weights[3];
+      double total = 0.0;
+      for (int i = 0; i < 3; ++i) {
+        const double si = TrimodalMix::kSizes[i] / mb * mean_service_;
+        weights[i] = TrimodalMix::kProbs[i] * si;
+        total += weights[i];
+      }
+      double u = rng.uniform01() * total;
+      int pick = 0;
+      for (; pick < 2; ++pick) {
+        if (u < weights[pick]) break;
+        u -= weights[pick];
+      }
+      const double s_pick = TrimodalMix::kSizes[pick] / mb * mean_service_;
+      return s_pick * (1.0 - rng.uniform01());
+    }
+  }
+  return 0.0;  // unreachable
+}
+
+Seconds Mg1WaitSampler::sample(stats::Rng& rng) const {
+  if (rho_ <= 0.0) return 0.0;
+  // K ~ Geometric(rho): count failures until a U >= rho.
+  Seconds v = 0.0;
+  while (rng.uniform01() < rho_) {
+    v += sample_residual(rng);
+  }
+  return v;
+}
+
+double Mg1WaitSampler::mean_wait() const {
+  if (rho_ <= 0.0) return 0.0;
+  const double lambda = rho_ / es1_;
+  return lambda * es2_ / (2.0 * (1.0 - rho_));
+}
+
+double Mg1WaitSampler::wait_variance() const {
+  if (rho_ <= 0.0) return 0.0;
+  const double lambda = rho_ / es1_;
+  const double m1 = lambda * es2_ / (2.0 * (1.0 - rho_));
+  return lambda * es3_ / (3.0 * (1.0 - rho_)) + m1 * m1;
+}
+
+}  // namespace linkpad::sim

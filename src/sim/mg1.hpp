@@ -1,0 +1,77 @@
+// Exact stationary M/G/1 waiting-time sampling (Pollaczek–Khinchine).
+//
+// Cross traffic at a router hop is a Poisson packet stream sharing the
+// output link with the monitored padded stream. The padded stream samples
+// that queue only once per ~10 ms, while the queue's relaxation time is
+// ~E[S]/(1−ρ) ≈ tens of µs, so consecutive monitored packets see effectively
+// independent draws of the *stationary virtual waiting time* V (and by PASTA
+// a Poisson-agnostic arrival sees the time-stationary law). The PK
+// representation makes exact sampling trivial:
+//
+//     V  =  Σ_{i=1}^{K} R_i,   K ~ Geometric(ρ)  (P[K = k] = (1−ρ)ρ^k),
+//     R_i i.i.d. equilibrium (residual) service times, f_R = (1−F_S)/E[S].
+//
+// For deterministic service S, R ~ Uniform(0, S]; for exponential, R ~ Exp.
+// This gives packet-accurate queueing noise at O(E[K]) = O(ρ/(1−ρ)) cost per
+// monitored packet, independent of the cross-traffic packet rate — the trick
+// that makes the 24-hour WAN figures tractable. Validated against the
+// packet-level Router in tests/sim/router_test.cpp.
+#pragma once
+
+#include <vector>
+
+#include "stats/distributions.hpp"
+#include "util/types.hpp"
+
+namespace linkpad::sim {
+
+/// Service-time model of the cross traffic at one hop.
+enum class ServiceModel {
+  kDeterministic,  ///< all cross packets the same size (M/D/1)
+  kExponential,    ///< exponential service (M/M/1)
+  kTrimodal,       ///< empirical internet mix: 40 / 576 / 1500 byte packets
+};
+
+/// Samples stationary waiting times of an M/G/1 queue at utilization rho.
+class Mg1WaitSampler {
+ public:
+  /// `mean_service` is E[S] in seconds; rho in [0, 1).
+  Mg1WaitSampler(double rho, Seconds mean_service, ServiceModel model);
+
+  /// One stationary waiting-time draw (0 with probability 1−ρ).
+  [[nodiscard]] Seconds sample(stats::Rng& rng) const;
+
+  /// Exact stationary mean waiting time E[V] = λE[S²]/(2(1−ρ)).
+  [[nodiscard]] double mean_wait() const;
+
+  /// Exact stationary waiting-time variance (from PK transform moments):
+  /// Var(V) = λE[S³]/(3(1−ρ)) + (λE[S²])²/(4(1−ρ)²).
+  [[nodiscard]] double wait_variance() const;
+
+  [[nodiscard]] double rho() const { return rho_; }
+  [[nodiscard]] Seconds mean_service() const { return mean_service_; }
+
+  /// Update the utilization (diurnal profiles re-tune hops over the day).
+  void set_rho(double rho);
+
+ private:
+  /// One equilibrium residual service time draw.
+  [[nodiscard]] Seconds sample_residual(stats::Rng& rng) const;
+
+  double rho_;
+  Seconds mean_service_;
+  ServiceModel model_;
+  // Raw service moments E[S], E[S²], E[S³] for the chosen model.
+  double es1_ = 0, es2_ = 0, es3_ = 0;
+};
+
+/// The trimodal internet packet mix used by ServiceModel::kTrimodal:
+/// sizes in bytes with empirical probabilities (40: 50%, 576: 30%, 1500: 20%).
+struct TrimodalMix {
+  static constexpr double kSizes[3] = {40.0, 576.0, 1500.0};
+  static constexpr double kProbs[3] = {0.5, 0.3, 0.2};
+  /// Mean packet size of the mix, bytes.
+  static double mean_bytes();
+};
+
+}  // namespace linkpad::sim

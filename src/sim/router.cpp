@@ -1,0 +1,78 @@
+#include "sim/router.hpp"
+
+#include "util/check.hpp"
+
+namespace linkpad::sim {
+
+Router::Router(Simulation& sim, std::string name, double bandwidth_bps,
+               PacketSink& next, std::size_t queue_capacity)
+    : sim_(sim), name_(std::move(name)), bandwidth_bps_(bandwidth_bps),
+      next_(next), queue_capacity_(queue_capacity) {
+  LINKPAD_EXPECTS(bandwidth_bps > 0.0);
+  LINKPAD_EXPECTS(queue_capacity > 0);
+}
+
+void Router::on_packet(const Packet& packet, Seconds now) {
+  if (queue_.size() >= queue_capacity_) {
+    ++dropped_;
+    return;
+  }
+  queue_.push_back(Queued{packet, now});
+  if (!busy_) start_service();
+}
+
+void Router::start_service() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  const Queued item = queue_.front();
+  queue_.pop_front();
+
+  if (item.packet.flow == FlowId::kMonitored) {
+    monitored_wait_.add(sim_.now() - item.arrived);
+  }
+
+  const Seconds service =
+      static_cast<Seconds>(item.packet.size_bytes) * 8.0 / bandwidth_bps_;
+  sim_.schedule_in(service, [this, item] {
+    ++serviced_;
+    if (item.packet.flow == FlowId::kMonitored) {
+      next_.on_packet(item.packet, sim_.now());
+    }
+    // Cross packets exit toward their own subnet here.
+    start_service();
+  });
+}
+
+CrossTrafficProcess::CrossTrafficProcess(Simulation& sim, Router& router,
+                                         double rate, int packet_bytes,
+                                         stats::Rng& rng)
+    : sim_(sim), router_(router), rate_(rate), packet_bytes_(packet_bytes),
+      rng_(rng) {
+  LINKPAD_EXPECTS(rate >= 0.0);
+  LINKPAD_EXPECTS(packet_bytes > 0);
+}
+
+void CrossTrafficProcess::start() {
+  if (rate_ <= 0.0) return;
+  schedule_next();
+}
+
+void CrossTrafficProcess::schedule_next() {
+  const Seconds gap = stats::Exponential(1.0 / rate_).sample(rng_);
+  sim_.schedule_in(gap, [this] {
+    Packet p;
+    p.id = next_id_++;
+    p.kind = PacketKind::kCross;
+    p.flow = FlowId::kCrossHop;
+    p.size_bytes = packet_bytes_;
+    p.created = sim_.now();
+    ++generated_;
+    router_.on_packet(p, sim_.now());
+    schedule_next();
+  });
+}
+
+}  // namespace linkpad::sim

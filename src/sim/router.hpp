@@ -1,0 +1,87 @@
+// Packet-level output-queued router, plus a Poisson cross-traffic process.
+//
+// This is the "ground truth" router used to VALIDATE the analytic hop
+// channel (hop.hpp): every packet — monitored and cross — is an event, the
+// output link serves them FIFO at the configured bandwidth. It reproduces
+// the Marconi ESR-5000 of the paper's lab setup (Fig 3): cross traffic from
+// subnet C shares GW1's outgoing link and perturbs the padded stream.
+// Use for tests and small runs; for day-long sweeps use PathModel.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/packet.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+
+namespace linkpad::sim {
+
+/// FIFO output-queued router with a single bottleneck link.
+class Router final : public PacketSink {
+ public:
+  /// Packets of `FlowId::kMonitored` are forwarded to `next` after service;
+  /// cross-flow packets are served (consuming link time) then dropped (they
+  /// exit toward their own destination).
+  Router(Simulation& sim, std::string name, double bandwidth_bps,
+         PacketSink& next, std::size_t queue_capacity = 1 << 16);
+
+  void on_packet(const Packet& packet, Seconds now) override;
+
+  /// Mean wait of monitored packets in this router's queue (excluding own
+  /// service), for validation against Mg1WaitSampler::mean_wait().
+  [[nodiscard]] const stats::RunningStats& monitored_wait() const {
+    return monitored_wait_;
+  }
+
+  [[nodiscard]] std::uint64_t serviced() const { return serviced_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  void start_service();
+
+  struct Queued {
+    Packet packet;
+    Seconds arrived;
+  };
+
+  Simulation& sim_;
+  std::string name_;
+  double bandwidth_bps_;
+  PacketSink& next_;
+  std::size_t queue_capacity_;
+
+  std::deque<Queued> queue_;
+  bool busy_ = false;
+  std::uint64_t serviced_ = 0;
+  std::uint64_t dropped_ = 0;
+  stats::RunningStats monitored_wait_;
+};
+
+/// Poisson cross-traffic generator attached to a router.
+class CrossTrafficProcess {
+ public:
+  /// Generates `rate` packets/second of `packet_bytes`-sized cross packets.
+  CrossTrafficProcess(Simulation& sim, Router& router, double rate,
+                      int packet_bytes, stats::Rng& rng);
+
+  void start();
+
+  [[nodiscard]] std::uint64_t generated() const { return generated_; }
+
+ private:
+  void schedule_next();
+
+  Simulation& sim_;
+  Router& router_;
+  double rate_;
+  int packet_bytes_;
+  stats::Rng& rng_;
+  PacketId next_id_ = 0;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace linkpad::sim

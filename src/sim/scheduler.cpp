@@ -1,0 +1,42 @@
+#include "sim/scheduler.hpp"
+
+#include "util/check.hpp"
+
+namespace linkpad::sim {
+
+void Simulation::schedule_at(Seconds t, Callback cb) {
+  LINKPAD_EXPECTS(t >= now_);
+  queue_.push(Entry{t, next_seq_++, std::move(cb)});
+}
+
+void Simulation::schedule_in(Seconds dt, Callback cb) {
+  LINKPAD_EXPECTS(dt >= 0.0);
+  schedule_at(now_ + dt, std::move(cb));
+}
+
+void Simulation::run_until(Seconds t_end) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().t <= t_end) {
+    // Copy out before pop so the callback may schedule new events freely.
+    Entry entry{queue_.top().t, queue_.top().seq, std::move(const_cast<Entry&>(queue_.top()).cb)};
+    queue_.pop();
+    now_ = entry.t;
+    entry.cb();
+    ++processed_;
+  }
+  if (queue_.empty() || stopped_) return;
+  now_ = t_end;
+}
+
+void Simulation::run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    Entry entry{queue_.top().t, queue_.top().seq, std::move(const_cast<Entry&>(queue_.top()).cb)};
+    queue_.pop();
+    now_ = entry.t;
+    entry.cb();
+    ++processed_;
+  }
+}
+
+}  // namespace linkpad::sim

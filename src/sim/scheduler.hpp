@@ -1,0 +1,62 @@
+// Discrete-event simulation core: a virtual clock plus a time-ordered event
+// queue. Deliberately minimal — entities schedule closures; ties are broken
+// by insertion order so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace linkpad::sim {
+
+/// Event-driven simulation kernel.
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time (seconds).
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (must not be in the past).
+  void schedule_at(Seconds t, Callback cb);
+
+  /// Schedule `cb` after a relative delay `dt >= 0`.
+  void schedule_in(Seconds dt, Callback cb);
+
+  /// Run until the event queue drains or the clock passes `t_end`
+  /// (events scheduled at exactly t_end still run).
+  void run_until(Seconds t_end);
+
+  /// Run until the event queue is empty or stop() is called.
+  void run();
+
+  /// Request termination; the current event finishes, later ones stay queued.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Entry {
+    Seconds t;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Seconds now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace linkpad::sim

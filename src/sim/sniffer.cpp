@@ -1,0 +1,34 @@
+#include "sim/sniffer.hpp"
+
+namespace linkpad::sim {
+
+void Sniffer::on_packet(const Packet& packet, Seconds now) {
+  if (packet.flow == FlowId::kMonitored) {
+    arrivals_.push_back(now);
+  }
+  if (next_ != nullptr) {
+    next_->on_packet(packet, now);
+  }
+}
+
+std::vector<Seconds> Sniffer::piats() const {
+  std::vector<Seconds> out;
+  if (arrivals_.size() < 2) return out;
+  out.reserve(arrivals_.size() - 1);
+  for (std::size_t i = 1; i < arrivals_.size(); ++i) {
+    out.push_back(arrivals_[i] - arrivals_[i - 1]);
+  }
+  return out;
+}
+
+void ReceiverGateway::on_packet(const Packet& packet, Seconds now) {
+  if (packet.flow != FlowId::kMonitored) return;
+  if (packet.kind == PacketKind::kPayload) {
+    ++payload_;
+    delays_.push_back(now - packet.created);
+  } else {
+    ++dummy_;
+  }
+}
+
+}  // namespace linkpad::sim

@@ -1,0 +1,144 @@
+#include "sim/source.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace linkpad::sim {
+
+// -------------------------------------------------------------- CbrSource
+
+CbrSource::CbrSource(PacketsPerSecond rate, int packet_bytes, bool random_phase)
+    : rate_(rate), packet_bytes_(packet_bytes), random_phase_(random_phase) {
+  LINKPAD_EXPECTS(rate > 0.0);
+  LINKPAD_EXPECTS(packet_bytes > 0);
+}
+
+void CbrSource::start(Simulation& sim, PacketSink& sink, stats::Rng& rng) {
+  const Seconds period = 1.0 / rate_;
+  const Seconds phase = random_phase_ ? rng.uniform(0.0, period) : 0.0;
+  sim.schedule_in(phase, [this, &sim, &sink] { emit(sim, sink); });
+}
+
+void CbrSource::emit(Simulation& sim, PacketSink& sink) {
+  Packet p;
+  p.id = next_id_++;
+  p.kind = PacketKind::kPayload;
+  p.flow = FlowId::kMonitored;
+  p.size_bytes = packet_bytes_;
+  p.created = sim.now();
+  sink.on_packet(p, sim.now());
+  sim.schedule_in(1.0 / rate_, [this, &sim, &sink] { emit(sim, sink); });
+}
+
+std::string CbrSource::name() const {
+  std::ostringstream out;
+  out << "CBR(" << rate_ << "pps)";
+  return out.str();
+}
+
+// ---------------------------------------------------------- PoissonSource
+
+PoissonSource::PoissonSource(PacketsPerSecond rate, int packet_bytes)
+    : rate_(rate), packet_bytes_(packet_bytes) {
+  LINKPAD_EXPECTS(rate > 0.0);
+  LINKPAD_EXPECTS(packet_bytes > 0);
+}
+
+void PoissonSource::start(Simulation& sim, PacketSink& sink, stats::Rng& rng) {
+  schedule_next(sim, sink, rng);
+}
+
+void PoissonSource::schedule_next(Simulation& sim, PacketSink& sink,
+                                  stats::Rng& rng) {
+  const Seconds gap = stats::Exponential(1.0 / rate_).sample(rng);
+  sim.schedule_in(gap, [this, &sim, &sink, &rng] {
+    Packet p;
+    p.id = next_id_++;
+    p.kind = PacketKind::kPayload;
+    p.flow = FlowId::kMonitored;
+    p.size_bytes = packet_bytes_;
+    p.created = sim.now();
+    sink.on_packet(p, sim.now());
+    schedule_next(sim, sink, rng);
+  });
+}
+
+std::string PoissonSource::name() const {
+  std::ostringstream out;
+  out << "Poisson(" << rate_ << "pps)";
+  return out.str();
+}
+
+// ------------------------------------------------------------ OnOffSource
+
+OnOffSource::OnOffSource(PacketsPerSecond on_rate, Seconds mean_on,
+                         Seconds mean_off, int packet_bytes)
+    : on_rate_(on_rate), mean_on_(mean_on), mean_off_(mean_off),
+      packet_bytes_(packet_bytes) {
+  LINKPAD_EXPECTS(on_rate > 0.0);
+  LINKPAD_EXPECTS(mean_on > 0.0);
+  LINKPAD_EXPECTS(mean_off > 0.0);
+}
+
+PacketsPerSecond OnOffSource::mean_rate() const {
+  return on_rate_ * mean_on_ / (mean_on_ + mean_off_);
+}
+
+void OnOffSource::start(Simulation& sim, PacketSink& sink, stats::Rng& rng) {
+  on_ = true;
+  state_ends_ = sim.now() + stats::Exponential(mean_on_).sample(rng);
+  schedule_next(sim, sink, rng);
+}
+
+void OnOffSource::schedule_next(Simulation& sim, PacketSink& sink,
+                                stats::Rng& rng) {
+  // Advance through OFF periods until the next emission instant.
+  Seconds t = sim.now();
+  for (;;) {
+    if (on_) {
+      const Seconds gap = stats::Exponential(1.0 / on_rate_).sample(rng);
+      if (t + gap <= state_ends_) {
+        t += gap;
+        break;
+      }
+      t = state_ends_;
+      on_ = false;
+      state_ends_ = t + stats::Exponential(mean_off_).sample(rng);
+    } else {
+      t = state_ends_;
+      on_ = true;
+      state_ends_ = t + stats::Exponential(mean_on_).sample(rng);
+    }
+  }
+  sim.schedule_at(t, [this, &sim, &sink, &rng] {
+    Packet p;
+    p.id = next_id_++;
+    p.kind = PacketKind::kPayload;
+    p.flow = FlowId::kMonitored;
+    p.size_bytes = packet_bytes_;
+    p.created = sim.now();
+    sink.on_packet(p, sim.now());
+    schedule_next(sim, sink, rng);
+  });
+}
+
+std::string OnOffSource::name() const {
+  std::ostringstream out;
+  out << "OnOff(on=" << on_rate_ << "pps, duty="
+      << mean_on_ / (mean_on_ + mean_off_) << ")";
+  return out.str();
+}
+
+// ---------------------------------------------------------------- helpers
+
+std::unique_ptr<TrafficSource> make_cbr(PacketsPerSecond rate, int packet_bytes) {
+  return std::make_unique<CbrSource>(rate, packet_bytes);
+}
+
+std::unique_ptr<TrafficSource> make_poisson(PacketsPerSecond rate,
+                                            int packet_bytes) {
+  return std::make_unique<PoissonSource>(rate, packet_bytes);
+}
+
+}  // namespace linkpad::sim

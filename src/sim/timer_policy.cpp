@@ -1,0 +1,116 @@
+#include "sim/timer_policy.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace linkpad::sim {
+
+// --------------------------------------------------- ConstantIntervalTimer
+
+ConstantIntervalTimer::ConstantIntervalTimer(Seconds tau) : tau_(tau) {
+  LINKPAD_EXPECTS(tau > 0.0);
+}
+
+Seconds ConstantIntervalTimer::next_interval(stats::Rng& /*rng*/) {
+  return tau_;
+}
+
+std::string ConstantIntervalTimer::name() const {
+  std::ostringstream out;
+  out << "CIT(tau=" << units::to_ms(tau_) << "ms)";
+  return out.str();
+}
+
+std::unique_ptr<TimerPolicy> ConstantIntervalTimer::clone() const {
+  return std::make_unique<ConstantIntervalTimer>(*this);
+}
+
+// ----------------------------------------------------- NormalIntervalTimer
+
+NormalIntervalTimer::NormalIntervalTimer(Seconds tau, Seconds sigma,
+                                         Seconds min_interval)
+    : tau_(tau),
+      sigma_(sigma),
+      min_interval_(min_interval >= 0.0 ? min_interval : tau / 100.0),
+      dist_(tau, sigma, min_interval >= 0.0 ? min_interval : tau / 100.0) {
+  LINKPAD_EXPECTS(tau > 0.0);
+  LINKPAD_EXPECTS(sigma > 0.0);
+  LINKPAD_EXPECTS(min_interval_ < tau);
+}
+
+Seconds NormalIntervalTimer::next_interval(stats::Rng& rng) {
+  return dist_.sample(rng);
+}
+
+Seconds NormalIntervalTimer::mean_interval() const { return dist_.mean(); }
+
+double NormalIntervalTimer::interval_variance() const {
+  return dist_.variance();
+}
+
+std::string NormalIntervalTimer::name() const {
+  std::ostringstream out;
+  out << "VIT-normal(tau=" << units::to_ms(tau_)
+      << "ms, sigma=" << units::to_us(sigma_) << "us)";
+  return out.str();
+}
+
+std::unique_ptr<TimerPolicy> NormalIntervalTimer::clone() const {
+  return std::make_unique<NormalIntervalTimer>(tau_, sigma_, min_interval_);
+}
+
+// ---------------------------------------------------- UniformIntervalTimer
+
+UniformIntervalTimer::UniformIntervalTimer(Seconds tau, Seconds half_width)
+    : tau_(tau), half_width_(half_width),
+      dist_(tau - half_width, tau + half_width) {
+  LINKPAD_EXPECTS(tau > 0.0);
+  LINKPAD_EXPECTS(half_width > 0.0);
+  LINKPAD_EXPECTS(half_width < tau);
+}
+
+Seconds UniformIntervalTimer::next_interval(stats::Rng& rng) {
+  return dist_.sample(rng);
+}
+
+double UniformIntervalTimer::interval_variance() const {
+  return dist_.variance();
+}
+
+std::string UniformIntervalTimer::name() const {
+  std::ostringstream out;
+  out << "VIT-uniform(tau=" << units::to_ms(tau_)
+      << "ms, w=" << units::to_us(half_width_) << "us)";
+  return out.str();
+}
+
+std::unique_ptr<TimerPolicy> UniformIntervalTimer::clone() const {
+  return std::make_unique<UniformIntervalTimer>(tau_, half_width_);
+}
+
+// ------------------------------------------------- ShiftedExponentialTimer
+
+ShiftedExponentialTimer::ShiftedExponentialTimer(Seconds offset, Seconds scale)
+    : offset_(offset), scale_(scale), dist_(scale) {
+  LINKPAD_EXPECTS(offset >= 0.0);
+  LINKPAD_EXPECTS(scale > 0.0);
+}
+
+Seconds ShiftedExponentialTimer::next_interval(stats::Rng& rng) {
+  return offset_ + dist_.sample(rng);
+}
+
+std::string ShiftedExponentialTimer::name() const {
+  std::ostringstream out;
+  out << "VIT-shiftexp(offset=" << units::to_ms(offset_)
+      << "ms, scale=" << units::to_us(scale_) << "us)";
+  return out.str();
+}
+
+std::unique_ptr<TimerPolicy> ShiftedExponentialTimer::clone() const {
+  return std::make_unique<ShiftedExponentialTimer>(offset_, scale_);
+}
+
+}  // namespace linkpad::sim

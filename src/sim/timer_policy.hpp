@@ -1,0 +1,115 @@
+// Padding timer policies: the single tunable parameter of a link-padding
+// gateway (paper Sec 3.2 remark 2).
+//
+//  * CIT — constant interval timer: T ≡ τ (the common choice, shown by the
+//    paper to leak through sample variance / entropy).
+//  * VIT — variable interval timer: T drawn per interrupt from a positive
+//    distribution. The paper models T ~ N(τ, σ_T²); we truncate at a minimum
+//    interval so the timer stays physically realizable for any σ_T.
+//  * Uniform / shifted-exponential VIT variants are extensions used by the
+//    `abl_vit_distributions` bench: Theorems 1–3 depend on T only through
+//    σ_T², so distribution shape should not matter — the bench verifies it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "stats/distributions.hpp"
+#include "util/types.hpp"
+
+namespace linkpad::sim {
+
+/// Strategy producing successive designed timer intervals T_k.
+class TimerPolicy {
+ public:
+  virtual ~TimerPolicy() = default;
+
+  /// Draw the next designed interrupt interval (strictly positive).
+  virtual Seconds next_interval(stats::Rng& rng) = 0;
+
+  /// E[T]: mean designed interval.
+  [[nodiscard]] virtual Seconds mean_interval() const = 0;
+
+  /// Var(T) = σ_T² of eq. (9); zero for CIT.
+  [[nodiscard]] virtual double interval_variance() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Deep copy (each parallel trial owns an independent policy object).
+  [[nodiscard]] virtual std::unique_ptr<TimerPolicy> clone() const = 0;
+};
+
+/// CIT: T ≡ tau.
+class ConstantIntervalTimer final : public TimerPolicy {
+ public:
+  explicit ConstantIntervalTimer(Seconds tau);
+
+  Seconds next_interval(stats::Rng& rng) override;
+  [[nodiscard]] Seconds mean_interval() const override { return tau_; }
+  [[nodiscard]] double interval_variance() const override { return 0.0; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<TimerPolicy> clone() const override;
+
+ private:
+  Seconds tau_;
+};
+
+/// VIT with normal intervals N(tau, sigma²) truncated to [min_interval, ∞).
+class NormalIntervalTimer final : public TimerPolicy {
+ public:
+  /// `min_interval` defaults to tau/100 (a timer cannot fire arbitrarily
+  /// fast; the gateway needs time to emit the previous packet).
+  NormalIntervalTimer(Seconds tau, Seconds sigma, Seconds min_interval = -1.0);
+
+  Seconds next_interval(stats::Rng& rng) override;
+  [[nodiscard]] Seconds mean_interval() const override;
+  [[nodiscard]] double interval_variance() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<TimerPolicy> clone() const override;
+
+  [[nodiscard]] Seconds sigma_parameter() const { return sigma_; }
+
+ private:
+  Seconds tau_;
+  Seconds sigma_;
+  Seconds min_interval_;
+  stats::TruncatedNormal dist_;
+};
+
+/// VIT with uniform intervals on [tau−w, tau+w] (same variance as a normal
+/// when w = σ_T·√3).
+class UniformIntervalTimer final : public TimerPolicy {
+ public:
+  UniformIntervalTimer(Seconds tau, Seconds half_width);
+
+  Seconds next_interval(stats::Rng& rng) override;
+  [[nodiscard]] Seconds mean_interval() const override { return tau_; }
+  [[nodiscard]] double interval_variance() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<TimerPolicy> clone() const override;
+
+ private:
+  Seconds tau_;
+  Seconds half_width_;
+  stats::Uniform dist_;
+};
+
+/// VIT with shifted-exponential intervals: T = offset + Exp(scale);
+/// mean = offset + scale, variance = scale² (a skewed alternative).
+class ShiftedExponentialTimer final : public TimerPolicy {
+ public:
+  ShiftedExponentialTimer(Seconds offset, Seconds scale);
+
+  Seconds next_interval(stats::Rng& rng) override;
+  [[nodiscard]] Seconds mean_interval() const override { return offset_ + scale_; }
+  [[nodiscard]] double interval_variance() const override { return scale_ * scale_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<TimerPolicy> clone() const override;
+
+ private:
+  Seconds offset_;
+  Seconds scale_;
+  stats::Exponential dist_;
+};
+
+}  // namespace linkpad::sim

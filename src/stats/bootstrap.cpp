@@ -1,0 +1,64 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/special_math.hpp"
+#include "util/check.hpp"
+
+namespace linkpad::stats {
+
+BootstrapResult bootstrap_ci(
+    std::span<const double> data,
+    const std::function<double(std::span<const double>)>& statistic,
+    int resamples, double confidence, util::Xoshiro256pp& rng) {
+  LINKPAD_EXPECTS(!data.empty());
+  LINKPAD_EXPECTS(resamples > 1);
+  LINKPAD_EXPECTS(confidence > 0.0 && confidence < 1.0);
+
+  BootstrapResult result;
+  result.estimate = statistic(data);
+
+  const std::size_t n = data.size();
+  std::vector<double> resample(n);
+  std::vector<double> stats;
+  stats.reserve(static_cast<std::size_t>(resamples));
+  for (int b = 0; b < resamples; ++b) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = static_cast<std::size_t>(rng() % n);
+      resample[i] = data[j];
+    }
+    stats.push_back(statistic(resample));
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = 1.0 - confidence;
+  result.lo = quantile_sorted(stats, alpha / 2.0);
+  result.hi = quantile_sorted(stats, 1.0 - alpha / 2.0);
+  return result;
+}
+
+BootstrapResult proportion_ci(std::size_t successes, std::size_t trials,
+                              double confidence) {
+  LINKPAD_EXPECTS(trials > 0);
+  LINKPAD_EXPECTS(successes <= trials);
+  LINKPAD_EXPECTS(confidence > 0.0 && confidence < 1.0);
+
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z = normal_quantile(0.5 + confidence / 2.0);
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+
+  BootstrapResult result;
+  result.estimate = p;
+  result.lo = std::max(0.0, center - margin);
+  result.hi = std::min(1.0, center + margin);
+  return result;
+}
+
+}  // namespace linkpad::stats

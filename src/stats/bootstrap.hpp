@@ -1,0 +1,35 @@
+// Percentile bootstrap confidence intervals.
+//
+// Empirical detection rates in the figure drivers are Monte-Carlo estimates;
+// EXPERIMENTS.md reports them with bootstrap CIs so "paper shape vs measured
+// shape" comparisons are honest about noise.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace linkpad::stats {
+
+/// Point estimate plus a [lo, hi] percentile confidence interval.
+struct BootstrapResult {
+  double estimate = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Percentile bootstrap for an arbitrary statistic of a 1-D sample.
+/// `confidence` is the two-sided level (e.g. 0.95).
+BootstrapResult bootstrap_ci(
+    std::span<const double> data,
+    const std::function<double(std::span<const double>)>& statistic,
+    int resamples, double confidence, util::Xoshiro256pp& rng);
+
+/// Special case used by the evaluation harness: CI for a Bernoulli success
+/// probability from `successes` out of `trials` (Wilson score interval —
+/// cheaper and better behaved than resampling for proportions).
+BootstrapResult proportion_ci(std::size_t successes, std::size_t trials,
+                              double confidence);
+
+}  // namespace linkpad::stats

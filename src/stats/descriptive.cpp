@@ -1,0 +1,163 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace linkpad::stats {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double n1 = static_cast<double>(n_);
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  const double delta2 = delta * delta;
+  const double delta3 = delta2 * delta;
+  const double delta4 = delta2 * delta2;
+
+  const double m2 = m2_ + other.m2_ + delta2 * na * nb / n;
+  const double m3 = m3_ + other.m3_ + delta3 * na * nb * (na - nb) / (n * n) +
+                    3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  const double m4 =
+      m4_ + other.m4_ +
+      delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+      6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+      4.0 * delta * (na * other.m3_ - nb * m3_) / n;
+
+  mean_ = (na * mean_ + nb * other.mean_) / n;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = n_ + other.n_;
+}
+
+double RunningStats::mean() const {
+  LINKPAD_EXPECTS(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  LINKPAD_EXPECTS(n_ > 1);
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  LINKPAD_EXPECTS(n_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  LINKPAD_EXPECTS(n_ > 0);
+  return max_;
+}
+
+double RunningStats::skewness() const {
+  LINKPAD_EXPECTS(n_ > 2);
+  if (m2_ <= 0.0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double RunningStats::excess_kurtosis() const {
+  LINKPAD_EXPECTS(n_ > 3);
+  if (m2_ <= 0.0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+double mean(std::span<const double> xs) {
+  LINKPAD_EXPECTS(!xs.empty());
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double sample_variance(std::span<const double> xs) {
+  LINKPAD_EXPECTS(xs.size() >= 2);
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double sample_stddev(std::span<const double> xs) {
+  return std::sqrt(sample_variance(xs));
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  LINKPAD_EXPECTS(!sorted.empty());
+  LINKPAD_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, 0.5);
+}
+
+double iqr(std::span<const double> xs) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, 0.75) - quantile_sorted(copy, 0.25);
+}
+
+Summary summarize(std::span<const double> xs) {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  Summary s;
+  s.count = rs.count();
+  if (s.count > 0) {
+    s.mean = rs.mean();
+    s.min = rs.min();
+    s.max = rs.max();
+  }
+  if (s.count > 1) {
+    s.variance = rs.variance();
+    s.stddev = rs.stddev();
+  }
+  if (s.count > 2) s.skewness = rs.skewness();
+  if (s.count > 3) s.excess_kurtosis = rs.excess_kurtosis();
+  return s;
+}
+
+}  // namespace linkpad::stats

@@ -1,0 +1,79 @@
+// Descriptive statistics: Welford running moments (mergeable, for parallel
+// reduction) and free functions over contiguous samples.
+//
+// Sample mean and sample variance here are exactly the adversary's feature
+// statistics of the paper (eqs. 17 and 19): variance uses the unbiased n−1
+// denominator.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace linkpad::stats {
+
+/// Numerically stable running moments (Welford / Chan et al. merge).
+/// Tracks up to 4th central moment so skewness / kurtosis are available.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Combine with another accumulator (parallel reduction step).
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance (n−1 denominator), eq. (19).
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// g1 skewness (0 for symmetric data).
+  [[nodiscard]] double skewness() const;
+  /// Excess kurtosis (0 for a normal distribution).
+  [[nodiscard]] double excess_kurtosis() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample mean, eq. (17). Expects a non-empty sample.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance, eq. (19). Expects at least two points.
+double sample_variance(std::span<const double> xs);
+
+/// Square root of sample_variance().
+double sample_stddev(std::span<const double> xs);
+
+/// Linear-interpolated quantile of an ALREADY SORTED sample, q in [0,1].
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Median (copies + sorts internally).
+double median(std::span<const double> xs);
+
+/// Interquartile range Q3 − Q1 (copies + sorts internally).
+double iqr(std::span<const double> xs);
+
+/// Summary of one sample: handy for test diagnostics and figure drivers.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double variance = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  double skewness = 0;
+  double excess_kurtosis = 0;
+};
+
+/// Compute the full Summary in one pass.
+Summary summarize(std::span<const double> xs);
+
+}  // namespace linkpad::stats

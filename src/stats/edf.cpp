@@ -1,0 +1,98 @@
+#include "stats/edf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace linkpad::stats {
+
+double ks_distance_sorted(std::span<const double> a_sorted,
+                          std::span<const double> b_sorted) {
+  LINKPAD_EXPECTS(!a_sorted.empty() && !b_sorted.empty());
+  const double na = static_cast<double>(a_sorted.size());
+  const double nb = static_cast<double>(b_sorted.size());
+  std::size_t i = 0, j = 0;
+  double d = 0.0;
+  while (i < a_sorted.size() && j < b_sorted.size()) {
+    // Advance past ALL pooled points with the current smallest value before
+    // measuring: ties in both samples step the two EDFs simultaneously.
+    const double x = std::min(a_sorted[i], b_sorted[j]);
+    while (i < a_sorted.size() && a_sorted[i] <= x) ++i;
+    while (j < b_sorted.size() && b_sorted[j] <= x) ++j;
+    const double fa = static_cast<double>(i) / na;
+    const double fb = static_cast<double>(j) / nb;
+    d = std::max(d, std::abs(fa - fb));
+  }
+  return d;
+}
+
+double cvm_distance_sorted(std::span<const double> a_sorted,
+                           std::span<const double> b_sorted) {
+  LINKPAD_EXPECTS(!a_sorted.empty() && !b_sorted.empty());
+  const double na = static_cast<double>(a_sorted.size());
+  const double nb = static_cast<double>(b_sorted.size());
+  const double total = na + nb;
+  std::size_t i = 0, j = 0;
+  double acc = 0.0;
+  // Integrate (F_a − F_b)² against the pooled EDF: each pooled point
+  // contributes weight 1/(n+m); ties advance both EDFs together.
+  while (i < a_sorted.size() || j < b_sorted.size()) {
+    double x;
+    if (j >= b_sorted.size()) {
+      x = a_sorted[i];
+    } else if (i >= a_sorted.size()) {
+      x = b_sorted[j];
+    } else {
+      x = std::min(a_sorted[i], b_sorted[j]);
+    }
+    std::size_t advanced = 0;
+    while (i < a_sorted.size() && a_sorted[i] <= x) {
+      ++i;
+      ++advanced;
+    }
+    while (j < b_sorted.size() && b_sorted[j] <= x) {
+      ++j;
+      ++advanced;
+    }
+    const double fa = static_cast<double>(i) / na;
+    const double fb = static_cast<double>(j) / nb;
+    acc += (fa - fb) * (fa - fb) * static_cast<double>(advanced) / total;
+  }
+  return acc;
+}
+
+double kolmogorov_tail(double lambda) {
+  LINKPAD_EXPECTS(lambda >= 0.0);
+  if (lambda < 1e-3) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-16) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+double ks_two_sample_pvalue(double d, std::size_t n, std::size_t m) {
+  LINKPAD_EXPECTS(d >= 0.0 && d <= 1.0);
+  LINKPAD_EXPECTS(n > 0 && m > 0);
+  const double ne = static_cast<double>(n) * static_cast<double>(m) /
+                    static_cast<double>(n + m);
+  const double root = std::sqrt(ne);
+  // Stephens' finite-sample correction.
+  const double lambda = (root + 0.12 + 0.11 / root) * d;
+  return kolmogorov_tail(lambda);
+}
+
+double ks_distance(std::span<const double> a, std::span<const double> b) {
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  return ks_distance_sorted(sa, sb);
+}
+
+}  // namespace linkpad::stats

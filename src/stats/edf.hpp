@@ -1,0 +1,40 @@
+// Empirical distribution function (EDF) statistics: two-sample
+// Kolmogorov–Smirnov and Cramér–von Mises distances and the Kolmogorov
+// asymptotic distribution.
+//
+// These power the EDF adversary extension (classify/edf_classifier.hpp):
+// instead of compressing a PIAT window to one scalar feature, the attacker
+// compares the window's whole empirical CDF against per-class references —
+// an upper-envelope attack the paper's scalar features approximate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace linkpad::stats {
+
+/// Two-sample Kolmogorov–Smirnov statistic sup_x |F_a(x) − F_b(x)|.
+/// Both inputs MUST be sorted ascending.
+double ks_distance_sorted(std::span<const double> a_sorted,
+                          std::span<const double> b_sorted);
+
+/// Two-sample Cramér–von Mises-style distance:
+/// ∫ (F_a − F_b)² d F_pooled — more weight on the body of the
+/// distributions, less on single-tail excursions than KS.
+/// Both inputs MUST be sorted ascending.
+double cvm_distance_sorted(std::span<const double> a_sorted,
+                           std::span<const double> b_sorted);
+
+/// Kolmogorov distribution tail Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}
+/// (the asymptotic p-value scale of the KS statistic).
+double kolmogorov_tail(double lambda);
+
+/// Asymptotic two-sample KS p-value for statistic d with sample sizes
+/// (n, m), using the effective size ne = n·m/(n+m) and the standard
+/// finite-sample correction.
+double ks_two_sample_pvalue(double d, std::size_t n, std::size_t m);
+
+/// Convenience: copies + sorts both samples, then ks_distance_sorted.
+double ks_distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace linkpad::stats

@@ -1,0 +1,60 @@
+#include "stats/entropy.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace linkpad::stats {
+
+double histogram_entropy(const SparseHistogram& hist, EntropyBias bias) {
+  const double n = static_cast<double>(hist.total());
+  LINKPAD_EXPECTS(n > 0);
+
+  double h = 0.0;
+  for (const auto& [bin, count] : hist.cells()) {
+    const double p = static_cast<double>(count) / n;
+    h -= p * std::log(p);
+  }
+
+  const double k = static_cast<double>(hist.occupied_bins());
+  switch (bias) {
+    case EntropyBias::kNone:
+      break;
+    case EntropyBias::kMillerMadow:
+      h += (k - 1.0) / (2.0 * n);
+      break;
+    case EntropyBias::kModdemeijer:
+      // Moddemeijer (1989) applies the same first-order (K−1)/(2n) cell
+      // correction but counts only cells with ≥ 2 samples as "resolved";
+      // singleton cells carry no curvature information.
+      {
+        double resolved = 0.0;
+        for (const auto& [bin, count] : hist.cells()) {
+          if (count >= 2) resolved += 1.0;
+        }
+        h += (resolved - 1.0) / (2.0 * n);
+      }
+      break;
+  }
+  return h;
+}
+
+double sample_entropy(std::span<const double> xs, double bin_width,
+                      EntropyBias bias) {
+  LINKPAD_EXPECTS(!xs.empty());
+  SparseHistogram hist(bin_width);
+  hist.add_all(xs);
+  return histogram_entropy(hist, bias);
+}
+
+double differential_entropy(std::span<const double> xs, double bin_width,
+                            EntropyBias bias) {
+  return sample_entropy(xs, bin_width, bias) + std::log(bin_width);
+}
+
+double normal_differential_entropy(double sigma_squared) {
+  LINKPAD_EXPECTS(sigma_squared > 0.0);
+  return 0.5 * std::log(2.0 * M_PI * M_E * sigma_squared);
+}
+
+}  // namespace linkpad::stats

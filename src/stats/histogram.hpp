@@ -1,0 +1,84 @@
+// Histograms.
+//
+// Two flavours are needed by the paper's pipeline:
+//  * `Histogram` — dense, fixed range/bin count; used for density plots
+//    (Fig 4a) and for the histogram density model.
+//  * `SparseHistogram` — fixed bin WIDTH anchored at zero with unbounded
+//    range; this is the structure behind the robust entropy estimator of
+//    eq. (25): the paper requires a constant Δh across the whole experiment,
+//    and outliers must land in their own far-away bins rather than being
+//    clamped.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace linkpad::stats {
+
+/// Dense histogram over [lo, hi) with `bins` equal-width bins.
+/// Out-of-range samples are tallied in underflow/overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Build from data with range [min(data), max(data)] padded slightly.
+  static Histogram from_data(std::span<const double> xs, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] double bin_width() const { return width_; }
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] std::uint64_t count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  /// Total samples added, including under/overflow.
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Probability density estimate at bin i: count / (total * bin_width).
+  [[nodiscard]] double density(std::size_t i) const;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Unbounded histogram with fixed bin width Δh anchored at 0:
+/// bin(x) = floor(x / Δh). Sparse storage, ordered by bin index.
+class SparseHistogram {
+ public:
+  explicit SparseHistogram(double bin_width);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  [[nodiscard]] double bin_width() const { return width_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::size_t occupied_bins() const { return counts_.size(); }
+
+  /// (bin index, count) pairs in increasing bin order.
+  [[nodiscard]] const std::map<std::int64_t, std::uint64_t>& cells() const {
+    return counts_;
+  }
+
+ private:
+  double width_;
+  std::map<std::int64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace linkpad::stats

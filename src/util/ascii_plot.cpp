@@ -1,0 +1,106 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace linkpad::util {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+double transform(double v, bool log_scale) {
+  return log_scale ? std::log10(std::max(v, 1e-300)) : v;
+}
+
+}  // namespace
+
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& options) {
+  LINKPAD_EXPECTS(options.width >= 16 && options.height >= 4);
+
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -x_lo;
+  double y_lo = x_lo;
+  double y_hi = -x_lo;
+  bool any = false;
+  for (const auto& s : series) {
+    LINKPAD_EXPECTS(s.x.size() == s.y.size());
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double tx = transform(s.x[i], options.log_x);
+      const double ty = transform(s.y[i], options.log_y);
+      if (!std::isfinite(tx) || !std::isfinite(ty)) continue;
+      any = true;
+      x_lo = std::min(x_lo, tx);
+      x_hi = std::max(x_hi, tx);
+      y_lo = std::min(y_lo, ty);
+      y_hi = std::max(y_hi, ty);
+    }
+  }
+  if (!any) return "(empty plot)\n";
+  if (options.y_fixed) {
+    y_lo = transform(options.y_min, options.log_y);
+    y_hi = transform(options.y_max, options.log_y);
+  }
+  if (x_hi - x_lo < 1e-12) x_hi = x_lo + 1;
+  if (y_hi - y_lo < 1e-12) y_hi = y_lo + 1;
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double tx = transform(s.x[i], options.log_x);
+      const double ty = transform(s.y[i], options.log_y);
+      if (!std::isfinite(tx) || !std::isfinite(ty)) continue;
+      int cx = static_cast<int>(std::lround((tx - x_lo) / (x_hi - x_lo) * (w - 1)));
+      int cy = static_cast<int>(std::lround((ty - y_lo) / (y_hi - y_lo) * (h - 1)));
+      cx = std::clamp(cx, 0, w - 1);
+      cy = std::clamp(cy, 0, h - 1);
+      grid[static_cast<std::size_t>(h - 1 - cy)][static_cast<std::size_t>(cx)] = glyph;
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.y_label.empty()) out << options.y_label << '\n';
+  auto axis_value = [&](double t, bool log_scale) {
+    return log_scale ? std::pow(10.0, t) : t;
+  };
+  for (int row = 0; row < h; ++row) {
+    const double ty = y_hi - (y_hi - y_lo) * row / (h - 1);
+    std::ostringstream label;
+    label << std::setw(10) << std::setprecision(3) << std::scientific
+          << axis_value(ty, options.log_y);
+    out << label.str() << " |" << grid[static_cast<std::size_t>(row)] << '\n';
+  }
+  out << std::string(11, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  {
+    std::ostringstream lo, hi;
+    lo << std::setprecision(3) << std::scientific << axis_value(x_lo, options.log_x);
+    hi << std::setprecision(3) << std::scientific << axis_value(x_hi, options.log_x);
+    std::string left = lo.str();
+    std::string right = hi.str();
+    const int pad = std::max(1, w - static_cast<int>(left.size() + right.size()));
+    out << std::string(12, ' ') << left << std::string(static_cast<std::size_t>(pad), ' ')
+        << right << '\n';
+  }
+  if (!options.x_label.empty()) {
+    out << std::string(12, ' ') << options.x_label << '\n';
+  }
+  out << "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "  " << kGlyphs[si % sizeof(kGlyphs)] << " = " << series[si].name;
+  }
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace linkpad::util

@@ -1,0 +1,35 @@
+// ASCII line plots so figure drivers can show the *shape* of each paper
+// figure directly in the terminal next to the numeric rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace linkpad::util {
+
+/// One named series of (x, y) points.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Plot configuration.
+struct PlotOptions {
+  int width = 72;        ///< plot area width in characters
+  int height = 20;       ///< plot area height in characters
+  bool log_x = false;    ///< logarithmic x axis
+  bool log_y = false;    ///< logarithmic y axis
+  std::string x_label;   ///< label printed under the x axis
+  std::string y_label;   ///< label printed above the plot
+  double y_min = 0;      ///< forced y range when y_fixed is true
+  double y_max = 1;
+  bool y_fixed = false;  ///< use [y_min, y_max] instead of autoscaling
+};
+
+/// Render series onto a character grid. Each series uses its own glyph
+/// (`*`, `o`, `+`, `x`, …) and a legend line is appended.
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& options);
+
+}  // namespace linkpad::util

@@ -1,0 +1,40 @@
+// Precondition / invariant checking in the spirit of the C++ Core Guidelines
+// Expects()/Ensures() contracts (I.6, I.8). Violations throw
+// `linkpad::ContractViolation` so tests can assert on them; they are not
+// compiled out in release builds because every check sits outside hot loops.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace linkpad {
+
+/// Thrown when a LINKPAD_EXPECTS / LINKPAD_ENSURES contract fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: (" + expr + ") at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace linkpad
+
+/// Precondition: argument/state requirements at function entry.
+#define LINKPAD_EXPECTS(cond)                                                  \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::linkpad::detail::contract_fail("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Postcondition / invariant check.
+#define LINKPAD_ENSURES(cond)                                                  \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::linkpad::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)

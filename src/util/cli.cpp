@@ -1,0 +1,139 @@
+#include "util/cli.hpp"
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace linkpad::util {
+
+ArgParser::ArgParser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help_text) {
+  LINKPAD_EXPECTS(name.rfind("--", 0) == 0);
+  LINKPAD_EXPECTS(!specs_.count(name));
+  specs_[name] = Spec{help_text, "false", /*is_flag=*/true};
+  order_.push_back(name);
+}
+
+void ArgParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help_text) {
+  LINKPAD_EXPECTS(name.rfind("--", 0) == 0);
+  LINKPAD_EXPECTS(!specs_.count(name));
+  specs_[name] = Spec{help_text, default_value, /*is_flag=*/false};
+  order_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << help();
+      return false;
+    }
+    std::string name = arg;
+    std::optional<std::string> inline_value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+    auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      std::cerr << program_ << ": unknown argument '" << arg << "'\n"
+                << "Run with --help for usage.\n";
+      return false;
+    }
+    if (it->second.is_flag) {
+      if (inline_value) {
+        std::cerr << program_ << ": flag '" << name << "' takes no value\n";
+        return false;
+      }
+      values_[name] = "true";
+    } else if (inline_value) {
+      values_[name] = *inline_value;
+    } else {
+      if (i + 1 >= argc) {
+        std::cerr << program_ << ": option '" << name << "' needs a value\n";
+        return false;
+      }
+      values_[name] = argv[++i];
+    }
+  }
+  return true;
+}
+
+const ArgParser::Spec& ArgParser::spec_for(const std::string& name) const {
+  auto it = specs_.find(name);
+  if (it == specs_.end()) {
+    throw std::invalid_argument("undeclared option: " + name);
+  }
+  return it->second;
+}
+
+bool ArgParser::flag(const std::string& name) const {
+  const Spec& spec = spec_for(name);
+  LINKPAD_EXPECTS(spec.is_flag);
+  auto it = values_.find(name);
+  return it != values_.end() && it->second == "true";
+}
+
+std::string ArgParser::str(const std::string& name) const {
+  const Spec& spec = spec_for(name);
+  auto it = values_.find(name);
+  return it != values_.end() ? it->second : spec.default_value;
+}
+
+double ArgParser::num(const std::string& name) const {
+  const std::string text = str(name);
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option " + name + ": '" + text +
+                                "' is not a number");
+  }
+}
+
+std::int64_t ArgParser::integer(const std::string& name) const {
+  const std::string text = str(name);
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option " + name + ": '" + text +
+                                "' is not an integer");
+  }
+}
+
+std::string ArgParser::help() const {
+  std::ostringstream out;
+  out << program_ << " — " << summary_ << "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const Spec& spec = specs_.at(name);
+    out << "  " << name;
+    if (!spec.is_flag) out << " <value = " << spec.default_value << ">";
+    out << "\n      " << spec.help << "\n";
+  }
+  out << "  --help\n      Show this message.\n";
+  return out.str();
+}
+
+std::vector<double> parse_double_list(const std::string& text) {
+  std::vector<double> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+}  // namespace linkpad::util

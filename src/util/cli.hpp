@@ -1,0 +1,58 @@
+// Small command-line option parser for the figure drivers and examples.
+//
+// Supports `--name value`, `--name=value`, and boolean flags. Unknown
+// arguments are an error (typos in sweep parameters must not be silently
+// ignored in an experiment harness).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace linkpad::util {
+
+/// Declarative command-line parser; declare options, then parse().
+class ArgParser {
+ public:
+  /// `program` and `summary` appear in the --help text.
+  ArgParser(std::string program, std::string summary);
+
+  /// Declare a boolean flag (false unless present).
+  void add_flag(const std::string& name, const std::string& help);
+  /// Declare a string / numeric option with a default value.
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parse argv. Returns false (after printing a message) on error or when
+  /// --help was requested; callers should then exit.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] std::string str(const std::string& name) const;
+  [[nodiscard]] double num(const std::string& name) const;
+  [[nodiscard]] std::int64_t integer(const std::string& name) const;
+
+  /// Render the --help text.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    std::string default_value;
+    bool is_flag = false;
+  };
+  const Spec& spec_for(const std::string& name) const;
+
+  std::string program_;
+  std::string summary_;
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;
+};
+
+/// Parses a comma-separated list of doubles ("1,2.5,10").
+std::vector<double> parse_double_list(const std::string& text);
+
+}  // namespace linkpad::util

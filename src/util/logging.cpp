@@ -1,0 +1,30 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace linkpad::util {
+
+std::mutex Log::mutex_;
+LogLevel Log::level_ = LogLevel::kInfo;
+
+void Log::set_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  level_ = level;
+}
+
+LogLevel Log::level() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return level_;
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  static constexpr const char* kTags[] = {"[debug] ", "[info ] ", "[warn ] ",
+                                          "[error] "};
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  const int idx = static_cast<int>(level);
+  if (idx < 0 || idx > 3) return;
+  std::cerr << kTags[idx] << message << '\n';
+}
+
+}  // namespace linkpad::util

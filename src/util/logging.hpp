@@ -1,0 +1,57 @@
+// Minimal leveled logger for experiment drivers.
+//
+// Not a general-purpose logging framework: figure drivers and examples want
+// occasional progress lines on stderr while keeping stdout clean for the
+// data rows they print. Thread-safe (one mutex around emission).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace linkpad::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide logger configuration and emission.
+class Log {
+ public:
+  /// Set the minimum level that is emitted (default: kInfo).
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Emit one line at `level` to stderr, prefixed with the level tag.
+  static void write(LogLevel level, const std::string& message);
+
+ private:
+  static std::mutex mutex_;
+  static LogLevel level_;
+};
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { Log::write(level_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+/// Usage: LINKPAD_LOG_INFO << "trained " << n << " models";
+#define LINKPAD_LOG_DEBUG ::linkpad::util::detail::LineBuilder(::linkpad::util::LogLevel::kDebug)
+#define LINKPAD_LOG_INFO ::linkpad::util::detail::LineBuilder(::linkpad::util::LogLevel::kInfo)
+#define LINKPAD_LOG_WARN ::linkpad::util::detail::LineBuilder(::linkpad::util::LogLevel::kWarn)
+#define LINKPAD_LOG_ERROR ::linkpad::util::detail::LineBuilder(::linkpad::util::LogLevel::kError)
+
+}  // namespace linkpad::util

@@ -1,0 +1,48 @@
+// Text table / CSV emission for figure drivers.
+//
+// Every bench binary prints the figure's series both as an aligned console
+// table (human inspection) and, with --csv, as machine-readable CSV rows so
+// results can be diffed against EXPERIMENTS.md.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace linkpad::util {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one data row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` fixed decimals.
+  void add_numeric_row(const std::vector<double>& row, int precision = 4);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data() const {
+    return rows_;
+  }
+
+  /// Render with padded columns and a separator rule under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Emit as CSV (header + rows).
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for row construction).
+std::string fmt(double value, int precision = 4);
+
+/// Format in scientific notation (for quantities like n(99%) ~ 1e11).
+std::string fmt_sci(double value, int precision = 2);
+
+}  // namespace linkpad::util

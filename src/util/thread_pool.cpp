@@ -1,0 +1,104 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace linkpad::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t n = threads != 0 ? threads : std::thread::hardware_concurrency();
+  n = std::max<std::size_t>(n, 1);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t workers = pool.thread_count();
+  if (workers <= 1 || n <= grain) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Shared cursor: workers grab `grain`-sized chunks until exhausted.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  auto first_error = std::make_shared<std::exception_ptr>();
+  auto error_mutex = std::make_shared<std::mutex>();
+
+  const std::size_t tasks = std::min(workers, (n + grain - 1) / grain);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    pool.submit([cursor, first_error, error_mutex, n, grain, &body] {
+      try {
+        for (;;) {
+          const std::size_t start = cursor->fetch_add(grain);
+          if (start >= n) break;
+          const std::size_t end = std::min(n, start + grain);
+          for (std::size_t i = start; i < end; ++i) body(i);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(*error_mutex);
+        if (!*first_error) *first_error = std::current_exception();
+      }
+    });
+  }
+  pool.wait_idle();
+
+  if (*first_error) std::rethrow_exception(*first_error);
+}
+
+}  // namespace linkpad::util

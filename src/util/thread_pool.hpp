@@ -1,0 +1,71 @@
+// Fixed-size thread pool and a deterministic parallel_for built on it.
+//
+// The experiment runner shards Monte-Carlo trials across threads. Work items
+// are indexed [0, n); each item derives its own RNG substream from its index
+// (see util/rng.hpp), so the *schedule* is free to be dynamic while results
+// stay independent of thread count. Chunks are handed out via an atomic
+// cursor (self-balancing for uneven item costs, e.g. different sample sizes).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace linkpad::util {
+
+/// A simple fixed-size worker pool executing std::function tasks.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across the global pool (or inline when n is
+/// small / only one hardware thread). Exceptions from the body propagate to
+/// the caller (first one wins). `grain` is the chunk size handed to a worker
+/// at a time; pick larger grains for cheap bodies.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+/// parallel_for over [0, n) collecting results into a vector (slot i is
+/// written only by the task computing item i — no synchronization needed).
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn&& fn, std::size_t grain = 1) {
+  std::vector<T> out(n);
+  parallel_for(
+      n, [&](std::size_t i) { out[i] = fn(i); }, grain);
+  return out;
+}
+
+}  // namespace linkpad::util

@@ -1,0 +1,44 @@
+// Common scalar types and unit helpers shared by every linkpad module.
+//
+// All simulation time is carried as `Seconds` (double, SI seconds). The
+// paper's quantities span 10 ms timer intervals down to microsecond jitter;
+// doubles give ~1e-12 relative resolution at that scale, far below any
+// modelled noise floor.
+#pragma once
+
+#include <cstdint>
+
+namespace linkpad {
+
+/// Simulated or measured time, in SI seconds.
+using Seconds = double;
+
+/// Packet rate, in packets per second.
+using PacketsPerSecond = double;
+
+/// Monotonically increasing packet identifier.
+using PacketId = std::uint64_t;
+
+/// Class label index for the adversary's m-ary rate classification.
+using ClassLabel = int;
+
+namespace units {
+
+constexpr Seconds operator""_s(long double v) { return static_cast<Seconds>(v); }
+constexpr Seconds operator""_ms(long double v) { return static_cast<Seconds>(v) * 1e-3; }
+constexpr Seconds operator""_us(long double v) { return static_cast<Seconds>(v) * 1e-6; }
+constexpr Seconds operator""_ns(long double v) { return static_cast<Seconds>(v) * 1e-9; }
+
+constexpr Seconds operator""_s(unsigned long long v) { return static_cast<Seconds>(v); }
+constexpr Seconds operator""_ms(unsigned long long v) { return static_cast<Seconds>(v) * 1e-3; }
+constexpr Seconds operator""_us(unsigned long long v) { return static_cast<Seconds>(v) * 1e-6; }
+constexpr Seconds operator""_ns(unsigned long long v) { return static_cast<Seconds>(v) * 1e-9; }
+
+/// Convert seconds to milliseconds (for display).
+constexpr double to_ms(Seconds s) { return s * 1e3; }
+/// Convert seconds to microseconds (for display).
+constexpr double to_us(Seconds s) { return s * 1e6; }
+
+}  // namespace units
+
+}  // namespace linkpad

@@ -1,0 +1,104 @@
+#include "analysis/guidelines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace linkpad::analysis {
+namespace {
+
+DesignInputs lab_inputs() {
+  DesignInputs in;
+  in.sigma2_gw_low = 80e-12;    // calibrated lab gateway (80 us^2)
+  in.sigma2_gw_high = 105e-12;  // 105 us^2 -> r_CIT ~ 1.31
+  in.sigma2_net = 0.0;
+  in.n_max = 1e5;
+  in.v_max = 0.55;
+  in.tau = 10e-3;
+  in.payload_peak = 40.0;
+  return in;
+}
+
+TEST(RequiredRatio, TighterTargetNeedsSmallerRatio) {
+  EXPECT_LT(required_ratio_for(1e5, 0.51), required_ratio_for(1e5, 0.7));
+}
+
+TEST(RequiredRatio, BiggerAdversarySampleNeedsSmallerRatio) {
+  EXPECT_LT(required_ratio_for(1e7, 0.55), required_ratio_for(1e3, 0.55));
+}
+
+TEST(RequiredRatio, MeetsTheTargetByConstruction) {
+  const double n = 1e5, v = 0.55;
+  const double r = required_ratio_for(n, v);
+  EXPECT_LE(detection_rate_variance(r, n), v + 1e-6);
+  EXPECT_LE(detection_rate_entropy(r, n), v + 1e-6);
+  EXPECT_LE(detection_rate_mean_exact(r), v + 1e-6);
+}
+
+TEST(Design, LabSystemNeedsVit) {
+  const auto rec = design_padding_system(lab_inputs());
+  EXPECT_GT(rec.sigma_timer, 0.0);
+  EXPECT_LE(rec.v_variance, 0.55 + 1e-6);
+  EXPECT_LE(rec.v_entropy, 0.55 + 1e-6);
+  EXPECT_LE(rec.v_mean, 0.55 + 1e-6);
+  EXPECT_NE(rec.rationale.find("VIT"), std::string::npos);
+}
+
+TEST(Design, AchievedRatioHitsRequirementExactly) {
+  const auto in = lab_inputs();
+  const auto rec = design_padding_system(in);
+  const double achieved =
+      (rec.sigma_timer * rec.sigma_timer + in.sigma2_gw_high) /
+      (rec.sigma_timer * rec.sigma_timer + in.sigma2_gw_low);
+  EXPECT_NEAR(achieved, rec.required_ratio, 1e-9);
+}
+
+TEST(Design, AlreadyQuietSystemKeepsCit) {
+  auto in = lab_inputs();
+  in.sigma2_gw_high = in.sigma2_gw_low * 1.000001;  // nearly no leak
+  const auto rec = design_padding_system(in);
+  EXPECT_DOUBLE_EQ(rec.sigma_timer, 0.0);
+  EXPECT_NE(rec.rationale.find("CIT"), std::string::npos);
+}
+
+TEST(Design, NetworkNoiseReducesRequiredSigmaT) {
+  auto quiet_net = lab_inputs();
+  auto noisy_net = lab_inputs();
+  noisy_net.sigma2_net = 200e-12;
+  const auto a = design_padding_system(quiet_net);
+  const auto b = design_padding_system(noisy_net);
+  EXPECT_LT(b.sigma_timer, a.sigma_timer);
+}
+
+TEST(Design, StrongerAdversaryNeedsMoreSigmaT) {
+  auto weak = lab_inputs();
+  weak.n_max = 1e4;
+  auto strong = lab_inputs();
+  strong.n_max = 1e8;
+  EXPECT_GT(design_padding_system(strong).sigma_timer,
+            design_padding_system(weak).sigma_timer);
+}
+
+TEST(Design, ReportsPaddingCost) {
+  const auto rec = design_padding_system(lab_inputs());
+  EXPECT_DOUBLE_EQ(rec.wire_rate, 100.0);
+  EXPECT_NEAR(rec.dummy_fraction, 0.6, 1e-12);
+  EXPECT_NEAR(rec.mean_queueing_delay, 5e-3, 1e-12);
+}
+
+TEST(Design, RejectsUnreachableTarget) {
+  auto in = lab_inputs();
+  in.v_max = 0.5;  // random-guessing floor cannot be undercut
+  EXPECT_THROW(design_padding_system(in), linkpad::ContractViolation);
+}
+
+TEST(Design, RejectsTimerTooSlowForPayload) {
+  auto in = lab_inputs();
+  in.tau = 0.1;  // 10 pps wire < 40 pps payload
+  EXPECT_THROW(design_padding_system(in), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace linkpad::analysis

@@ -1,0 +1,66 @@
+#include "analysis/integrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace linkpad::analysis {
+namespace {
+
+TEST(Integrate, PolynomialsAreExact) {
+  // Simpson is exact for cubics.
+  EXPECT_NEAR(integrate([](double x) { return x * x * x; }, 0.0, 2.0), 4.0,
+              1e-12);
+  EXPECT_NEAR(integrate([](double x) { return 3.0 * x * x; }, -1.0, 1.0), 2.0,
+              1e-12);
+}
+
+TEST(Integrate, Exponential) {
+  EXPECT_NEAR(integrate([](double x) { return std::exp(x); }, 0.0, 1.0),
+              M_E - 1.0, 1e-10);
+}
+
+TEST(Integrate, GaussianMassOverWideRange) {
+  const double mass = integrate(
+      [](double x) { return std::exp(-0.5 * x * x) / std::sqrt(2.0 * M_PI); },
+      -10.0, 10.0, 1e-12);
+  EXPECT_NEAR(mass, 1.0, 1e-10);
+}
+
+TEST(Integrate, HandlesKinkedIntegrand) {
+  // |x| over [-1, 2]: 0.5 + 2 = 2.5; the kink forces adaptivity.
+  EXPECT_NEAR(integrate([](double x) { return std::abs(x); }, -1.0, 2.0), 2.5,
+              1e-9);
+}
+
+TEST(Integrate, MaxOfTwoDensitiesIsStable) {
+  // The Bayes detection integrand shape: max of two scaled gaussians.
+  auto f = [](double x) {
+    const double a = std::exp(-0.5 * x * x);
+    const double b = 0.5 * std::exp(-0.5 * (x - 1.0) * (x - 1.0) / 4.0);
+    return std::max(a, b);
+  };
+  const double v1 = integrate(f, -20.0, 20.0, 1e-10);
+  const double v2 = integrate(f, -20.0, 20.0, 1e-6);
+  EXPECT_NEAR(v1, v2, 1e-5);
+}
+
+TEST(Integrate, EmptyIntervalIsZero) {
+  EXPECT_DOUBLE_EQ(integrate([](double) { return 1.0; }, 3.0, 3.0), 0.0);
+}
+
+TEST(Integrate, ReversedBoundsViolateContract) {
+  EXPECT_THROW(integrate([](double) { return 1.0; }, 1.0, 0.0),
+               linkpad::ContractViolation);
+}
+
+TEST(Integrate, SineOverFullPeriodIsZero) {
+  EXPECT_NEAR(integrate([](double x) { return std::sin(x); }, 0.0,
+                        2.0 * M_PI),
+              0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace linkpad::analysis

@@ -1,0 +1,83 @@
+#include "analysis/overhead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace linkpad::analysis {
+namespace {
+
+TEST(PaddingCost, PaperOperatingPoint) {
+  // tau = 10 ms, payload peak 40 pps, 1000-B wire packets.
+  const auto cost = padding_cost(10e-3, 40.0, 1000);
+  EXPECT_DOUBLE_EQ(cost.wire_rate, 100.0);
+  EXPECT_NEAR(cost.dummy_fraction, 0.6, 1e-12);
+  EXPECT_NEAR(cost.wire_bandwidth_bps, 800e3, 1e-6);
+  EXPECT_NEAR(cost.overhead_bps, 480e3, 1e-6);
+  EXPECT_DOUBLE_EQ(cost.mean_payload_delay, 5e-3);
+  EXPECT_DOUBLE_EQ(cost.worst_payload_delay, 10e-3);
+}
+
+TEST(PaddingCost, FasterTimerTradesBandwidthForLatency) {
+  const auto slow = padding_cost(20e-3, 40.0, 1000);
+  const auto fast = padding_cost(2e-3, 40.0, 1000);
+  EXPECT_GT(fast.overhead_bps, slow.overhead_bps);
+  EXPECT_LT(fast.mean_payload_delay, slow.mean_payload_delay);
+}
+
+TEST(PaddingCost, RejectsUndersizedTimer) {
+  EXPECT_THROW(padding_cost(0.1, 40.0, 1000), std::invalid_argument);
+}
+
+TEST(PaddingCost, ZeroPayloadIsAllDummies) {
+  const auto cost = padding_cost(10e-3, 0.0, 1000);
+  EXPECT_DOUBLE_EQ(cost.dummy_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(cost.overhead_bps, cost.wire_bandwidth_bps);
+}
+
+DesignInputs tradeoff_inputs() {
+  DesignInputs in;
+  in.sigma2_gw_low = 80e-12;
+  in.sigma2_gw_high = 105e-12;
+  in.n_max = 1e5;
+  in.v_max = 0.55;
+  in.payload_peak = 40.0;
+  return in;
+}
+
+TEST(PaddingTradeoff, ProducesOnePointPerTau) {
+  const std::vector<Seconds> taus = {5e-3, 10e-3, 20e-3};
+  const auto points = padding_tradeoff(tradeoff_inputs(), taus, 1000);
+  ASSERT_EQ(points.size(), 3u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(points[i].tau, taus[i]);
+  }
+}
+
+TEST(PaddingTradeoff, EveryPointMeetsTheLeakBound) {
+  const auto points =
+      padding_tradeoff(tradeoff_inputs(), {5e-3, 10e-3, 20e-3}, 1000);
+  for (const auto& p : points) {
+    EXPECT_LE(p.design.v_variance, 0.55 + 1e-6);
+    EXPECT_LE(p.design.v_entropy, 0.55 + 1e-6);
+    EXPECT_GT(p.design.sigma_timer, 0.0);  // this gateway needs VIT
+  }
+}
+
+TEST(PaddingTradeoff, OverheadAndDelayMoveOppositely) {
+  const auto points =
+      padding_tradeoff(tradeoff_inputs(), {2.5e-3, 10e-3, 25e-3}, 1000);
+  EXPECT_GT(points.front().cost.overhead_bps, points.back().cost.overhead_bps);
+  EXPECT_LT(points.front().cost.mean_payload_delay,
+            points.back().cost.mean_payload_delay);
+}
+
+TEST(PaddingTradeoff, EmptySweepRejected) {
+  EXPECT_THROW(padding_tradeoff(tradeoff_inputs(), {}, 1000),
+               linkpad::ContractViolation);
+}
+
+}  // namespace
+}  // namespace linkpad::analysis

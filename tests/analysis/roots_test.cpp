@@ -1,0 +1,61 @@
+#include "analysis/roots.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace linkpad::analysis {
+namespace {
+
+TEST(FindRoot, LinearFunction) {
+  EXPECT_NEAR(find_root([](double x) { return 2.0 * x - 3.0; }, 0.0, 10.0),
+              1.5, 1e-12);
+}
+
+TEST(FindRoot, CubicWithOneRootInBracket) {
+  EXPECT_NEAR(find_root([](double x) { return x * x * x - 8.0; }, 0.0, 5.0),
+              2.0, 1e-10);
+}
+
+TEST(FindRoot, TranscendentalEquation) {
+  // x = cos(x) near 0.739085.
+  EXPECT_NEAR(find_root([](double x) { return x - std::cos(x); }, 0.0, 1.0),
+              0.7390851332151607, 1e-10);
+}
+
+TEST(FindRoot, RootAtBracketEndpoints) {
+  EXPECT_DOUBLE_EQ(find_root([](double x) { return x; }, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(find_root([](double x) { return x - 1.0; }, 0.0, 1.0), 1.0);
+}
+
+TEST(FindRoot, SameSignBracketThrows) {
+  EXPECT_THROW(find_root([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(FindRoot, SteepFunction) {
+  EXPECT_NEAR(
+      find_root([](double x) { return std::expm1(50.0 * (x - 0.3)); }, 0.0, 1.0),
+      0.3, 1e-9);
+}
+
+TEST(FindRootExpanding, GrowsUpperBoundUntilSignChange) {
+  // Root at 1e6, starting bracket tiny.
+  EXPECT_NEAR(find_root_expanding([](double x) { return x - 1e6; }, 0.0, 1.0),
+              1e6, 1e-3);
+}
+
+TEST(FindRootExpanding, ThrowsWhenNoRootBelowLimit) {
+  EXPECT_THROW(find_root_expanding([](double) { return -1.0; }, 0.0, 1.0,
+                                   1e-12, 1e6),
+               std::invalid_argument);
+}
+
+TEST(FindRootExpanding, ImmediateRootAtLowerBound) {
+  EXPECT_DOUBLE_EQ(find_root_expanding([](double x) { return x; }, 0.0, 1.0),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace linkpad::analysis

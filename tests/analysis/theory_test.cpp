@@ -1,0 +1,288 @@
+// Tests of the paper's closed forms (Theorems 1–3) and the generic Bayes
+// machinery, including cross-checks between independent implementations:
+// closed form vs numeric quadrature vs Monte Carlo.
+#include "analysis/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "stats/special_math.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace linkpad::analysis {
+namespace {
+
+using classify::FeatureKind;
+
+TEST(VarianceComponents, RatioFormula) {
+  VarianceComponents vc;
+  vc.sigma2_timer = 4.0;
+  vc.sigma2_net = 1.0;
+  vc.sigma2_gw_low = 1.0;
+  vc.sigma2_gw_high = 3.0;
+  EXPECT_DOUBLE_EQ(vc.ratio(), 8.0 / 6.0);
+}
+
+TEST(VarianceComponents, LargeTimerVarianceDrivesRatioToOne) {
+  VarianceComponents vc;
+  vc.sigma2_gw_low = 1.0;
+  vc.sigma2_gw_high = 2.0;
+  vc.sigma2_timer = 1e9;
+  EXPECT_NEAR(vc.ratio(), 1.0, 1e-8);
+}
+
+TEST(Theorem1, UnitRatioIsCoinFlip) {
+  EXPECT_DOUBLE_EQ(detection_rate_mean_exact(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(detection_rate_mean_paper(1.0), 0.5);
+}
+
+TEST(Theorem1, ExactRateMatchesNumericBayesIntegral) {
+  for (double r : {1.5, 3.0, 10.0}) {
+    const stats::Normal f0(0.0, 1.0);
+    const stats::Normal f1(0.0, std::sqrt(r));
+    const double numeric = bayes_detection_numeric(
+        [&](double x) { return f0.pdf(x); },
+        [&](double x) { return f1.pdf(x); }, 0.5, 0.5, -40.0, 40.0);
+    EXPECT_NEAR(detection_rate_mean_exact(r), numeric, 1e-6) << r;
+  }
+}
+
+TEST(Theorem1, PaperApproximationTracksExact) {
+  for (double r : {1.2, 2.0, 5.0, 20.0, 100.0}) {
+    EXPECT_NEAR(detection_rate_mean_paper(r), detection_rate_mean_exact(r),
+                0.07)
+        << r;
+  }
+}
+
+TEST(Theorem1, InvariantUnderRatioInversion) {
+  EXPECT_DOUBLE_EQ(detection_rate_mean_exact(4.0),
+                   detection_rate_mean_exact(0.25));
+}
+
+class RatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RatioSweep, AllRatesWithinBoundsAndMonotoneInR) {
+  const double r = GetParam();
+  const double eps = 1e-4;
+  for (auto fn : {detection_rate_mean_exact, detection_rate_mean_paper}) {
+    const double v = fn(r);
+    EXPECT_GE(v, 0.5);
+    EXPECT_LE(v, 1.0);
+    EXPECT_LE(fn(r), fn(r * (1.0 + eps)) + 1e-12);  // non-decreasing
+  }
+  for (double n : {100.0, 1000.0}) {
+    const double vv = detection_rate_variance(r, n);
+    const double ve = detection_rate_entropy(r, n);
+    EXPECT_GE(vv, 0.5);
+    EXPECT_LE(vv, 1.0);
+    EXPECT_GE(ve, 0.5);
+    EXPECT_LE(ve, 1.0);
+    EXPECT_LE(vv, detection_rate_variance(r * (1.0 + eps), n) + 1e-12);
+    EXPECT_LE(ve, detection_rate_entropy(r * (1.0 + eps), n) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, RatioSweep,
+                         ::testing::Values(1.0001, 1.01, 1.1, 1.3, 1.5, 2.0,
+                                           4.0, 10.0, 100.0));
+
+TEST(Theorem2, IncreasingInSampleSize) {
+  const double r = 1.3;
+  double prev = 0.0;
+  for (double n : {10.0, 100.0, 300.0, 1000.0, 1e4, 1e6}) {
+    const double v = detection_rate_variance(r, n);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-4);  // n -> inf gives 100%
+}
+
+TEST(Theorem2, ClampsAtHalfForSmallSamples) {
+  EXPECT_DOUBLE_EQ(detection_rate_variance(1.01, 5.0), 0.5);
+}
+
+TEST(Theorem2, ConstantMatchesHandComputedValue) {
+  // r = 1.3: C_Y = 0.5/(1 - ln(1.3)/0.3)^2 + 0.5/((1.3/0.3)·ln(1.3) - 1)^2
+  const double lr = std::log(1.3);
+  const double expected =
+      0.5 / std::pow(1.0 - lr / 0.3, 2) + 0.5 / std::pow(1.3 / 0.3 * lr - 1.0, 2);
+  EXPECT_NEAR(variance_feature_constant(1.3), expected, 1e-12);
+}
+
+TEST(Theorem3, IncreasingInSampleSize) {
+  const double r = 1.3;
+  EXPECT_LT(detection_rate_entropy(r, 100.0), detection_rate_entropy(r, 1000.0));
+}
+
+TEST(Theorem3, ConstantDivergesAsRApproachesOne) {
+  EXPECT_GT(entropy_feature_constant(1.0001), entropy_feature_constant(1.3));
+  EXPECT_TRUE(std::isinf(entropy_feature_constant(1.0)));
+}
+
+TEST(Theorems, VarianceAndEntropyConstantsComparable) {
+  // The two features have similar asymptotic efficiency: constants within
+  // a small factor of each other across realistic ratios.
+  for (double r : {1.1, 1.3, 2.0}) {
+    const double cy = variance_feature_constant(r);
+    const double ch = entropy_feature_constant(r);
+    EXPECT_GT(cy / ch, 0.3) << r;
+    EXPECT_LT(cy / ch, 3.0) << r;
+  }
+}
+
+TEST(SampleSize, InverseConsistencyWithTheorems) {
+  for (double r : {1.05, 1.3, 2.0}) {
+    for (double p : {0.9, 0.99}) {
+      const double n_var =
+          sample_size_for_detection(FeatureKind::kSampleVariance, r, p);
+      EXPECT_NEAR(detection_rate_variance(r, n_var), p, 1e-9);
+      const double n_ent =
+          sample_size_for_detection(FeatureKind::kSampleEntropy, r, p);
+      EXPECT_NEAR(detection_rate_entropy(r, n_ent), p, 1e-9);
+    }
+  }
+}
+
+TEST(SampleSize, MeanFeatureCannotBeHelpedBySampling) {
+  // r = 1.3 gives mean-feature rate ~0.53 < 0.99 at ANY n.
+  EXPECT_TRUE(std::isinf(
+      sample_size_for_detection(FeatureKind::kSampleMean, 1.3, 0.99)));
+  // ... but a trivially low target is met immediately.
+  EXPECT_EQ(sample_size_for_detection(FeatureKind::kSampleMean, 1.3, 0.51),
+            2.0);
+}
+
+TEST(SampleSize, Paper1e11AnchorAtOneMillisecond) {
+  // DESIGN.md calibration: sigma_gw,h^2 - sigma_gw,l^2 ~ 25 us^2; at
+  // sigma_T = 1 ms, n(99%) must exceed 1e11 (paper Sec 5.1.1, Fig 5b).
+  VarianceComponents vc;
+  vc.sigma2_timer = 1e-6;          // (1 ms)^2
+  vc.sigma2_gw_low = 80e-12;       // 80 us^2
+  vc.sigma2_gw_high = 105e-12;     // 105 us^2
+  const double r = vc.ratio();
+  EXPECT_GT(sample_size_for_detection(FeatureKind::kSampleEntropy, r, 0.99),
+            1e11);
+  EXPECT_GT(sample_size_for_detection(FeatureKind::kSampleVariance, r, 0.99),
+            1e11);
+}
+
+TEST(SampleSize, GrowsLikeSigmaTFourth) {
+  VarianceComponents vc;
+  vc.sigma2_gw_low = 80e-12;
+  vc.sigma2_gw_high = 105e-12;
+  vc.sigma2_timer = 1e-8;  // (100 us)^2
+  const double n1 =
+      sample_size_for_detection(FeatureKind::kSampleEntropy, vc.ratio(), 0.99);
+  vc.sigma2_timer = 1e-6;  // (1 ms)^2: sigma_T x10
+  const double n2 =
+      sample_size_for_detection(FeatureKind::kSampleEntropy, vc.ratio(), 0.99);
+  EXPECT_NEAR(n2 / n1, 1e4, 0.15e4);  // ~ sigma_T^4 scaling
+}
+
+TEST(BayesGaussians, SymmetricEqualVarianceCase) {
+  // Means d apart, same sigma: v = Phi(d / (2 sigma)).
+  const stats::Normal f0(0.0, 1.0);
+  const stats::Normal f1(2.0, 1.0);
+  EXPECT_NEAR(bayes_detection_gaussians(f0, f1, 0.5, 0.5),
+              stats::normal_cdf(1.0), 1e-12);
+}
+
+TEST(BayesGaussians, IdenticalDensitiesGiveLargerPrior) {
+  const stats::Normal f(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(bayes_detection_gaussians(f, f, 0.5, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(bayes_detection_gaussians(f, f, 0.8, 0.2), 0.8);
+}
+
+TEST(BayesGaussians, MatchesNumericIntegralInGeneralCase) {
+  const stats::Normal f0(1.0, 0.7);
+  const stats::Normal f1(2.0, 1.9);
+  for (double p0 : {0.5, 0.3}) {
+    const double closed = bayes_detection_gaussians(f0, f1, p0, 1.0 - p0);
+    const double numeric = bayes_detection_numeric(
+        [&](double x) { return f0.pdf(x); },
+        [&](double x) { return f1.pdf(x); }, p0, 1.0 - p0, -30.0, 30.0);
+    EXPECT_NEAR(closed, numeric, 1e-6) << p0;
+  }
+}
+
+TEST(BayesGaussians, MatchesMonteCarlo) {
+  const stats::Normal f0(0.0, 1.0);
+  const stats::Normal f1(1.5, 2.0);
+  const double closed = bayes_detection_gaussians(f0, f1, 0.5, 0.5);
+
+  util::Xoshiro256pp rng(123);
+  int correct = 0;
+  const int trials = 400000;
+  auto decide = [&](double x) {
+    return 0.5 * f0.pdf(x) >= 0.5 * f1.pdf(x) ? 0 : 1;
+  };
+  for (int i = 0; i < trials; ++i) {
+    if (i % 2 == 0) {
+      if (decide(f0.sample(rng)) == 0) ++correct;
+    } else {
+      if (decide(f1.sample(rng)) == 1) ++correct;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / trials, closed, 0.005);
+}
+
+TEST(EstimateVarianceRatio, RecoversTrueRatio) {
+  util::Xoshiro256pp rng(7);
+  const stats::Normal low(0.0, 1.0);
+  const stats::Normal high(0.0, 2.0);  // r = 4
+  std::vector<double> a(100000), b(100000);
+  for (auto& x : a) x = low.sample(rng);
+  for (auto& x : b) x = high.sample(rng);
+  EXPECT_NEAR(estimate_variance_ratio(a, b), 4.0, 0.1);
+  // Swapped arguments still report >= 1.
+  EXPECT_NEAR(estimate_variance_ratio(b, a), 4.0, 0.1);
+}
+
+TEST(FeatureSamplingLaw, MeanLawShrinksWithN) {
+  const auto law100 = feature_sampling_law(FeatureKind::kSampleMean, 0.01,
+                                           1e-10, 100.0);
+  const auto law1000 = feature_sampling_law(FeatureKind::kSampleMean, 0.01,
+                                            1e-10, 1000.0);
+  EXPECT_DOUBLE_EQ(law100.mean(), 0.01);
+  EXPECT_GT(law100.sigma(), law1000.sigma());
+}
+
+TEST(FeatureSamplingLaw, VarianceLawCentredOnTrueVariance) {
+  const auto law = feature_sampling_law(FeatureKind::kSampleVariance, 0.0,
+                                        2.5e-9, 500.0);
+  EXPECT_DOUBLE_EQ(law.mean(), 2.5e-9);
+  EXPECT_NEAR(law.sigma(), std::sqrt(2.0 * 2.5e-9 * 2.5e-9 / 499.0), 1e-15);
+}
+
+TEST(PredictedDetectionRate, MeanIndependentOfNOthersNot) {
+  const double mu = 0.01, s2l = 1e-10, s2h = 1.3e-10;
+  const double vm1 =
+      predicted_detection_rate(FeatureKind::kSampleMean, mu, s2l, s2h, 100.0);
+  const double vm2 =
+      predicted_detection_rate(FeatureKind::kSampleMean, mu, s2l, s2h, 10000.0);
+  EXPECT_NEAR(vm1, vm2, 1e-9);
+
+  const double vv1 = predicted_detection_rate(FeatureKind::kSampleVariance,
+                                              mu, s2l, s2h, 100.0);
+  const double vv2 = predicted_detection_rate(FeatureKind::kSampleVariance,
+                                              mu, s2l, s2h, 10000.0);
+  EXPECT_GT(vv2, vv1 + 0.1);
+}
+
+TEST(PredictedDetectionRate, AgreesWithTheorem2Roughly) {
+  // Two independent routes to the same quantity (CLT feature law vs the
+  // paper's bound-style constant) should land in the same neighbourhood.
+  const double r = 1.3;
+  const double n = 1000.0;
+  const double clt = predicted_detection_rate(FeatureKind::kSampleVariance,
+                                              0.01, 1e-10, 1.3e-10, n);
+  const double thm = detection_rate_variance(r, n);
+  EXPECT_NEAR(clt, thm, 0.06);
+}
+
+}  // namespace
+}  // namespace linkpad::analysis

@@ -1,0 +1,128 @@
+#include "classify/bayes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/distributions.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace linkpad::classify {
+namespace {
+
+std::vector<double> normal_sample(double mu, double sigma, int n,
+                                  std::uint64_t seed) {
+  util::Xoshiro256pp rng(seed);
+  stats::Normal dist(mu, sigma);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = dist.sample(rng);
+  return xs;
+}
+
+TEST(BayesClassifier, SeparableClassesClassifyPerfectly) {
+  const auto a = normal_sample(0.0, 0.5, 2000, 1);
+  const auto b = normal_sample(100.0, 0.5, 2000, 2);
+  auto clf = BayesClassifier::train({a, b}, {0.5, 0.5});
+  EXPECT_EQ(clf.classify(0.0), 0);
+  EXPECT_EQ(clf.classify(100.0), 1);
+  EXPECT_EQ(clf.classify(-3.0), 0);
+  EXPECT_EQ(clf.classify(103.0), 1);
+}
+
+TEST(BayesClassifier, MidpointThresholdForSymmetricClasses) {
+  const auto a = normal_sample(0.0, 1.0, 5000, 3);
+  const auto b = normal_sample(4.0, 1.0, 5000, 4);
+  auto clf = BayesClassifier::train({a, b}, {0.5, 0.5});
+  const auto d = clf.decision_threshold();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(*d, 2.0, 0.25);
+}
+
+TEST(BayesClassifier, PriorsShiftTheDecision) {
+  const auto a = normal_sample(0.0, 1.0, 5000, 5);
+  const auto b = normal_sample(2.0, 1.0, 5000, 6);
+  auto equal = BayesClassifier::train({a, b}, {0.5, 0.5});
+  auto skewed = BayesClassifier::train({a, b}, {0.95, 0.05});
+  // At the midpoint, the skewed prior must favour class 0.
+  EXPECT_EQ(skewed.classify(1.0), 0);
+  const auto d_eq = equal.decision_threshold();
+  const auto d_sk = skewed.decision_threshold();
+  ASSERT_TRUE(d_eq && d_sk);
+  EXPECT_GT(*d_sk, *d_eq);
+}
+
+TEST(BayesClassifier, PosteriorsSumToOne) {
+  const auto a = normal_sample(0.0, 1.0, 1000, 7);
+  const auto b = normal_sample(3.0, 1.0, 1000, 8);
+  const auto c = normal_sample(6.0, 1.0, 1000, 9);
+  auto clf = BayesClassifier::train({a, b, c},
+                                    {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0});
+  for (double s : {-1.0, 1.5, 4.5, 8.0}) {
+    const auto post = clf.posteriors(s);
+    double total = 0.0;
+    for (double p : post) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(BayesClassifier, PosteriorPeaksAtOwnClassMean) {
+  const auto a = normal_sample(0.0, 1.0, 2000, 10);
+  const auto b = normal_sample(5.0, 1.0, 2000, 11);
+  auto clf = BayesClassifier::train({a, b}, {0.5, 0.5});
+  EXPECT_GT(clf.posteriors(0.0)[0], 0.9);
+  EXPECT_GT(clf.posteriors(5.0)[1], 0.9);
+}
+
+TEST(BayesClassifier, GaussianModelMatchesKdeOnGaussians) {
+  const auto a = normal_sample(0.0, 1.0, 4000, 12);
+  const auto b = normal_sample(2.5, 1.0, 4000, 13);
+  auto kde = BayesClassifier::train({a, b}, {0.5, 0.5}, DensityKind::kKde);
+  auto gauss =
+      BayesClassifier::train({a, b}, {0.5, 0.5}, DensityKind::kGaussian);
+  int agreements = 0;
+  const int probes = 200;
+  for (int i = 0; i < probes; ++i) {
+    const double s = -3.0 + 8.5 * i / probes;
+    if (kde.classify(s) == gauss.classify(s)) ++agreements;
+  }
+  EXPECT_GE(agreements, probes * 95 / 100);
+}
+
+TEST(BayesClassifier, EqualMeanDifferentVarianceHasNoSingleThreshold) {
+  // The Fig 2 situation for sample-mean features: densities cross twice.
+  const auto a = normal_sample(0.0, 1.0, 5000, 14);
+  const auto b = normal_sample(0.0, 3.0, 5000, 15);
+  auto clf = BayesClassifier::train({a, b}, {0.5, 0.5},
+                                    DensityKind::kGaussian);
+  EXPECT_FALSE(clf.decision_threshold().has_value());
+  // Center belongs to the narrow class, tails to the wide one.
+  EXPECT_EQ(clf.classify(0.0), 0);
+  EXPECT_EQ(clf.classify(6.0), 1);
+  EXPECT_EQ(clf.classify(-6.0), 1);
+}
+
+TEST(BayesClassifier, TrainingValidatesInputs) {
+  const auto a = normal_sample(0.0, 1.0, 100, 16);
+  EXPECT_THROW(BayesClassifier::train({a}, {1.0}), linkpad::ContractViolation);
+  EXPECT_THROW(BayesClassifier::train({a, a}, {0.7, 0.7}),
+               linkpad::ContractViolation);
+  const std::vector<double> tiny = {1.0};
+  EXPECT_THROW(BayesClassifier::train({a, tiny}, {0.5, 0.5}),
+               linkpad::ContractViolation);
+}
+
+TEST(BayesClassifier, ThreeClassClassification) {
+  const auto a = normal_sample(0.0, 0.8, 3000, 17);
+  const auto b = normal_sample(4.0, 0.8, 3000, 18);
+  const auto c = normal_sample(8.0, 0.8, 3000, 19);
+  auto clf = BayesClassifier::train({a, b, c},
+                                    {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0});
+  EXPECT_EQ(clf.classify(0.0), 0);
+  EXPECT_EQ(clf.classify(4.0), 1);
+  EXPECT_EQ(clf.classify(8.0), 2);
+  EXPECT_EQ(clf.num_classes(), 3u);
+}
+
+}  // namespace
+}  // namespace linkpad::classify

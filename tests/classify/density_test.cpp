@@ -1,0 +1,88 @@
+#include "classify/density_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/distributions.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace linkpad::classify {
+namespace {
+
+std::vector<double> normal_sample(double mu, double sigma, int n,
+                                  std::uint64_t seed) {
+  util::Xoshiro256pp rng(seed);
+  stats::Normal dist(mu, sigma);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = dist.sample(rng);
+  return xs;
+}
+
+TEST(GaussianDensity, FitsSampleMoments) {
+  const auto xs = normal_sample(3.0, 2.0, 50000, 1);
+  GaussianDensity d(xs);
+  EXPECT_NEAR(d.mean(), 3.0, 0.05);
+  EXPECT_NEAR(d.sigma(), 2.0, 0.05);
+}
+
+TEST(GaussianDensity, PdfMatchesNormalClosedForm) {
+  GaussianDensity d(1.0, 0.5);
+  stats::Normal ref(1.0, 0.5);
+  for (double x : {0.0, 1.0, 2.0}) {
+    EXPECT_NEAR(d.pdf(x), ref.pdf(x), 1e-12);
+    EXPECT_NEAR(d.log_pdf(x), ref.log_pdf(x), 1e-12);
+  }
+}
+
+TEST(KdeDensity, ApproximatesTrueDensity) {
+  const auto xs = normal_sample(0.0, 1.0, 20000, 2);
+  KdeDensity d(xs);
+  stats::Normal ref(0.0, 1.0);
+  EXPECT_NEAR(d.pdf(0.0), ref.pdf(0.0), 0.03);
+  EXPECT_NEAR(d.pdf(1.0), ref.pdf(1.0), 0.03);
+}
+
+TEST(HistogramDensity, PositiveEverywhereAfterSmoothing) {
+  const auto xs = normal_sample(0.0, 1.0, 1000, 3);
+  HistogramDensity d(xs, 32);
+  EXPECT_GT(d.pdf(100.0), 0.0);        // outside training range
+  EXPECT_TRUE(std::isfinite(d.log_pdf(100.0)));
+  EXPECT_GT(d.pdf(0.0), d.pdf(100.0));  // still informative
+}
+
+TEST(HistogramDensity, RoughlyNormalizedOverRange) {
+  const auto xs = normal_sample(0.0, 1.0, 50000, 4);
+  HistogramDensity d(xs, 64);
+  double mass = 0.0;
+  const double lo = -6.0, hi = 6.0;
+  const int steps = 2000;
+  for (int i = 0; i < steps; ++i) {
+    mass += d.pdf(lo + (i + 0.5) * (hi - lo) / steps) * (hi - lo) / steps;
+  }
+  EXPECT_NEAR(mass, 1.0, 0.02);
+}
+
+TEST(DensityFactory, ProducesRequestedKind) {
+  const auto xs = normal_sample(0.0, 1.0, 100, 5);
+  EXPECT_EQ(make_density(DensityKind::kKde, xs)->name(), "kde");
+  EXPECT_EQ(make_density(DensityKind::kGaussian, xs)->name(), "gaussian");
+  EXPECT_EQ(make_density(DensityKind::kHistogram, xs)->name(), "histogram");
+}
+
+TEST(GaussianDensity, RejectsTinySample) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(GaussianDensity{one}, linkpad::ContractViolation);
+}
+
+TEST(GaussianDensity, ConstantSampleStaysFinite) {
+  const std::vector<double> xs(100, 2.5);
+  GaussianDensity d(xs);
+  EXPECT_TRUE(std::isfinite(d.log_pdf(2.5)));
+  EXPECT_TRUE(std::isfinite(d.log_pdf(3.0)));
+}
+
+}  // namespace
+}  // namespace linkpad::classify

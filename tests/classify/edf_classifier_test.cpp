@@ -1,0 +1,125 @@
+#include "classify/edf_classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/distributions.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace linkpad::classify {
+namespace {
+
+std::vector<double> synthetic_piats(double mu, double sigma, std::size_t n,
+                                    std::uint64_t seed) {
+  util::Xoshiro256pp rng(seed);
+  stats::Normal dist(mu, sigma);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = dist.sample(rng);
+  return xs;
+}
+
+TEST(EdfClassifier, SeparatesVarianceRatioClasses) {
+  // Same-mean, r = 2 streams — the paper's Fig 2 situation.
+  const double mu = 10e-3, sl = 10e-6, sh = sl * std::sqrt(2.0);
+  const auto clf = EdfClassifier::train(
+      {synthetic_piats(mu, sl, 60000, 1), synthetic_piats(mu, sh, 60000, 2)});
+  const auto cm = clf.evaluate(
+      {synthetic_piats(mu, sl, 200 * 100, 3),
+       synthetic_piats(mu, sh, 200 * 100, 4)},
+      200);
+  EXPECT_GT(cm.detection_rate(), 0.85);
+}
+
+TEST(EdfClassifier, BeatsChanceOnlyWhenClassesDiffer) {
+  const double mu = 10e-3, s = 10e-6;
+  const auto clf = EdfClassifier::train(
+      {synthetic_piats(mu, s, 40000, 5), synthetic_piats(mu, s, 40000, 6)});
+  const auto cm = clf.evaluate(
+      {synthetic_piats(mu, s, 200 * 80, 7),
+       synthetic_piats(mu, s, 200 * 80, 8)},
+      200);
+  EXPECT_NEAR(cm.detection_rate(), 0.5, 0.1);
+}
+
+TEST(EdfClassifier, DetectsMeanShiftsTooUnlikeDispersionFeatures) {
+  // EDF sees location differences the variance/entropy features ignore.
+  const double s = 10e-6;
+  const auto clf = EdfClassifier::train(
+      {synthetic_piats(10e-3, s, 40000, 9),
+       synthetic_piats(10.003e-3, s, 40000, 10)});
+  const auto cm = clf.evaluate(
+      {synthetic_piats(10e-3, s, 200 * 80, 11),
+       synthetic_piats(10.003e-3, s, 200 * 80, 12)},
+      200);
+  EXPECT_GT(cm.detection_rate(), 0.9);
+}
+
+TEST(EdfClassifier, CvmDistanceWorksAsWell) {
+  const double mu = 10e-3, sl = 10e-6, sh = sl * std::sqrt(2.0);
+  const auto clf = EdfClassifier::train(
+      {synthetic_piats(mu, sl, 60000, 13), synthetic_piats(mu, sh, 60000, 14)},
+      EdfDistance::kCramerVonMises);
+  const auto cm = clf.evaluate(
+      {synthetic_piats(mu, sl, 200 * 80, 15),
+       synthetic_piats(mu, sh, 200 * 80, 16)},
+      200);
+  EXPECT_GT(cm.detection_rate(), 0.85);
+  EXPECT_EQ(clf.distance_kind(), EdfDistance::kCramerVonMises);
+}
+
+TEST(EdfClassifier, DistancesOrderSensibly) {
+  const double mu = 10e-3, sl = 10e-6, sh = 30e-6;
+  const auto clf = EdfClassifier::train(
+      {synthetic_piats(mu, sl, 40000, 17), synthetic_piats(mu, sh, 40000, 18)});
+  const auto window = synthetic_piats(mu, sl, 500, 19);
+  const auto ds = clf.distances(window);
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_LT(ds[0], ds[1]);
+  EXPECT_EQ(clf.classify_window(window), 0);
+}
+
+TEST(EdfClassifier, ReferenceThinningPreservesAccuracy) {
+  const double mu = 10e-3, sl = 10e-6, sh = sl * std::sqrt(2.0);
+  const auto full = EdfClassifier::train(
+      {synthetic_piats(mu, sl, 50000, 20), synthetic_piats(mu, sh, 50000, 21)},
+      EdfDistance::kKolmogorovSmirnov, 100000);
+  const auto thinned = EdfClassifier::train(
+      {synthetic_piats(mu, sl, 50000, 20), synthetic_piats(mu, sh, 50000, 21)},
+      EdfDistance::kKolmogorovSmirnov, 2000);
+  const std::vector<std::vector<double>> test = {
+      synthetic_piats(mu, sl, 200 * 60, 22),
+      synthetic_piats(mu, sh, 200 * 60, 23)};
+  const double v_full = full.evaluate(test, 200).detection_rate();
+  const double v_thin = thinned.evaluate(test, 200).detection_rate();
+  EXPECT_NEAR(v_full, v_thin, 0.08);
+}
+
+TEST(EdfClassifier, ThreeClasses) {
+  const double mu = 10e-3;
+  const auto clf = EdfClassifier::train({
+      synthetic_piats(mu, 10e-6, 40000, 24),
+      synthetic_piats(mu, 20e-6, 40000, 25),
+      synthetic_piats(mu, 40e-6, 40000, 26),
+  });
+  EXPECT_EQ(clf.num_classes(), 3u);
+  const auto cm = clf.evaluate(
+      {synthetic_piats(mu, 10e-6, 200 * 50, 27),
+       synthetic_piats(mu, 20e-6, 200 * 50, 28),
+       synthetic_piats(mu, 40e-6, 200 * 50, 29)},
+      200);
+  EXPECT_GT(cm.detection_rate(), 0.7);
+}
+
+TEST(EdfClassifier, InvalidInputsRejected) {
+  const auto stream = synthetic_piats(0.0, 1.0, 100, 30);
+  EXPECT_THROW(EdfClassifier::train({stream}), linkpad::ContractViolation);
+  const std::vector<double> tiny = {1.0, 2.0};
+  EXPECT_THROW(EdfClassifier::train({stream, tiny}),
+               linkpad::ContractViolation);
+}
+
+}  // namespace
+}  // namespace linkpad::classify

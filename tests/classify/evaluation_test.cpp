@@ -1,0 +1,91 @@
+#include "classify/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace linkpad::classify {
+namespace {
+
+TEST(ConfusionMatrix, CountsByTruthAndPrediction) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(1, 1);
+  EXPECT_EQ(cm.count(0, 0), 1u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_EQ(cm.count(1, 1), 2u);
+  EXPECT_EQ(cm.count(1, 0), 0u);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_EQ(cm.row_total(0), 2u);
+}
+
+TEST(ConfusionMatrix, PerClassRates) {
+  ConfusionMatrix cm(2);
+  for (int i = 0; i < 9; ++i) cm.add(0, 0);
+  cm.add(0, 1);
+  for (int i = 0; i < 6; ++i) cm.add(1, 1);
+  for (int i = 0; i < 4; ++i) cm.add(1, 0);
+  EXPECT_DOUBLE_EQ(cm.per_class_rate(0), 0.9);
+  EXPECT_DOUBLE_EQ(cm.per_class_rate(1), 0.6);
+}
+
+TEST(ConfusionMatrix, DetectionRateIsPriorWeighted) {
+  ConfusionMatrix cm(2);
+  for (int i = 0; i < 9; ++i) cm.add(0, 0);
+  cm.add(0, 1);
+  for (int i = 0; i < 6; ++i) cm.add(1, 1);
+  for (int i = 0; i < 4; ++i) cm.add(1, 0);
+  // Equal priors: (0.9 + 0.6) / 2 = 0.75  (paper eq. 7)
+  EXPECT_DOUBLE_EQ(cm.detection_rate(), 0.75);
+  // Skewed priors weigh class 0 more.
+  EXPECT_DOUBLE_EQ(cm.detection_rate({0.9, 0.1}), 0.9 * 0.9 + 0.1 * 0.6);
+}
+
+TEST(ConfusionMatrix, EmptyClassContributesZero) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.per_class_rate(1), 0.0);
+}
+
+TEST(ConfusionMatrix, MergeAddsCounts) {
+  ConfusionMatrix a(2), b(2);
+  a.add(0, 0);
+  b.add(0, 0);
+  b.add(1, 0);
+  a.merge(b);
+  EXPECT_EQ(a.count(0, 0), 2u);
+  EXPECT_EQ(a.count(1, 0), 1u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(ConfusionMatrix, MergeRequiresSameShape) {
+  ConfusionMatrix a(2), b(3);
+  EXPECT_THROW(a.merge(b), linkpad::ContractViolation);
+}
+
+TEST(ConfusionMatrix, BoundsChecked) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), linkpad::ContractViolation);
+  EXPECT_THROW(cm.add(0, -1), linkpad::ContractViolation);
+  EXPECT_THROW(cm.count(5, 0), linkpad::ContractViolation);
+}
+
+TEST(ConfusionMatrix, ToStringMentionsRates) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  const auto s = cm.to_string();
+  EXPECT_NE(s.find("class 0"), std::string::npos);
+  EXPECT_NE(s.find("rate"), std::string::npos);
+}
+
+TEST(ConfusionMatrix, DetectionRateValidatesPriors) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  EXPECT_THROW(cm.detection_rate({1.0}), linkpad::ContractViolation);
+}
+
+}  // namespace
+}  // namespace linkpad::classify

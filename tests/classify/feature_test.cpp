@@ -1,0 +1,87 @@
+#include "classify/feature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+
+namespace linkpad::classify {
+namespace {
+
+const std::vector<double> kWindow = {1.0, 2.0, 3.0, 4.0, 10.0};
+
+TEST(SampleMeanFeature, MatchesDescriptiveMean) {
+  SampleMeanFeature f;
+  EXPECT_DOUBLE_EQ(f.extract(kWindow), stats::mean(kWindow));
+  EXPECT_EQ(f.name(), "sample mean");
+}
+
+TEST(SampleVarianceFeature, MatchesUnbiasedVariance) {
+  SampleVarianceFeature f;
+  EXPECT_DOUBLE_EQ(f.extract(kWindow), stats::sample_variance(kWindow));
+}
+
+TEST(SampleEntropyFeature, MatchesStatsEntropy) {
+  SampleEntropyFeature f(0.5);
+  EXPECT_DOUBLE_EQ(f.extract(kWindow), stats::sample_entropy(kWindow, 0.5));
+  EXPECT_DOUBLE_EQ(f.bin_width(), 0.5);
+}
+
+TEST(SampleEntropyFeature, RequiresPositiveBinWidth) {
+  EXPECT_THROW(SampleEntropyFeature(0.0), linkpad::ContractViolation);
+}
+
+TEST(MadFeature, KnownValue) {
+  MadFeature f;
+  // median = 3; |x - 3| = {2,1,0,1,7}; median of that = 1.
+  EXPECT_DOUBLE_EQ(f.extract(kWindow), 1.0);
+}
+
+TEST(MadFeature, IgnoresSingleOutlier) {
+  MadFeature f;
+  std::vector<double> clean = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<double> dirty = clean;
+  dirty[0] = 1e6;
+  EXPECT_NEAR(f.extract(clean), f.extract(dirty), 1.0);
+}
+
+TEST(IqrFeature, MatchesDescriptiveIqr) {
+  IqrFeature f;
+  EXPECT_DOUBLE_EQ(f.extract(kWindow), stats::iqr(kWindow));
+}
+
+TEST(FeatureFactory, ProducesEveryKind) {
+  EXPECT_NE(make_feature(FeatureKind::kSampleMean), nullptr);
+  EXPECT_NE(make_feature(FeatureKind::kSampleVariance), nullptr);
+  EXPECT_NE(make_feature(FeatureKind::kSampleEntropy, 0.1), nullptr);
+  EXPECT_NE(make_feature(FeatureKind::kMedianAbsDeviation), nullptr);
+  EXPECT_NE(make_feature(FeatureKind::kInterquartileRange), nullptr);
+}
+
+TEST(FeatureNames, AreHumanReadable) {
+  EXPECT_EQ(feature_name(FeatureKind::kSampleMean), "sample mean");
+  EXPECT_EQ(feature_name(FeatureKind::kSampleVariance), "sample variance");
+  EXPECT_EQ(feature_name(FeatureKind::kSampleEntropy), "sample entropy");
+  EXPECT_EQ(feature_name(FeatureKind::kMedianAbsDeviation), "MAD");
+  EXPECT_EQ(feature_name(FeatureKind::kInterquartileRange), "IQR");
+}
+
+TEST(Features, ScaleDispersionNotLocation) {
+  // Dispersion features must be unaffected by adding a constant.
+  std::vector<double> shifted;
+  for (double x : kWindow) shifted.push_back(x + 100.0);
+  EXPECT_DOUBLE_EQ(SampleVarianceFeature{}.extract(kWindow),
+                   SampleVarianceFeature{}.extract(shifted));
+  EXPECT_DOUBLE_EQ(MadFeature{}.extract(kWindow),
+                   MadFeature{}.extract(shifted));
+  EXPECT_DOUBLE_EQ(IqrFeature{}.extract(kWindow),
+                   IqrFeature{}.extract(shifted));
+  EXPECT_DOUBLE_EQ(SampleMeanFeature{}.extract(shifted),
+                   SampleMeanFeature{}.extract(kWindow) + 100.0);
+}
+
+}  // namespace
+}  // namespace linkpad::classify

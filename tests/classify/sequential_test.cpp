@@ -1,0 +1,158 @@
+#include "classify/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/distributions.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace linkpad::classify {
+namespace {
+
+std::vector<double> synthetic_piats(double mu, double sigma, std::size_t n,
+                                    std::uint64_t seed) {
+  util::Xoshiro256pp rng(seed);
+  stats::Normal dist(mu, sigma);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = dist.sample(rng);
+  return xs;
+}
+
+struct Fixture {
+  Adversary adversary;
+  double sigma_l = 10e-6;
+  double sigma_h;
+
+  explicit Fixture(double r, std::size_t batch = 100)
+      : adversary([batch] {
+          AdversaryConfig cfg;
+          cfg.feature = FeatureKind::kSampleVariance;
+          cfg.window_size = batch;
+          return cfg;
+        }()),
+        sigma_h(sigma_l * std::sqrt(r)) {
+    adversary.train({synthetic_piats(10e-3, sigma_l, batch * 300, 1),
+                     synthetic_piats(10e-3, sigma_h, batch * 300, 2)});
+  }
+};
+
+TEST(SequentialDetector, ThresholdsFollowWald) {
+  Fixture f(2.0);
+  SequentialConfig cfg;
+  cfg.alpha = 0.01;
+  cfg.beta = 0.05;
+  SequentialDetector det(f.adversary, cfg);
+  EXPECT_NEAR(det.upper_threshold(), std::log(0.95 / 0.01), 1e-12);
+  EXPECT_NEAR(det.lower_threshold(), std::log(0.05 / 0.99), 1e-12);
+}
+
+TEST(SequentialDetector, DecidesCorrectlyOnBothClasses) {
+  Fixture f(2.0);
+  SequentialDetector det(f.adversary, SequentialConfig{});
+  int correct = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    const bool truth_high = (t % 2) == 1;
+    const double sigma = truth_high ? f.sigma_h : f.sigma_l;
+    const auto stream = synthetic_piats(10e-3, sigma, 100 * 400, 100 + t);
+    const auto out = det.decide(stream);
+    ASSERT_TRUE(out.decided) << t;
+    if (out.decision == (truth_high ? 1 : 0)) ++correct;
+  }
+  EXPECT_GE(correct, trials - 2);  // alpha = beta = 1%
+}
+
+TEST(SequentialDetector, UsesFewerSamplesThanFixedSizeTest) {
+  // Fixed-sample adversary needs n ~ 400 for ~97% at r = 2 (Theorem 2).
+  // The SPRT at 1% errors should decide with far fewer PIATs on average.
+  Fixture f(2.0);
+  SequentialDetector det(f.adversary, SequentialConfig{});
+  double total_piats = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const double sigma = (t % 2) ? f.sigma_h : f.sigma_l;
+    const auto stream = synthetic_piats(10e-3, sigma, 100 * 400, 500 + t);
+    const auto out = det.decide(stream);
+    ASSERT_TRUE(out.decided);
+    total_piats += static_cast<double>(out.piats_used);
+  }
+  const double mean_piats = total_piats / trials;
+  EXPECT_LT(mean_piats, 3000.0);  // far below a one-shot n of comparable power
+  EXPECT_GE(mean_piats, 100.0);   // at least one batch
+}
+
+TEST(SequentialDetector, HarderProblemTakesLonger) {
+  Fixture easy(4.0);
+  Fixture hard(1.3);
+  SequentialDetector det_easy(easy.adversary, SequentialConfig{});
+  SequentialDetector det_hard(hard.adversary, SequentialConfig{});
+
+  auto mean_batches = [&](Fixture& f, SequentialDetector& det) {
+    double acc = 0.0;
+    for (int t = 0; t < 20; ++t) {
+      const double sigma = (t % 2) ? f.sigma_h : f.sigma_l;
+      const auto stream = synthetic_piats(10e-3, sigma, 100 * 2000, 900 + t);
+      const auto out = det.decide(stream);
+      acc += static_cast<double>(out.batches_used);
+    }
+    return acc / 20.0;
+  };
+  EXPECT_LT(mean_batches(easy, det_easy), mean_batches(hard, det_hard));
+}
+
+TEST(SequentialDetector, WaldExpectationIsInTheRightBallpark) {
+  Fixture f(2.0);
+  SequentialDetector det(f.adversary, SequentialConfig{});
+  const double expect_low = det.expected_batches(0);
+  const double expect_high = det.expected_batches(1);
+  EXPECT_GT(expect_low, 0.0);
+  EXPECT_GT(expect_high, 0.0);
+
+  double measured = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const auto stream = synthetic_piats(10e-3, f.sigma_l, 100 * 800, 2000 + t);
+    measured += static_cast<double>(det.decide(stream).batches_used);
+  }
+  measured /= trials;
+  // Wald's formula ignores overshoot; expect same order of magnitude.
+  EXPECT_GT(measured, 0.3 * expect_low);
+  EXPECT_LT(measured, 4.0 * expect_low);
+}
+
+TEST(SequentialDetector, UndecidedOnShortStream) {
+  Fixture f(1.05);  // nearly indistinguishable classes
+  SequentialDetector det(f.adversary, SequentialConfig{});
+  const auto stream = synthetic_piats(10e-3, f.sigma_l, 100 * 3, 3000);
+  const auto out = det.decide(stream);
+  EXPECT_FALSE(out.decided);
+  EXPECT_EQ(out.batches_used, 3u);
+}
+
+TEST(SequentialDetector, RespectsMaxBatches) {
+  Fixture f(1.05);
+  SequentialConfig cfg;
+  cfg.max_batches = 5;
+  SequentialDetector det(f.adversary, cfg);
+  const auto stream = synthetic_piats(10e-3, f.sigma_l, 100 * 100, 3100);
+  const auto out = det.decide(stream);
+  EXPECT_LE(out.batches_used, 5u);
+}
+
+TEST(SequentialDetector, ConfigValidation) {
+  Fixture f(2.0);
+  SequentialConfig bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(SequentialDetector(f.adversary, bad),
+               linkpad::ContractViolation);
+  SequentialConfig mismatched;
+  mismatched.batch_size = 999;  // != adversary window size
+  EXPECT_THROW(SequentialDetector(f.adversary, mismatched),
+               linkpad::ContractViolation);
+}
+
+}  // namespace
+}  // namespace linkpad::classify

@@ -1,0 +1,88 @@
+// Calibration regression tests: the analytic variance decomposition must
+// keep matching what the simulator actually produces. If these fail, every
+// "theory" curve in the figure benches silently drifts from the "experiment"
+// curves — this is the repo's anchor to the paper's Fig 4.
+#include "core/piat_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scenarios.hpp"
+
+namespace linkpad::core {
+namespace {
+
+TEST(PiatModel, PredictionMatchesMeasurementZeroCross) {
+  const auto s = lab_zero_cross(make_cit());
+  const auto predicted = predict_components(s.config_for(0), s.config_for(1));
+  const auto measured =
+      measure_components(s.config_for(0), s.config_for(1), 120000, 7);
+
+  const double pred_low = predicted.sigma2_timer + predicted.sigma2_net +
+                          predicted.sigma2_gw_low;
+  const double pred_high = predicted.sigma2_timer + predicted.sigma2_net +
+                           predicted.sigma2_gw_high;
+  EXPECT_NEAR(measured.sigma2_low, pred_low, 0.05 * pred_low);
+  EXPECT_NEAR(measured.sigma2_high, pred_high, 0.05 * pred_high);
+  EXPECT_NEAR(measured.ratio, predicted.ratio(), 0.05);
+}
+
+TEST(PiatModel, CalibratedRatioNearPaperAnchor) {
+  // DESIGN.md calibration target: r_CIT ~ 1.3 in the zero-cross lab.
+  const auto s = lab_zero_cross(make_cit());
+  const auto vc = predict_components(s.config_for(0), s.config_for(1));
+  EXPECT_GT(vc.ratio(), 1.2);
+  EXPECT_LT(vc.ratio(), 1.45);
+}
+
+TEST(PiatModel, CalibratedSpreadNearTenMicroseconds) {
+  // Fig 4(a) anchor: PIAT std-dev ~ 10 us around the 10 ms mean.
+  const auto s = lab_zero_cross(make_cit());
+  const double var_low = predict_piat_variance(s.config_for(0));
+  const double sd_us = std::sqrt(var_low) * 1e6;
+  EXPECT_GT(sd_us, 6.0);
+  EXPECT_LT(sd_us, 14.0);
+}
+
+TEST(PiatModel, VitTimerDominatesComponents) {
+  const auto s = lab_zero_cross(make_vit(1e-3));
+  const auto vc = predict_components(s.config_for(0), s.config_for(1));
+  EXPECT_GT(vc.sigma2_timer, 100.0 * (vc.sigma2_gw_high - vc.sigma2_gw_low));
+  EXPECT_LT(vc.ratio(), 1.0001);
+}
+
+TEST(PiatModel, CrossTrafficRaisesNetComponent) {
+  const auto quiet = lab_cross_traffic(make_cit(), 0.05);
+  const auto busy = lab_cross_traffic(make_cit(), 0.45);
+  const auto vc_quiet =
+      predict_components(quiet.config_for(0), quiet.config_for(1));
+  const auto vc_busy =
+      predict_components(busy.config_for(0), busy.config_for(1));
+  EXPECT_GT(vc_busy.sigma2_net, 5.0 * vc_quiet.sigma2_net);
+  // More ambient noise => ratio closer to 1 => harder detection (Fig 6).
+  EXPECT_LT(vc_busy.ratio(), vc_quiet.ratio());
+}
+
+TEST(PiatModel, PredictionMatchesMeasurementWithCrossTraffic) {
+  const auto s = lab_cross_traffic(make_cit(), 0.3);
+  const auto predicted = predict_components(s.config_for(0), s.config_for(1));
+  const auto measured =
+      measure_components(s.config_for(0), s.config_for(1), 120000, 11);
+  const double pred_low = predicted.sigma2_timer + predicted.sigma2_net +
+                          predicted.sigma2_gw_low;
+  EXPECT_NEAR(measured.sigma2_low, pred_low, 0.07 * pred_low);
+  EXPECT_NEAR(measured.ratio, predicted.ratio(), 0.05);
+}
+
+TEST(PiatModel, WanPathNoisierThanCampus) {
+  const auto c = campus(make_cit(), 14.0);
+  const auto w = wan(make_cit(), 14.0);
+  const auto vc_c = predict_components(c.config_for(0), c.config_for(1));
+  const auto vc_w = predict_components(w.config_for(0), w.config_for(1));
+  EXPECT_GT(vc_w.sigma2_net, vc_c.sigma2_net);
+  EXPECT_LT(vc_w.ratio(), vc_c.ratio());
+}
+
+}  // namespace
+}  // namespace linkpad::core

@@ -1,0 +1,88 @@
+#include "core/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace linkpad::core {
+namespace {
+
+TEST(Scenarios, PaperConstants) {
+  EXPECT_DOUBLE_EQ(constants::kTau, 10e-3);
+  EXPECT_DOUBLE_EQ(constants::kRateLow, 10.0);
+  EXPECT_DOUBLE_EQ(constants::kRateHigh, 40.0);
+}
+
+TEST(Scenarios, LabZeroCrossHasNoHops) {
+  const auto s = lab_zero_cross(make_cit());
+  EXPECT_TRUE(s.base.hops_before_tap.empty());
+  ASSERT_EQ(s.payload_rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.payload_rates[0], 10.0);
+  EXPECT_DOUBLE_EQ(s.payload_rates[1], 40.0);
+}
+
+TEST(Scenarios, ConfigForOverridesOnlyRate) {
+  const auto s = lab_zero_cross(make_cit());
+  const auto low = s.config_for(0);
+  const auto high = s.config_for(1);
+  EXPECT_DOUBLE_EQ(low.payload_rate, 10.0);
+  EXPECT_DOUBLE_EQ(high.payload_rate, 40.0);
+  EXPECT_EQ(low.wire_bytes, high.wire_bytes);
+  EXPECT_EQ(low.policy.get(), high.policy.get());
+  EXPECT_THROW(s.config_for(2), linkpad::ContractViolation);
+}
+
+TEST(Scenarios, LabCrossTrafficHasOneMarconiHop) {
+  const auto s = lab_cross_traffic(make_cit(), 0.3);
+  ASSERT_EQ(s.base.hops_before_tap.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.base.hops_before_tap[0].cross_utilization, 0.3);
+  EXPECT_NE(s.base.hops_before_tap[0].name.find("marconi"), std::string::npos);
+}
+
+TEST(Scenarios, CampusHasFourHops) {
+  const auto s = campus(make_cit(), 12.0);
+  EXPECT_EQ(s.base.hops_before_tap.size(), 4u);
+}
+
+TEST(Scenarios, WanSpansFifteenHops) {
+  // "the path ... spans over 15 routers" (paper Sec 5.3)
+  const auto s = wan(make_cit(), 12.0);
+  EXPECT_EQ(s.base.hops_before_tap.size(), 15u);
+}
+
+TEST(Scenarios, DiurnalLoadPeaksInAfternoon) {
+  const auto busy = wan(make_cit(), 15.0);
+  const auto quiet = wan(make_cit(), 3.0);
+  double busy_rho = 0.0, quiet_rho = 0.0;
+  for (const auto& h : busy.base.hops_before_tap) busy_rho += h.cross_utilization;
+  for (const auto& h : quiet.base.hops_before_tap) quiet_rho += h.cross_utilization;
+  EXPECT_GT(busy_rho, 2.0 * quiet_rho);
+}
+
+TEST(Scenarios, WanLoadExceedsCampusLoad) {
+  EXPECT_GT(wan_profile().peak(), campus_profile().peak());
+  EXPECT_GT(wan_profile().quiet(), campus_profile().quiet());
+}
+
+TEST(Scenarios, PolicyMakersProduceExpectedTypes) {
+  EXPECT_DOUBLE_EQ(make_cit()->mean_interval(), 10e-3);
+  EXPECT_DOUBLE_EQ(make_cit()->interval_variance(), 0.0);
+  const auto vit = make_vit(100e-6);
+  EXPECT_NEAR(vit->interval_variance(), 1e-8, 1e-12);
+}
+
+TEST(Scenarios, MultirateSpansRequestedRange) {
+  const auto s = lab_multirate(make_cit(), 4);
+  ASSERT_EQ(s.payload_rates.size(), 4u);
+  EXPECT_DOUBLE_EQ(s.payload_rates.front(), 10.0);
+  EXPECT_DOUBLE_EQ(s.payload_rates.back(), 40.0);
+  EXPECT_DOUBLE_EQ(s.payload_rates[1], 20.0);
+  EXPECT_THROW(lab_multirate(make_cit(), 1), linkpad::ContractViolation);
+}
+
+TEST(Scenarios, CrossUtilizationValidated) {
+  EXPECT_THROW(lab_cross_traffic(make_cit(), 1.0), linkpad::ContractViolation);
+}
+
+}  // namespace
+}  // namespace linkpad::core

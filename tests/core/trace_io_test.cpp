@@ -1,0 +1,106 @@
+#include "core/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace linkpad::core {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("linkpad_trace_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+Trace sample_trace() {
+  Trace t;
+  t.description = "lab zero-cross CIT 40pps";
+  t.piats = {0.0100001, 0.0099998, 0.0100012, 0.0099971, 0.0100033};
+  return t;
+}
+
+TEST_F(TraceIoTest, CsvRoundTripPreservesValues) {
+  const auto original = sample_trace();
+  save_trace_csv(path("t.csv"), original);
+  const auto loaded = load_trace_csv(path("t.csv"));
+  ASSERT_EQ(loaded.piats.size(), original.piats.size());
+  for (std::size_t i = 0; i < original.piats.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.piats[i], original.piats[i]);
+  }
+  EXPECT_EQ(loaded.description, original.description);
+}
+
+TEST_F(TraceIoTest, BinaryRoundTripIsExact) {
+  const auto original = sample_trace();
+  save_trace_binary(path("t.lpt"), original);
+  const auto loaded = load_trace_binary(path("t.lpt"));
+  EXPECT_EQ(loaded.piats, original.piats);
+  EXPECT_EQ(loaded.description, original.description);
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips) {
+  Trace empty;
+  save_trace_binary(path("e.lpt"), empty);
+  const auto loaded = load_trace_binary(path("e.lpt"));
+  EXPECT_TRUE(loaded.piats.empty());
+  EXPECT_TRUE(loaded.description.empty());
+}
+
+TEST_F(TraceIoTest, LargeTraceBinaryRoundTrip) {
+  Trace big;
+  big.description = "big";
+  big.piats.reserve(100000);
+  for (int i = 0; i < 100000; ++i) big.piats.push_back(1e-2 + i * 1e-9);
+  save_trace_binary(path("big.lpt"), big);
+  const auto loaded = load_trace_binary(path("big.lpt"));
+  EXPECT_EQ(loaded.piats, big.piats);
+}
+
+TEST_F(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_trace_csv(path("missing.csv")), std::runtime_error);
+  EXPECT_THROW(load_trace_binary(path("missing.lpt")), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, BadMagicRejected) {
+  std::ofstream out(path("bad.lpt"), std::ios::binary);
+  out << "NOPE-this-is-not-a-trace";
+  out.close();
+  EXPECT_THROW(load_trace_binary(path("bad.lpt")), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, TruncatedBinaryRejected) {
+  const auto original = sample_trace();
+  save_trace_binary(path("t.lpt"), original);
+  // Chop the file in half.
+  const auto full =
+      static_cast<std::size_t>(std::filesystem::file_size(path("t.lpt")));
+  std::filesystem::resize_file(path("t.lpt"), full / 2);
+  EXPECT_THROW(load_trace_binary(path("t.lpt")), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, CsvSkipsCommentsAndBlankLines) {
+  std::ofstream out(path("manual.csv"));
+  out << "# banner\n\n# a description\n0.01\n\n0.02\n";
+  out.close();
+  const auto loaded = load_trace_csv(path("manual.csv"));
+  ASSERT_EQ(loaded.piats.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.piats[0], 0.01);
+  EXPECT_EQ(loaded.description, "a description");
+}
+
+}  // namespace
+}  // namespace linkpad::core

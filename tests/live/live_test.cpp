@@ -1,0 +1,111 @@
+// Live loopback tests: real sockets, real timers, real scheduler noise.
+// Assertions are deliberately loose — the host's jitter is not under our
+// control — but the STRUCTURAL properties of a padding gateway must hold.
+// Set LINKPAD_SKIP_LIVE=1 to skip (e.g. sandboxes without loopback).
+#include "live/live_testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "live/udp_channel.hpp"
+
+namespace linkpad::live {
+namespace {
+
+bool live_disabled() {
+  const char* env = std::getenv("LINKPAD_SKIP_LIVE");
+  return env != nullptr && env[0] == '1';
+}
+
+#define SKIP_IF_DISABLED()                              \
+  do {                                                  \
+    if (live_disabled()) GTEST_SKIP() << "LINKPAD_SKIP_LIVE=1"; \
+  } while (false)
+
+TEST(UdpChannel, LoopbackSendReceive) {
+  SKIP_IF_DISABLED();
+  auto rx = UdpSocket::bind_loopback();
+  auto tx = UdpSocket::connect_loopback(rx.port());
+  const std::array<std::byte, 4> payload = {std::byte{1}, std::byte{2},
+                                            std::byte{3}, std::byte{4}};
+  tx.send(payload);
+  std::array<std::byte, 64> buffer{};
+  const auto got = rx.recv(buffer, std::chrono::milliseconds(1000));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 4u);
+  EXPECT_EQ(buffer[2], std::byte{3});
+}
+
+TEST(UdpChannel, RecvTimesOutWhenSilent) {
+  SKIP_IF_DISABLED();
+  auto rx = UdpSocket::bind_loopback();
+  std::array<std::byte, 16> buffer{};
+  const auto got = rx.recv(buffer, std::chrono::milliseconds(50));
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(LiveTestbed, CitRunDeliversPackets) {
+  SKIP_IF_DISABLED();
+  LiveGatewayConfig cfg;
+  cfg.tau = 1e-3;
+  cfg.payload_rate = 200.0;
+  cfg.packet_count = 600;
+  const auto result = run_live_experiment(cfg, 30000);
+
+  // Loopback UDP rarely drops, but allow a small margin.
+  EXPECT_GE(result.received, cfg.packet_count * 95 / 100);
+  EXPECT_EQ(result.gateway.payload_sent + result.gateway.dummy_sent,
+            cfg.packet_count);
+  EXPECT_GT(result.gateway.payload_sent, 0u);
+  EXPECT_GT(result.gateway.dummy_sent, 0u);
+}
+
+TEST(LiveTestbed, PiatMeanTracksTimerInterval) {
+  SKIP_IF_DISABLED();
+  LiveGatewayConfig cfg;
+  cfg.tau = 2e-3;
+  cfg.payload_rate = 100.0;
+  cfg.packet_count = 500;
+  const auto result = run_live_experiment(cfg, 30000);
+  ASSERT_GT(result.piats.size(), 100u);
+  // Within 30%: schedulers overshoot sleeps, never undershoot long-run rate
+  // by much.
+  EXPECT_NEAR(result.piat_summary.mean, 2e-3, 0.6e-3);
+}
+
+TEST(LiveTestbed, VitSpreadsPiatsWiderThanCit) {
+  SKIP_IF_DISABLED();
+  // Container hosts overshoot sleep_until() by up to ~1 ms, so the CIT
+  // baseline already carries large jitter; the VIT spread must dominate it
+  // clearly, hence tau = 6 ms with sigma_T = 3 ms (Var(T) = 9e-6 s²).
+  LiveGatewayConfig cit;
+  cit.tau = 6e-3;
+  cit.payload_rate = 100.0;
+  cit.packet_count = 300;
+  const auto cit_result = run_live_experiment(cit, 30000);
+
+  LiveGatewayConfig vit = cit;
+  vit.sigma_timer = 3e-3;
+  const auto vit_result = run_live_experiment(vit, 30000);
+
+  ASSERT_GT(cit_result.piats.size(), 100u);
+  ASSERT_GT(vit_result.piats.size(), 100u);
+  EXPECT_GT(vit_result.piat_summary.variance,
+            2.0 * cit_result.piat_summary.variance);
+}
+
+TEST(LiveTestbed, PayloadAccountingConsistent) {
+  SKIP_IF_DISABLED();
+  LiveGatewayConfig cfg;
+  cfg.tau = 1e-3;
+  cfg.payload_rate = 500.0;  // half the wire rate of 1000 pps
+  cfg.packet_count = 1000;
+  const auto result = run_live_experiment(cfg, 30000);
+  const double frac = static_cast<double>(result.gateway.payload_sent) /
+                      static_cast<double>(cfg.packet_count);
+  EXPECT_NEAR(frac, 0.5, 0.15);
+}
+
+}  // namespace
+}  // namespace linkpad::live

@@ -1,0 +1,58 @@
+#include "sim/diurnal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace linkpad::sim {
+namespace {
+
+TEST(DiurnalProfile, PeakAtPeakHour) {
+  DiurnalProfile p(0.05, 0.4, 15.0, 5.0);
+  EXPECT_NEAR(p.utilization_at(15.0), 0.4, 1e-12);
+  for (double h = 0.0; h < 24.0; h += 0.5) {
+    EXPECT_LE(p.utilization_at(h), 0.4 + 1e-12);
+  }
+}
+
+TEST(DiurnalProfile, TroughOppositeOfPeak) {
+  DiurnalProfile p(0.05, 0.4, 15.0, 5.0);
+  // 12 hours from the peak the bump is minimal.
+  EXPECT_NEAR(p.utilization_at(3.0), 0.05, 0.03);
+  EXPECT_LT(p.utilization_at(3.0), p.utilization_at(12.0));
+}
+
+TEST(DiurnalProfile, WrapsAroundMidnightContinuously) {
+  DiurnalProfile p(0.1, 0.5, 23.0, 3.0);
+  EXPECT_NEAR(p.utilization_at(23.9), p.utilization_at(-0.1 + 24.0), 1e-12);
+  // 1 hour either side of the 23:00 peak must be symmetric.
+  EXPECT_NEAR(p.utilization_at(22.0), p.utilization_at(24.0), 1e-12);
+}
+
+TEST(DiurnalProfile, ScaleAveragesToOne) {
+  DiurnalProfile p(0.05, 0.4, 15.0, 5.0);
+  double acc = 0.0;
+  const int steps = 24 * 4;
+  for (int i = 0; i < steps; ++i) acc += p.scale_at(i / 4.0);
+  EXPECT_NEAR(acc / steps, 1.0, 1e-9);
+}
+
+TEST(DiurnalProfile, MonotoneBetweenTroughAndPeak) {
+  DiurnalProfile p(0.05, 0.4, 15.0, 5.0);
+  double prev = p.utilization_at(4.0);
+  for (double h = 5.0; h <= 15.0; h += 1.0) {
+    const double u = p.utilization_at(h);
+    EXPECT_GE(u, prev - 1e-12) << h;
+    prev = u;
+  }
+}
+
+TEST(DiurnalProfile, InvalidParamsRejected) {
+  EXPECT_THROW(DiurnalProfile(0.5, 0.4), linkpad::ContractViolation);
+  EXPECT_THROW(DiurnalProfile(-0.1, 0.4), linkpad::ContractViolation);
+  EXPECT_THROW(DiurnalProfile(0.1, 1.0), linkpad::ContractViolation);
+  EXPECT_THROW(DiurnalProfile(0.1, 0.4, 25.0), linkpad::ContractViolation);
+}
+
+}  // namespace
+}  // namespace linkpad::sim

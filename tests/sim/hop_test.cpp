@@ -1,0 +1,120 @@
+#include "sim/hop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace linkpad::sim {
+namespace {
+
+HopConfig test_hop(double rho) {
+  HopConfig cfg;
+  cfg.bandwidth_bps = 1e9;
+  cfg.cross_utilization = rho;
+  cfg.cross_packet_bytes = 1000;
+  cfg.propagation_delay = 50e-6;
+  return cfg;
+}
+
+TEST(HopChannel, ZeroUtilizationIsDeterministic) {
+  HopChannel hop(test_hop(0.0), 1000);
+  stats::Rng rng(1);
+  // service = 8 us, prop = 50 us
+  const double depart = hop.traverse(1.0, rng);
+  EXPECT_NEAR(depart, 1.0 + 8e-6 + 50e-6, 1e-12);
+}
+
+TEST(HopChannel, DeparturesAreMonotone) {
+  HopChannel hop(test_hop(0.6), 1000);
+  stats::Rng rng(2);
+  double prev = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = hop.traverse(i * 0.001, rng);  // 1 ms spacing
+    ASSERT_GT(d, prev);  // FIFO: no reordering within the monitored flow
+    prev = d;
+  }
+}
+
+TEST(HopChannel, DelayNeverBelowServicePlusPropagation) {
+  HopChannel hop(test_hop(0.5), 1000);
+  stats::Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double arrival = i * 0.01;
+    const double depart = hop.traverse(arrival, rng);
+    // Tolerance covers double rounding when adding ~60 us to ~100 s.
+    ASSERT_GE(depart - arrival, 8e-6 + 50e-6 - 5e-11);
+  }
+}
+
+TEST(HopChannel, WaitVarianceMatchesSamplerTheory) {
+  HopChannel hop(test_hop(0.4), 1000);
+  stats::Rng rng(4);
+  stats::RunningStats rs;
+  for (int i = 0; i < 200000; ++i) {
+    const double arrival = i * 0.01;
+    rs.add(hop.traverse(arrival, rng) - arrival - 8e-6 - 50e-6);
+  }
+  EXPECT_NEAR(rs.variance(), hop.wait_variance(),
+              0.05 * hop.wait_variance());
+}
+
+TEST(HopChannel, SetUtilizationChangesNoise) {
+  HopChannel hop(test_hop(0.1), 1000);
+  const double before = hop.wait_variance();
+  hop.set_cross_utilization(0.6);
+  EXPECT_GT(hop.wait_variance(), before);
+}
+
+TEST(PathModel, ChainsDelaysAcrossHops) {
+  std::vector<HopConfig> hops = {test_hop(0.0), test_hop(0.0), test_hop(0.0)};
+  PathModel path(hops, 1000);
+  stats::Rng rng(5);
+  const double arrival = path.traverse(2.0, rng);
+  EXPECT_NEAR(arrival, 2.0 + 3.0 * (8e-6 + 50e-6), 1e-12);
+}
+
+TEST(PathModel, TotalWaitVarianceIsSumOfHops) {
+  std::vector<HopConfig> hops = {test_hop(0.3), test_hop(0.5)};
+  PathModel path(hops, 1000);
+  HopChannel h1(test_hop(0.3), 1000);
+  HopChannel h2(test_hop(0.5), 1000);
+  EXPECT_NEAR(path.total_wait_variance(),
+              h1.wait_variance() + h2.wait_variance(), 1e-20);
+}
+
+TEST(PathModel, ScaleUtilizationAffectsAllHops) {
+  std::vector<HopConfig> hops = {test_hop(0.2), test_hop(0.4)};
+  PathModel path(hops, 1000);
+  const double before = path.total_wait_variance();
+  path.scale_utilization(2.0);
+  EXPECT_GT(path.total_wait_variance(), before);
+  path.scale_utilization(1.0);
+  EXPECT_NEAR(path.total_wait_variance(), before, 1e-20);
+}
+
+TEST(PathModel, ScaleClampsBelowSaturation) {
+  std::vector<HopConfig> hops = {test_hop(0.5)};
+  PathModel path(hops, 1000);
+  path.scale_utilization(10.0);  // would be rho = 5: must clamp < 1
+  EXPECT_LT(path.hop(0).config().cross_utilization, 1.0);
+}
+
+TEST(PathModel, EmptyPathIsIdentity) {
+  PathModel path({}, 1000);
+  stats::Rng rng(6);
+  EXPECT_DOUBLE_EQ(path.traverse(3.5, rng), 3.5);
+  EXPECT_DOUBLE_EQ(path.total_wait_variance(), 0.0);
+}
+
+TEST(HopChannel, InvalidConfigRejected) {
+  HopConfig bad = test_hop(1.0);
+  EXPECT_THROW(HopChannel(bad, 1000), linkpad::ContractViolation);
+  HopConfig bad2 = test_hop(0.2);
+  bad2.bandwidth_bps = 0.0;
+  EXPECT_THROW(HopChannel(bad2, 1000), linkpad::ContractViolation);
+}
+
+}  // namespace
+}  // namespace linkpad::sim

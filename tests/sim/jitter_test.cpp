@@ -1,0 +1,83 @@
+#include "sim/jitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace linkpad::sim {
+namespace {
+
+TEST(GatewayJitterModel, DelaysAreNonNegative) {
+  GatewayJitterModel model(JitterParams{});
+  stats::Rng rng(1);
+  for (int i = 0; i < 50000; ++i) {
+    ASSERT_GE(model.emission_delay(rng, i % 3), 0.0);
+  }
+}
+
+TEST(GatewayJitterModel, MoreArrivalsMeanMoreDelay) {
+  GatewayJitterModel model(JitterParams{});
+  stats::Rng rng(2);
+  stats::RunningStats none, many;
+  for (int i = 0; i < 100000; ++i) {
+    none.add(model.emission_delay(rng, 0));
+    many.add(model.emission_delay(rng, 3));
+  }
+  EXPECT_GT(many.mean(), none.mean());
+  EXPECT_GT(many.variance(), none.variance());
+}
+
+TEST(GatewayJitterModel, MarginalVarianceMatchesBernoulliFormula) {
+  JitterParams p;
+  p.sigma_context_switch = 10e-6;
+  p.sigma_irq_block = 6.4e-6;
+  GatewayJitterModel model(p);
+  // Simulate Bernoulli(a) arrivals and compare Var(delta) with the formula.
+  const double a = 0.4;
+  stats::Rng rng(3);
+  stats::RunningStats rs;
+  for (int i = 0; i < 400000; ++i) {
+    const unsigned arrivals = rng.uniform01() < a ? 1 : 0;
+    rs.add(model.emission_delay(rng, arrivals));
+  }
+  EXPECT_NEAR(rs.variance(), model.delay_variance(a),
+              0.03 * model.delay_variance(a));
+}
+
+TEST(GatewayJitterModel, EffectivePiatVarianceFormula) {
+  JitterParams p;
+  p.sigma_context_switch = 10e-6;
+  p.sigma_irq_block = 6.4e-6;
+  GatewayJitterModel model(p);
+  const double cs_var = 100e-12 * (1.0 - 2.0 / M_PI);
+  const double a = 0.4;
+  EXPECT_NEAR(model.effective_piat_variance(a),
+              2.0 * (cs_var + a * 6.4e-6 * 6.4e-6), 1e-18);
+}
+
+TEST(GatewayJitterModel, EffectiveVarianceIncreasesWithRate) {
+  GatewayJitterModel model(JitterParams{});
+  EXPECT_GT(model.effective_piat_variance(0.4),
+            model.effective_piat_variance(0.1));
+}
+
+TEST(GatewayJitterModel, CleanHostHasNegligibleJitter) {
+  GatewayJitterModel model(JitterParams::none());
+  stats::Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LT(model.emission_delay(rng, 2), 1e-9);
+  }
+}
+
+TEST(GatewayJitterModel, ZeroSigmaRejected) {
+  JitterParams p;
+  p.sigma_context_switch = 0.0;
+  EXPECT_THROW(GatewayJitterModel{p}, linkpad::ContractViolation);
+}
+
+}  // namespace
+}  // namespace linkpad::sim

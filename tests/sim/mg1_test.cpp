@@ -1,0 +1,120 @@
+#include "sim/mg1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace linkpad::sim {
+namespace {
+
+TEST(Mg1WaitSampler, ZeroUtilizationNeverWaits) {
+  Mg1WaitSampler s(0.0, 10e-6, ServiceModel::kDeterministic);
+  stats::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_DOUBLE_EQ(s.sample(rng), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_wait(), 0.0);
+  EXPECT_DOUBLE_EQ(s.wait_variance(), 0.0);
+}
+
+TEST(Mg1WaitSampler, IdleProbabilityIsOneMinusRho) {
+  Mg1WaitSampler s(0.3, 10e-6, ServiceModel::kDeterministic);
+  stats::Rng rng(2);
+  int zero = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (s.sample(rng) == 0.0) ++zero;
+  }
+  EXPECT_NEAR(static_cast<double>(zero) / n, 0.7, 0.01);
+}
+
+TEST(Mg1WaitSampler, MeanMatchesPollaczekKhinchineMD1) {
+  // M/D/1: E[W] = rho*S / (2(1-rho)).
+  const double s_time = 8e-6;
+  for (double rho : {0.2, 0.5}) {
+    Mg1WaitSampler s(rho, s_time, ServiceModel::kDeterministic);
+    EXPECT_NEAR(s.mean_wait(), rho * s_time / (2.0 * (1.0 - rho)), 1e-15);
+  }
+}
+
+TEST(Mg1WaitSampler, MeanMatchesPollaczekKhinchineMM1) {
+  // M/M/1: E[W] = rho*S / (1-rho).
+  const double s_time = 8e-6;
+  const double rho = 0.4;
+  Mg1WaitSampler s(rho, s_time, ServiceModel::kExponential);
+  EXPECT_NEAR(s.mean_wait(), rho * s_time / (1.0 - rho), 1e-15);
+}
+
+struct Mg1Case {
+  double rho;
+  ServiceModel model;
+};
+
+class Mg1MomentSweep
+    : public ::testing::TestWithParam<std::tuple<double, ServiceModel>> {};
+
+TEST_P(Mg1MomentSweep, SampleMomentsMatchClosedForms) {
+  const auto [rho, model] = GetParam();
+  const double service = 10e-6;
+  Mg1WaitSampler s(rho, service, model);
+  stats::Rng rng(42);
+  stats::RunningStats rs;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) rs.add(s.sample(rng));
+  EXPECT_NEAR(rs.mean(), s.mean_wait(), 0.02 * s.mean_wait() + 1e-9);
+  EXPECT_NEAR(rs.variance(), s.wait_variance(),
+              0.05 * s.wait_variance() + 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RhoAndService, Mg1MomentSweep,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.5, 0.7),
+                       ::testing::Values(ServiceModel::kDeterministic,
+                                         ServiceModel::kExponential,
+                                         ServiceModel::kTrimodal)));
+
+TEST(Mg1WaitSampler, VarianceIncreasesWithRho) {
+  const double service = 10e-6;
+  double prev = -1.0;
+  for (double rho : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
+    Mg1WaitSampler s(rho, service, ServiceModel::kDeterministic);
+    EXPECT_GT(s.wait_variance(), prev);
+    prev = s.wait_variance();
+  }
+}
+
+TEST(Mg1WaitSampler, HeavierServiceTailsWait) {
+  // At the same rho and E[S], exponential service waits longer than
+  // deterministic (E[S²] doubles).
+  Mg1WaitSampler det(0.4, 10e-6, ServiceModel::kDeterministic);
+  Mg1WaitSampler expo(0.4, 10e-6, ServiceModel::kExponential);
+  EXPECT_GT(expo.mean_wait(), det.mean_wait());
+  EXPECT_GT(expo.wait_variance(), det.wait_variance());
+}
+
+TEST(Mg1WaitSampler, SetRhoUpdatesMoments) {
+  Mg1WaitSampler s(0.1, 10e-6, ServiceModel::kDeterministic);
+  const double before = s.wait_variance();
+  s.set_rho(0.5);
+  EXPECT_GT(s.wait_variance(), before);
+  EXPECT_DOUBLE_EQ(s.rho(), 0.5);
+}
+
+TEST(Mg1WaitSampler, InvalidParamsRejected) {
+  EXPECT_THROW(Mg1WaitSampler(1.0, 1e-6, ServiceModel::kDeterministic),
+               linkpad::ContractViolation);
+  EXPECT_THROW(Mg1WaitSampler(-0.1, 1e-6, ServiceModel::kDeterministic),
+               linkpad::ContractViolation);
+  EXPECT_THROW(Mg1WaitSampler(0.5, 0.0, ServiceModel::kDeterministic),
+               linkpad::ContractViolation);
+}
+
+TEST(TrimodalMix, MeanBytesMatchesWeights) {
+  EXPECT_NEAR(TrimodalMix::mean_bytes(), 0.5 * 40 + 0.3 * 576 + 0.2 * 1500,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace linkpad::sim

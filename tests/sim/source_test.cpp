@@ -1,0 +1,126 @@
+#include "sim/source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "stats/descriptive.hpp"
+#include "util/rng.hpp"
+
+namespace linkpad::sim {
+namespace {
+
+struct Collector : PacketSink {
+  std::vector<Seconds> times;
+  std::vector<PacketId> ids;
+  void on_packet(const Packet& p, Seconds now) override {
+    times.push_back(now);
+    ids.push_back(p.id);
+    EXPECT_EQ(p.kind, PacketKind::kPayload);
+    EXPECT_EQ(p.flow, FlowId::kMonitored);
+  }
+};
+
+TEST(CbrSource, EmitsAtExactRate) {
+  Simulation sim;
+  util::Xoshiro256pp rng(1);
+  CbrSource src(40.0, 512, /*random_phase=*/false);
+  Collector sink;
+  src.start(sim, sink, rng);
+  sim.run_until(10.0);
+  // 40 pps for 10 s, first packet at t=0 (the t=10.0 packet may fall on
+  // either side of the boundary due to accumulated floating-point steps).
+  EXPECT_GE(sink.times.size(), 400u);
+  EXPECT_LE(sink.times.size(), 401u);
+  for (std::size_t i = 1; i < sink.times.size(); ++i) {
+    EXPECT_NEAR(sink.times[i] - sink.times[i - 1], 0.025, 1e-9);
+  }
+}
+
+TEST(CbrSource, RandomPhaseStaysWithinOnePeriod) {
+  Simulation sim;
+  util::Xoshiro256pp rng(2);
+  CbrSource src(10.0, 512);
+  Collector sink;
+  src.start(sim, sink, rng);
+  sim.run_until(1.0);
+  ASSERT_FALSE(sink.times.empty());
+  EXPECT_LT(sink.times.front(), 0.1);
+}
+
+TEST(CbrSource, IdsAreSequential) {
+  Simulation sim;
+  util::Xoshiro256pp rng(3);
+  CbrSource src(100.0, 100, false);
+  Collector sink;
+  src.start(sim, sink, rng);
+  sim.run_until(0.5);
+  for (std::size_t i = 0; i < sink.ids.size(); ++i) {
+    EXPECT_EQ(sink.ids[i], i);
+  }
+}
+
+TEST(PoissonSource, LongRunRateConverges) {
+  Simulation sim;
+  util::Xoshiro256pp rng(4);
+  PoissonSource src(50.0, 512);
+  Collector sink;
+  src.start(sim, sink, rng);
+  sim.run_until(200.0);
+  const double rate = static_cast<double>(sink.times.size()) / 200.0;
+  EXPECT_NEAR(rate, 50.0, 1.5);
+}
+
+TEST(PoissonSource, InterArrivalsAreExponential) {
+  Simulation sim;
+  util::Xoshiro256pp rng(5);
+  PoissonSource src(100.0, 512);
+  Collector sink;
+  src.start(sim, sink, rng);
+  sim.run_until(300.0);
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < sink.times.size(); ++i) {
+    gaps.push_back(sink.times[i] - sink.times[i - 1]);
+  }
+  // Exponential: mean = std-dev = 1/rate.
+  EXPECT_NEAR(stats::mean(gaps), 0.01, 5e-4);
+  EXPECT_NEAR(stats::sample_stddev(gaps), 0.01, 7e-4);
+}
+
+TEST(OnOffSource, MeanRateMatchesDutyCycle) {
+  Simulation sim;
+  util::Xoshiro256pp rng(6);
+  OnOffSource src(80.0, 0.5, 0.5, 512);
+  EXPECT_DOUBLE_EQ(src.mean_rate(), 40.0);
+  Collector sink;
+  src.start(sim, sink, rng);
+  sim.run_until(400.0);
+  const double rate = static_cast<double>(sink.times.size()) / 400.0;
+  EXPECT_NEAR(rate, 40.0, 5.0);  // bursty source: rate std over 400 s is ~2
+}
+
+TEST(OnOffSource, ProducesBursts) {
+  Simulation sim;
+  util::Xoshiro256pp rng(7);
+  OnOffSource src(200.0, 0.2, 0.8, 512);
+  Collector sink;
+  src.start(sim, sink, rng);
+  sim.run_until(100.0);
+  // Burstiness: inter-arrival variance far above Poisson at the same mean.
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < sink.times.size(); ++i) {
+    gaps.push_back(sink.times[i] - sink.times[i - 1]);
+  }
+  const double mean_gap = stats::mean(gaps);
+  const double cv2 = stats::sample_variance(gaps) / (mean_gap * mean_gap);
+  EXPECT_GT(cv2, 2.0);  // Poisson would give ~1
+}
+
+TEST(Sources, FactoriesProduceCorrectRates) {
+  EXPECT_DOUBLE_EQ(make_cbr(10.0, 512)->mean_rate(), 10.0);
+  EXPECT_DOUBLE_EQ(make_poisson(40.0, 512)->mean_rate(), 40.0);
+}
+
+}  // namespace
+}  // namespace linkpad::sim

@@ -1,0 +1,119 @@
+#include "sim/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace linkpad::sim {
+namespace {
+
+TestbedConfig base_config() {
+  TestbedConfig cfg;
+  cfg.policy = std::make_shared<ConstantIntervalTimer>(10e-3);
+  cfg.payload_rate = 40.0;
+  return cfg;
+}
+
+TEST(Testbed, CollectsRequestedPiatCount) {
+  auto cfg = base_config();
+  util::Xoshiro256pp rng(1);
+  Testbed bed(cfg, rng);
+  const auto piats = bed.collect_piats(500);
+  EXPECT_EQ(piats.size(), 500u);
+}
+
+TEST(Testbed, PiatMeanNearTau) {
+  auto cfg = base_config();
+  util::Xoshiro256pp rng(2);
+  const auto piats = collect_piats(cfg, rng, 5000);
+  EXPECT_NEAR(stats::mean(piats), 10e-3, 1e-5);
+}
+
+TEST(Testbed, DeterministicForSameSeed) {
+  auto cfg = base_config();
+  util::Xoshiro256pp a(7), b(7);
+  EXPECT_EQ(collect_piats(cfg, a, 300), collect_piats(cfg, b, 300));
+}
+
+TEST(Testbed, DifferentSeedsDiffer) {
+  auto cfg = base_config();
+  util::Xoshiro256pp a(7), b(8);
+  EXPECT_NE(collect_piats(cfg, a, 300), collect_piats(cfg, b, 300));
+}
+
+TEST(Testbed, RepeatedCollectsContinueTheStream) {
+  auto cfg = base_config();
+  util::Xoshiro256pp rng(9);
+  Testbed bed(cfg, rng);
+  const auto first = bed.collect_piats(200);
+  const auto second = bed.collect_piats(200);
+  EXPECT_EQ(second.size(), 200u);
+  EXPECT_NE(first, second);  // time moved on
+}
+
+TEST(Testbed, HopsAddNetworkNoise) {
+  auto clean_cfg = base_config();
+  util::Xoshiro256pp rng1(11);
+  const auto clean = collect_piats(clean_cfg, rng1, 20000);
+
+  auto noisy_cfg = base_config();
+  HopConfig hop;
+  hop.bandwidth_bps = 1e9;
+  hop.cross_utilization = 0.5;
+  hop.cross_packet_bytes = 1000;
+  noisy_cfg.hops_before_tap = {hop};
+  util::Xoshiro256pp rng2(11);
+  const auto noisy = collect_piats(noisy_cfg, rng2, 20000);
+
+  EXPECT_GT(stats::sample_variance(noisy), stats::sample_variance(clean) * 1.3);
+  // Network noise cannot shift the mean rate.
+  EXPECT_NEAR(stats::mean(noisy), stats::mean(clean), 1e-5);
+}
+
+TEST(Testbed, VitIncreasesVarianceNotMean) {
+  auto cit_cfg = base_config();
+  util::Xoshiro256pp rng1(13);
+  const auto cit = collect_piats(cit_cfg, rng1, 20000);
+
+  auto vit_cfg = base_config();
+  vit_cfg.policy = std::make_shared<NormalIntervalTimer>(10e-3, 500e-6);
+  util::Xoshiro256pp rng2(13);
+  const auto vit = collect_piats(vit_cfg, rng2, 20000);
+
+  EXPECT_NEAR(stats::mean(vit), stats::mean(cit), 1e-4);
+  EXPECT_GT(stats::sample_variance(vit), 100.0 * stats::sample_variance(cit));
+}
+
+TEST(Testbed, PoissonPayloadWorks) {
+  auto cfg = base_config();
+  cfg.payload_kind = PayloadKind::kPoisson;
+  util::Xoshiro256pp rng(15);
+  const auto piats = collect_piats(cfg, rng, 2000);
+  EXPECT_EQ(piats.size(), 2000u);
+  EXPECT_NEAR(stats::mean(piats), 10e-3, 5e-5);
+}
+
+TEST(Testbed, GatewayStatsAccessible) {
+  auto cfg = base_config();
+  util::Xoshiro256pp rng(17);
+  Testbed bed(cfg, rng);
+  bed.collect_piats(1000);
+  const auto& gs = bed.gateway_stats();
+  EXPECT_GT(gs.timer_fires, 1000u);
+  EXPECT_GT(gs.payload_out, 0u);
+  EXPECT_GT(gs.dummy_out, 0u);
+}
+
+TEST(Testbed, MissingPolicyRejected) {
+  TestbedConfig cfg;
+  cfg.policy = nullptr;
+  util::Xoshiro256pp rng(19);
+  EXPECT_THROW(Testbed(cfg, rng), linkpad::ContractViolation);
+}
+
+}  // namespace
+}  // namespace linkpad::sim

@@ -1,0 +1,119 @@
+#include "sim/timer_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace linkpad::sim {
+namespace {
+
+TEST(ConstantIntervalTimer, AlwaysReturnsTau) {
+  ConstantIntervalTimer cit(0.01);
+  stats::Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(cit.next_interval(rng), 0.01);
+  EXPECT_DOUBLE_EQ(cit.mean_interval(), 0.01);
+  EXPECT_DOUBLE_EQ(cit.interval_variance(), 0.0);
+}
+
+TEST(NormalIntervalTimer, MomentsMatchConfiguration) {
+  NormalIntervalTimer vit(10e-3, 100e-6);
+  stats::Rng rng(2);
+  stats::RunningStats rs;
+  for (int i = 0; i < 200000; ++i) rs.add(vit.next_interval(rng));
+  EXPECT_NEAR(rs.mean(), vit.mean_interval(), 2e-6);
+  EXPECT_NEAR(rs.variance(), vit.interval_variance(), 2e-10);
+  // Truncation is negligible at sigma = tau/100, so mean ~ tau.
+  EXPECT_NEAR(vit.mean_interval(), 10e-3, 1e-7);
+}
+
+TEST(NormalIntervalTimer, IntervalsNeverBelowFloor) {
+  // Large sigma: truncation must bite instead of emitting negatives.
+  NormalIntervalTimer vit(10e-3, 8e-3);
+  stats::Rng rng(3);
+  for (int i = 0; i < 50000; ++i) {
+    ASSERT_GE(vit.next_interval(rng), 10e-3 / 100.0);
+  }
+}
+
+TEST(NormalIntervalTimer, TruncationShiftsMeanUp) {
+  NormalIntervalTimer vit(10e-3, 8e-3);
+  EXPECT_GT(vit.mean_interval(), 10e-3);
+  EXPECT_LT(vit.interval_variance(), 8e-3 * 8e-3);
+}
+
+TEST(NormalIntervalTimer, InvalidParamsRejected) {
+  EXPECT_THROW(NormalIntervalTimer(0.0, 1e-3), linkpad::ContractViolation);
+  EXPECT_THROW(NormalIntervalTimer(1e-2, 0.0), linkpad::ContractViolation);
+  EXPECT_THROW(NormalIntervalTimer(1e-2, 1e-3, 2e-2),
+               linkpad::ContractViolation);
+}
+
+TEST(UniformIntervalTimer, VarianceFormula) {
+  UniformIntervalTimer vit(10e-3, 1e-3);
+  EXPECT_NEAR(vit.interval_variance(), (2e-3) * (2e-3) / 12.0, 1e-15);
+  stats::Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double t = vit.next_interval(rng);
+    ASSERT_GE(t, 9e-3);
+    ASSERT_LT(t, 11e-3);
+  }
+}
+
+TEST(ShiftedExponentialTimer, MomentsMatch) {
+  ShiftedExponentialTimer vit(8e-3, 2e-3);
+  EXPECT_DOUBLE_EQ(vit.mean_interval(), 10e-3);
+  EXPECT_DOUBLE_EQ(vit.interval_variance(), 4e-6);
+  stats::Rng rng(5);
+  stats::RunningStats rs;
+  for (int i = 0; i < 100000; ++i) {
+    const double t = vit.next_interval(rng);
+    ASSERT_GE(t, 8e-3);
+    rs.add(t);
+  }
+  EXPECT_NEAR(rs.mean(), 10e-3, 3e-5);
+}
+
+TEST(TimerPolicy, ClonesAreIndependentButIdenticallyDistributed) {
+  NormalIntervalTimer original(10e-3, 1e-3);
+  auto clone = original.clone();
+  stats::Rng rng_a(6);
+  stats::Rng rng_b(6);
+  // Same seed, same policy parameters => identical sequences.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(original.next_interval(rng_a),
+                     clone->next_interval(rng_b));
+  }
+}
+
+TEST(TimerPolicy, NamesIdentifyPolicies) {
+  EXPECT_NE(ConstantIntervalTimer(1e-2).name().find("CIT"), std::string::npos);
+  EXPECT_NE(NormalIntervalTimer(1e-2, 1e-4).name().find("VIT-normal"),
+            std::string::npos);
+  EXPECT_NE(UniformIntervalTimer(1e-2, 1e-4).name().find("VIT-uniform"),
+            std::string::npos);
+}
+
+// Property sweep: equal-variance policies report equal interval_variance.
+class VitVarianceEquivalence : public ::testing::TestWithParam<double> {};
+
+TEST_P(VitVarianceEquivalence, DistributionsMatchTargetVariance) {
+  const double sigma = GetParam();
+  NormalIntervalTimer normal(10e-3, sigma, 1e-6);
+  UniformIntervalTimer uniform(10e-3, sigma * std::sqrt(3.0));
+  ShiftedExponentialTimer shifted(10e-3 - sigma, sigma);
+  EXPECT_NEAR(uniform.interval_variance(), sigma * sigma, 1e-15);
+  EXPECT_NEAR(shifted.interval_variance(), sigma * sigma, 1e-15);
+  // Normal is truncated, so allow a tolerance.
+  EXPECT_NEAR(normal.interval_variance(), sigma * sigma,
+              0.05 * sigma * sigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, VitVarianceEquivalence,
+                         ::testing::Values(10e-6, 100e-6, 1e-3));
+
+}  // namespace
+}  // namespace linkpad::sim

@@ -1,0 +1,128 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace linkpad::stats {
+namespace {
+
+TEST(RunningStats, MatchesNaiveMeanAndVariance) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), mean(xs));
+  EXPECT_NEAR(rs.variance(), sample_variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 16.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  util::Xoshiro256pp rng(3);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.uniform(-5.0, 5.0);
+
+  RunningStats all;
+  for (double x : xs) all.add(x);
+
+  RunningStats a, b;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 1700 ? a : b).add(xs[i]);
+  }
+  a.merge(b);
+
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_NEAR(a.skewness(), all.skewness(), 1e-8);
+  EXPECT_NEAR(a.excess_kurtosis(), all.excess_kurtosis(), 1e-8);
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStats, SymmetricDataHasZeroSkew) {
+  RunningStats rs;
+  for (double x : {-2.0, -1.0, 0.0, 1.0, 2.0}) rs.add(x);
+  EXPECT_NEAR(rs.skewness(), 0.0, 1e-12);
+}
+
+TEST(RunningStats, GaussianSampleMomentsMatchTheory) {
+  util::Xoshiro256pp rng(5);
+  RunningStats rs;
+  for (int i = 0; i < 200000; ++i) {
+    // Box-Muller-free: sum of 12 uniforms minus 6 is near-normal; good
+    // enough for moment sanity at this tolerance.
+    double s = 0.0;
+    for (int k = 0; k < 12; ++k) s += rng.uniform01();
+    rs.add(s - 6.0);
+  }
+  EXPECT_NEAR(rs.mean(), 0.0, 0.01);
+  EXPECT_NEAR(rs.variance(), 1.0, 0.02);
+  EXPECT_NEAR(rs.skewness(), 0.0, 0.05);
+}
+
+TEST(RunningStats, PreconditionsFire) {
+  RunningStats rs;
+  EXPECT_THROW(rs.mean(), ContractViolation);
+  rs.add(1.0);
+  EXPECT_THROW(rs.variance(), ContractViolation);
+}
+
+TEST(Descriptive, QuantileSortedInterpolates) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.625), 2.5);
+}
+
+TEST(Descriptive, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Descriptive, IqrOfUniformGrid) {
+  std::vector<double> xs;
+  for (int i = 0; i <= 100; ++i) xs.push_back(i);
+  EXPECT_NEAR(iqr(xs), 50.0, 1e-9);
+}
+
+TEST(Descriptive, SampleVarianceUsesUnbiasedDenominator) {
+  // Var of {0, 2} with n-1 denominator is 2, not 1.
+  EXPECT_DOUBLE_EQ(sample_variance(std::vector<double>{0.0, 2.0}), 2.0);
+}
+
+TEST(Descriptive, SummarizeAgreesWithPieces) {
+  const std::vector<double> xs = {1.0, 5.0, 2.0, 8.0, 3.0};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, xs.size());
+  EXPECT_DOUBLE_EQ(s.mean, mean(xs));
+  EXPECT_NEAR(s.variance, sample_variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+}
+
+TEST(Descriptive, EmptySpanViolatesContract) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), ContractViolation);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(sample_variance(one), ContractViolation);
+}
+
+}  // namespace
+}  // namespace linkpad::stats

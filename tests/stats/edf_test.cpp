@@ -1,0 +1,135 @@
+#include "stats/edf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/distributions.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace linkpad::stats {
+namespace {
+
+std::vector<double> sorted_normal(double mu, double sigma, int n,
+                                  std::uint64_t seed) {
+  util::Xoshiro256pp rng(seed);
+  Normal dist(mu, sigma);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = dist.sample(rng);
+  std::sort(xs.begin(), xs.end());
+  return xs;
+}
+
+TEST(KsDistance, IdenticalSamplesAreZero) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ks_distance_sorted(xs, xs), 0.0);
+}
+
+TEST(KsDistance, DisjointSamplesAreOne) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {10.0, 11.0, 12.0};
+  EXPECT_DOUBLE_EQ(ks_distance_sorted(a, b), 1.0);
+}
+
+TEST(KsDistance, HandComputedSmallCase) {
+  // F_a steps at 1, 3; F_b steps at 2, 4. After x=1: |0.5-0| = 0.5.
+  const std::vector<double> a = {1.0, 3.0};
+  const std::vector<double> b = {2.0, 4.0};
+  EXPECT_DOUBLE_EQ(ks_distance_sorted(a, b), 0.5);
+}
+
+TEST(KsDistance, SameDistributionSmall) {
+  const auto a = sorted_normal(0.0, 1.0, 4000, 1);
+  const auto b = sorted_normal(0.0, 1.0, 4000, 2);
+  EXPECT_LT(ks_distance_sorted(a, b), 0.05);
+}
+
+TEST(KsDistance, MeanShiftDetected) {
+  const auto a = sorted_normal(0.0, 1.0, 4000, 3);
+  const auto b = sorted_normal(1.0, 1.0, 4000, 4);
+  // True KS distance between N(0,1) and N(1,1) is 2*Phi(0.5)-1 ~ 0.383.
+  EXPECT_NEAR(ks_distance_sorted(a, b), 0.383, 0.04);
+}
+
+TEST(KsDistance, VarianceRatioDetected) {
+  const auto a = sorted_normal(0.0, 1.0, 8000, 5);
+  const auto b = sorted_normal(0.0, 2.0, 8000, 6);
+  // KS distance between N(0,1) and N(0,4): crossing at a = sqrt(r ln r/(r-1))
+  // with r=4 => a = 1.3596; D = Phi(a) - Phi(a/2) = 0.9131 - 0.7517 = 0.161.
+  EXPECT_NEAR(ks_distance_sorted(a, b), 0.161, 0.03);
+}
+
+TEST(KsDistance, UnsortedConvenienceWrapper) {
+  const std::vector<double> a = {3.0, 1.0, 2.0};
+  const std::vector<double> b = {2.5, 0.5, 1.5};
+  std::vector<double> sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), ks_distance_sorted(sa, sb));
+}
+
+TEST(CvmDistance, ZeroForIdenticalSamples) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(cvm_distance_sorted(xs, xs), 0.0, 1e-12);
+}
+
+TEST(CvmDistance, OrdersLikeKsOnLocationShifts) {
+  const auto base = sorted_normal(0.0, 1.0, 3000, 7);
+  const auto near = sorted_normal(0.3, 1.0, 3000, 8);
+  const auto far = sorted_normal(1.5, 1.0, 3000, 9);
+  EXPECT_LT(cvm_distance_sorted(base, near), cvm_distance_sorted(base, far));
+}
+
+TEST(CvmDistance, LessOutlierSensitiveThanKs) {
+  // One far outlier: KS jumps by ~1/n at the tail; CvM moves ~1/n^2-ish.
+  std::vector<double> a = sorted_normal(0.0, 1.0, 500, 10);
+  std::vector<double> b = a;
+  b.back() = 1e6;
+  std::sort(b.begin(), b.end());
+  const double ks = ks_distance_sorted(a, b);
+  const double cvm = cvm_distance_sorted(a, b);
+  EXPECT_LT(cvm, ks);  // same scale-free comparison used by the classifier
+}
+
+TEST(KolmogorovTail, KnownValues) {
+  // Q(1.36) ~ 0.049 (the classic 5% critical value).
+  EXPECT_NEAR(kolmogorov_tail(1.36), 0.049, 0.002);
+  EXPECT_NEAR(kolmogorov_tail(0.0), 1.0, 1e-12);
+  EXPECT_LT(kolmogorov_tail(3.0), 1e-6);
+}
+
+TEST(KolmogorovTail, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double lam = 0.2; lam < 3.0; lam += 0.2) {
+    const double q = kolmogorov_tail(lam);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+}
+
+TEST(KsPvalue, SameDistributionGivesLargePvalue) {
+  const auto a = sorted_normal(0.0, 1.0, 2000, 11);
+  const auto b = sorted_normal(0.0, 1.0, 2000, 12);
+  const double d = ks_distance_sorted(a, b);
+  EXPECT_GT(ks_two_sample_pvalue(d, a.size(), b.size()), 0.01);
+}
+
+TEST(KsPvalue, DifferentDistributionsGiveTinyPvalue) {
+  const auto a = sorted_normal(0.0, 1.0, 2000, 13);
+  const auto b = sorted_normal(0.5, 1.0, 2000, 14);
+  const double d = ks_distance_sorted(a, b);
+  EXPECT_LT(ks_two_sample_pvalue(d, a.size(), b.size()), 1e-6);
+}
+
+TEST(Edf, EmptyInputsRejected) {
+  const std::vector<double> empty;
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(ks_distance_sorted(empty, one), linkpad::ContractViolation);
+  EXPECT_THROW(cvm_distance_sorted(one, empty), linkpad::ContractViolation);
+}
+
+}  // namespace
+}  // namespace linkpad::stats

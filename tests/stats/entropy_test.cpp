@@ -1,0 +1,121 @@
+#include "stats/entropy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace linkpad::stats {
+namespace {
+
+TEST(HistogramEntropy, UniformOverKBinsIsLogK) {
+  SparseHistogram h(1.0);
+  for (int bin = 0; bin < 8; ++bin) {
+    for (int i = 0; i < 10; ++i) h.add(bin + 0.5);
+  }
+  EXPECT_NEAR(histogram_entropy(h), std::log(8.0), 1e-12);
+}
+
+TEST(HistogramEntropy, SingleBinIsZero) {
+  SparseHistogram h(1.0);
+  for (int i = 0; i < 50; ++i) h.add(0.25);
+  EXPECT_DOUBLE_EQ(histogram_entropy(h), 0.0);
+}
+
+TEST(SampleEntropy, ShiftInvariantForAlignedShifts) {
+  // Shifting by whole bins must not change the estimate (eq. 25 depends
+  // only on bin occupancies).
+  const std::vector<double> xs = {0.1, 0.2, 1.1, 1.9, 2.5, 0.4};
+  std::vector<double> shifted;
+  for (double x : xs) shifted.push_back(x + 7.0);  // 7 = whole bins of 1.0
+  EXPECT_NEAR(sample_entropy(xs, 1.0), sample_entropy(shifted, 1.0), 1e-12);
+}
+
+TEST(SampleEntropy, MoreSpreadMeansMoreEntropy) {
+  util::Xoshiro256pp rng(4);
+  Normal narrow(0.0, 1.0);
+  Normal wide(0.0, 5.0);
+  std::vector<double> a, b;
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(narrow.sample(rng));
+    b.push_back(wide.sample(rng));
+  }
+  EXPECT_LT(sample_entropy(a, 0.25), sample_entropy(b, 0.25));
+}
+
+TEST(SampleEntropy, RobustToSingleOutlier) {
+  // The paper's argument for the entropy feature: one far outlier shifts
+  // sample variance massively but entropy only by ~(1/n)·log n.
+  util::Xoshiro256pp rng(9);
+  Normal base(0.0, 1.0);
+  std::vector<double> clean;
+  for (int i = 0; i < 2000; ++i) clean.push_back(base.sample(rng));
+  std::vector<double> dirty = clean;
+  dirty[100] = 1e3;
+
+  const double h_clean = sample_entropy(clean, 0.25);
+  const double h_dirty = sample_entropy(dirty, 0.25);
+  EXPECT_NEAR(h_dirty, h_clean, 0.02);
+
+  // ... while the variance explodes by orders of magnitude.
+  const double v_clean = sample_variance(std::span<const double>(clean));
+  const double v_dirty = sample_variance(std::span<const double>(dirty));
+  EXPECT_GT(v_dirty / v_clean, 100.0);
+}
+
+TEST(DifferentialEntropy, ApproachesNormalClosedForm) {
+  // Eq. (24) on a large normal sample ≈ ½ ln(2πeσ²).
+  util::Xoshiro256pp rng(17);
+  const double sigma = 2.0;
+  Normal dist(0.0, sigma);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) xs.push_back(dist.sample(rng));
+  const double est = differential_entropy(xs, 0.05);
+  const double truth = normal_differential_entropy(sigma * sigma);
+  EXPECT_NEAR(est, truth, 0.02);
+}
+
+TEST(DifferentialEntropy, BinWidthTermCancels) {
+  const std::vector<double> xs = {0.0, 0.3, 0.6, 1.2, 2.4, 3.1};
+  EXPECT_NEAR(differential_entropy(xs, 0.5),
+              sample_entropy(xs, 0.5) + std::log(0.5), 1e-12);
+}
+
+TEST(EntropyBias, MillerMadowAddsOccupiedBinTerm) {
+  SparseHistogram h(1.0);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(2.5);
+  h.add(2.6);
+  const double plain = histogram_entropy(h, EntropyBias::kNone);
+  const double mm = histogram_entropy(h, EntropyBias::kMillerMadow);
+  EXPECT_NEAR(mm - plain, (3.0 - 1.0) / (2.0 * 4.0), 1e-12);
+}
+
+TEST(EntropyBias, ModdemeijerCountsResolvedCellsOnly) {
+  SparseHistogram h(1.0);
+  h.add(0.5);  // singleton
+  h.add(1.5);
+  h.add(1.6);  // resolved cell (2 samples)
+  const double plain = histogram_entropy(h, EntropyBias::kNone);
+  const double md = histogram_entropy(h, EntropyBias::kModdemeijer);
+  EXPECT_NEAR(md - plain, (1.0 - 1.0) / (2.0 * 3.0), 1e-12);
+}
+
+TEST(NormalDifferentialEntropy, MonotoneInVariance) {
+  EXPECT_LT(normal_differential_entropy(1.0), normal_differential_entropy(4.0));
+  EXPECT_THROW(normal_differential_entropy(0.0), ContractViolation);
+}
+
+TEST(SampleEntropy, EmptyWindowRejected) {
+  const std::vector<double> empty;
+  EXPECT_THROW(sample_entropy(empty, 0.1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace linkpad::stats

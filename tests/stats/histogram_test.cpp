@@ -1,0 +1,101 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace linkpad::stats {
+namespace {
+
+TEST(Histogram, CountsLandInCorrectBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(5.0);   // bin 5
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderAndOverflowTracked) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, DensityIntegratesToOneInRange) {
+  Histogram h(0.0, 1.0, 20);
+  for (int i = 0; i < 1000; ++i) h.add((i % 100) / 100.0);
+  double mass = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) mass += h.density(b) * h.bin_width();
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+TEST(Histogram, FromDataCoversEveryPoint) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto h = Histogram::from_data(xs, 5);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.total(), xs.size());
+}
+
+TEST(Histogram, FromDataHandlesConstantSample) {
+  const std::vector<double> xs = {3.0, 3.0, 3.0};
+  const auto h = Histogram::from_data(xs, 4);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.underflow() + h.overflow(), 0u);
+}
+
+TEST(Histogram, BinCenterIsMidpoint) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+}
+
+TEST(Histogram, InvalidConstructionRejected) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(SparseHistogram, BinsAnchoredAtZero) {
+  SparseHistogram h(1.0);
+  h.add(0.5);    // bin 0
+  h.add(1.5);    // bin 1
+  h.add(-0.5);   // bin -1
+  h.add(0.7);    // bin 0
+  ASSERT_EQ(h.occupied_bins(), 3u);
+  EXPECT_EQ(h.cells().at(0), 2u);
+  EXPECT_EQ(h.cells().at(1), 1u);
+  EXPECT_EQ(h.cells().at(-1), 1u);
+}
+
+TEST(SparseHistogram, OutliersGetOwnDistantBins) {
+  SparseHistogram h(0.001);
+  h.add(0.0100);
+  h.add(0.0101);
+  h.add(5.0);  // far outlier must not be clamped
+  EXPECT_EQ(h.occupied_bins(), 2u);
+  EXPECT_EQ(h.cells().at(5000), 1u);
+}
+
+TEST(SparseHistogram, TotalMatchesAdds) {
+  SparseHistogram h(0.5);
+  const std::vector<double> xs = {0.1, 0.2, 0.3, 1.7, 2.9};
+  h.add_all(xs);
+  EXPECT_EQ(h.total(), xs.size());
+}
+
+TEST(SparseHistogram, RejectsNonPositiveWidth) {
+  EXPECT_THROW(SparseHistogram(0.0), ContractViolation);
+  EXPECT_THROW(SparseHistogram(-1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace linkpad::stats

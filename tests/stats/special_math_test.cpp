@@ -1,0 +1,106 @@
+#include "stats/special_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace linkpad::stats {
+namespace {
+
+TEST(NormalPdf, KnownValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_NEAR(normal_pdf(-1.0), normal_pdf(1.0), 1e-16);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.024997895148220435, 1e-12);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalCdf, Symmetry) {
+  for (double x : {0.3, 1.1, 2.7, 4.0}) {
+    EXPECT_NEAR(normal_cdf(x) + normal_cdf(-x), 1.0, 1e-14) << x;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.99), 2.3263478740408408, 1e-9);
+}
+
+TEST(NormalQuantile, DomainErrors) {
+  EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(-0.1), std::domain_error);
+}
+
+class QuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTrip, CdfOfQuantileIsIdentity) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-12) << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepP, QuantileRoundTrip,
+                         ::testing::Values(1e-10, 1e-6, 0.01, 0.1, 0.25, 0.5,
+                                           0.75, 0.9, 0.99, 1.0 - 1e-6,
+                                           1.0 - 1e-10));
+
+TEST(RegularizedGammaP, KnownValues) {
+  // P(1, x) = 1 - e^{-x}
+  for (double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12) << x;
+  }
+  // P(0.5, x) = erf(sqrt(x))
+  for (double x : {0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(regularized_gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-12)
+        << x;
+  }
+}
+
+TEST(RegularizedGammaP, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(2.0, 0.0), 0.0);
+  EXPECT_NEAR(regularized_gamma_p(2.0, 1e4), 1.0, 1e-12);
+  EXPECT_THROW(regularized_gamma_p(0.0, 1.0), std::domain_error);
+  EXPECT_THROW(regularized_gamma_p(1.0, -1.0), std::domain_error);
+}
+
+TEST(RegularizedGammaQ, ComplementOfP) {
+  for (double a : {0.5, 2.0, 7.5}) {
+    for (double x : {0.5, 2.0, 20.0}) {
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0,
+                  1e-13);
+    }
+  }
+}
+
+TEST(ChiSquaredCdf, MatchesTables) {
+  // chi2(k=1): P(X <= 3.841) ~ 0.95
+  EXPECT_NEAR(chi_squared_cdf(1.0, 3.841458820694124), 0.95, 1e-9);
+  // chi2(k=5): P(X <= 11.0705) ~ 0.95
+  EXPECT_NEAR(chi_squared_cdf(5.0, 11.070497693516351), 0.95, 1e-9);
+  EXPECT_DOUBLE_EQ(chi_squared_cdf(3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(chi_squared_cdf(3.0, -5.0), 0.0);
+}
+
+TEST(ChiSquaredCdf, MedianNearDof) {
+  // Median of chi2(k) ~ k(1-2/(9k))^3; check CDF there is ~0.5.
+  for (double k : {2.0, 10.0, 50.0}) {
+    const double med = k * std::pow(1.0 - 2.0 / (9.0 * k), 3.0);
+    EXPECT_NEAR(chi_squared_cdf(k, med), 0.5, 0.01) << k;
+  }
+}
+
+TEST(LogGamma, MatchesFactorials) {
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-12);
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-15);
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-12);
+}
+
+}  // namespace
+}  // namespace linkpad::stats

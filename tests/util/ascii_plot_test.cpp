@@ -1,0 +1,74 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace linkpad::util {
+namespace {
+
+TEST(AsciiPlot, RendersSingleSeries) {
+  Series s{"line", {0, 1, 2, 3}, {0, 1, 4, 9}};
+  PlotOptions opt;
+  const auto out = render_plot({s}, opt);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("line"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptySeriesYieldsPlaceholder) {
+  const auto out = render_plot({}, PlotOptions{});
+  EXPECT_EQ(out, "(empty plot)\n");
+}
+
+TEST(AsciiPlot, TwoSeriesUseDistinctGlyphs) {
+  Series a{"a", {0, 1}, {0, 1}};
+  Series b{"b", {0, 1}, {1, 0}};
+  const auto out = render_plot({a, b}, PlotOptions{});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiPlot, LogAxesHandlePositiveData) {
+  Series s{"exp", {1, 10, 100, 1000}, {1e2, 1e5, 1e8, 1e11}};
+  PlotOptions opt;
+  opt.log_x = true;
+  opt.log_y = true;
+  const auto out = render_plot({s}, opt);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, FixedYRangeApplies) {
+  Series s{"flat", {0, 1}, {0.5, 0.5}};
+  PlotOptions opt;
+  opt.y_fixed = true;
+  opt.y_min = 0.0;
+  opt.y_max = 1.0;
+  const auto out = render_plot({s}, opt);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, RejectsTinyCanvas) {
+  PlotOptions opt;
+  opt.width = 4;
+  opt.height = 1;
+  EXPECT_THROW(render_plot({}, opt), ContractViolation);
+}
+
+TEST(AsciiPlot, ConstantSeriesDoesNotDivideByZero) {
+  Series s{"c", {1, 1, 1}, {2, 2, 2}};
+  const auto out = render_plot({s}, PlotOptions{});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, LabelsAppearInOutput) {
+  Series s{"s", {0, 1}, {0, 1}};
+  PlotOptions opt;
+  opt.x_label = "the-x-axis";
+  opt.y_label = "the-y-axis";
+  const auto out = render_plot({s}, opt);
+  EXPECT_NE(out.find("the-x-axis"), std::string::npos);
+  EXPECT_NE(out.find("the-y-axis"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace linkpad::util

@@ -1,0 +1,107 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace linkpad::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("prog", "test parser");
+  p.add_flag("--quick", "fast mode");
+  p.add_option("--sigma", "1.5", "a number");
+  p.add_option("--count", "42", "an integer");
+  p.add_option("--name", "default", "a string");
+  return p;
+}
+
+bool parse(ArgParser& p, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return p.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, DefaultsApplyWithoutArguments) {
+  auto p = make_parser();
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_FALSE(p.flag("--quick"));
+  EXPECT_DOUBLE_EQ(p.num("--sigma"), 1.5);
+  EXPECT_EQ(p.integer("--count"), 42);
+  EXPECT_EQ(p.str("--name"), "default");
+}
+
+TEST(ArgParser, ParsesSpaceSeparatedValues) {
+  auto p = make_parser();
+  ASSERT_TRUE(parse(p, {"--sigma", "2.75", "--name", "abc"}));
+  EXPECT_DOUBLE_EQ(p.num("--sigma"), 2.75);
+  EXPECT_EQ(p.str("--name"), "abc");
+}
+
+TEST(ArgParser, ParsesEqualsSyntax) {
+  auto p = make_parser();
+  ASSERT_TRUE(parse(p, {"--count=7"}));
+  EXPECT_EQ(p.integer("--count"), 7);
+}
+
+TEST(ArgParser, FlagPresenceSetsTrue) {
+  auto p = make_parser();
+  ASSERT_TRUE(parse(p, {"--quick"}));
+  EXPECT_TRUE(p.flag("--quick"));
+}
+
+TEST(ArgParser, RejectsUnknownArgument) {
+  auto p = make_parser();
+  EXPECT_FALSE(parse(p, {"--bogus"}));
+}
+
+TEST(ArgParser, RejectsMissingValue) {
+  auto p = make_parser();
+  EXPECT_FALSE(parse(p, {"--sigma"}));
+}
+
+TEST(ArgParser, RejectsValueOnFlag) {
+  auto p = make_parser();
+  EXPECT_FALSE(parse(p, {"--quick=yes"}));
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  auto p = make_parser();
+  EXPECT_FALSE(parse(p, {"--help"}));
+}
+
+TEST(ArgParser, NonNumericValueThrowsOnAccess) {
+  auto p = make_parser();
+  ASSERT_TRUE(parse(p, {"--sigma", "abc"}));
+  EXPECT_THROW(p.num("--sigma"), std::invalid_argument);
+}
+
+TEST(ArgParser, UndeclaredOptionAccessThrows) {
+  auto p = make_parser();
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_THROW(p.str("--nope"), std::invalid_argument);
+}
+
+TEST(ArgParser, HelpTextMentionsAllOptions) {
+  auto p = make_parser();
+  const auto text = p.help();
+  EXPECT_NE(text.find("--quick"), std::string::npos);
+  EXPECT_NE(text.find("--sigma"), std::string::npos);
+  EXPECT_NE(text.find("--count"), std::string::npos);
+}
+
+TEST(ParseDoubleList, SplitsOnCommas) {
+  const auto xs = parse_double_list("1,2.5,10");
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_DOUBLE_EQ(xs[0], 1.0);
+  EXPECT_DOUBLE_EQ(xs[1], 2.5);
+  EXPECT_DOUBLE_EQ(xs[2], 10.0);
+}
+
+TEST(ParseDoubleList, IgnoresEmptySegments) {
+  const auto xs = parse_double_list("1,,2,");
+  ASSERT_EQ(xs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace linkpad::util

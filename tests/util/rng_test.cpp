@@ -1,0 +1,117 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace linkpad::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64, MixIsStateless) {
+  EXPECT_EQ(SplitMix64::mix(123), SplitMix64::mix(123));
+  EXPECT_NE(SplitMix64::mix(123), SplitMix64::mix(124));
+}
+
+TEST(Xoshiro256pp, ReproducibleBySeed) {
+  Xoshiro256pp a(7);
+  Xoshiro256pp b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256pp, Uniform01InHalfOpenRange) {
+  Xoshiro256pp rng(11);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256pp, Uniform01MeanAndVariance) {
+  Xoshiro256pp rng(13);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform01();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Xoshiro256pp, UniformRangeRespectsBounds) {
+  Xoshiro256pp rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(Xoshiro256pp, JumpProducesDisjointStream) {
+  Xoshiro256pp a(29);
+  Xoshiro256pp b(29);
+  b.jump();
+  // After a jump, the two engines should not produce the same values.
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngFactory, SameStreamSameSequence) {
+  RngFactory f(99);
+  auto a = f.make(5);
+  auto b = f.make(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngFactory, DifferentStreamsDiffer) {
+  RngFactory f(99);
+  auto a = f.make(5);
+  auto b = f.make(6);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngFactory, TwoLevelStreamsAreIndependentOfOrder) {
+  RngFactory f(7);
+  auto a1 = f.make(3, 4);
+  auto a2 = f.make(3, 4);
+  EXPECT_EQ(a1(), a2());
+  auto b = f.make(4, 3);
+  auto c = f.make(3, 4);
+  // (3,4) and (4,3) must map to different streams.
+  EXPECT_NE(b(), c());
+}
+
+TEST(RngFactory, AdjacentStreamsLookUncorrelated) {
+  // First outputs across adjacent stream ids should not repeat.
+  RngFactory f(1234);
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t s = 0; s < 1000; ++s) firsts.insert(f.make(s)());
+  EXPECT_EQ(firsts.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace linkpad::util

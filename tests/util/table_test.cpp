@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace linkpad::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"10", "20"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("x"), std::string::npos);
+  EXPECT_NE(s.find("20"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, NumericRowFormatting) {
+  TextTable t({"v"});
+  t.add_numeric_row({0.123456}, 3);
+  EXPECT_NE(t.to_string().find("0.123"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutputHasCommasAndNewlines) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream out;
+  t.write_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, ColumnsAlignAcrossRows) {
+  TextTable t({"name", "v"});
+  t.add_row({"short", "1"});
+  t.add_row({"much-longer-name", "2"});
+  const auto s = t.to_string();
+  // Both data rows must place the second column at the same offset.
+  const auto line1_start = s.find("short");
+  const auto line2_start = s.find("much-longer-name");
+  const auto col1 = s.find('1', line1_start) - line1_start;
+  const auto col2 = s.find('2', line2_start) - line2_start;
+  EXPECT_EQ(col1, col2);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(2.0, 1), "2.0");
+}
+
+TEST(FmtSci, ScientificNotation) {
+  const auto s = fmt_sci(4.2e11, 1);
+  EXPECT_NE(s.find("e+11"), std::string::npos);
+}
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable({}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace linkpad::util

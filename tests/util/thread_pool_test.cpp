@@ -1,0 +1,74 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace linkpad::util {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, HandlesZeroItems) {
+  parallel_for(0, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ParallelFor, GrainLargerThanNRunsInline) {
+  std::vector<int> hits(10, 0);
+  parallel_for(10, [&](std::size_t i) { hits[i]++; }, /*grain=*/100);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [](std::size_t i) {
+                     if (i == 57) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelMap, CollectsResultsInOrder) {
+  auto out = parallel_map<int>(1000, [](std::size_t i) {
+    return static_cast<int>(i * i);
+  });
+  ASSERT_EQ(out.size(), 1000u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ParallelFor, ResultIndependentOfGrain) {
+  const std::size_t n = 5000;
+  std::vector<double> a(n), b(n);
+  parallel_for(n, [&](std::size_t i) { a[i] = static_cast<double>(i) * 0.5; }, 1);
+  parallel_for(n, [&](std::size_t i) { b[i] = static_cast<double>(i) * 0.5; }, 128);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace linkpad::util
