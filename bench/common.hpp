@@ -6,9 +6,11 @@
 
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "core/figures.hpp"
+#include "core/live_backend.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/cli.hpp"
 #include "util/stopwatch.hpp"
@@ -23,6 +25,10 @@ inline util::ArgParser make_figure_parser(const std::string& name,
   parser.add_option("--effort", "1.0",
                     "Monte-Carlo effort multiplier (0.1 = quick smoke run)");
   parser.add_option("--seed", "20030324", "root RNG seed");
+  parser.add_option("--backend", "sim",
+                    "PIAT backend: 'sim' (testbed) or 'live' (loopback UDP)");
+  parser.add_option("--live-tau-scale", "0.1",
+                    "with --backend live: scale factor on the policy tau");
   parser.add_flag("--csv", "emit CSV rows instead of the aligned table");
   parser.add_flag("--no-plot", "suppress the ASCII plot");
   return parser;
@@ -32,6 +38,15 @@ inline core::FigureOptions figure_options(const util::ArgParser& args) {
   core::FigureOptions opt;
   opt.effort = args.num("--effort");
   opt.seed = static_cast<std::uint64_t>(args.integer("--seed"));
+  const std::string backend = args.str("--backend");
+  if (backend == "live") {
+    core::LiveBackendOptions live;
+    live.tau_scale = args.num("--live-tau-scale");
+    opt.backend = core::make_live_backend(live);
+  } else if (backend != "sim") {
+    throw std::invalid_argument("--backend must be 'sim' or 'live', got '" +
+                                backend + "'");
+  }
   return opt;
 }
 

@@ -1,10 +1,16 @@
-// Micro benchmarks (google-benchmark): throughput of the hot paths that
-// bound experiment wall-clock — the DES event loop, PIAT generation through
-// the full testbed, feature extraction, KDE evaluation and the M/G/1
-// stationary-wait sampler.
-#include <benchmark/benchmark.h>
-
-#include <memory>
+// Micro benchmarks: throughput of the hot paths that bound experiment
+// wall-clock — the DES event core (old std::function/priority_queue design
+// vs the pooled InlineCallback + TimerTask core, on the CIT testbed's event
+// pattern), PIAT generation through the full testbed, feature extraction,
+// KDE evaluation and the M/G/1 stationary-wait sampler.
+//
+// Emits machine-readable JSON with --json (one object per benchmark plus an
+// "event_core_speedup_cit" derived field) so future PRs can track the perf
+// trajectory; the default output is a human-readable table.
+#include <cstdio>
+#include <functional>
+#include <queue>
+#include <string>
 #include <vector>
 
 #include "classify/feature.hpp"
@@ -13,123 +19,342 @@
 #include "sim/scheduler.hpp"
 #include "sim/testbed.hpp"
 #include "stats/kde.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 
 using namespace linkpad;
 
 namespace {
 
-void BM_RngUniform(benchmark::State& state) {
-  util::Xoshiro256pp rng(1);
-  double acc = 0.0;
-  for (auto _ : state) {
-    acc += rng.uniform01();
-  }
-  benchmark::DoNotOptimize(acc);
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_RngUniform);
+// ---------------------------------------------------------------- harness
 
-void BM_StandardNormal(benchmark::State& state) {
-  util::Xoshiro256pp rng(2);
-  double acc = 0.0;
-  for (auto _ : state) {
-    acc += stats::sample_standard_normal(rng);
-  }
-  benchmark::DoNotOptimize(acc);
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_StandardNormal);
+struct BenchResult {
+  std::string name;
+  std::string unit;        ///< what "items" counts (events, piats, samples)
+  double items_per_sec = 0.0;
+  double items = 0.0;
+  double wall_s = 0.0;
+};
 
-void BM_SchedulerEventLoop(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::Simulation sim;
-    int fired = 0;
-    // Self-rescheduling chain of 10k events.
-    std::function<void()> tick = [&] {
-      if (++fired < 10000) sim.schedule_in(1e-3, tick);
-    };
-    sim.schedule_in(1e-3, tick);
-    sim.run();
-    benchmark::DoNotOptimize(fired);
-  }
-  state.SetItemsProcessed(state.iterations() * 10000);
-}
-BENCHMARK(BM_SchedulerEventLoop);
-
-void BM_TestbedPiatGeneration(benchmark::State& state) {
-  const auto scenario = core::lab_zero_cross(core::make_cit());
-  util::RngFactory factory(3);
-  for (auto _ : state) {
-    auto rng = factory.make(static_cast<std::uint64_t>(state.iterations()));
-    sim::Testbed bed(scenario.config_for(1), rng);
-    benchmark::DoNotOptimize(bed.collect_piats(5000));
-  }
-  state.SetItemsProcessed(state.iterations() * 5000);
-}
-BENCHMARK(BM_TestbedPiatGeneration);
-
-void BM_TestbedPiatGenerationWanPath(benchmark::State& state) {
-  const auto scenario = core::wan(core::make_cit(), 15.0);
-  util::RngFactory factory(4);
-  for (auto _ : state) {
-    auto rng = factory.make(static_cast<std::uint64_t>(state.iterations()));
-    sim::Testbed bed(scenario.config_for(1), rng);
-    benchmark::DoNotOptimize(bed.collect_piats(5000));
-  }
-  state.SetItemsProcessed(state.iterations() * 5000);
-}
-BENCHMARK(BM_TestbedPiatGenerationWanPath);
-
-void BM_Mg1WaitSample(benchmark::State& state) {
-  sim::Mg1WaitSampler sampler(0.45, 12e-6, sim::ServiceModel::kDeterministic);
-  util::Xoshiro256pp rng(5);
-  double acc = 0.0;
-  for (auto _ : state) {
-    acc += sampler.sample(rng);
-  }
-  benchmark::DoNotOptimize(acc);
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_Mg1WaitSample);
-
-std::vector<double> bench_window(std::size_t n) {
-  util::Xoshiro256pp rng(6);
-  stats::Normal dist(10e-3, 10e-6);
-  std::vector<double> w(n);
-  for (auto& x : w) x = dist.sample(rng);
-  return w;
+/// Run `body` (returns items processed) repeatedly until `min_time` seconds
+/// accumulate; one untimed warmup run first.
+template <typename Fn>
+BenchResult run_bench(const std::string& name, const std::string& unit,
+                      double min_time, Fn&& body) {
+  (void)body();  // warmup
+  double items = 0.0;
+  util::Stopwatch watch;
+  do {
+    items += static_cast<double>(body());
+  } while (watch.elapsed_seconds() < min_time);
+  BenchResult result;
+  result.name = name;
+  result.unit = unit;
+  result.wall_s = watch.elapsed_seconds();
+  result.items = items;
+  result.items_per_sec = items / result.wall_s;
+  return result;
 }
 
-void BM_FeatureVariance(benchmark::State& state) {
-  const auto window = bench_window(static_cast<std::size_t>(state.range(0)));
-  classify::SampleVarianceFeature feature;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(feature.extract(window));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_FeatureVariance)->Arg(1000)->Arg(4000);
+// ------------------------------------------- legacy event core (pre-slab)
 
-void BM_FeatureEntropy(benchmark::State& state) {
-  const auto window = bench_window(static_cast<std::size_t>(state.range(0)));
-  classify::SampleEntropyFeature feature(3e-6);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(feature.extract(window));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_FeatureEntropy)->Arg(1000)->Arg(4000);
+/// The event core this repository shipped with: a priority_queue of
+/// {time, seq, std::function} entries. Kept here verbatim as the baseline
+/// the refactored sim::Simulation is measured against.
+class LegacySimulation {
+ public:
+  using Callback = std::function<void()>;
 
-void BM_KdePdf(benchmark::State& state) {
-  const auto data = bench_window(static_cast<std::size_t>(state.range(0)));
-  stats::GaussianKde kde(data);
-  util::Xoshiro256pp rng(7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(kde.pdf(10e-3 + rng.uniform(-3e-5, 3e-5)));
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  void schedule_at(Seconds t, Callback cb) {
+    queue_.push(Entry{t, next_seq_++, std::move(cb)});
   }
-  state.SetItemsProcessed(state.iterations());
+  void schedule_in(Seconds dt, Callback cb) {
+    schedule_at(now_ + dt, std::move(cb));
+  }
+
+  void run_until(Seconds t_end) {
+    while (!queue_.empty() && queue_.top().t <= t_end) {
+      Entry entry{queue_.top().t, queue_.top().seq,
+                  std::move(const_cast<Entry&>(queue_.top()).cb)};
+      queue_.pop();
+      now_ = entry.t;
+      entry.cb();
+      ++processed_;
+    }
+    if (queue_.empty()) return;
+    now_ = t_end;
+  }
+
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Entry {
+    Seconds t;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Seconds now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+// -------------------------------------- CIT testbed workload (event core)
+
+/// Emission closures in the real gateway capture {this, Packet, emit time}
+/// (~56 bytes) — past std::function's inline buffer, inside InlineCallback's.
+struct WirePacket {
+  std::uint64_t id = 0;
+  double created = 0.0;
+  double emitted = 0.0;
+  int size_bytes = 1000;
+  int kind = 1;
+};
+
+constexpr Seconds kTau = 10e-3;         // CIT designed interval
+constexpr Seconds kEmitDelay = 25e-6;   // gateway jitter stand-in
+constexpr Seconds kCbrPeriod = 25e-3;   // 40 pps payload
+
+/// The CIT zero-cross testbed's event mix on the LEGACY core: every timer
+/// fire and payload arrival is a fresh closure through the priority queue.
+std::uint64_t legacy_cit_events(std::size_t fires) {
+  LegacySimulation sim;
+  std::uint64_t emitted = 0;
+
+  struct Gateway {
+    LegacySimulation& sim;
+    std::uint64_t& emitted;
+    Seconds next_fire = kTau;
+    std::uint64_t seq = 0;
+    std::uint64_t pending = 0;  // payload arrivals since last fire
+
+    void fire() {
+      WirePacket wire;
+      wire.id = seq++;
+      wire.kind = pending > 0 ? 1 : 0;
+      pending = 0;
+      wire.created = sim.now();
+      const Seconds emit_time = sim.now() + kEmitDelay;
+      sim.schedule_at(emit_time, [this, wire, emit_time]() mutable {
+        wire.emitted = emit_time;
+        emitted += static_cast<std::uint64_t>(wire.kind != 0) + 1;
+      });
+      next_fire += kTau;
+      sim.schedule_at(next_fire, [this] { fire(); });
+    }
+  } gateway{sim, emitted};
+
+  struct Source {
+    LegacySimulation& sim;
+    Gateway& gateway;
+    void emit() {
+      ++gateway.pending;
+      sim.schedule_in(kCbrPeriod, [this] { emit(); });
+    }
+  } source{sim, gateway};
+
+  sim.schedule_at(kTau, [&gateway] { gateway.fire(); });
+  sim.schedule_in(kCbrPeriod / 2, [&source] { source.emit(); });
+  sim.run_until(static_cast<Seconds>(fires) * kTau);
+  return sim.events_processed();
 }
-BENCHMARK(BM_KdePdf)->Arg(250)->Arg(1000);
+
+/// Same workload on the refactored core: gateway timer and CBR source ride
+/// the TimerTask fast path, the emission closure lives in the slab pool.
+std::uint64_t pooled_cit_events(std::size_t fires) {
+  sim::Simulation sim;
+  std::uint64_t emitted = 0;
+
+  struct Gateway final : sim::TimerTask {
+    sim::Simulation& sim;
+    std::uint64_t& emitted;
+    Seconds next_fire = kTau;
+    std::uint64_t seq = 0;
+    std::uint64_t pending = 0;
+
+    Gateway(sim::Simulation& s, std::uint64_t& e) : sim(s), emitted(e) {}
+
+    void on_timer(Seconds now) override {
+      WirePacket wire;
+      wire.id = seq++;
+      wire.kind = pending > 0 ? 1 : 0;
+      pending = 0;
+      wire.created = now;
+      const Seconds emit_time = now + kEmitDelay;
+      sim.schedule_at(emit_time, [this, wire, emit_time]() mutable {
+        wire.emitted = emit_time;
+        emitted += static_cast<std::uint64_t>(wire.kind != 0) + 1;
+      });
+      next_fire += kTau;
+      sim.schedule_timer_at(next_fire, *this);
+    }
+  } gateway{sim, emitted};
+
+  struct Source final : sim::TimerTask {
+    sim::Simulation& sim;
+    Gateway& gateway;
+    Source(sim::Simulation& s, Gateway& g) : sim(s), gateway(g) {}
+    void on_timer(Seconds /*now*/) override {
+      ++gateway.pending;
+      sim.schedule_timer_in(kCbrPeriod, *this);
+    }
+  } source{sim, gateway};
+
+  sim.schedule_timer_at(kTau, gateway);
+  sim.schedule_timer_in(kCbrPeriod / 2, source);
+  sim.run_until(static_cast<Seconds>(fires) * kTau);
+  return sim.events_processed();
+}
+
+/// Self-rescheduling 10k-event chain (the classic DES ping benchmark).
+std::uint64_t legacy_chain(std::size_t events) {
+  LegacySimulation sim;
+  std::size_t fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired < events) sim.schedule_in(1e-3, tick);
+  };
+  sim.schedule_in(1e-3, tick);
+  sim.run_until(1e18);
+  return sim.events_processed();
+}
+
+std::uint64_t pooled_chain(std::size_t events) {
+  sim::Simulation sim;
+  std::size_t fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired < events) sim.schedule_in(1e-3, tick);
+  };
+  sim.schedule_in(1e-3, tick);
+  sim.run();
+  return sim.events_processed();
+}
+
+// ------------------------------------------------------------- reporting
+
+void print_table(const std::vector<BenchResult>& results, double speedup) {
+  std::printf("%-36s %14s %12s %10s\n", "benchmark", "items/sec", "items",
+              "wall (s)");
+  for (const auto& r : results) {
+    std::printf("%-36s %14.3e %12.0f %10.3f   [%s]\n", r.name.c_str(),
+                r.items_per_sec, r.items, r.wall_s, r.unit.c_str());
+  }
+  std::printf("\nevent core speedup on CIT testbed workload: %.2fx\n", speedup);
+}
+
+void print_json(const std::vector<BenchResult>& results, double speedup) {
+  std::printf("{\n  \"version\": 1,\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("    {\"name\": \"%s\", \"unit\": \"%s\", "
+                "\"items_per_sec\": %.6e, \"items\": %.0f, \"wall_s\": %.6f}%s\n",
+                r.name.c_str(), r.unit.c_str(), r.items_per_sec, r.items,
+                r.wall_s, i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ],\n  \"derived\": {\"event_core_speedup_cit\": %.4f}\n}\n",
+              speedup);
+}
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("micro_perf", "hot-path throughput micro benchmarks");
+  args.add_flag("--json", "emit machine-readable JSON instead of a table");
+  args.add_option("--min-time", "0.5", "seconds per benchmark measurement");
+  if (!args.parse(argc, argv)) return 1;
+  const double min_time = args.num("--min-time");
+
+  std::vector<BenchResult> results;
+
+  // Event core, old vs new, on the CIT testbed's event pattern.
+  results.push_back(run_bench("event_core/cit_workload/legacy", "events",
+                              min_time, [] { return legacy_cit_events(50000); }));
+  results.push_back(run_bench("event_core/cit_workload/pooled", "events",
+                              min_time, [] { return pooled_cit_events(50000); }));
+  const double speedup =
+      results[1].items_per_sec / results[0].items_per_sec;
+
+  results.push_back(run_bench("event_core/chain/legacy", "events", min_time,
+                              [] { return legacy_chain(10000); }));
+  results.push_back(run_bench("event_core/chain/pooled", "events", min_time,
+                              [] { return pooled_chain(10000); }));
+
+  // Full testbed PIAT generation (everything: events, RNG, M/G/1, jitter).
+  {
+    const auto scenario = core::lab_zero_cross(core::make_cit());
+    util::RngFactory factory(3);
+    std::uint64_t trial = 0;
+    results.push_back(run_bench("testbed/cit_piats", "piats", min_time, [&] {
+      auto rng = factory.make(trial++);
+      sim::Testbed bed(scenario.config_for(1), rng);
+      return bed.collect_piats(5000).size();
+    }));
+  }
+  {
+    const auto scenario = core::wan(core::make_cit(), 15.0);
+    util::RngFactory factory(4);
+    std::uint64_t trial = 0;
+    results.push_back(run_bench("testbed/wan_piats", "piats", min_time, [&] {
+      auto rng = factory.make(trial++);
+      sim::Testbed bed(scenario.config_for(1), rng);
+      return bed.collect_piats(5000).size();
+    }));
+  }
+
+  // M/G/1 stationary-wait sampler.
+  {
+    sim::Mg1WaitSampler sampler(0.45, 12e-6, sim::ServiceModel::kDeterministic);
+    util::Rng rng(5);
+    results.push_back(run_bench("mg1/wait_sample", "samples", min_time, [&] {
+      double acc = 0.0;
+      for (int i = 0; i < 100000; ++i) acc += sampler.sample(rng);
+      return static_cast<std::uint64_t>(100000 + (acc < 0.0 ? 1 : 0));
+    }));
+  }
+
+  // Feature extraction + KDE on a window of designed-size PIATs.
+  {
+    util::Rng rng(6);
+    stats::Normal dist(10e-3, 10e-6);
+    std::vector<double> window(4000);
+    for (auto& x : window) x = dist.sample(rng);
+
+    classify::SampleVarianceFeature variance;
+    results.push_back(run_bench("feature/variance_4k", "piats", min_time, [&] {
+      double v = variance.extract(window);
+      return static_cast<std::uint64_t>(window.size() + (v < 0.0 ? 1 : 0));
+    }));
+
+    classify::SampleEntropyFeature entropy(3e-6);
+    results.push_back(run_bench("feature/entropy_4k", "piats", min_time, [&] {
+      double v = entropy.extract(window);
+      return static_cast<std::uint64_t>(window.size() + (v < 0.0 ? 1 : 0));
+    }));
+
+    const std::vector<double> kde_data(window.begin(), window.begin() + 1000);
+    stats::GaussianKde kde(kde_data);
+    results.push_back(run_bench("kde/pdf_1k", "evals", min_time, [&] {
+      double acc = 0.0;
+      for (int i = 0; i < 1000; ++i) {
+        acc += kde.pdf(10e-3 + rng.uniform(-3e-5, 3e-5));
+      }
+      return static_cast<std::uint64_t>(1000 + (acc < 0.0 ? 1 : 0));
+    }));
+  }
+
+  if (args.flag("--json")) {
+    print_json(results, speedup);
+  } else {
+    print_table(results, speedup);
+  }
+  return 0;
+}

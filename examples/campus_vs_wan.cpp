@@ -3,17 +3,59 @@
 // reporting detection rate per time slot plus the day's worst case — the
 // number a security engineer actually cares about.
 //
+// Built on the engine layer: each environment is one SweepGrid over the
+// diurnal-phase axis, sharded across the thread pool by SweepRunner with
+// live progress reporting.
+//
 // Run: ./campus_vs_wan [--slots 8] [--windows 100]
 #include <cstdio>
 #include <iostream>
 
-#include "core/figures.hpp"
+#include "core/experiment.hpp"
 #include "core/scenarios.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace linkpad;
+
+namespace {
+
+std::vector<double> day_slots(std::size_t slots) {
+  std::vector<double> hours;
+  for (std::size_t i = 0; i < slots; ++i) {
+    hours.push_back(24.0 * static_cast<double>(i) / static_cast<double>(slots));
+  }
+  return hours;
+}
+
+std::vector<double> detection_over_day(core::SweepGrid::Environment env,
+                                       const std::vector<double>& hours,
+                                       std::size_t windows,
+                                       std::uint64_t seed) {
+  core::SweepGrid grid;
+  grid.environment = env;
+  grid.hours = hours;
+  grid.features = {classify::FeatureKind::kSampleEntropy};
+  grid.window_size = 1000;
+  grid.train_windows = windows;
+  grid.test_windows = windows;
+  grid.seed = seed;
+
+  core::SweepOptions options;
+  options.progress = [](std::size_t done, std::size_t total) {
+    std::fprintf(stderr, "\r  %zu/%zu time slots...", done, total);
+    if (done == total) std::fprintf(stderr, "\n");
+  };
+
+  const auto report =
+      core::SweepRunner(core::sim_backend(), options).run(grid.expand());
+  std::vector<double> rates;
+  for (const auto& r : report.results) rates.push_back(r.detection_rate);
+  return rates;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   util::ArgParser args("campus_vs_wan",
@@ -27,33 +69,25 @@ int main(int argc, char** argv) {
   const auto windows = static_cast<std::size_t>(args.integer("--windows"));
   const auto seed = static_cast<std::uint64_t>(args.integer("--seed"));
 
+  const auto hours = day_slots(slots);
+  std::fprintf(stderr, "campus sweep:\n");
+  const auto campus_v = detection_over_day(
+      core::SweepGrid::Environment::kCampus, hours, windows, seed);
+  std::fprintf(stderr, "wan sweep:\n");
+  const auto wan_v = detection_over_day(core::SweepGrid::Environment::kWan,
+                                        hours, windows, seed + 100);
+
   util::TextTable table({"hour", "campus util", "campus detection",
                          "wan util", "wan detection"});
-  std::vector<double> hours, campus_v, wan_v;
   double campus_worst = 0.0, wan_worst = 0.0;
-
-  for (std::size_t i = 0; i < slots; ++i) {
-    const double hour = 24.0 * static_cast<double>(i) / slots;
-    const auto campus_rates = core::detection_rates_on_scenario(
-        core::campus(core::make_cit(), hour),
-        {classify::FeatureKind::kSampleEntropy}, 1000, windows, windows,
-        seed + i);
-    const auto wan_rates = core::detection_rates_on_scenario(
-        core::wan(core::make_cit(), hour),
-        {classify::FeatureKind::kSampleEntropy}, 1000, windows, windows,
-        seed + 100 + i);
-
-    hours.push_back(hour);
-    campus_v.push_back(campus_rates[0]);
-    wan_v.push_back(wan_rates[0]);
-    campus_worst = std::max(campus_worst, campus_rates[0]);
-    wan_worst = std::max(wan_worst, wan_rates[0]);
-
-    table.add_row({util::fmt(hour, 1),
-                   util::fmt(core::campus_profile().utilization_at(hour), 3),
-                   util::fmt(campus_rates[0], 4),
-                   util::fmt(core::wan_profile().utilization_at(hour), 3),
-                   util::fmt(wan_rates[0], 4)});
+  for (std::size_t i = 0; i < hours.size(); ++i) {
+    campus_worst = std::max(campus_worst, campus_v[i]);
+    wan_worst = std::max(wan_worst, wan_v[i]);
+    table.add_row({util::fmt(hours[i], 1),
+                   util::fmt(core::campus_profile().utilization_at(hours[i]), 3),
+                   util::fmt(campus_v[i], 4),
+                   util::fmt(core::wan_profile().utilization_at(hours[i]), 3),
+                   util::fmt(wan_v[i], 4)});
   }
 
   std::printf("CIT padding, entropy adversary at n = 1000, across a day:\n\n");

@@ -1,6 +1,9 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
 
 #include "analysis/theory.hpp"
 #include "stats/descriptive.hpp"
@@ -28,16 +31,20 @@ std::optional<double> theory_prediction(classify::FeatureKind kind,
 
 }  // namespace
 
-std::vector<double> generate_class_stream(const ExperimentSpec& spec,
-                                          std::size_t class_index,
-                                          std::size_t piats,
-                                          std::uint64_t stream_salt) {
-  const util::RngFactory factory(spec.seed);
-  auto rng = factory.make(stream_salt, class_index);
-  return sim::collect_piats(spec.scenario.config_for(class_index), rng, piats);
+// --------------------------------------------------------- ExperimentEngine
+
+ExperimentEngine::ExperimentEngine(const ExperimentBackend& backend,
+                                   std::size_t batch_piats)
+    : backend_(&backend), batch_piats_(std::max<std::size_t>(batch_piats, 1)) {}
+
+std::vector<double> ExperimentEngine::class_stream(
+    const ExperimentSpec& spec, std::size_t class_index, std::size_t piats,
+    std::uint64_t stream_salt) const {
+  return pull_stream(*backend_, spec.scenario, class_index, spec.seed,
+                     stream_salt, piats, batch_piats_);
 }
 
-ExperimentResult run_experiment(const ExperimentSpec& spec) {
+ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec) const {
   const std::size_t num_classes = spec.scenario.payload_rates.size();
   LINKPAD_EXPECTS(num_classes >= 2);
   LINKPAD_EXPECTS(spec.train_windows >= 2 && spec.test_windows >= 1);
@@ -50,10 +57,15 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   std::vector<std::vector<double>> train_streams(num_classes);
   std::vector<std::vector<double>> test_streams(num_classes);
   for (std::size_t c = 0; c < num_classes; ++c) {
-    // Separate runs for training and run-time capture: the adversary trains
-    // on HIS replica, then observes the live system (fresh randomness).
-    train_streams[c] = generate_class_stream(spec, c, train_piats, /*salt=*/1);
-    test_streams[c] = generate_class_stream(spec, c, test_piats, /*salt=*/2);
+    // Separate streams for training and run-time capture: the adversary
+    // trains on HIS replica, then observes the live system (fresh
+    // randomness).
+    train_streams[c] = class_stream(spec, c, train_piats, /*salt=*/1);
+    test_streams[c] = class_stream(spec, c, test_piats, /*salt=*/2);
+    // A finite backend (live capture) may come up short; the adversary
+    // still needs at least two training windows and one test window.
+    LINKPAD_ENSURES(train_streams[c].size() >= 2 * n);
+    LINKPAD_ENSURES(test_streams[c].size() >= n);
   }
 
   classify::Adversary adversary(spec.adversary);
@@ -83,13 +95,147 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   return result;
 }
 
+// ----------------------------------------------------------------- legacy
+
+std::vector<double> generate_class_stream(const ExperimentSpec& spec,
+                                          std::size_t class_index,
+                                          std::size_t piats,
+                                          std::uint64_t stream_salt) {
+  return ExperimentEngine().class_stream(spec, class_index, piats, stream_salt);
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  return ExperimentEngine().run(spec);
+}
+
 std::vector<ExperimentResult> run_sweep(
     const std::vector<ExperimentSpec>& specs) {
-  std::vector<ExperimentResult> results(specs.size());
-  util::parallel_for(specs.size(), [&](std::size_t i) {
-    results[i] = run_experiment(specs[i]);
-  });
-  return results;
+  return SweepRunner().run(specs).results;
+}
+
+// -------------------------------------------------------------- SweepRunner
+
+SweepRunner::SweepRunner(const ExperimentBackend& backend, SweepOptions options)
+    : backend_(&backend), options_(std::move(options)) {}
+
+SweepReport SweepRunner::run(const std::vector<ExperimentSpec>& specs) const {
+  SweepReport report;
+  report.results.resize(specs.size());
+  report.completed.assign(specs.size(), 0);
+  if (specs.empty()) return report;
+
+  const ExperimentEngine engine(*backend_, options_.batch_piats);
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> done{0};
+  std::mutex callback_mutex;
+
+  auto body = [&](std::size_t i) {
+    if (stop.load(std::memory_order_relaxed)) return;  // early-stopped
+    report.results[i] = engine.run(specs[i]);
+    report.completed[i] = 1;
+    const std::size_t finished = done.fetch_add(1) + 1;
+    if (options_.early_stop || options_.progress) {
+      std::lock_guard<std::mutex> lock(callback_mutex);
+      if (options_.early_stop && options_.early_stop(i, report.results[i])) {
+        stop.store(true, std::memory_order_relaxed);
+      }
+      if (options_.progress) options_.progress(finished, specs.size());
+    }
+  };
+
+  if (options_.threads == 0) {
+    util::parallel_for(specs.size(), body);
+  } else {
+    util::ThreadPool pool(options_.threads);
+    util::parallel_for(pool, specs.size(), body);
+  }
+
+  report.completed_count = done.load();
+  return report;
+}
+
+// ---------------------------------------------------------------- SweepGrid
+
+namespace {
+
+/// The environment axis that actually varies for a grid's environment kind.
+std::vector<double> environment_axis(const SweepGrid& grid) {
+  switch (grid.environment) {
+    case SweepGrid::Environment::kLabCrossTraffic:
+      return grid.utilizations.empty() ? std::vector<double>{0.25}
+                                       : grid.utilizations;
+    case SweepGrid::Environment::kCampus:
+    case SweepGrid::Environment::kWan:
+      return grid.hours.empty() ? std::vector<double>{12.0} : grid.hours;
+    case SweepGrid::Environment::kLabZeroCross:
+      break;
+  }
+  return {0.0};  // zero-cross lab has no environment axis
+}
+
+Scenario make_scenario(SweepGrid::Environment environment, Seconds sigma,
+                       double axis_value) {
+  auto policy = sigma > 0.0 ? make_vit(sigma) : make_cit();
+  switch (environment) {
+    case SweepGrid::Environment::kLabCrossTraffic:
+      return lab_cross_traffic(std::move(policy), axis_value);
+    case SweepGrid::Environment::kCampus:
+      return campus(std::move(policy), axis_value);
+    case SweepGrid::Environment::kWan:
+      return wan(std::move(policy), axis_value);
+    case SweepGrid::Environment::kLabZeroCross:
+      break;
+  }
+  return lab_zero_cross(std::move(policy));
+}
+
+}  // namespace
+
+std::size_t SweepGrid::size() const {
+  const std::size_t taps = tap_hops.empty() ? 1 : tap_hops.size();
+  return sigma_timers.size() * environment_axis(*this).size() * taps *
+         features.size();
+}
+
+std::vector<ExperimentSpec> SweepGrid::expand() const {
+  LINKPAD_EXPECTS(!sigma_timers.empty());
+  LINKPAD_EXPECTS(!features.empty());
+
+  const auto axis = environment_axis(*this);
+  // One sentinel keeps the loop structure uniform; it is never read when
+  // tap_hops is empty.
+  const std::vector<std::size_t> taps =
+      tap_hops.empty() ? std::vector<std::size_t>{static_cast<std::size_t>(-1)}
+                       : tap_hops;
+
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(size());
+  for (const Seconds sigma : sigma_timers) {
+    for (const double axis_value : axis) {
+      Scenario scenario = make_scenario(environment, sigma, axis_value);
+      for (const std::size_t tap : taps) {
+        ExperimentSpec spec;
+        spec.scenario = scenario;
+        if (tap != static_cast<std::size_t>(-1)) {
+          auto& hops = spec.scenario.base.hops_before_tap;
+          hops.resize(std::min(tap, hops.size()));
+        }
+        for (const auto feature : features) {
+          spec.adversary.feature = feature;
+          spec.adversary.window_size = window_size;
+          spec.train_windows = train_windows;
+          spec.test_windows = test_windows;
+          // Per-point seed: streams never collide across grid points, and
+          // the mapping depends only on (root seed, point index).
+          spec.seed = util::SplitMix64::mix(
+              seed ^ util::SplitMix64::mix(specs.size() + 1));
+          specs.push_back(spec);
+        }
+      }
+    }
+  }
+  LINKPAD_ENSURES(specs.size() == size());
+  return specs;
 }
 
 }  // namespace linkpad::core

@@ -1,11 +1,12 @@
 // Experiment runner: the full attack pipeline of Sec 3.3 executed on a
-// Scenario — generate per-class PIAT streams on the simulated testbed,
-// train the adversary off-line, classify held-out windows, and compare the
+// Scenario — stream per-class PIATs from a pluggable backend (simulated
+// testbed by default, real loopback gateway via make_live_backend), train
+// the adversary off-line, classify held-out windows, and compare the
 // empirical detection rate with the Theorem 1–3 predictions.
 //
-// Sweeps (over sample size, σ_T, utilization, time of day) run their points
-// in parallel on the project thread pool; every point derives its RNG
-// streams from (seed, point index, class), so results are identical at any
+// Sweeps (over sample size, σ_T, utilization, time of day, tap position)
+// shard their points across a thread pool; every point derives its RNG
+// streams from (seed, salt, class), so results are bit-identical at any
 // thread count.
 #pragma once
 
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "classify/adversary.hpp"
+#include "core/piat_source.hpp"
 #include "core/scenarios.hpp"
 #include "stats/bootstrap.hpp"
 
@@ -42,7 +44,36 @@ struct ExperimentResult {
   double piat_var_high = 0.0;
 };
 
-/// Run one experiment end to end.
+/// Runs the attack pipeline against any ExperimentBackend, pulling PIATs in
+/// bounded batches so arbitrarily long captures never need one giant pull.
+class ExperimentEngine {
+ public:
+  /// Engine over the default simulated backend.
+  ExperimentEngine() : ExperimentEngine(sim_backend()) {}
+
+  /// The backend must outlive the engine. `batch_piats` is the pull size
+  /// per PiatSource::collect call.
+  explicit ExperimentEngine(const ExperimentBackend& backend,
+                            std::size_t batch_piats = 8192);
+
+  /// Run one experiment end to end.
+  [[nodiscard]] ExperimentResult run(const ExperimentSpec& spec) const;
+
+  /// One class's PIAT stream, pulled in batches through the backend. May
+  /// return fewer than `piats` if a finite (live) backend exhausts.
+  [[nodiscard]] std::vector<double> class_stream(const ExperimentSpec& spec,
+                                                 std::size_t class_index,
+                                                 std::size_t piats,
+                                                 std::uint64_t stream_salt) const;
+
+  [[nodiscard]] const ExperimentBackend& backend() const { return *backend_; }
+
+ private:
+  const ExperimentBackend* backend_;
+  std::size_t batch_piats_;
+};
+
+/// Run one experiment on the default simulated backend.
 ExperimentResult run_experiment(const ExperimentSpec& spec);
 
 /// Run many experiments concurrently (order of results == order of specs).
@@ -53,5 +84,83 @@ std::vector<double> generate_class_stream(const ExperimentSpec& spec,
                                           std::size_t class_index,
                                           std::size_t piats,
                                           std::uint64_t stream_salt);
+
+// ------------------------------------------------------------------ sweeps
+
+/// Knobs for a sharded sweep.
+struct SweepOptions {
+  /// 0 = the process-wide shared pool; otherwise a dedicated pool of this
+  /// many threads is used for the sweep. Results are identical either way.
+  std::size_t threads = 0;
+  /// PIAT pull size per PiatSource::collect call.
+  std::size_t batch_piats = 8192;
+  /// Called after every finished point with (points done, points total);
+  /// invocations are serialized but may come from any worker thread.
+  std::function<void(std::size_t, std::size_t)> progress;
+  /// Early stop: called (serialized) with (point index, its result) after
+  /// each point; returning true stops points that have not yet STARTED —
+  /// running points finish. Skipped points keep default-initialized results
+  /// and are reported via SweepReport::completed.
+  std::function<bool(std::size_t, const ExperimentResult&)> early_stop;
+};
+
+/// Results of a sweep plus per-point completion flags (for early stop).
+struct SweepReport {
+  std::vector<ExperimentResult> results;  ///< slot i belongs to specs[i]
+  std::vector<std::uint8_t> completed;    ///< 1 if specs[i] actually ran
+  std::size_t completed_count = 0;
+
+  [[nodiscard]] bool all_completed() const {
+    return completed_count == results.size();
+  }
+};
+
+/// Shards sweep points across a thread pool, one RNG substream tree per
+/// point. Deterministic: bit-identical results at any thread count (when
+/// the backend is deterministic and early_stop is unset).
+class SweepRunner {
+ public:
+  explicit SweepRunner(const ExperimentBackend& backend = sim_backend(),
+                       SweepOptions options = {});
+
+  [[nodiscard]] SweepReport run(const std::vector<ExperimentSpec>& specs) const;
+
+ private:
+  const ExperimentBackend* backend_;
+  SweepOptions options_;
+};
+
+/// Scenario grid: padding policy (CIT / VIT σ_T) × environment axis
+/// (utilization or diurnal hour) × tap position × adversary feature,
+/// expanded in deterministic row-major order.
+struct SweepGrid {
+  enum class Environment { kLabZeroCross, kLabCrossTraffic, kCampus, kWan };
+
+  Environment environment = Environment::kLabZeroCross;
+  /// Policy axis: 0 ⇒ CIT at the paper's τ, σ > 0 ⇒ VIT-normal(τ, σ).
+  std::vector<Seconds> sigma_timers = {0.0};
+  /// kLabCrossTraffic axis: shared-link utilization.
+  std::vector<double> utilizations = {0.25};
+  /// kCampus / kWan axis: diurnal phase (hour of day).
+  std::vector<double> hours = {12.0};
+  /// Tap-position axis: number of hops BEFORE the adversary's tap (clamped
+  /// to the scenario's path length). Empty ⇒ the scenario default.
+  std::vector<std::size_t> tap_hops;
+  /// Adversary axis.
+  std::vector<classify::FeatureKind> features = {
+      classify::FeatureKind::kSampleVariance};
+
+  std::size_t window_size = 1000;
+  std::size_t train_windows = 150;
+  std::size_t test_windows = 150;
+  std::uint64_t seed = 20030324;
+
+  /// Number of points the grid expands to.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Expand to specs (row-major: sigma, env axis, tap, feature). Each point
+  /// gets its own derived seed so streams never collide across points.
+  [[nodiscard]] std::vector<ExperimentSpec> expand() const;
+};
 
 }  // namespace linkpad::core

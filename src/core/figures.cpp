@@ -11,7 +11,6 @@
 #include "core/piat_model.hpp"
 #include "stats/kde.hpp"
 #include "util/check.hpp"
-#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace linkpad::core {
@@ -30,6 +29,10 @@ std::size_t scaled(std::size_t base, double effort) {
                                       std::llround(base * effort)));
 }
 
+const ExperimentBackend& backend_of(const FigureOptions& options) {
+  return options.backend ? *options.backend : sim_backend();
+}
+
 /// Shared worker: build per-class train/test streams once, then train and
 /// evaluate one adversary per feature. Returns {empirical rate, theory
 /// prediction} per feature (theory from the measured r̂).
@@ -39,20 +42,17 @@ struct FeaturePoint {
 };
 
 std::vector<FeaturePoint> evaluate_point(
-    const Scenario& scenario, const std::vector<classify::FeatureKind>& features,
-    std::size_t n, std::size_t train_windows, std::size_t test_windows,
-    std::uint64_t seed) {
-  const util::RngFactory factory(seed);
+    const ExperimentBackend& backend, const Scenario& scenario,
+    const std::vector<classify::FeatureKind>& features, std::size_t n,
+    std::size_t train_windows, std::size_t test_windows, std::uint64_t seed) {
   const std::size_t classes = scenario.payload_rates.size();
 
   std::vector<std::vector<double>> train(classes), test(classes);
   for (std::size_t c = 0; c < classes; ++c) {
-    auto rng_train = factory.make(1, c);
-    auto rng_test = factory.make(2, c);
-    train[c] = sim::collect_piats(scenario.config_for(c), rng_train,
-                                  train_windows * n);
-    test[c] = sim::collect_piats(scenario.config_for(c), rng_test,
-                                 test_windows * n);
+    train[c] = pull_stream(backend, scenario, c, seed, /*salt=*/1,
+                           train_windows * n);
+    test[c] = pull_stream(backend, scenario, c, seed, /*salt=*/2,
+                          test_windows * n);
   }
 
   double r_hat = 1.0;
@@ -103,9 +103,11 @@ const std::vector<classify::FeatureKind> kPaperFeatures = {
 std::vector<double> detection_rates_on_scenario(
     const Scenario& scenario, const std::vector<classify::FeatureKind>& features,
     std::size_t window_size, std::size_t train_windows,
-    std::size_t test_windows, std::uint64_t seed) {
-  const auto points = evaluate_point(scenario, features, window_size,
-                                     train_windows, test_windows, seed);
+    std::size_t test_windows, std::uint64_t seed,
+    const ExperimentBackend* backend) {
+  const auto points =
+      evaluate_point(backend != nullptr ? *backend : sim_backend(), scenario,
+                     features, window_size, train_windows, test_windows, seed);
   std::vector<double> rates;
   rates.reserve(points.size());
   for (const auto& p : points) rates.push_back(p.empirical);
@@ -118,11 +120,9 @@ Fig4aResult fig4a_piat_pdf(const FigureOptions& options) {
   const auto scenario = lab_zero_cross(make_cit());
   const std::size_t count = scaled(40000, options.effort);
 
-  const util::RngFactory factory(options.seed);
-  auto rng_low = factory.make(1, 0);
-  auto rng_high = factory.make(1, 1);
-  const auto low = sim::collect_piats(scenario.config_for(0), rng_low, count);
-  const auto high = sim::collect_piats(scenario.config_for(1), rng_high, count);
+  const auto& backend = backend_of(options);
+  const auto low = pull_stream(backend, scenario, 0, options.seed, 1, count);
+  const auto high = pull_stream(backend, scenario, 1, options.seed, 1, count);
 
   Fig4aResult result;
   result.summary_low = stats::summarize(low);
@@ -162,7 +162,7 @@ FigureSeries fig4b_detection_vs_n(const FigureOptions& options) {
 
   std::vector<std::vector<FeaturePoint>> points(fig.x.size());
   util::parallel_for(fig.x.size(), [&](std::size_t i) {
-    points[i] = evaluate_point(scenario, kPaperFeatures,
+    points[i] = evaluate_point(backend_of(options), scenario, kPaperFeatures,
                                static_cast<std::size_t>(fig.x[i]), train_w,
                                test_w, options.seed + i);
   });
@@ -205,8 +205,8 @@ FigureSeries fig5a_detection_vs_sigma(const FigureOptions& options) {
   std::vector<std::vector<FeaturePoint>> points(fig.x.size());
   util::parallel_for(fig.x.size(), [&](std::size_t i) {
     const auto scenario = lab_zero_cross(make_vit(fig.x[i]));
-    points[i] =
-        evaluate_point(scenario, features, n, train_w, test_w, options.seed + i);
+    points[i] = evaluate_point(backend_of(options), scenario, features, n,
+                               train_w, test_w, options.seed + i);
   });
 
   const char* names[] = {"sample variance", "sample entropy"};
@@ -276,8 +276,8 @@ FigureSeries fig6_detection_vs_utilization(const FigureOptions& options) {
   std::vector<std::vector<FeaturePoint>> points(fig.x.size());
   util::parallel_for(fig.x.size(), [&](std::size_t i) {
     const auto scenario = lab_cross_traffic(make_cit(), fig.x[i]);
-    points[i] = evaluate_point(scenario, kPaperFeatures, n, train_w, test_w,
-                               options.seed + i);
+    points[i] = evaluate_point(backend_of(options), scenario, kPaperFeatures, n,
+                               train_w, test_w, options.seed + i);
   });
 
   const char* names[] = {"sample mean", "sample variance", "sample entropy"};
@@ -311,8 +311,8 @@ FigureSeries fig8_detection_vs_hour(bool wan_path,
   util::parallel_for(fig.x.size(), [&](std::size_t i) {
     const auto scenario = wan_path ? wan(make_cit(), fig.x[i])
                                    : campus(make_cit(), fig.x[i]);
-    points[i] = evaluate_point(scenario, kPaperFeatures, n, train_w, test_w,
-                               options.seed + i);
+    points[i] = evaluate_point(backend_of(options), scenario, kPaperFeatures, n,
+                               train_w, test_w, options.seed + i);
   });
 
   const char* names[] = {"sample mean", "sample variance", "sample entropy"};

@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "classify/feature.hpp"
+#include "core/piat_source.hpp"
 #include "core/scenarios.hpp"
 #include "stats/descriptive.hpp"
 
@@ -26,7 +28,9 @@ struct FigureOptions {
   /// Scales the number of train/test windows (and, for Fig 8, the number of
   /// time slots). 1.0 = paper-grade resolution; tests use ~0.1.
   double effort = 1.0;
-  /// Print nothing; figures are pure functions of (options).
+  /// PIAT backend; null = the simulated testbed. Figures are pure functions
+  /// of (options) whenever the backend is deterministic.
+  std::shared_ptr<const ExperimentBackend> backend;
 };
 
 /// One named curve y(x) in a detection figure.
@@ -87,6 +91,7 @@ FigureSeries fig8_detection_vs_hour(bool wan, const FigureOptions& options);
 std::vector<double> detection_rates_on_scenario(
     const Scenario& scenario, const std::vector<classify::FeatureKind>& features,
     std::size_t window_size, std::size_t train_windows,
-    std::size_t test_windows, std::uint64_t seed);
+    std::size_t test_windows, std::uint64_t seed,
+    const ExperimentBackend* backend = nullptr);
 
 }  // namespace linkpad::core

@@ -1,0 +1,91 @@
+#include "core/live_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "live/live_testbed.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace linkpad::core {
+
+namespace {
+
+class LivePiatSource final : public PiatSource {
+ public:
+  LivePiatSource(live::LiveGatewayConfig config, LiveBackendOptions options)
+      : config_(config), options_(options) {}
+
+  std::size_t collect(std::size_t count, std::vector<double>& out) override {
+    std::size_t appended = 0;
+    while (appended < count) {
+      const std::size_t want = count - appended;
+      live::LiveGatewayConfig run = config_;
+      // One capture of p packets yields at most p-1 PIATs.
+      run.packet_count = options_.batch_packets != 0
+                             ? std::max<std::size_t>(options_.batch_packets, 2)
+                             : want + 1;
+      // Each capture must draw fresh designed randomness (VIT intervals).
+      run.seed = util::SplitMix64::mix(config_.seed + capture_index_++);
+      const auto result = live::run_live_experiment(run, options_.timeout_ms);
+      if (result.piats.empty()) break;  // host refused to deliver; exhausted
+      const std::size_t take = std::min(want, result.piats.size());
+      out.insert(out.end(), result.piats.begin(),
+                 result.piats.begin() + static_cast<std::ptrdiff_t>(take));
+      appended += take;
+      if (result.piats.size() < run.packet_count - 1 && take == result.piats.size()) {
+        // Short capture (timeout / drops): serve what arrived, then stop
+        // rather than spin on a degraded host.
+        break;
+      }
+    }
+    return appended;
+  }
+
+  [[nodiscard]] std::string name() const override { return "live"; }
+
+ private:
+  live::LiveGatewayConfig config_;
+  LiveBackendOptions options_;
+  std::uint64_t capture_index_ = 0;
+};
+
+class LiveBackend final : public ExperimentBackend {
+ public:
+  explicit LiveBackend(LiveBackendOptions options) : options_(options) {
+    LINKPAD_EXPECTS(options.tau_scale > 0.0);
+    LINKPAD_EXPECTS(options.wire_bytes > 0);
+    LINKPAD_EXPECTS(options.timeout_ms > 0);
+  }
+
+  [[nodiscard]] std::unique_ptr<PiatSource> open(
+      const Scenario& scenario, std::size_t class_index, std::uint64_t seed,
+      std::uint64_t salt) const override {
+    const auto config = scenario.config_for(class_index);
+    LINKPAD_EXPECTS(config.policy != nullptr);
+
+    live::LiveGatewayConfig live_config;
+    live_config.tau = config.policy->mean_interval() * options_.tau_scale;
+    live_config.sigma_timer =
+        std::sqrt(config.policy->interval_variance()) * options_.tau_scale;
+    live_config.payload_rate = config.payload_rate / options_.tau_scale;
+    live_config.wire_bytes = options_.wire_bytes;
+    live_config.seed =
+        util::SplitMix64::mix(seed ^ util::SplitMix64::mix(salt)) + class_index;
+    return std::make_unique<LivePiatSource>(live_config, options_);
+  }
+
+  [[nodiscard]] std::string name() const override { return "live"; }
+
+ private:
+  LiveBackendOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<ExperimentBackend> make_live_backend(
+    const LiveBackendOptions& options) {
+  return std::make_unique<LiveBackend>(options);
+}
+
+}  // namespace linkpad::core

@@ -1,0 +1,40 @@
+// Live adapter for the engine layer: serves PIATs captured from the real
+// loopback gateway (live::run_live_experiment) through the same PiatSource
+// interface the simulated backend uses, so every consumer of the experiment
+// stack can run against real OS timers and sockets unchanged.
+//
+// The scenario's padding policy and payload rate are mapped onto
+// LiveGatewayConfig: tau = E[T] of the policy (optionally scaled down so
+// tests finish quickly), sigma_timer = sqrt(Var(T)). Hop models cannot be
+// reproduced on loopback and are ignored — the live tap sits right at the
+// gateway output, the paper's Sec 5.1.1 observation point.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/piat_source.hpp"
+#include "util/types.hpp"
+
+namespace linkpad::core {
+
+struct LiveBackendOptions {
+  /// Multiplies the scenario policy's tau (and sigma) before driving the
+  /// real clock; 0.1 turns the paper's 10 ms timer into 1 ms so captures
+  /// finish 10x faster with the same relative design.
+  double tau_scale = 1.0;
+  /// Constant datagram size on the wire.
+  int wire_bytes = 256;
+  /// Per-capture hard deadline handed to run_live_experiment.
+  int timeout_ms = 30000;
+  /// Wire packets per capture batch; 0 sizes each batch to the pull.
+  std::size_t batch_packets = 0;
+};
+
+/// Backend running real loopback captures. Each open() maps the scenario
+/// class onto a LiveGatewayConfig; collect() runs as many captures as the
+/// pull needs and concatenates their PIAT series.
+[[nodiscard]] std::unique_ptr<ExperimentBackend> make_live_backend(
+    const LiveBackendOptions& options = {});
+
+}  // namespace linkpad::core

@@ -1,0 +1,71 @@
+#include "core/piat_source.hpp"
+
+#include <algorithm>
+
+#include "sim/testbed.hpp"
+#include "util/rng.hpp"
+
+namespace linkpad::core {
+
+namespace {
+
+/// Thin adapter: one sim::Testbed streaming PIATs contiguously. The engine
+/// owns the RNG so the testbed's reference stays valid for its lifetime.
+class SimPiatSource final : public PiatSource {
+ public:
+  SimPiatSource(const sim::TestbedConfig& config, util::Rng rng)
+      : rng_(rng), testbed_(config, rng_) {}
+
+  std::size_t collect(std::size_t count, std::vector<double>& out) override {
+    if (count == 0) return 0;
+    return testbed_.collect_piats(count, out);
+  }
+
+  [[nodiscard]] std::string name() const override { return "sim"; }
+
+ private:
+  util::Rng rng_;
+  sim::Testbed testbed_;
+};
+
+class SimBackend final : public ExperimentBackend {
+ public:
+  [[nodiscard]] std::unique_ptr<PiatSource> open(
+      const Scenario& scenario, std::size_t class_index, std::uint64_t seed,
+      std::uint64_t salt) const override {
+    const util::RngFactory factory(seed);
+    return std::make_unique<SimPiatSource>(scenario.config_for(class_index),
+                                           factory.make(salt, class_index));
+  }
+
+  [[nodiscard]] std::string name() const override { return "sim"; }
+};
+
+}  // namespace
+
+std::vector<double> pull_stream(const ExperimentBackend& backend,
+                                const Scenario& scenario,
+                                std::size_t class_index, std::uint64_t seed,
+                                std::uint64_t salt, std::size_t count,
+                                std::size_t batch_piats) {
+  batch_piats = std::max<std::size_t>(batch_piats, 1);
+  std::vector<double> out;
+  out.reserve(count);
+  auto source = backend.open(scenario, class_index, seed, salt);
+  while (out.size() < count) {
+    const std::size_t want = std::min(batch_piats, count - out.size());
+    if (source->collect(want, out) < want) break;  // backend exhausted
+  }
+  return out;
+}
+
+const ExperimentBackend& sim_backend() {
+  static const SimBackend backend;
+  return backend;
+}
+
+std::unique_ptr<ExperimentBackend> make_sim_backend() {
+  return std::make_unique<SimBackend>();
+}
+
+}  // namespace linkpad::core

@@ -1,0 +1,69 @@
+// The engine layer's backend seam: every consumer of measured PIATs
+// (experiments, figures, benches, examples) pulls them through `PiatSource`,
+// so the attack pipeline is agnostic to WHERE the padded stream came from —
+// the discrete-event testbed (sim::Testbed), the real loopback gateway
+// (live::run_live_experiment), or any future backend (trace replay, remote
+// capture).
+//
+// A backend is a stream factory: `ExperimentBackend::open` names one logical
+// PIAT stream by (scenario, class, seed, salt). Sim backends derive a
+// deterministic RNG substream from the key — two opens of the same key give
+// bit-identical streams regardless of thread count or call order. Live
+// backends run real captures; the key only feeds designed randomness (VIT
+// intervals), the rest is the host's genuine jitter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scenarios.hpp"
+
+namespace linkpad::core {
+
+/// Pull-based stream of padded inter-arrival times at the adversary's tap.
+class PiatSource {
+ public:
+  virtual ~PiatSource() = default;
+
+  /// Append up to `count` further PIATs (seconds) to `out`; returns the
+  /// number appended. A short count means the backend is exhausted (e.g. a
+  /// finite live capture); simulated streams never exhaust.
+  virtual std::size_t collect(std::size_t count, std::vector<double>& out) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Factory of PIAT streams for a scenario — the pluggable backend.
+class ExperimentBackend {
+ public:
+  virtual ~ExperimentBackend() = default;
+
+  /// Open the PIAT stream of `scenario`'s class `class_index` for logical
+  /// substream (seed, salt). Must be callable concurrently from sweep
+  /// worker threads; each returned source is independently owned.
+  [[nodiscard]] virtual std::unique_ptr<PiatSource> open(
+      const Scenario& scenario, std::size_t class_index, std::uint64_t seed,
+      std::uint64_t salt) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Open one stream and pull `count` PIATs in bounded batches. May return
+/// fewer when a finite (live) backend exhausts.
+[[nodiscard]] std::vector<double> pull_stream(const ExperimentBackend& backend,
+                                              const Scenario& scenario,
+                                              std::size_t class_index,
+                                              std::uint64_t seed,
+                                              std::uint64_t salt,
+                                              std::size_t count,
+                                              std::size_t batch_piats = 8192);
+
+/// Process-wide default backend: the simulated testbed.
+[[nodiscard]] const ExperimentBackend& sim_backend();
+
+/// Owned simulated backend (for symmetry with make_live_backend).
+[[nodiscard]] std::unique_ptr<ExperimentBackend> make_sim_backend();
+
+}  // namespace linkpad::core

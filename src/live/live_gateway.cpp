@@ -44,7 +44,7 @@ LiveGatewayStats run_live_gateway(const LiveGatewayConfig& config,
     }
   });
 
-  stats::Rng rng(config.seed);
+  util::Rng rng(config.seed);
   // VIT intervals truncated at tau/100, mirroring sim::NormalIntervalTimer.
   std::optional<stats::TruncatedNormal> vit;
   if (config.sigma_timer > 0.0) {

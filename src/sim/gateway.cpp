@@ -6,7 +6,7 @@ namespace linkpad::sim {
 
 PaddingGateway::PaddingGateway(Simulation& sim,
                                std::unique_ptr<TimerPolicy> policy,
-                               const JitterParams& jitter, stats::Rng& rng,
+                               const JitterParams& jitter, util::Rng& rng,
                                PacketSink& downstream, int wire_bytes,
                                std::size_t queue_capacity)
     : sim_(sim),
@@ -33,14 +33,14 @@ void PaddingGateway::on_packet(const Packet& packet, Seconds /*now*/) {
 
 void PaddingGateway::start() {
   next_designed_fire_ = sim_.now() + policy_->next_interval(rng_);
-  sim_.schedule_at(next_designed_fire_, [this] { on_timer_fire(); });
+  sim_.schedule_timer_at(next_designed_fire_, *this);
 }
 
 PacketsPerSecond PaddingGateway::wire_rate() const {
   return 1.0 / policy_->mean_interval();
 }
 
-void PaddingGateway::on_timer_fire() {
+void PaddingGateway::on_timer(Seconds /*now*/) {
   ++stats_.timer_fires;
 
   // The interrupt routine runs after a random scheduling delay; payload
@@ -76,7 +76,7 @@ void PaddingGateway::on_timer_fire() {
   // A grossly delayed interrupt cannot overtake the next one on real
   // hardware; the kernel coalesces. Model: push the schedule if needed.
   if (next_designed_fire_ <= emit_time) next_designed_fire_ = emit_time + 1e-9;
-  sim_.schedule_at(next_designed_fire_, [this] { on_timer_fire(); });
+  sim_.schedule_timer_at(next_designed_fire_, *this);
 }
 
 }  // namespace linkpad::sim

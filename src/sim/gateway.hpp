@@ -21,6 +21,7 @@
 #include "sim/scheduler.hpp"
 #include "sim/timer_policy.hpp"
 #include "stats/descriptive.hpp"
+#include "util/rng.hpp"
 
 namespace linkpad::sim {
 
@@ -34,19 +35,23 @@ struct GatewayStats {
   stats::RunningStats queueing_delay; ///< payload wait in GW1 (QoS metric)
 };
 
-/// Sender-side padding gateway.
-class PaddingGateway final : public PacketSink {
+/// Sender-side padding gateway. The interrupt timer rides the scheduler's
+/// TimerTask fast path: one pending heap entry per designed fire, no closure.
+class PaddingGateway final : public PacketSink, public TimerTask {
  public:
   /// `queue_capacity` bounds the payload queue (packets beyond it drop, as a
   /// real box would); the paper's rates (≤ 40 pps payload vs 100 pps timer)
   /// keep the queue nearly empty.
   PaddingGateway(Simulation& sim, std::unique_ptr<TimerPolicy> policy,
-                 const JitterParams& jitter, stats::Rng& rng,
+                 const JitterParams& jitter, util::Rng& rng,
                  PacketSink& downstream, int wire_bytes = 1000,
                  std::size_t queue_capacity = 4096);
 
   /// Payload ingress (TrafficSource sink interface).
   void on_packet(const Packet& packet, Seconds now) override;
+
+  /// Designed timer interrupt S_k (TimerTask fast path).
+  void on_timer(Seconds now) override;
 
   /// Arm the timer; first designed fire after one interval from now.
   void start();
@@ -59,12 +64,10 @@ class PaddingGateway final : public PacketSink {
   [[nodiscard]] PacketsPerSecond wire_rate() const;
 
  private:
-  void on_timer_fire();
-
   Simulation& sim_;
   std::unique_ptr<TimerPolicy> policy_;
   GatewayJitterModel jitter_;
-  stats::Rng& rng_;
+  util::Rng& rng_;
   PacketSink& downstream_;
   int wire_bytes_;
   std::size_t queue_capacity_;

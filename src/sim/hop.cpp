@@ -23,7 +23,7 @@ HopChannel::HopChannel(const HopConfig& config, int monitored_packet_bytes)
   LINKPAD_EXPECTS(monitored_packet_bytes > 0);
 }
 
-Seconds HopChannel::traverse(Seconds arrival, stats::Rng& rng) {
+Seconds HopChannel::traverse(Seconds arrival, util::Rng& rng) {
   const Seconds wait = sampler_.sample(rng);
   Seconds start_service = arrival + wait;
   // FIFO within the monitored flow: we cannot begin service before the
@@ -51,7 +51,7 @@ PathModel::PathModel(const std::vector<HopConfig>& hops,
   }
 }
 
-Seconds PathModel::traverse(Seconds t_emit, stats::Rng& rng) {
+Seconds PathModel::traverse(Seconds t_emit, util::Rng& rng) {
   Seconds t = t_emit;
   for (auto& hop : hops_) {
     t = hop.traverse(t, rng);

@@ -13,6 +13,7 @@
 
 #include "sim/mg1.hpp"
 #include "stats/distributions.hpp"
+#include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace linkpad::sim {
@@ -34,7 +35,7 @@ class HopChannel {
 
   /// Delay a monitored packet arriving at `arrival`; returns its departure
   /// time from this hop (≥ arrival + service + propagation).
-  [[nodiscard]] Seconds traverse(Seconds arrival, stats::Rng& rng);
+  [[nodiscard]] Seconds traverse(Seconds arrival, util::Rng& rng);
 
   /// Re-tune the cross utilization (diurnal sweeps).
   void set_cross_utilization(double rho);
@@ -61,7 +62,7 @@ class PathModel {
 
   /// Propagate one monitored packet emitted at `t_emit` through every hop;
   /// returns arrival time at the tap.
-  [[nodiscard]] Seconds traverse(Seconds t_emit, stats::Rng& rng);
+  [[nodiscard]] Seconds traverse(Seconds t_emit, util::Rng& rng);
 
   /// Apply a common utilization scale factor (diurnal modulation):
   /// each hop's utilization becomes base_utilization * scale, clamped < 1.

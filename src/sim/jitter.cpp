@@ -14,7 +14,7 @@ GatewayJitterModel::GatewayJitterModel(const JitterParams& params)
   LINKPAD_EXPECTS(params.sigma_irq_block > 0.0);
 }
 
-Seconds GatewayJitterModel::emission_delay(stats::Rng& rng,
+Seconds GatewayJitterModel::emission_delay(util::Rng& rng,
                                            unsigned payload_arrivals) const {
   Seconds delay = context_switch_.sample(rng);
   for (unsigned i = 0; i < payload_arrivals; ++i) {

@@ -22,6 +22,7 @@
 #pragma once
 
 #include "stats/distributions.hpp"
+#include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace linkpad::sim {
@@ -44,7 +45,7 @@ class GatewayJitterModel {
 
   /// Delay added to the scheduled interrupt time when `payload_arrivals`
   /// payload packets arrived since the previous interrupt. Always ≥ 0.
-  [[nodiscard]] Seconds emission_delay(stats::Rng& rng,
+  [[nodiscard]] Seconds emission_delay(util::Rng& rng,
                                        unsigned payload_arrivals) const;
 
   /// Marginal Var(δ) when the per-interval arrival count is Bernoulli with

@@ -51,7 +51,7 @@ void Mg1WaitSampler::set_rho(double rho) {
   rho_ = rho;
 }
 
-Seconds Mg1WaitSampler::sample_residual(stats::Rng& rng) const {
+Seconds Mg1WaitSampler::sample_residual(util::Rng& rng) const {
   switch (model_) {
     case ServiceModel::kDeterministic:
       // Residual of a constant S is Uniform(0, S].
@@ -83,7 +83,7 @@ Seconds Mg1WaitSampler::sample_residual(stats::Rng& rng) const {
   return 0.0;  // unreachable
 }
 
-Seconds Mg1WaitSampler::sample(stats::Rng& rng) const {
+Seconds Mg1WaitSampler::sample(util::Rng& rng) const {
   if (rho_ <= 0.0) return 0.0;
   // K ~ Geometric(rho): count failures until a U >= rho.
   Seconds v = 0.0;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "stats/distributions.hpp"
+#include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace linkpad::sim {
@@ -39,7 +40,7 @@ class Mg1WaitSampler {
   Mg1WaitSampler(double rho, Seconds mean_service, ServiceModel model);
 
   /// One stationary waiting-time draw (0 with probability 1−ρ).
-  [[nodiscard]] Seconds sample(stats::Rng& rng) const;
+  [[nodiscard]] Seconds sample(util::Rng& rng) const;
 
   /// Exact stationary mean waiting time E[V] = λE[S²]/(2(1−ρ)).
   [[nodiscard]] double mean_wait() const;
@@ -56,7 +57,7 @@ class Mg1WaitSampler {
 
  private:
   /// One equilibrium residual service time draw.
-  [[nodiscard]] Seconds sample_residual(stats::Rng& rng) const;
+  [[nodiscard]] Seconds sample_residual(util::Rng& rng) const;
 
   double rho_;
   Seconds mean_service_;

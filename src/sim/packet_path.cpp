@@ -5,7 +5,7 @@
 namespace linkpad::sim {
 
 PacketLevelTestbed::PacketLevelTestbed(const TestbedConfig& config,
-                                       stats::Rng& rng)
+                                       util::Rng& rng)
     : config_(config), rng_(rng) {
   LINKPAD_EXPECTS(config.policy != nullptr);
 

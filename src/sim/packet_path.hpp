@@ -18,6 +18,7 @@
 #include "sim/sniffer.hpp"
 #include "sim/source.hpp"
 #include "sim/testbed.hpp"
+#include "util/rng.hpp"
 
 namespace linkpad::sim {
 
@@ -26,7 +27,7 @@ namespace linkpad::sim {
 /// CrossTrafficProcess at rate ρ·C/(8·cross_bytes).
 class PacketLevelTestbed {
  public:
-  PacketLevelTestbed(const TestbedConfig& config, stats::Rng& rng);
+  PacketLevelTestbed(const TestbedConfig& config, util::Rng& rng);
 
   /// Run until `count` post-warmup PIATs are captured at the tap
   /// (the sniffer sits after the last hop).
@@ -45,7 +46,7 @@ class PacketLevelTestbed {
 
  private:
   TestbedConfig config_;
-  stats::Rng& rng_;
+  util::Rng& rng_;
   Simulation sim_;
   Sniffer sniffer_;
   // Entities owned in wiring order; routers_[0] is nearest the gateway.

@@ -48,7 +48,7 @@ void Router::start_service() {
 
 CrossTrafficProcess::CrossTrafficProcess(Simulation& sim, Router& router,
                                          double rate, int packet_bytes,
-                                         stats::Rng& rng)
+                                         util::Rng& rng)
     : sim_(sim), router_(router), rate_(rate), packet_bytes_(packet_bytes),
       rng_(rng) {
   LINKPAD_EXPECTS(rate >= 0.0);

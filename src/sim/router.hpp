@@ -16,6 +16,7 @@
 #include "sim/scheduler.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/distributions.hpp"
+#include "util/rng.hpp"
 
 namespace linkpad::sim {
 
@@ -66,7 +67,7 @@ class CrossTrafficProcess {
  public:
   /// Generates `rate` packets/second of `packet_bytes`-sized cross packets.
   CrossTrafficProcess(Simulation& sim, Router& router, double rate,
-                      int packet_bytes, stats::Rng& rng);
+                      int packet_bytes, util::Rng& rng);
 
   void start();
 
@@ -79,7 +80,7 @@ class CrossTrafficProcess {
   Router& router_;
   double rate_;
   int packet_bytes_;
-  stats::Rng& rng_;
+  util::Rng& rng_;
   PacketId next_id_ = 0;
   std::uint64_t generated_ = 0;
 };

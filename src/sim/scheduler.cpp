@@ -6,7 +6,17 @@ namespace linkpad::sim {
 
 void Simulation::schedule_at(Seconds t, Callback cb) {
   LINKPAD_EXPECTS(t >= now_);
-  queue_.push(Entry{t, next_seq_++, std::move(cb)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  pool_[slot] = std::move(cb);
+  cb_heap_.push_back(CbItem{t, next_seq_++, slot});
+  std::push_heap(cb_heap_.begin(), cb_heap_.end(), Later{});
 }
 
 void Simulation::schedule_in(Seconds dt, Callback cb) {
@@ -14,28 +24,67 @@ void Simulation::schedule_in(Seconds dt, Callback cb) {
   schedule_at(now_ + dt, std::move(cb));
 }
 
+void Simulation::schedule_timer_at(Seconds t, TimerTask& task) {
+  LINKPAD_EXPECTS(t >= now_);
+  timer_heap_.push_back(TimerItem{t, next_seq_++, &task});
+  std::push_heap(timer_heap_.begin(), timer_heap_.end(), Later{});
+}
+
+void Simulation::schedule_timer_in(Seconds dt, TimerTask& task) {
+  LINKPAD_EXPECTS(dt >= 0.0);
+  schedule_timer_at(now_ + dt, task);
+}
+
+bool Simulation::step(Seconds t_limit) {
+  const bool have_cb = !cb_heap_.empty();
+  const bool have_timer = !timer_heap_.empty();
+  if (!have_cb && !have_timer) return false;
+
+  // The two heaps share one sequence counter, so comparing their tops by
+  // (t, seq) restores the exact total order of a single queue.
+  bool take_timer = have_timer;
+  if (have_cb && have_timer) {
+    const CbItem& c = cb_heap_.front();
+    const TimerItem& ti = timer_heap_.front();
+    take_timer = ti.t < c.t || (ti.t == c.t && ti.seq < c.seq);
+  }
+
+  if (take_timer) {
+    const TimerItem item = timer_heap_.front();
+    if (item.t > t_limit) return false;
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), Later{});
+    timer_heap_.pop_back();
+    now_ = item.t;
+    ++processed_;
+    item.task->on_timer(now_);
+  } else {
+    const CbItem item = cb_heap_.front();
+    if (item.t > t_limit) return false;
+    std::pop_heap(cb_heap_.begin(), cb_heap_.end(), Later{});
+    cb_heap_.pop_back();
+    now_ = item.t;
+    // Move the closure out and recycle its slot BEFORE invoking: the
+    // callback may schedule new events, which may grow or reuse the pool.
+    InlineCallback cb = std::move(pool_[item.slot]);
+    free_slots_.push_back(item.slot);
+    ++processed_;
+    cb();
+  }
+  return true;
+}
+
 void Simulation::run_until(Seconds t_end) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.top().t <= t_end) {
-    // Copy out before pop so the callback may schedule new events freely.
-    Entry entry{queue_.top().t, queue_.top().seq, std::move(const_cast<Entry&>(queue_.top()).cb)};
-    queue_.pop();
-    now_ = entry.t;
-    entry.cb();
-    ++processed_;
+  while (!stopped_ && step(t_end)) {
   }
-  if (queue_.empty() || stopped_) return;
+  if (empty() || stopped_) return;
   now_ = t_end;
 }
 
 void Simulation::run() {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    Entry entry{queue_.top().t, queue_.top().seq, std::move(const_cast<Entry&>(queue_.top()).cb)};
-    queue_.pop();
-    now_ = entry.t;
-    entry.cb();
-    ++processed_;
+  constexpr Seconds kForever = std::numeric_limits<Seconds>::infinity();
+  while (!stopped_ && step(kForever)) {
   }
 }
 

@@ -14,21 +14,23 @@ CbrSource::CbrSource(PacketsPerSecond rate, int packet_bytes, bool random_phase)
   LINKPAD_EXPECTS(packet_bytes > 0);
 }
 
-void CbrSource::start(Simulation& sim, PacketSink& sink, stats::Rng& rng) {
+void CbrSource::start(Simulation& sim, PacketSink& sink, util::Rng& rng) {
+  sim_ = &sim;
+  sink_ = &sink;
   const Seconds period = 1.0 / rate_;
   const Seconds phase = random_phase_ ? rng.uniform(0.0, period) : 0.0;
-  sim.schedule_in(phase, [this, &sim, &sink] { emit(sim, sink); });
+  sim.schedule_timer_in(phase, *this);
 }
 
-void CbrSource::emit(Simulation& sim, PacketSink& sink) {
+void CbrSource::on_timer(Seconds now) {
   Packet p;
   p.id = next_id_++;
   p.kind = PacketKind::kPayload;
   p.flow = FlowId::kMonitored;
   p.size_bytes = packet_bytes_;
-  p.created = sim.now();
-  sink.on_packet(p, sim.now());
-  sim.schedule_in(1.0 / rate_, [this, &sim, &sink] { emit(sim, sink); });
+  p.created = now;
+  sink_->on_packet(p, now);
+  sim_->schedule_timer_in(1.0 / rate_, *this);
 }
 
 std::string CbrSource::name() const {
@@ -45,23 +47,27 @@ PoissonSource::PoissonSource(PacketsPerSecond rate, int packet_bytes)
   LINKPAD_EXPECTS(packet_bytes > 0);
 }
 
-void PoissonSource::start(Simulation& sim, PacketSink& sink, stats::Rng& rng) {
-  schedule_next(sim, sink, rng);
+void PoissonSource::start(Simulation& sim, PacketSink& sink, util::Rng& rng) {
+  sim_ = &sim;
+  sink_ = &sink;
+  rng_ = &rng;
+  schedule_next();
 }
 
-void PoissonSource::schedule_next(Simulation& sim, PacketSink& sink,
-                                  stats::Rng& rng) {
-  const Seconds gap = stats::Exponential(1.0 / rate_).sample(rng);
-  sim.schedule_in(gap, [this, &sim, &sink, &rng] {
-    Packet p;
-    p.id = next_id_++;
-    p.kind = PacketKind::kPayload;
-    p.flow = FlowId::kMonitored;
-    p.size_bytes = packet_bytes_;
-    p.created = sim.now();
-    sink.on_packet(p, sim.now());
-    schedule_next(sim, sink, rng);
-  });
+void PoissonSource::schedule_next() {
+  const Seconds gap = stats::Exponential(1.0 / rate_).sample(*rng_);
+  sim_->schedule_timer_in(gap, *this);
+}
+
+void PoissonSource::on_timer(Seconds now) {
+  Packet p;
+  p.id = next_id_++;
+  p.kind = PacketKind::kPayload;
+  p.flow = FlowId::kMonitored;
+  p.size_bytes = packet_bytes_;
+  p.created = now;
+  sink_->on_packet(p, now);
+  schedule_next();
 }
 
 std::string PoissonSource::name() const {
@@ -85,42 +91,46 @@ PacketsPerSecond OnOffSource::mean_rate() const {
   return on_rate_ * mean_on_ / (mean_on_ + mean_off_);
 }
 
-void OnOffSource::start(Simulation& sim, PacketSink& sink, stats::Rng& rng) {
+void OnOffSource::start(Simulation& sim, PacketSink& sink, util::Rng& rng) {
+  sim_ = &sim;
+  sink_ = &sink;
+  rng_ = &rng;
   on_ = true;
   state_ends_ = sim.now() + stats::Exponential(mean_on_).sample(rng);
-  schedule_next(sim, sink, rng);
+  schedule_next();
 }
 
-void OnOffSource::schedule_next(Simulation& sim, PacketSink& sink,
-                                stats::Rng& rng) {
+void OnOffSource::schedule_next() {
   // Advance through OFF periods until the next emission instant.
-  Seconds t = sim.now();
+  Seconds t = sim_->now();
   for (;;) {
     if (on_) {
-      const Seconds gap = stats::Exponential(1.0 / on_rate_).sample(rng);
+      const Seconds gap = stats::Exponential(1.0 / on_rate_).sample(*rng_);
       if (t + gap <= state_ends_) {
         t += gap;
         break;
       }
       t = state_ends_;
       on_ = false;
-      state_ends_ = t + stats::Exponential(mean_off_).sample(rng);
+      state_ends_ = t + stats::Exponential(mean_off_).sample(*rng_);
     } else {
       t = state_ends_;
       on_ = true;
-      state_ends_ = t + stats::Exponential(mean_on_).sample(rng);
+      state_ends_ = t + stats::Exponential(mean_on_).sample(*rng_);
     }
   }
-  sim.schedule_at(t, [this, &sim, &sink, &rng] {
-    Packet p;
-    p.id = next_id_++;
-    p.kind = PacketKind::kPayload;
-    p.flow = FlowId::kMonitored;
-    p.size_bytes = packet_bytes_;
-    p.created = sim.now();
-    sink.on_packet(p, sim.now());
-    schedule_next(sim, sink, rng);
-  });
+  sim_->schedule_timer_at(t, *this);
+}
+
+void OnOffSource::on_timer(Seconds now) {
+  Packet p;
+  p.id = next_id_++;
+  p.kind = PacketKind::kPayload;
+  p.flow = FlowId::kMonitored;
+  p.size_bytes = packet_bytes_;
+  p.created = now;
+  sink_->on_packet(p, now);
+  schedule_next();
 }
 
 std::string OnOffSource::name() const {

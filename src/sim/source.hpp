@@ -6,6 +6,9 @@
 // Theorems 1–3 only depend on the payload through the arrival counts per
 // timer interval, so the detection-rate shape should survive a change of
 // payload process (tested in the ablations).
+//
+// Sources are periodic entities, so they ride the scheduler's TimerTask
+// fast path: one pending timer entry per source, no closure per packet.
 #pragma once
 
 #include <memory>
@@ -14,6 +17,7 @@
 #include "sim/packet.hpp"
 #include "sim/scheduler.hpp"
 #include "stats/distributions.hpp"
+#include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace linkpad::sim {
@@ -23,8 +27,9 @@ class TrafficSource {
  public:
   virtual ~TrafficSource() = default;
 
-  /// Begin generating at the simulation's current time.
-  virtual void start(Simulation& sim, PacketSink& sink, stats::Rng& rng) = 0;
+  /// Begin generating at the simulation's current time. The source keeps
+  /// references to all three arguments until the simulation ends.
+  virtual void start(Simulation& sim, PacketSink& sink, util::Rng& rng) = 0;
 
   /// Long-run average rate in packets/second.
   [[nodiscard]] virtual PacketsPerSecond mean_rate() const = 0;
@@ -34,53 +39,59 @@ class TrafficSource {
 
 /// Constant bit rate: one packet every 1/rate seconds, with an optional
 /// random phase so different trials do not align with the padding timer.
-class CbrSource final : public TrafficSource {
+class CbrSource final : public TrafficSource, public TimerTask {
  public:
   CbrSource(PacketsPerSecond rate, int packet_bytes, bool random_phase = true);
 
-  void start(Simulation& sim, PacketSink& sink, stats::Rng& rng) override;
+  void start(Simulation& sim, PacketSink& sink, util::Rng& rng) override;
+  void on_timer(Seconds now) override;
   [[nodiscard]] PacketsPerSecond mean_rate() const override { return rate_; }
   [[nodiscard]] std::string name() const override;
 
  private:
-  void emit(Simulation& sim, PacketSink& sink);
-
   PacketsPerSecond rate_;
   int packet_bytes_;
   bool random_phase_;
   PacketId next_id_ = 0;
+  Simulation* sim_ = nullptr;
+  PacketSink* sink_ = nullptr;
 };
 
 /// Poisson arrivals at a given mean rate.
-class PoissonSource final : public TrafficSource {
+class PoissonSource final : public TrafficSource, public TimerTask {
  public:
   PoissonSource(PacketsPerSecond rate, int packet_bytes);
 
-  void start(Simulation& sim, PacketSink& sink, stats::Rng& rng) override;
+  void start(Simulation& sim, PacketSink& sink, util::Rng& rng) override;
+  void on_timer(Seconds now) override;
   [[nodiscard]] PacketsPerSecond mean_rate() const override { return rate_; }
   [[nodiscard]] std::string name() const override;
 
  private:
-  void schedule_next(Simulation& sim, PacketSink& sink, stats::Rng& rng);
+  void schedule_next();
 
   PacketsPerSecond rate_;
   int packet_bytes_;
   PacketId next_id_ = 0;
+  Simulation* sim_ = nullptr;
+  PacketSink* sink_ = nullptr;
+  util::Rng* rng_ = nullptr;
 };
 
 /// Two-state ON/OFF source: Poisson bursts at `on_rate` during exponential
 /// ON periods, silence during exponential OFF periods.
-class OnOffSource final : public TrafficSource {
+class OnOffSource final : public TrafficSource, public TimerTask {
  public:
   OnOffSource(PacketsPerSecond on_rate, Seconds mean_on, Seconds mean_off,
               int packet_bytes);
 
-  void start(Simulation& sim, PacketSink& sink, stats::Rng& rng) override;
+  void start(Simulation& sim, PacketSink& sink, util::Rng& rng) override;
+  void on_timer(Seconds now) override;
   [[nodiscard]] PacketsPerSecond mean_rate() const override;
   [[nodiscard]] std::string name() const override;
 
  private:
-  void schedule_next(Simulation& sim, PacketSink& sink, stats::Rng& rng);
+  void schedule_next();
 
   PacketsPerSecond on_rate_;
   Seconds mean_on_;
@@ -89,6 +100,9 @@ class OnOffSource final : public TrafficSource {
   bool on_ = false;
   Seconds state_ends_ = 0;
   PacketId next_id_ = 0;
+  Simulation* sim_ = nullptr;
+  PacketSink* sink_ = nullptr;
+  util::Rng* rng_ = nullptr;
 };
 
 /// Factory helpers used by scenario presets.

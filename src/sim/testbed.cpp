@@ -9,7 +9,7 @@ void Testbed::TapAdapter::on_packet(const Packet& packet, Seconds now) {
   out_.push_back(path_.traverse(now, rng_));
 }
 
-Testbed::Testbed(const TestbedConfig& config, stats::Rng& rng)
+Testbed::Testbed(const TestbedConfig& config, util::Rng& rng)
     : config_(config),
       rng_(rng),
       path_(config.hops_before_tap, config.wire_bytes) {
@@ -39,17 +39,24 @@ Testbed::Testbed(const TestbedConfig& config, stats::Rng& rng)
 }
 
 std::vector<Seconds> Testbed::collect_piats(std::size_t count) {
+  std::vector<Seconds> piats;
+  piats.reserve(count);
+  collect_piats(count, piats);
+  return piats;
+}
+
+std::size_t Testbed::collect_piats(std::size_t count, std::vector<Seconds>& out) {
   LINKPAD_EXPECTS(count > 0);
   if (!started_) {
     source_->start(sim_, *gateway_, rng_);
     gateway_->start();
     started_ = true;
+    // PIAT k uses arrivals k-1 and k; the first `warmup_piats` PIATs are
+    // transients, so the first served PIAT diffs arrivals[warmup, warmup+1].
+    cursor_ = config_.warmup_piats + 1;
   }
 
-  // Need warmup + count PIATs => warmup + count + 1 tap arrivals (beyond
-  // whatever is already recorded).
-  const std::size_t target =
-      tap_arrivals_.size() + config_.warmup_piats + count + 1;
+  const std::size_t target = cursor_ + count;  // need arrivals [0, target)
 
   // Run in slabs of simulated time until enough packets crossed the tap.
   const Seconds slab =
@@ -60,21 +67,24 @@ std::vector<Seconds> Testbed::collect_piats(std::size_t count) {
     LINKPAD_ENSURES(!sim_.empty());  // sources reschedule forever
   }
 
-  std::vector<Seconds> piats;
-  piats.reserve(count);
-  const std::size_t first = tap_arrivals_.size() - count - 1;
-  for (std::size_t i = first + 1; i < tap_arrivals_.size(); ++i) {
-    piats.push_back(tap_arrivals_[i] - tap_arrivals_[i - 1]);
+  for (std::size_t i = cursor_; i < target; ++i) {
+    out.push_back(tap_arrivals_[i] - tap_arrivals_[i - 1]);
   }
-  // Keep memory bounded across repeated collects.
-  if (tap_arrivals_.size() > (1u << 20)) {
-    tap_arrivals_.erase(tap_arrivals_.begin(), tap_arrivals_.end() - 2);
+  cursor_ = target;
+
+  // Keep memory bounded across repeated collects: drop everything before
+  // the last consumed arrival.
+  if (cursor_ > (1u << 16)) {
+    tap_arrivals_.erase(tap_arrivals_.begin(),
+                        tap_arrivals_.begin() +
+                            static_cast<std::ptrdiff_t>(cursor_ - 1));
+    cursor_ = 1;
   }
-  return piats;
+  return count;
 }
 
 std::vector<Seconds> collect_piats(const TestbedConfig& config,
-                                   stats::Rng& rng, std::size_t count) {
+                                   util::Rng& rng, std::size_t count) {
   Testbed bed(config, rng);
   return bed.collect_piats(count);
 }

@@ -19,6 +19,7 @@
 #include "sim/sniffer.hpp"
 #include "sim/source.hpp"
 #include "sim/timer_policy.hpp"
+#include "util/rng.hpp"
 
 namespace linkpad::sim {
 
@@ -49,11 +50,18 @@ class Testbed {
  public:
   /// `rng` drives every stochastic element of this run; pass engines from
   /// RngFactory substreams for reproducible parallel experiments.
-  Testbed(const TestbedConfig& config, stats::Rng& rng);
+  Testbed(const TestbedConfig& config, util::Rng& rng);
 
   /// Run the simulation until `count` post-warmup PIATs are captured at the
   /// tap; returns them in arrival order.
   [[nodiscard]] std::vector<Seconds> collect_piats(std::size_t count);
+
+  /// Streaming form: append `count` further PIATs to `out` and return the
+  /// number appended (always `count`; the simulation never exhausts).
+  /// Consecutive calls produce one contiguous PIAT stream — warmup is
+  /// discarded once per Testbed, so pulling in batches yields exactly the
+  /// same series as one big pull.
+  std::size_t collect_piats(std::size_t count, std::vector<Seconds>& out);
 
   [[nodiscard]] const GatewayStats& gateway_stats() const {
     return gateway_->stats();
@@ -66,18 +74,18 @@ class Testbed {
   // and records tap arrival times.
   class TapAdapter final : public PacketSink {
    public:
-    TapAdapter(PathModel& path, stats::Rng& rng, std::vector<Seconds>& out)
+    TapAdapter(PathModel& path, util::Rng& rng, std::vector<Seconds>& out)
         : path_(path), rng_(rng), out_(out) {}
     void on_packet(const Packet& packet, Seconds now) override;
 
    private:
     PathModel& path_;
-    stats::Rng& rng_;
+    util::Rng& rng_;
     std::vector<Seconds>& out_;
   };
 
   TestbedConfig config_;
-  stats::Rng& rng_;
+  util::Rng& rng_;
   Simulation sim_;
   PathModel path_;
   std::vector<Seconds> tap_arrivals_;
@@ -85,10 +93,11 @@ class Testbed {
   std::unique_ptr<PaddingGateway> gateway_;
   std::unique_ptr<TrafficSource> source_;
   bool started_ = false;
+  std::size_t cursor_ = 0;  ///< index of the next tap arrival to diff against
 };
 
 /// Convenience one-shot: build a Testbed and collect `count` PIATs.
 std::vector<Seconds> collect_piats(const TestbedConfig& config,
-                                   stats::Rng& rng, std::size_t count);
+                                   util::Rng& rng, std::size_t count);
 
 }  // namespace linkpad::sim

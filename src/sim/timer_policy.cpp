@@ -13,7 +13,7 @@ ConstantIntervalTimer::ConstantIntervalTimer(Seconds tau) : tau_(tau) {
   LINKPAD_EXPECTS(tau > 0.0);
 }
 
-Seconds ConstantIntervalTimer::next_interval(stats::Rng& /*rng*/) {
+Seconds ConstantIntervalTimer::next_interval(util::Rng& /*rng*/) {
   return tau_;
 }
 
@@ -40,7 +40,7 @@ NormalIntervalTimer::NormalIntervalTimer(Seconds tau, Seconds sigma,
   LINKPAD_EXPECTS(min_interval_ < tau);
 }
 
-Seconds NormalIntervalTimer::next_interval(stats::Rng& rng) {
+Seconds NormalIntervalTimer::next_interval(util::Rng& rng) {
   return dist_.sample(rng);
 }
 
@@ -71,7 +71,7 @@ UniformIntervalTimer::UniformIntervalTimer(Seconds tau, Seconds half_width)
   LINKPAD_EXPECTS(half_width < tau);
 }
 
-Seconds UniformIntervalTimer::next_interval(stats::Rng& rng) {
+Seconds UniformIntervalTimer::next_interval(util::Rng& rng) {
   return dist_.sample(rng);
 }
 
@@ -98,7 +98,7 @@ ShiftedExponentialTimer::ShiftedExponentialTimer(Seconds offset, Seconds scale)
   LINKPAD_EXPECTS(scale > 0.0);
 }
 
-Seconds ShiftedExponentialTimer::next_interval(stats::Rng& rng) {
+Seconds ShiftedExponentialTimer::next_interval(util::Rng& rng) {
   return offset_ + dist_.sample(rng);
 }
 

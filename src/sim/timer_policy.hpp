@@ -15,6 +15,7 @@
 #include <string>
 
 #include "stats/distributions.hpp"
+#include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace linkpad::sim {
@@ -25,7 +26,7 @@ class TimerPolicy {
   virtual ~TimerPolicy() = default;
 
   /// Draw the next designed interrupt interval (strictly positive).
-  virtual Seconds next_interval(stats::Rng& rng) = 0;
+  virtual Seconds next_interval(util::Rng& rng) = 0;
 
   /// E[T]: mean designed interval.
   [[nodiscard]] virtual Seconds mean_interval() const = 0;
@@ -44,7 +45,7 @@ class ConstantIntervalTimer final : public TimerPolicy {
  public:
   explicit ConstantIntervalTimer(Seconds tau);
 
-  Seconds next_interval(stats::Rng& rng) override;
+  Seconds next_interval(util::Rng& rng) override;
   [[nodiscard]] Seconds mean_interval() const override { return tau_; }
   [[nodiscard]] double interval_variance() const override { return 0.0; }
   [[nodiscard]] std::string name() const override;
@@ -61,7 +62,7 @@ class NormalIntervalTimer final : public TimerPolicy {
   /// fast; the gateway needs time to emit the previous packet).
   NormalIntervalTimer(Seconds tau, Seconds sigma, Seconds min_interval = -1.0);
 
-  Seconds next_interval(stats::Rng& rng) override;
+  Seconds next_interval(util::Rng& rng) override;
   [[nodiscard]] Seconds mean_interval() const override;
   [[nodiscard]] double interval_variance() const override;
   [[nodiscard]] std::string name() const override;
@@ -82,7 +83,7 @@ class UniformIntervalTimer final : public TimerPolicy {
  public:
   UniformIntervalTimer(Seconds tau, Seconds half_width);
 
-  Seconds next_interval(stats::Rng& rng) override;
+  Seconds next_interval(util::Rng& rng) override;
   [[nodiscard]] Seconds mean_interval() const override { return tau_; }
   [[nodiscard]] double interval_variance() const override;
   [[nodiscard]] std::string name() const override;
@@ -100,7 +101,7 @@ class ShiftedExponentialTimer final : public TimerPolicy {
  public:
   ShiftedExponentialTimer(Seconds offset, Seconds scale);
 
-  Seconds next_interval(stats::Rng& rng) override;
+  Seconds next_interval(util::Rng& rng) override;
   [[nodiscard]] Seconds mean_interval() const override { return offset_ + scale_; }
   [[nodiscard]] double interval_variance() const override { return scale_ * scale_; }
   [[nodiscard]] std::string name() const override;

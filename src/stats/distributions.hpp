@@ -18,7 +18,7 @@
 
 namespace linkpad::stats {
 
-using Rng = util::Xoshiro256pp;
+using Rng = util::Rng;
 
 /// Draw one standard normal via the Marsaglia polar method (deterministic:
 /// consumes a variable but seed-reproducible number of uniforms).

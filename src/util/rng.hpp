@@ -88,6 +88,10 @@ class Xoshiro256pp {
   std::array<std::uint64_t, 4> state_;
 };
 
+/// Canonical engine alias used across the codebase (sim, live, stats all
+/// draw from the same generator so experiments stay bit-reproducible).
+using Rng = Xoshiro256pp;
+
 /// Derives independent engines from a root seed by hashing (root, stream).
 /// Two factories with the same root seed produce identical streams, no matter
 /// how many threads consume them or in which order — the backbone of

@@ -65,10 +65,15 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t grain) {
+  parallel_for(ThreadPool::global(), n, body, grain);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
   if (n == 0) return;
   grain = std::max<std::size_t>(grain, 1);
 
-  ThreadPool& pool = ThreadPool::global();
   const std::size_t workers = pool.thread_count();
   if (workers <= 1 || n <= grain) {
     for (std::size_t i = 0; i < n; ++i) body(i);

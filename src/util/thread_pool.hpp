@@ -58,6 +58,12 @@ class ThreadPool {
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t grain = 1);
 
+/// Same, over an explicit pool (e.g. a sweep's dedicated pool). Results are
+/// independent of the pool size — each index derives its own state.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
 /// parallel_for over [0, n) collecting results into a vector (slot i is
 /// written only by the task computing item i — no synchronization needed).
 template <typename T, typename Fn>

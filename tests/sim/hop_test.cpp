@@ -20,7 +20,7 @@ HopConfig test_hop(double rho) {
 
 TEST(HopChannel, ZeroUtilizationIsDeterministic) {
   HopChannel hop(test_hop(0.0), 1000);
-  stats::Rng rng(1);
+  util::Rng rng(1);
   // service = 8 us, prop = 50 us
   const double depart = hop.traverse(1.0, rng);
   EXPECT_NEAR(depart, 1.0 + 8e-6 + 50e-6, 1e-12);
@@ -28,7 +28,7 @@ TEST(HopChannel, ZeroUtilizationIsDeterministic) {
 
 TEST(HopChannel, DeparturesAreMonotone) {
   HopChannel hop(test_hop(0.6), 1000);
-  stats::Rng rng(2);
+  util::Rng rng(2);
   double prev = 0.0;
   for (int i = 0; i < 10000; ++i) {
     const double d = hop.traverse(i * 0.001, rng);  // 1 ms spacing
@@ -39,7 +39,7 @@ TEST(HopChannel, DeparturesAreMonotone) {
 
 TEST(HopChannel, DelayNeverBelowServicePlusPropagation) {
   HopChannel hop(test_hop(0.5), 1000);
-  stats::Rng rng(3);
+  util::Rng rng(3);
   for (int i = 0; i < 10000; ++i) {
     const double arrival = i * 0.01;
     const double depart = hop.traverse(arrival, rng);
@@ -50,7 +50,7 @@ TEST(HopChannel, DelayNeverBelowServicePlusPropagation) {
 
 TEST(HopChannel, WaitVarianceMatchesSamplerTheory) {
   HopChannel hop(test_hop(0.4), 1000);
-  stats::Rng rng(4);
+  util::Rng rng(4);
   stats::RunningStats rs;
   for (int i = 0; i < 200000; ++i) {
     const double arrival = i * 0.01;
@@ -70,7 +70,7 @@ TEST(HopChannel, SetUtilizationChangesNoise) {
 TEST(PathModel, ChainsDelaysAcrossHops) {
   std::vector<HopConfig> hops = {test_hop(0.0), test_hop(0.0), test_hop(0.0)};
   PathModel path(hops, 1000);
-  stats::Rng rng(5);
+  util::Rng rng(5);
   const double arrival = path.traverse(2.0, rng);
   EXPECT_NEAR(arrival, 2.0 + 3.0 * (8e-6 + 50e-6), 1e-12);
 }
@@ -103,7 +103,7 @@ TEST(PathModel, ScaleClampsBelowSaturation) {
 
 TEST(PathModel, EmptyPathIsIdentity) {
   PathModel path({}, 1000);
-  stats::Rng rng(6);
+  util::Rng rng(6);
   EXPECT_DOUBLE_EQ(path.traverse(3.5, rng), 3.5);
   EXPECT_DOUBLE_EQ(path.total_wait_variance(), 0.0);
 }

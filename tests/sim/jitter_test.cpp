@@ -13,7 +13,7 @@ namespace {
 
 TEST(GatewayJitterModel, DelaysAreNonNegative) {
   GatewayJitterModel model(JitterParams{});
-  stats::Rng rng(1);
+  util::Rng rng(1);
   for (int i = 0; i < 50000; ++i) {
     ASSERT_GE(model.emission_delay(rng, i % 3), 0.0);
   }
@@ -21,7 +21,7 @@ TEST(GatewayJitterModel, DelaysAreNonNegative) {
 
 TEST(GatewayJitterModel, MoreArrivalsMeanMoreDelay) {
   GatewayJitterModel model(JitterParams{});
-  stats::Rng rng(2);
+  util::Rng rng(2);
   stats::RunningStats none, many;
   for (int i = 0; i < 100000; ++i) {
     none.add(model.emission_delay(rng, 0));
@@ -38,7 +38,7 @@ TEST(GatewayJitterModel, MarginalVarianceMatchesBernoulliFormula) {
   GatewayJitterModel model(p);
   // Simulate Bernoulli(a) arrivals and compare Var(delta) with the formula.
   const double a = 0.4;
-  stats::Rng rng(3);
+  util::Rng rng(3);
   stats::RunningStats rs;
   for (int i = 0; i < 400000; ++i) {
     const unsigned arrivals = rng.uniform01() < a ? 1 : 0;
@@ -67,7 +67,7 @@ TEST(GatewayJitterModel, EffectiveVarianceIncreasesWithRate) {
 
 TEST(GatewayJitterModel, CleanHostHasNegligibleJitter) {
   GatewayJitterModel model(JitterParams::none());
-  stats::Rng rng(4);
+  util::Rng rng(4);
   for (int i = 0; i < 1000; ++i) {
     ASSERT_LT(model.emission_delay(rng, 2), 1e-9);
   }

@@ -13,7 +13,7 @@ namespace {
 
 TEST(Mg1WaitSampler, ZeroUtilizationNeverWaits) {
   Mg1WaitSampler s(0.0, 10e-6, ServiceModel::kDeterministic);
-  stats::Rng rng(1);
+  util::Rng rng(1);
   for (int i = 0; i < 1000; ++i) EXPECT_DOUBLE_EQ(s.sample(rng), 0.0);
   EXPECT_DOUBLE_EQ(s.mean_wait(), 0.0);
   EXPECT_DOUBLE_EQ(s.wait_variance(), 0.0);
@@ -21,7 +21,7 @@ TEST(Mg1WaitSampler, ZeroUtilizationNeverWaits) {
 
 TEST(Mg1WaitSampler, IdleProbabilityIsOneMinusRho) {
   Mg1WaitSampler s(0.3, 10e-6, ServiceModel::kDeterministic);
-  stats::Rng rng(2);
+  util::Rng rng(2);
   int zero = 0;
   const int n = 200000;
   for (int i = 0; i < n; ++i) {
@@ -59,7 +59,7 @@ TEST_P(Mg1MomentSweep, SampleMomentsMatchClosedForms) {
   const auto [rho, model] = GetParam();
   const double service = 10e-6;
   Mg1WaitSampler s(rho, service, model);
-  stats::Rng rng(42);
+  util::Rng rng(42);
   stats::RunningStats rs;
   const int n = 400000;
   for (int i = 0; i < n; ++i) rs.add(s.sample(rng));

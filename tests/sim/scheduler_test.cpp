@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
 #include <vector>
 
 #include "util/check.hpp"
@@ -104,6 +106,132 @@ TEST(Simulation, RunUntilResumesCorrectly) {
   EXPECT_EQ(stamps.size(), 4u);
   sim.run_until(10.0);
   EXPECT_EQ(stamps.size(), 10u);
+}
+
+namespace {
+
+/// Records its firing order into a shared log.
+class RecordingTask final : public TimerTask {
+ public:
+  RecordingTask(int id, std::vector<int>& log) : id_(id), log_(&log) {}
+  void on_timer(Seconds /*now*/) override { log_->push_back(id_); }
+
+ private:
+  int id_;
+  std::vector<int>* log_;
+};
+
+}  // namespace
+
+TEST(Simulation, TimerTasksRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  RecordingTask a(3, order), b(1, order), c(2, order);
+  sim.schedule_timer_at(3.0, a);
+  sim.schedule_timer_at(1.0, b);
+  sim.schedule_timer_at(2.0, c);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulation, SimultaneousTimersAndCallbacksKeepFifoOrder) {
+  // FIFO tie-breaking must hold ACROSS the two scheduling paths: timers and
+  // closures scheduled at the same instant run in submission order.
+  Simulation sim;
+  std::vector<int> order;
+  RecordingTask t0(0, order), t2(2, order), t5(5, order);
+  sim.schedule_timer_at(1.0, t0);
+  sim.schedule_at(1.0, [&order] { order.push_back(1); });
+  sim.schedule_timer_at(1.0, t2);
+  sim.schedule_at(1.0, [&order] { order.push_back(3); });
+  sim.schedule_at(1.0, [&order] { order.push_back(4); });
+  sim.schedule_timer_at(1.0, t5);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Simulation, TimerTasksRespectRunUntilBoundary) {
+  Simulation sim;
+  std::vector<int> order;
+  RecordingTask a(1, order), b(2, order);
+  sim.schedule_timer_at(1.0, a);
+  sim.schedule_timer_at(2.5, b);
+  sim.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_FALSE(sim.empty());
+  sim.run_until(3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulation, SelfReschedulingTimerTask) {
+  Simulation sim;
+  class Periodic final : public TimerTask {
+   public:
+    explicit Periodic(Simulation& sim) : sim_(sim) {}
+    void on_timer(Seconds /*now*/) override {
+      if (++fires < 100) sim_.schedule_timer_in(0.5, *this);
+    }
+    int fires = 0;
+
+   private:
+    Simulation& sim_;
+  } task{sim};
+
+  sim.schedule_timer_in(0.5, task);
+  sim.run();
+  EXPECT_EQ(task.fires, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 50.0);
+
+  // One pending entry at a time: no pool slot is ever needed.
+  EXPECT_EQ(sim.callback_pool_slots(), 0u);
+}
+
+TEST(Simulation, CallbackPoolSlotsAreRecycled) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired < 10000) sim.schedule_in(1e-3, tick);
+  };
+  sim.schedule_in(1e-3, tick);
+  sim.run();
+  EXPECT_EQ(fired, 10000);
+  // A sequential chain recycles one slot; the slab must not grow per event.
+  EXPECT_LE(sim.callback_pool_slots(), 2u);
+}
+
+TEST(Simulation, OversizedClosuresStillWork) {
+  Simulation sim;
+  // 128 bytes of captured state: past the inline buffer, boxed on the heap.
+  std::array<double, 16> big{};
+  big[7] = 42.0;
+  double seen = 0.0;
+  sim.schedule_at(1.0, [big, &seen] { seen = big[7]; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+TEST(Simulation, SchedulingTimerInThePastViolatesContract) {
+  Simulation sim;
+  std::vector<int> order;
+  RecordingTask task(1, order);
+  sim.schedule_at(2.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_timer_at(1.0, task), linkpad::ContractViolation);
+  EXPECT_THROW(sim.schedule_timer_in(-0.5, task), linkpad::ContractViolation);
+}
+
+TEST(Simulation, StopHaltsTimerProcessing) {
+  Simulation sim;
+  std::vector<int> order;
+  RecordingTask a(1, order), b(2, order);
+  sim.schedule_timer_at(1.0, a);
+  sim.schedule_at(1.5, [&sim] { sim.stop(); });
+  sim.schedule_timer_at(2.0, b);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_FALSE(sim.empty());
 }
 
 }  // namespace

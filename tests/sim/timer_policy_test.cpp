@@ -13,7 +13,7 @@ namespace {
 
 TEST(ConstantIntervalTimer, AlwaysReturnsTau) {
   ConstantIntervalTimer cit(0.01);
-  stats::Rng rng(1);
+  util::Rng rng(1);
   for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(cit.next_interval(rng), 0.01);
   EXPECT_DOUBLE_EQ(cit.mean_interval(), 0.01);
   EXPECT_DOUBLE_EQ(cit.interval_variance(), 0.0);
@@ -21,7 +21,7 @@ TEST(ConstantIntervalTimer, AlwaysReturnsTau) {
 
 TEST(NormalIntervalTimer, MomentsMatchConfiguration) {
   NormalIntervalTimer vit(10e-3, 100e-6);
-  stats::Rng rng(2);
+  util::Rng rng(2);
   stats::RunningStats rs;
   for (int i = 0; i < 200000; ++i) rs.add(vit.next_interval(rng));
   EXPECT_NEAR(rs.mean(), vit.mean_interval(), 2e-6);
@@ -33,7 +33,7 @@ TEST(NormalIntervalTimer, MomentsMatchConfiguration) {
 TEST(NormalIntervalTimer, IntervalsNeverBelowFloor) {
   // Large sigma: truncation must bite instead of emitting negatives.
   NormalIntervalTimer vit(10e-3, 8e-3);
-  stats::Rng rng(3);
+  util::Rng rng(3);
   for (int i = 0; i < 50000; ++i) {
     ASSERT_GE(vit.next_interval(rng), 10e-3 / 100.0);
   }
@@ -55,7 +55,7 @@ TEST(NormalIntervalTimer, InvalidParamsRejected) {
 TEST(UniformIntervalTimer, VarianceFormula) {
   UniformIntervalTimer vit(10e-3, 1e-3);
   EXPECT_NEAR(vit.interval_variance(), (2e-3) * (2e-3) / 12.0, 1e-15);
-  stats::Rng rng(4);
+  util::Rng rng(4);
   for (int i = 0; i < 10000; ++i) {
     const double t = vit.next_interval(rng);
     ASSERT_GE(t, 9e-3);
@@ -67,7 +67,7 @@ TEST(ShiftedExponentialTimer, MomentsMatch) {
   ShiftedExponentialTimer vit(8e-3, 2e-3);
   EXPECT_DOUBLE_EQ(vit.mean_interval(), 10e-3);
   EXPECT_DOUBLE_EQ(vit.interval_variance(), 4e-6);
-  stats::Rng rng(5);
+  util::Rng rng(5);
   stats::RunningStats rs;
   for (int i = 0; i < 100000; ++i) {
     const double t = vit.next_interval(rng);
@@ -80,8 +80,8 @@ TEST(ShiftedExponentialTimer, MomentsMatch) {
 TEST(TimerPolicy, ClonesAreIndependentButIdenticallyDistributed) {
   NormalIntervalTimer original(10e-3, 1e-3);
   auto clone = original.clone();
-  stats::Rng rng_a(6);
-  stats::Rng rng_b(6);
+  util::Rng rng_a(6);
+  util::Rng rng_b(6);
   // Same seed, same policy parameters => identical sequences.
   for (int i = 0; i < 100; ++i) {
     EXPECT_DOUBLE_EQ(original.next_interval(rng_a),
