@@ -3,12 +3,16 @@
 // (KS / CvM distance to per-class references) and races it against the
 // entropy feature across sample sizes on the zero-cross CIT lab system.
 //
+// All three detectors ride ONE DetectorBank pass per sample size: the
+// entropy feature and both EDF distances see the same streamed capture, so
+// the comparison costs one simulation instead of three.
+//
 // Design consequence: the defender's margin must be budgeted against the
 // strongest attack — if the EDF adversary beats entropy at equal n, the
 // guideline's n_max is effectively larger than the packet count suggests.
 #include <iostream>
 
-#include "classify/edf_classifier.hpp"
+#include "classify/detector_bank.hpp"
 #include "common.hpp"
 #include "core/experiment.hpp"
 
@@ -33,36 +37,63 @@ int main(int argc, char** argv) {
   core::Curve cvm{"EDF nearest (CvM)", {}};
 
   const auto scenario = core::lab_zero_cross(core::make_cit());
+  const auto& backend = opts.backend ? *opts.backend : core::sim_backend();
+  constexpr std::size_t kBatch = 8192;
+
   for (std::size_t i = 0; i < fig.x.size(); ++i) {
     const auto n = static_cast<std::size_t>(fig.x[i]);
-    core::ExperimentSpec spec;
-    spec.scenario = scenario;
-    spec.adversary.window_size = n;
-    spec.seed = opts.seed + i;
-    spec.train_windows = windows;
-    spec.test_windows = windows;
+    const std::uint64_t seed = opts.seed + i;
+    const std::size_t piats = windows * n;
 
-    std::vector<std::vector<double>> train = {
-        core::generate_class_stream(spec, 0, windows * n, 1),
-        core::generate_class_stream(spec, 1, windows * n, 1)};
-    std::vector<std::vector<double>> test = {
-        core::generate_class_stream(spec, 0, windows * n, 2),
-        core::generate_class_stream(spec, 1, windows * n, 2)};
+    classify::DetectorSpec entropy_spec;
+    entropy_spec.adversary.feature = classify::FeatureKind::kSampleEntropy;
+    entropy_spec.adversary.window_size = n;
+    classify::DetectorSpec ks_spec = entropy_spec;
+    ks_spec.edf = classify::EdfDistance::kKolmogorovSmirnov;
+    classify::DetectorSpec cvm_spec = entropy_spec;
+    cvm_spec.edf = classify::EdfDistance::kCramerVonMises;
 
-    classify::AdversaryConfig acfg;
-    acfg.feature = classify::FeatureKind::kSampleEntropy;
-    acfg.window_size = n;
-    classify::Adversary adversary(acfg);
-    adversary.train(train);
-    entropy.y.push_back(adversary.detection_rate(test));
+    classify::DetectorBank bank({entropy_spec, ks_spec, cvm_spec},
+                                /*num_classes=*/2);
+    if (bank.needs_prepass() && !backend.replayable()) {
+      // Live captures cannot be replayed for the Δh prepass: materialize
+      // the training capture once and run both passes in memory.
+      std::vector<std::vector<double>> train(2);
+      for (std::size_t c = 0; c < 2; ++c) {
+        train[c] = core::pull_stream(backend, scenario, c, seed, /*salt=*/1,
+                                     piats, kBatch);
+        bank.consume_prepass(train[c]);
+      }
+      bank.finish_prepass();
+      for (std::size_t c = 0; c < 2; ++c) bank.consume_training(c, train[c]);
+    } else {
+      if (bank.needs_prepass()) {
+        for (std::size_t c = 0; c < 2; ++c) {
+          core::stream_batches(backend, scenario, c, seed, /*salt=*/1, piats,
+                               kBatch, [&](std::span<const double> batch) {
+                                 bank.consume_prepass(batch);
+                               });
+        }
+        bank.finish_prepass();
+      }
+      for (std::size_t c = 0; c < 2; ++c) {
+        core::stream_batches(backend, scenario, c, seed, /*salt=*/1, piats,
+                             kBatch, [&](std::span<const double> batch) {
+                               bank.consume_training(c, batch);
+                             });
+      }
+    }
+    bank.train();
+    for (std::size_t c = 0; c < 2; ++c) {
+      core::stream_batches(backend, scenario, c, seed, /*salt=*/2, piats,
+                           kBatch, [&](std::span<const double> batch) {
+                             bank.consume_test(c, batch);
+                           });
+    }
 
-    const auto ks_clf = classify::EdfClassifier::train(
-        train, classify::EdfDistance::kKolmogorovSmirnov);
-    ks.y.push_back(ks_clf.evaluate(test, n).detection_rate());
-
-    const auto cvm_clf = classify::EdfClassifier::train(
-        train, classify::EdfDistance::kCramerVonMises);
-    cvm.y.push_back(cvm_clf.evaluate(test, n).detection_rate());
+    entropy.y.push_back(bank.detector(0).detection_rate());
+    ks.y.push_back(bank.detector(1).detection_rate());
+    cvm.y.push_back(bank.detector(2).detection_rate());
   }
   fig.curves = {entropy, ks, cvm};
   bench::print_figure(fig, args, /*log_x=*/true);

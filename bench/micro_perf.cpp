@@ -1,12 +1,15 @@
 // Micro benchmarks: throughput of the hot paths that bound experiment
 // wall-clock — the DES event core (old std::function/priority_queue design
 // vs the pooled InlineCallback + TimerTask core, on the CIT testbed's event
-// pattern), PIAT generation through the full testbed, feature extraction,
-// KDE evaluation and the M/G/1 stationary-wait sampler.
+// pattern), PIAT generation through the full testbed, feature extraction
+// (batch extractors vs streaming window accumulators vs the five-feature
+// DetectorBank inner loop), KDE evaluation and the M/G/1 stationary-wait
+// sampler.
 //
-// Emits machine-readable JSON with --json (one object per benchmark plus an
-// "event_core_speedup_cit" derived field) so future PRs can track the perf
-// trajectory; the default output is a human-readable table.
+// Emits machine-readable JSON with --json (one object per benchmark plus
+// derived fields: "event_core_speedup_cit" and the streaming multi-feature
+// extraction throughput) so future PRs can track the perf trajectory; the
+// default output is a human-readable table.
 #include <cstdio>
 #include <functional>
 #include <queue>
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "classify/feature.hpp"
+#include "classify/window_accumulator.hpp"
 #include "core/scenarios.hpp"
 #include "sim/mg1.hpp"
 #include "sim/scheduler.hpp"
@@ -241,17 +245,33 @@ std::uint64_t pooled_chain(std::size_t events) {
 
 // ------------------------------------------------------------- reporting
 
-void print_table(const std::vector<BenchResult>& results, double speedup) {
+/// Derived headline numbers tracked across PRs.
+struct DerivedMetrics {
+  double event_core_speedup_cit = 0.0;
+  /// PIATs/sec through all five features at once (DetectorBank inner loop).
+  double bank_five_feature_piats_per_sec = 0.0;
+  /// Streaming accumulator vs batch extractor, variance feature.
+  double streaming_vs_batch_variance = 0.0;
+};
+
+void print_table(const std::vector<BenchResult>& results,
+                 const DerivedMetrics& derived) {
   std::printf("%-36s %14s %12s %10s\n", "benchmark", "items/sec", "items",
               "wall (s)");
   for (const auto& r : results) {
     std::printf("%-36s %14.3e %12.0f %10.3f   [%s]\n", r.name.c_str(),
                 r.items_per_sec, r.items, r.wall_s, r.unit.c_str());
   }
-  std::printf("\nevent core speedup on CIT testbed workload: %.2fx\n", speedup);
+  std::printf("\nevent core speedup on CIT testbed workload: %.2fx\n",
+              derived.event_core_speedup_cit);
+  std::printf("five-feature streaming extraction: %.3e piats/sec "
+              "(streaming/batch variance: %.2fx)\n",
+              derived.bank_five_feature_piats_per_sec,
+              derived.streaming_vs_batch_variance);
 }
 
-void print_json(const std::vector<BenchResult>& results, double speedup) {
+void print_json(const std::vector<BenchResult>& results,
+                const DerivedMetrics& derived) {
   std::printf("{\n  \"version\": 1,\n  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
@@ -260,8 +280,13 @@ void print_json(const std::vector<BenchResult>& results, double speedup) {
                 r.name.c_str(), r.unit.c_str(), r.items_per_sec, r.items,
                 r.wall_s, i + 1 < results.size() ? "," : "");
   }
-  std::printf("  ],\n  \"derived\": {\"event_core_speedup_cit\": %.4f}\n}\n",
-              speedup);
+  std::printf("  ],\n  \"derived\": {\n"
+              "    \"event_core_speedup_cit\": %.4f,\n"
+              "    \"bank_five_feature_piats_per_sec\": %.6e,\n"
+              "    \"streaming_vs_batch_variance\": %.4f\n  }\n}\n",
+              derived.event_core_speedup_cit,
+              derived.bank_five_feature_piats_per_sec,
+              derived.streaming_vs_batch_variance);
 }
 
 }  // namespace
@@ -274,13 +299,14 @@ int main(int argc, char** argv) {
   const double min_time = args.num("--min-time");
 
   std::vector<BenchResult> results;
+  DerivedMetrics derived;
 
   // Event core, old vs new, on the CIT testbed's event pattern.
   results.push_back(run_bench("event_core/cit_workload/legacy", "events",
                               min_time, [] { return legacy_cit_events(50000); }));
   results.push_back(run_bench("event_core/cit_workload/pooled", "events",
                               min_time, [] { return pooled_cit_events(50000); }));
-  const double speedup =
+  derived.event_core_speedup_cit =
       results[1].items_per_sec / results[0].items_per_sec;
 
   results.push_back(run_bench("event_core/chain/legacy", "events", min_time,
@@ -333,6 +359,7 @@ int main(int argc, char** argv) {
       double v = variance.extract(window);
       return static_cast<std::uint64_t>(window.size() + (v < 0.0 ? 1 : 0));
     }));
+    const double batch_variance_ips = results.back().items_per_sec;
 
     classify::SampleEntropyFeature entropy(3e-6);
     results.push_back(run_bench("feature/entropy_4k", "piats", min_time, [&] {
@@ -349,12 +376,68 @@ int main(int argc, char** argv) {
       }
       return static_cast<std::uint64_t>(1000 + (acc < 0.0 ? 1 : 0));
     }));
+
+    // Streaming window accumulators vs the batch extractors above, plus the
+    // DetectorBank inner loop: every PIAT fanned out to all five features
+    // in one pass (what a 5-feature sweep point actually runs).
+    classify::AccumulatorOptions acc_opts;
+    acc_opts.entropy_bin_width = 3e-6;
+
+    const auto bench_accumulator = [&](const std::string& name,
+                                       classify::FeatureKind kind,
+                                       classify::QuantileMode mode) {
+      auto opts = acc_opts;
+      opts.quantile_mode = mode;
+      auto acc = classify::make_window_accumulator(kind, opts);
+      results.push_back(run_bench(name, "piats", min_time, [&] {
+        for (double x : window) acc->add(x);
+        const double v = acc->value();
+        acc->reset();
+        return static_cast<std::uint64_t>(window.size() + (v < 0.0 ? 1 : 0));
+      }));
+    };
+    bench_accumulator("feature_stream/variance_4k",
+                      classify::FeatureKind::kSampleVariance,
+                      classify::QuantileMode::kExact);
+    derived.streaming_vs_batch_variance =
+        results.back().items_per_sec / batch_variance_ips;
+    bench_accumulator("feature_stream/entropy_4k",
+                      classify::FeatureKind::kSampleEntropy,
+                      classify::QuantileMode::kExact);
+    bench_accumulator("feature_stream/iqr_sketch_4k",
+                      classify::FeatureKind::kInterquartileRange,
+                      classify::QuantileMode::kP2Sketch);
+
+    {
+      std::vector<std::unique_ptr<classify::WindowAccumulator>> bank;
+      for (const auto kind : {classify::FeatureKind::kSampleMean,
+                              classify::FeatureKind::kSampleVariance,
+                              classify::FeatureKind::kSampleEntropy,
+                              classify::FeatureKind::kMedianAbsDeviation,
+                              classify::FeatureKind::kInterquartileRange}) {
+        bank.push_back(classify::make_window_accumulator(kind, acc_opts));
+      }
+      results.push_back(
+          run_bench("bank/five_feature_pass_4k", "piats", min_time, [&] {
+            for (double x : window) {
+              for (auto& acc : bank) acc->add(x);
+            }
+            double v = 0.0;
+            for (auto& acc : bank) {
+              v += acc->value();
+              acc->reset();
+            }
+            return static_cast<std::uint64_t>(window.size() +
+                                              (v < 0.0 ? 1 : 0));
+          }));
+      derived.bank_five_feature_piats_per_sec = results.back().items_per_sec;
+    }
   }
 
   if (args.flag("--json")) {
-    print_json(results, speedup);
+    print_json(results, derived);
   } else {
-    print_table(results, speedup);
+    print_table(results, derived);
   }
   return 0;
 }

@@ -1,20 +1,24 @@
 // adversary_study: a walkthrough of the attack of paper Sec 3.3, showing
-// each intermediate artifact the adversary produces:
-//   1. off-line training — replicate the system, capture PIATs per rate,
-//      reduce windows to feature values, fit Gaussian-KDE densities;
+// each intermediate artifact the adversary produces — now as ONE streaming
+// pass of the capture through a multi-feature DetectorBank:
+//   1. off-line training — replicate the system, stream PIATs per rate into
+//      every feature's window accumulator, fit Gaussian-KDE densities;
 //   2. the decision rule — print the fitted f(s|omega_l), f(s|omega_h)
-//      around the threshold d of Fig 2;
-//   3. run-time classification — confusion matrix and detection rate,
-//      against the closed-form prediction.
+//      around the threshold d of Fig 2 for the selected feature;
+//   3. run-time classification — per-feature confusion matrices and
+//      detection rates from the same single capture, against the
+//      closed-form predictions.
 //
-// Run: ./adversary_study [--feature variance|entropy|mean] [--n 1000]
+// Run: ./adversary_study [--feature variance|entropy|mean|mad|iqr] [--n 1000]
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
 #include "analysis/theory.hpp"
-#include "classify/adversary.hpp"
+#include "classify/detector_bank.hpp"
 #include "core/experiment.hpp"
 #include "core/scenarios.hpp"
+#include "stats/descriptive.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/cli.hpp"
 
@@ -26,6 +30,8 @@ classify::FeatureKind parse_feature(const std::string& name) {
   if (name == "mean") return classify::FeatureKind::kSampleMean;
   if (name == "variance") return classify::FeatureKind::kSampleVariance;
   if (name == "entropy") return classify::FeatureKind::kSampleEntropy;
+  if (name == "mad") return classify::FeatureKind::kMedianAbsDeviation;
+  if (name == "iqr") return classify::FeatureKind::kInterquartileRange;
   throw std::invalid_argument("unknown feature: " + name);
 }
 
@@ -34,47 +40,73 @@ classify::FeatureKind parse_feature(const std::string& name) {
 int main(int argc, char** argv) {
   util::ArgParser args("adversary_study",
                        "step-by-step Bayes traffic-analysis attack");
-  args.add_option("--feature", "variance", "mean | variance | entropy");
+  args.add_option("--feature", "variance",
+                  "density plot focus: mean | variance | entropy | mad | iqr");
   args.add_option("--n", "1000", "PIAT window size");
   args.add_option("--windows", "150", "training/test windows per class");
   args.add_option("--seed", "42", "root RNG seed");
   if (!args.parse(argc, argv)) return 1;
 
-  const auto feature = parse_feature(args.str("--feature"));
+  const auto focus = parse_feature(args.str("--feature"));
   const auto n = static_cast<std::size_t>(args.integer("--n"));
   const auto windows = static_cast<std::size_t>(args.integer("--windows"));
   const auto seed = static_cast<std::uint64_t>(args.integer("--seed"));
 
-  core::ExperimentSpec spec;
-  spec.scenario = core::lab_zero_cross(core::make_cit());
-  spec.adversary.feature = feature;
-  spec.adversary.window_size = n;
-  spec.train_windows = windows;
-  spec.test_windows = windows;
-  spec.seed = seed;
+  const auto scenario = core::lab_zero_cross(core::make_cit());
+  const auto& backend = core::sim_backend();
+  const std::size_t piats = windows * n;
+  constexpr std::size_t kBatch = 8192;
+
+  // Focus feature first, every other statistic rides the same pass.
+  std::vector<classify::FeatureKind> features = {focus};
+  for (const auto kind :
+       {classify::FeatureKind::kSampleMean,
+        classify::FeatureKind::kSampleVariance,
+        classify::FeatureKind::kSampleEntropy,
+        classify::FeatureKind::kMedianAbsDeviation,
+        classify::FeatureKind::kInterquartileRange}) {
+    if (kind != focus) features.push_back(kind);
+  }
+
+  classify::AdversaryConfig base;
+  base.window_size = n;
+  classify::DetectorBank bank(base, features, /*num_classes=*/2);
 
   std::printf("=== Off-line training ===\n");
   std::printf("Replicating the padded system at 10 pps and 40 pps,\n");
-  std::printf("capturing %zu windows x %zu PIATs per class...\n\n", windows, n);
+  std::printf("streaming %zu windows x %zu PIATs per class through %zu "
+              "detectors...\n\n",
+              windows, n, bank.size());
 
-  const std::size_t piats = windows * n;
-  std::vector<std::vector<double>> train = {
-      core::generate_class_stream(spec, 0, piats, 1),
-      core::generate_class_stream(spec, 1, piats, 1)};
-  std::vector<std::vector<double>> test = {
-      core::generate_class_stream(spec, 0, piats, 2),
-      core::generate_class_stream(spec, 1, piats, 2)};
+  // The entropy detector selects its bin width from pooled training
+  // moments, so the (replayable) training streams are walked twice; no
+  // pass ever materializes more than one batch.
+  if (bank.needs_prepass()) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      core::stream_batches(backend, scenario, c, seed, /*salt=*/1, piats,
+                           kBatch, [&](std::span<const double> batch) {
+                             bank.consume_prepass(batch);
+                           });
+    }
+    bank.finish_prepass();
+  }
+  stats::RunningStats train_stats[2];
+  for (std::size_t c = 0; c < 2; ++c) {
+    core::stream_batches(backend, scenario, c, seed, /*salt=*/1, piats, kBatch,
+                         [&](std::span<const double> batch) {
+                           bank.consume_training(c, batch);
+                           for (double x : batch) train_stats[c].add(x);
+                         });
+  }
+  bank.train();
 
-  classify::Adversary adversary(spec.adversary);
-  adversary.train(train);
-
-  // Show the fitted class-conditional feature densities (Fig 2).
-  const auto& f_low = adversary.training_features()[0];
-  const auto& f_high = adversary.training_features()[1];
-  const auto sum_low = stats::summarize(f_low);
-  const auto sum_high = stats::summarize(f_high);
+  // Show the fitted class-conditional feature densities (Fig 2) for the
+  // focus feature (detector 0).
+  const auto& detector = bank.detector(0);
+  const auto sum_low = stats::summarize(detector.training_features()[0]);
+  const auto sum_high = stats::summarize(detector.training_features()[1]);
   std::printf("feature '%s' over windows of n = %zu:\n",
-              classify::feature_name(feature).c_str(), n);
+              detector.name().c_str(), n);
   std::printf("  class omega_l (10 pps): mean %.6g  std %.4g\n", sum_low.mean,
               sum_low.stddev);
   std::printf("  class omega_h (40 pps): mean %.6g  std %.4g\n", sum_high.mean,
@@ -86,8 +118,8 @@ int main(int argc, char** argv) {
   for (int i = 0; i <= 80; ++i) {
     const double s = lo + (hi - lo) * i / 80.0;
     grid.push_back(s);
-    pdf_l.push_back(adversary.classifier().density(0).pdf(s));
-    pdf_h.push_back(adversary.classifier().density(1).pdf(s));
+    pdf_l.push_back(detector.classifier().density(0).pdf(s));
+    pdf_h.push_back(detector.classifier().density(1).pdf(s));
   }
   util::PlotOptions plot;
   plot.y_label = "f(s|omega) — KDE-fitted class-conditional densities (Fig 2)";
@@ -97,7 +129,7 @@ int main(int argc, char** argv) {
                                   util::Series{"omega_h", grid, pdf_h}},
                                  plot);
 
-  if (const auto d = adversary.classifier().decision_threshold()) {
+  if (const auto d = detector.classifier().decision_threshold()) {
     std::printf("\nBayes decision threshold d = %.6g  (s <= d -> omega_l)\n",
                 *d);
   } else {
@@ -105,29 +137,43 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n=== Run-time classification ===\n");
-  const auto cm = adversary.evaluate(test);
-  std::cout << cm.to_string();
-  const double v = cm.detection_rate();
-  const double r_hat = analysis::estimate_variance_ratio(train[0], train[1]);
-  std::printf("\nempirical detection rate v = %.4f  (r_hat = %.4f)\n", v, r_hat);
+  for (std::size_t c = 0; c < 2; ++c) {
+    core::stream_batches(backend, scenario, c, seed, /*salt=*/2, piats, kBatch,
+                         [&](std::span<const double> batch) {
+                           bank.consume_test(c, batch);
+                         });
+  }
+  std::cout << detector.confusion().to_string();
 
-  switch (feature) {
-    case classify::FeatureKind::kSampleMean:
-      std::printf("Theorem 1 (exact form): %.4f\n",
-                  analysis::detection_rate_mean_exact(r_hat));
-      break;
-    case classify::FeatureKind::kSampleVariance:
-      std::printf("Theorem 2: %.4f   CLT law: %.4f\n",
-                  analysis::detection_rate_variance(r_hat, double(n)),
-                  analysis::detection_rate_variance_clt(r_hat, double(n)));
-      break;
-    case classify::FeatureKind::kSampleEntropy:
-      std::printf("Theorem 3: %.4f   CLT law: %.4f\n",
-                  analysis::detection_rate_entropy(r_hat, double(n)),
-                  analysis::detection_rate_entropy_clt(r_hat, double(n)));
-      break;
-    default:
-      break;
+  const double r_hat = analysis::variance_ratio(train_stats[0].variance(),
+                                                train_stats[1].variance());
+  std::printf("\nall detectors, one capture (r_hat = %.4f):\n", r_hat);
+  std::printf("  %-16s %10s %10s\n", "feature", "empirical", "theory");
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    const auto& det = bank.detector(i);
+    double theory = 0.0;
+    bool has_theory = true;
+    switch (det.spec().adversary.feature) {
+      case classify::FeatureKind::kSampleMean:
+        theory = analysis::detection_rate_mean_exact(r_hat);
+        break;
+      case classify::FeatureKind::kSampleVariance:
+        theory = analysis::detection_rate_variance(r_hat, double(n));
+        break;
+      case classify::FeatureKind::kSampleEntropy:
+        theory = analysis::detection_rate_entropy(r_hat, double(n));
+        break;
+      default:
+        has_theory = false;  // extension features: no closed form
+        break;
+    }
+    if (has_theory) {
+      std::printf("  %-16s %10.4f %10.4f\n", det.name().c_str(),
+                  det.detection_rate(), theory);
+    } else {
+      std::printf("  %-16s %10.4f %10s\n", det.name().c_str(),
+                  det.detection_rate(), "-");
+    }
   }
   return 0;
 }

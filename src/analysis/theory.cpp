@@ -24,15 +24,18 @@ double VarianceComponents::ratio() const {
   return (sigma2_timer + sigma2_net + sigma2_gw_high) / denom;
 }
 
-double estimate_variance_ratio(std::span<const double> piats_low,
-                               std::span<const double> piats_high) {
-  const double vl = stats::sample_variance(piats_low);
-  const double vh = stats::sample_variance(piats_high);
-  LINKPAD_EXPECTS(vl > 0.0 && vh > 0.0);
-  const double r = vh / vl;
+double variance_ratio(double var_a, double var_b) {
+  LINKPAD_EXPECTS(var_a > 0.0 && var_b > 0.0);
   // Orientation is irrelevant to a Bayes decision between the two classes;
   // downstream formulas assume r >= 1.
+  const double r = var_b / var_a;
   return r >= 1.0 ? r : 1.0 / r;
+}
+
+double estimate_variance_ratio(std::span<const double> piats_low,
+                               std::span<const double> piats_high) {
+  return variance_ratio(stats::sample_variance(piats_low),
+                        stats::sample_variance(piats_high));
 }
 
 // ------------------------------------------------------------- Theorem 1

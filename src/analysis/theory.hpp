@@ -39,6 +39,12 @@ struct VarianceComponents {
   [[nodiscard]] double ratio() const;
 };
 
+/// Orientation-free variance ratio from two PRECOMPUTED positive variances:
+/// max/min, so r ≥ 1 never fails downstream monotonicity assumptions. The
+/// one place the Theorems 1–3 orientation convention lives — streaming
+/// consumers with Welford moments call this instead of re-deriving it.
+double variance_ratio(double var_a, double var_b);
+
 /// r̂ from two measured PIAT samples (sample-variance ratio, oriented so
 /// that r̂ ≥ 1 never fails downstream monotonicity assumptions).
 double estimate_variance_ratio(std::span<const double> piats_low,

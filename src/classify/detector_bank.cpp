@@ -1,0 +1,283 @@
+#include "classify/detector_bank.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/edf.hpp"
+#include "util/check.hpp"
+
+namespace linkpad::classify {
+
+// ------------------------------------------------------------------ Detector
+
+Detector::Detector(DetectorSpec spec, std::size_t num_classes)
+    : spec_(std::move(spec)),
+      num_classes_(num_classes),
+      bin_width_(spec_.adversary.entropy_bin_width),
+      confusion_(num_classes) {
+  LINKPAD_EXPECTS(num_classes >= 2);
+  LINKPAD_EXPECTS(spec_.adversary.window_size >= 2);
+  // Mirror EdfClassifier::train's floor so a bad knob fails at
+  // construction, not deep inside train() with an internal-state message.
+  if (is_edf()) LINKPAD_EXPECTS(spec_.edf_max_reference >= 16);
+  if (!needs_bin_width()) prepare();
+}
+
+std::string Detector::name() const {
+  if (is_edf()) {
+    return spec_.edf == EdfDistance::kKolmogorovSmirnov ? "EDF nearest (KS)"
+                                                        : "EDF nearest (CvM)";
+  }
+  return feature_name(spec_.adversary.feature);
+}
+
+bool Detector::needs_bin_width() const {
+  return !is_edf() &&
+         spec_.adversary.feature == FeatureKind::kSampleEntropy &&
+         bin_width_ <= 0.0;
+}
+
+void Detector::set_bin_width(double bin_width) {
+  LINKPAD_EXPECTS(bin_width > 0.0);
+  LINKPAD_EXPECTS(!prepared_);
+  bin_width_ = bin_width;
+  prepare();
+}
+
+void Detector::prepare() {
+  LINKPAD_EXPECTS(!prepared_);
+  if (is_edf()) {
+    window_buffers_.resize(num_classes_);
+    for (auto& buffer : window_buffers_) {
+      buffer.reserve(spec_.adversary.window_size);
+    }
+    references_.resize(num_classes_);
+  } else {
+    AccumulatorOptions options;
+    options.entropy_bin_width = bin_width_;
+    options.entropy_bias = spec_.adversary.entropy_bias;
+    options.quantile_mode = spec_.quantile_mode;
+    accumulators_.reserve(num_classes_);
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      accumulators_.push_back(
+          make_window_accumulator(spec_.adversary.feature, options));
+    }
+    training_features_.resize(num_classes_);
+  }
+  prepared_ = true;
+}
+
+void Detector::thin_reference(std::vector<double>& reference) const {
+  thin_reference_sorted(reference, spec_.edf_max_reference);
+}
+
+void Detector::complete_window(std::size_t class_index, bool testing) {
+  if (is_edf()) {
+    if (testing) {
+      classify_edf_window(class_index);
+    } else {
+      auto& reference = references_[class_index];
+      auto& window = window_buffers_[class_index];
+      reference.insert(reference.end(), window.begin(), window.end());
+      // Progressive thinning bounds training memory at ~2x the reference
+      // cap. Each thin resamples the sorted prefix, so the final reference
+      // approximates (not reproduces) a full-sort thin — documented
+      // tolerance of the streaming EDF detector.
+      if (reference.size() >= 2 * spec_.edf_max_reference) {
+        thin_reference(reference);
+      }
+    }
+    window_buffers_[class_index].clear();
+    return;
+  }
+  auto& acc = *accumulators_[class_index];
+  const double feature = acc.value();
+  if (testing) {
+    confusion_.add(static_cast<ClassLabel>(class_index),
+                   classifier_->classify(feature));
+  } else {
+    training_features_[class_index].push_back(feature);
+  }
+  acc.reset();
+}
+
+void Detector::classify_edf_window(std::size_t true_class) {
+  // The buffer is cleared right after this call, so sort it in place — no
+  // per-window allocation on the EDF hot path.
+  auto& sorted = window_buffers_[true_class];
+  std::sort(sorted.begin(), sorted.end());
+  ClassLabel best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < references_.size(); ++c) {
+    const double d = spec_.edf == EdfDistance::kKolmogorovSmirnov
+                         ? stats::ks_distance_sorted(sorted, references_[c])
+                         : stats::cvm_distance_sorted(sorted, references_[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<ClassLabel>(c);
+    }
+  }
+  confusion_.add(static_cast<ClassLabel>(true_class), best);
+}
+
+void Detector::feed(std::size_t class_index, std::span<const double> batch,
+                    bool testing) {
+  LINKPAD_EXPECTS(prepared_);
+  LINKPAD_EXPECTS(class_index < num_classes_);
+  const std::size_t n = spec_.adversary.window_size;
+  if (is_edf()) {
+    auto& window = window_buffers_[class_index];
+    for (double x : batch) {
+      window.push_back(x);
+      if (window.size() == n) complete_window(class_index, testing);
+    }
+  } else {
+    auto& acc = *accumulators_[class_index];
+    for (double x : batch) {
+      acc.add(x);
+      if (acc.count() == n) complete_window(class_index, testing);
+    }
+  }
+}
+
+void Detector::consume_training(std::size_t class_index,
+                                std::span<const double> batch) {
+  LINKPAD_EXPECTS(!trained_);
+  feed(class_index, batch, /*testing=*/false);
+}
+
+void Detector::train(const std::vector<double>& priors) {
+  LINKPAD_EXPECTS(prepared_ && !trained_);
+  LINKPAD_EXPECTS(priors.size() == num_classes_);
+  priors_ = priors;
+  if (is_edf()) {
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      window_buffers_[c].clear();  // drop the partial trailing window
+      LINKPAD_EXPECTS(references_[c].size() >= 16);
+      thin_reference(references_[c]);
+    }
+  } else {
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      accumulators_[c]->reset();  // drop the partial trailing window
+      LINKPAD_EXPECTS(training_features_[c].size() >= 2);
+    }
+    classifier_ =
+        BayesClassifier::train(training_features_, priors_,
+                               spec_.adversary.density, spec_.adversary.bandwidth,
+                               spec_.adversary.fixed_bandwidth);
+  }
+  trained_ = true;
+}
+
+void Detector::consume_test(std::size_t true_class,
+                            std::span<const double> batch) {
+  LINKPAD_EXPECTS(trained_);
+  feed(true_class, batch, /*testing=*/true);
+}
+
+double Detector::detection_rate() const {
+  LINKPAD_EXPECTS(trained_);
+  return confusion_.detection_rate(priors_);
+}
+
+const BayesClassifier& Detector::classifier() const {
+  LINKPAD_EXPECTS(classifier_.has_value());
+  return *classifier_;
+}
+
+// -------------------------------------------------------------- DetectorBank
+
+DetectorBank::DetectorBank(std::vector<DetectorSpec> specs,
+                           std::size_t num_classes)
+    : num_classes_(num_classes) {
+  LINKPAD_EXPECTS(!specs.empty());
+  LINKPAD_EXPECTS(num_classes >= 2);
+  detectors_.reserve(specs.size());
+  for (auto& spec : specs) {
+    detectors_.push_back(
+        std::make_unique<Detector>(std::move(spec), num_classes));
+  }
+}
+
+namespace {
+
+std::vector<DetectorSpec> specs_for_features(
+    const AdversaryConfig& base, const std::vector<FeatureKind>& features) {
+  std::vector<DetectorSpec> specs;
+  specs.reserve(features.size());
+  for (const auto kind : features) {
+    DetectorSpec spec;
+    spec.adversary = base;
+    spec.adversary.feature = kind;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace
+
+DetectorBank::DetectorBank(const AdversaryConfig& base,
+                           const std::vector<FeatureKind>& features,
+                           std::size_t num_classes)
+    : DetectorBank(specs_for_features(base, features), num_classes) {}
+
+bool DetectorBank::needs_prepass() const {
+  if (prepass_finished_) return false;
+  return std::any_of(detectors_.begin(), detectors_.end(),
+                     [](const auto& d) { return d->needs_bin_width(); });
+}
+
+void DetectorBank::consume_prepass(std::span<const double> batch) {
+  LINKPAD_EXPECTS(!prepass_finished_);
+  for (double x : batch) prepass_pooled_.add(x);
+}
+
+void DetectorBank::finish_prepass() {
+  LINKPAD_EXPECTS(!prepass_finished_);
+  LINKPAD_EXPECTS(prepass_pooled_.count() >= 2);
+  for (auto& detector : detectors_) {
+    if (!detector->needs_bin_width()) continue;
+    // Scott's histogram rule at the detector's window size — the exact
+    // selection Adversary::train performs on pooled training data.
+    const double n = static_cast<double>(detector->spec().adversary.window_size);
+    const double width =
+        3.49 * prepass_pooled_.stddev() * std::pow(n, -1.0 / 3.0);
+    LINKPAD_ENSURES(width > 0.0);
+    detector->set_bin_width(width);
+  }
+  prepass_finished_ = true;
+}
+
+void DetectorBank::consume_training(std::size_t class_index,
+                                    std::span<const double> batch) {
+  LINKPAD_EXPECTS(!needs_prepass());
+  for (auto& detector : detectors_) {
+    detector->consume_training(class_index, batch);
+  }
+}
+
+void DetectorBank::train(std::vector<double> priors) {
+  if (priors.empty()) {
+    priors.assign(num_classes_, 1.0 / static_cast<double>(num_classes_));
+  }
+  LINKPAD_EXPECTS(priors.size() == num_classes_);
+  for (auto& detector : detectors_) detector->train(priors);
+}
+
+bool DetectorBank::trained() const {
+  return std::all_of(detectors_.begin(), detectors_.end(),
+                     [](const auto& d) { return d->trained(); });
+}
+
+void DetectorBank::consume_test(std::size_t true_class,
+                                std::span<const double> batch) {
+  for (auto& detector : detectors_) detector->consume_test(true_class, batch);
+}
+
+const Detector& DetectorBank::detector(std::size_t i) const {
+  LINKPAD_EXPECTS(i < detectors_.size());
+  return *detectors_[i];
+}
+
+}  // namespace linkpad::classify

@@ -1,0 +1,163 @@
+// DetectorBank: every configured detector over ONE pass of the capture.
+//
+// The paper's adversary (Sec 3.3) reduces each PIAT window to a scalar and
+// classifies it. Evaluating several attack statistics used to mean one full
+// capture (or simulation) per statistic; the bank instead fans each incoming
+// PIAT batch out to all detectors, so an N-feature study costs one stream
+// pass and O(batch + N·window) resident memory. Two detector flavours ride
+// the same pass:
+//
+//  * feature detectors — a WindowAccumulator feeds a per-feature Bayes
+//    classifier (KDE / Gaussian / histogram density, as AdversaryConfig
+//    selects); numerically these reproduce classify::Adversary bit for bit
+//    (see window_accumulator.hpp for the per-feature guarantees);
+//  * EDF detectors — whole windows classified by nearest reference EDF
+//    (KS or CvM), the upper-envelope attack of edf_classifier.hpp. Their
+//    references are built with bounded memory via progressive quantile
+//    thinning, a documented approximation of EdfClassifier::train's
+//    full-sort thinning.
+//
+// Protocol (phases must come in this order):
+//   1. optional prepass     — consume_prepass(batch) over all TRAINING data
+//                             in class order, then finish_prepass(); only
+//                             needed when needs_prepass() (an entropy
+//                             detector without an explicit Δh: the Scott
+//                             rule wants the pooled training stddev).
+//   2. training             — consume_training(class, batch) per class;
+//                             then train().
+//   3. run-time             — consume_test(true_class, batch); per-detector
+//                             confusion matrices accumulate.
+//
+// Batches may be any size: results are independent of batch boundaries
+// (every accumulator is per-sample sequential). Partial trailing windows
+// are dropped, exactly like Adversary::windows_of.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "classify/adversary.hpp"
+#include "classify/edf_classifier.hpp"
+#include "classify/window_accumulator.hpp"
+#include "stats/descriptive.hpp"
+
+namespace linkpad::classify {
+
+/// One detector's configuration inside a bank.
+struct DetectorSpec {
+  /// Feature, window size, entropy knobs, density model — as Adversary.
+  AdversaryConfig adversary;
+  /// Quantile backend for streaming MAD/IQR.
+  QuantileMode quantile_mode = QuantileMode::kExact;
+  /// When set, the detector ignores `adversary.feature` and classifies
+  /// whole windows by nearest reference EDF with this distance.
+  std::optional<EdfDistance> edf;
+  /// Per-class reference size bound for EDF detectors.
+  std::size_t edf_max_reference = 20000;
+};
+
+/// One streaming detection pipeline: accumulator → features → classifier
+/// (or window → nearest reference EDF). Owned and driven by DetectorBank.
+class Detector {
+ public:
+  Detector(DetectorSpec spec, std::size_t num_classes);
+
+  [[nodiscard]] const DetectorSpec& spec() const { return spec_; }
+  [[nodiscard]] bool is_edf() const { return spec_.edf.has_value(); }
+  /// "sample entropy", "EDF nearest (KS)", ...
+  [[nodiscard]] std::string name() const;
+
+  /// True until an entropy detector without an explicit Δh gets one.
+  [[nodiscard]] bool needs_bin_width() const;
+  void set_bin_width(double bin_width);
+  /// The Δh in use (entropy detectors, after auto-selection).
+  [[nodiscard]] double entropy_bin_width() const { return bin_width_; }
+
+  void consume_training(std::size_t class_index, std::span<const double> batch);
+  void train(const std::vector<double>& priors);
+  [[nodiscard]] bool trained() const { return trained_; }
+
+  void consume_test(std::size_t true_class, std::span<const double> batch);
+
+  [[nodiscard]] const ConfusionMatrix& confusion() const { return confusion_; }
+  /// Prior-weighted detection rate of the windows consumed so far.
+  [[nodiscard]] double detection_rate() const;
+
+  /// Training feature values per class (feature detectors only).
+  [[nodiscard]] const std::vector<std::vector<double>>& training_features()
+      const {
+    return training_features_;
+  }
+  /// The fitted per-feature Bayes rule (feature detectors only).
+  [[nodiscard]] const BayesClassifier& classifier() const;
+
+ private:
+  friend class DetectorBank;
+
+  void prepare();  // build accumulators once the bin width is known
+  void feed(std::size_t class_index, std::span<const double> batch,
+            bool testing);
+  void complete_window(std::size_t class_index, bool testing);
+  void classify_edf_window(std::size_t true_class);
+  void thin_reference(std::vector<double>& reference) const;
+
+  DetectorSpec spec_;
+  std::size_t num_classes_;
+  double bin_width_ = 0.0;
+  bool prepared_ = false;
+  bool trained_ = false;
+
+  // Per-class streaming window state (accumulator OR edf window buffer).
+  std::vector<std::unique_ptr<WindowAccumulator>> accumulators_;
+  std::vector<std::vector<double>> window_buffers_;  // EDF mode
+
+  std::vector<std::vector<double>> training_features_;  // feature mode
+  std::vector<std::vector<double>> references_;         // EDF mode, sorted
+  std::vector<double> priors_;
+  std::optional<BayesClassifier> classifier_;
+  ConfusionMatrix confusion_;
+};
+
+/// Evaluates all configured detectors over a single pass of the stream.
+class DetectorBank {
+ public:
+  DetectorBank(std::vector<DetectorSpec> specs, std::size_t num_classes);
+
+  /// Convenience: one feature detector per kind, sharing `base`'s window
+  /// size / entropy / density knobs.
+  DetectorBank(const AdversaryConfig& base,
+               const std::vector<FeatureKind>& features,
+               std::size_t num_classes);
+
+  /// True when some entropy detector needs the pooled-training-data Δh
+  /// prepass before training can start.
+  [[nodiscard]] bool needs_prepass() const;
+
+  /// Feed ALL training data once (class order, for bit-identity with
+  /// Adversary::train's pooled statistics), then finish_prepass().
+  void consume_prepass(std::span<const double> batch);
+  void finish_prepass();
+
+  void consume_training(std::size_t class_index, std::span<const double> batch);
+
+  /// Fit every detector. Empty priors = equal.
+  void train(std::vector<double> priors = {});
+  [[nodiscard]] bool trained() const;
+
+  void consume_test(std::size_t true_class, std::span<const double> batch);
+
+  [[nodiscard]] std::size_t size() const { return detectors_.size(); }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  [[nodiscard]] const Detector& detector(std::size_t i) const;
+
+ private:
+  std::vector<std::unique_ptr<Detector>> detectors_;
+  std::size_t num_classes_;
+  stats::RunningStats prepass_pooled_;
+  bool prepass_finished_ = false;
+};
+
+}  // namespace linkpad::classify

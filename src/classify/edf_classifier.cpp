@@ -9,6 +9,22 @@
 
 namespace linkpad::classify {
 
+void thin_reference_sorted(std::vector<double>& sample,
+                           std::size_t max_reference) {
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() <= max_reference) return;
+  std::vector<double> thinned;
+  thinned.reserve(max_reference);
+  const double step = static_cast<double>(sample.size()) /
+                      static_cast<double>(max_reference);
+  for (std::size_t k = 0; k < max_reference; ++k) {
+    const auto idx =
+        static_cast<std::size_t>((static_cast<double>(k) + 0.5) * step);
+    thinned.push_back(sample[std::min(idx, sample.size() - 1)]);
+  }
+  sample = std::move(thinned);
+}
+
 EdfClassifier EdfClassifier::train(
     const std::vector<std::vector<double>>& class_streams, EdfDistance distance,
     std::size_t max_reference) {
@@ -21,23 +37,7 @@ EdfClassifier EdfClassifier::train(
   for (const auto& stream : class_streams) {
     LINKPAD_EXPECTS(stream.size() >= 16);
     std::vector<double> reference(stream.begin(), stream.end());
-    std::sort(reference.begin(), reference.end());
-    if (reference.size() > max_reference) {
-      // Thin by quantiles of the SORTED sample: preserves the EDF shape
-      // exactly at bounded cost. (Temporal-stride thinning is unsafe here:
-      // padded PIAT streams carry periodic structure from CBR payloads,
-      // and a resonant stride samples a single phase of that cycle.)
-      std::vector<double> thinned;
-      thinned.reserve(max_reference);
-      const double step = static_cast<double>(reference.size()) /
-                          static_cast<double>(max_reference);
-      for (std::size_t k = 0; k < max_reference; ++k) {
-        const auto idx = static_cast<std::size_t>(
-            (static_cast<double>(k) + 0.5) * step);
-        thinned.push_back(reference[std::min(idx, reference.size() - 1)]);
-      }
-      reference = std::move(thinned);
-    }
+    thin_reference_sorted(reference, max_reference);
     clf.references_.push_back(std::move(reference));
   }
   return clf;

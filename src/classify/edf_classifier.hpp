@@ -23,6 +23,15 @@ enum class EdfDistance {
   kCramerVonMises,     ///< L2-norm: integrates the gap over the body
 };
 
+/// Sort `sample` in place and, when it exceeds `max_reference`, thin it to
+/// exactly `max_reference` points by quantiles of the SORTED sample —
+/// preserves the EDF shape at bounded cost. (Temporal-stride thinning is
+/// unsafe here: padded PIAT streams carry periodic structure from CBR
+/// payloads, and a resonant stride samples a single phase of that cycle.)
+/// Shared by EdfClassifier::train and the streaming EDF detectors.
+void thin_reference_sorted(std::vector<double>& sample,
+                           std::size_t max_reference);
+
 /// Nearest-distribution classifier over per-class reference EDFs.
 class EdfClassifier {
  public:

@@ -25,6 +25,9 @@ double SampleMeanFeature::extract(std::span<const double> window) const {
 }
 
 double SampleVarianceFeature::extract(std::span<const double> window) const {
+  // stats::sample_variance runs the same Welford recurrence the streaming
+  // VarianceAccumulator performs, so batch and streaming feature values
+  // are bit-identical (DESIGN.md §2.5).
   return stats::sample_variance(window);
 }
 
@@ -39,12 +42,7 @@ double SampleEntropyFeature::extract(std::span<const double> window) const {
 }
 
 double MadFeature::extract(std::span<const double> window) const {
-  const double med = stats::median(window);
-  std::vector<double> dev(window.size());
-  for (std::size_t i = 0; i < window.size(); ++i) {
-    dev[i] = std::abs(window[i] - med);
-  }
-  return stats::median(dev);
+  return stats::mad(window);
 }
 
 double IqrFeature::extract(std::span<const double> window) const {
@@ -60,6 +58,13 @@ std::unique_ptr<FeatureExtractor> make_feature(FeatureKind kind,
     case FeatureKind::kSampleVariance:
       return std::make_unique<SampleVarianceFeature>();
     case FeatureKind::kSampleEntropy:
+      // Catch callers that forgot to select a bin width: a defaulted 0.0
+      // here means the Δh auto-selection of Adversary::train /
+      // DetectorBank was bypassed, never a legitimate configuration.
+      LINKPAD_EXPECTS(entropy_bin_width > 0.0 &&
+                      "kSampleEntropy needs entropy_bin_width > 0 (set "
+                      "AdversaryConfig::entropy_bin_width or train via "
+                      "Adversary/DetectorBank for Scott-rule auto-selection)");
       return std::make_unique<SampleEntropyFeature>(entropy_bin_width, bias);
     case FeatureKind::kMedianAbsDeviation:
       return std::make_unique<MadFeature>();

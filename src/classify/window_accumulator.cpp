@@ -1,0 +1,171 @@
+#include "classify/window_accumulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+#include "stats/quantile_sketch.hpp"
+#include "util/check.hpp"
+
+namespace linkpad::classify {
+
+namespace {
+
+class MeanAccumulator final : public WindowAccumulator {
+ public:
+  void add(double x) override {
+    sum_ += x;
+    ++n_;
+  }
+  [[nodiscard]] double value() const override {
+    LINKPAD_EXPECTS(n_ > 0);
+    return sum_ / static_cast<double>(n_);
+  }
+  void reset() override {
+    sum_ = 0.0;
+    n_ = 0;
+  }
+  [[nodiscard]] std::size_t count() const override { return n_; }
+  [[nodiscard]] std::string name() const override { return "sample mean"; }
+
+ private:
+  double sum_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+class VarianceAccumulator final : public WindowAccumulator {
+ public:
+  void add(double x) override { rs_.add(x); }
+  [[nodiscard]] double value() const override { return rs_.variance(); }
+  void reset() override { rs_ = stats::RunningStats{}; }
+  [[nodiscard]] std::size_t count() const override { return rs_.count(); }
+  [[nodiscard]] std::string name() const override { return "sample variance"; }
+
+ private:
+  stats::RunningStats rs_;
+};
+
+class EntropyAccumulator final : public WindowAccumulator {
+ public:
+  EntropyAccumulator(double bin_width, stats::EntropyBias bias)
+      : bias_(bias), hist_(bin_width) {}
+
+  void add(double x) override { hist_.add(x); }
+  [[nodiscard]] double value() const override {
+    return stats::histogram_entropy(hist_, bias_);
+  }
+  void reset() override { hist_ = stats::SparseHistogram(hist_.bin_width()); }
+  [[nodiscard]] std::size_t count() const override {
+    return static_cast<std::size_t>(hist_.total());
+  }
+  [[nodiscard]] std::string name() const override { return "sample entropy"; }
+
+ private:
+  stats::EntropyBias bias_;
+  stats::SparseHistogram hist_;
+};
+
+/// Exact dispersion accumulators: buffer the window (bounded by the window
+/// size) and run the very same sorted-quantile code as the batch features.
+class BufferedMadAccumulator final : public WindowAccumulator {
+ public:
+  void add(double x) override { buffer_.push_back(x); }
+  [[nodiscard]] double value() const override { return stats::mad(buffer_); }
+  void reset() override { buffer_.clear(); }
+  [[nodiscard]] std::size_t count() const override { return buffer_.size(); }
+  [[nodiscard]] std::string name() const override { return "MAD"; }
+
+ private:
+  std::vector<double> buffer_;
+};
+
+class BufferedIqrAccumulator final : public WindowAccumulator {
+ public:
+  void add(double x) override { buffer_.push_back(x); }
+  [[nodiscard]] double value() const override { return stats::iqr(buffer_); }
+  void reset() override { buffer_.clear(); }
+  [[nodiscard]] std::size_t count() const override { return buffer_.size(); }
+  [[nodiscard]] std::string name() const override { return "IQR"; }
+
+ private:
+  std::vector<double> buffer_;
+};
+
+/// Sketched MAD: a P² median of the samples plus a P² median of the
+/// absolute deviations from the RUNNING median estimate. The deviation
+/// stream uses the current (not final) median, so on top of the P² marker
+/// error this adds a warm-up bias that fades as the window grows — fine
+/// for the large windows the sketch mode exists for.
+class SketchMadAccumulator final : public WindowAccumulator {
+ public:
+  void add(double x) override {
+    median_.add(x);
+    deviation_.add(std::abs(x - median_.value()));
+  }
+  [[nodiscard]] double value() const override { return deviation_.value(); }
+  void reset() override {
+    median_.reset();
+    deviation_.reset();
+  }
+  [[nodiscard]] std::size_t count() const override { return median_.count(); }
+  [[nodiscard]] std::string name() const override { return "MAD (P2)"; }
+
+ private:
+  stats::P2Quantile median_{0.5};
+  stats::P2Quantile deviation_{0.5};
+};
+
+class SketchIqrAccumulator final : public WindowAccumulator {
+ public:
+  void add(double x) override {
+    q1_.add(x);
+    q3_.add(x);
+  }
+  [[nodiscard]] double value() const override {
+    return std::max(0.0, q3_.value() - q1_.value());
+  }
+  void reset() override {
+    q1_.reset();
+    q3_.reset();
+  }
+  [[nodiscard]] std::size_t count() const override { return q1_.count(); }
+  [[nodiscard]] std::string name() const override { return "IQR (P2)"; }
+
+ private:
+  stats::P2Quantile q1_{0.25};
+  stats::P2Quantile q3_{0.75};
+};
+
+}  // namespace
+
+std::unique_ptr<WindowAccumulator> make_window_accumulator(
+    FeatureKind kind, const AccumulatorOptions& options) {
+  switch (kind) {
+    case FeatureKind::kSampleMean:
+      return std::make_unique<MeanAccumulator>();
+    case FeatureKind::kSampleVariance:
+      return std::make_unique<VarianceAccumulator>();
+    case FeatureKind::kSampleEntropy:
+      LINKPAD_EXPECTS(options.entropy_bin_width > 0.0 &&
+                      "kSampleEntropy needs entropy_bin_width > 0 (set "
+                      "AccumulatorOptions::entropy_bin_width or train via "
+                      "DetectorBank for Scott-rule auto-selection)");
+      return std::make_unique<EntropyAccumulator>(options.entropy_bin_width,
+                                                  options.entropy_bias);
+    case FeatureKind::kMedianAbsDeviation:
+      if (options.quantile_mode == QuantileMode::kP2Sketch) {
+        return std::make_unique<SketchMadAccumulator>();
+      }
+      return std::make_unique<BufferedMadAccumulator>();
+    case FeatureKind::kInterquartileRange:
+      if (options.quantile_mode == QuantileMode::kP2Sketch) {
+        return std::make_unique<SketchIqrAccumulator>();
+      }
+      return std::make_unique<BufferedIqrAccumulator>();
+  }
+  return nullptr;
+}
+
+}  // namespace linkpad::classify

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cmath>
 #include <mutex>
+#include <stdexcept>
 
 #include "analysis/theory.hpp"
+#include "classify/detector_bank.hpp"
 #include "stats/descriptive.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -29,7 +31,36 @@ std::optional<double> theory_prediction(classify::FeatureKind kind,
   }
 }
 
+stats::BootstrapResult rate_ci(const classify::ConfusionMatrix& confusion) {
+  const double rate = confusion.detection_rate();
+  return stats::proportion_ci(
+      static_cast<std::size_t>(
+          std::llround(rate * static_cast<double>(confusion.total()))),
+      confusion.total(), 0.95);
+}
+
 }  // namespace
+
+std::vector<classify::FeatureKind> ExperimentSpec::features() const {
+  std::vector<classify::FeatureKind> out;
+  out.reserve(1 + extra_features.size());
+  out.push_back(adversary.feature);
+  for (const auto kind : extra_features) {
+    if (std::find(out.begin(), out.end(), kind) == out.end()) {
+      out.push_back(kind);
+    }
+  }
+  return out;
+}
+
+const FeatureOutcome& ExperimentResult::outcome(
+    classify::FeatureKind kind) const {
+  for (const auto& o : per_feature) {
+    if (o.feature == kind) return o;
+  }
+  throw std::invalid_argument("ExperimentResult: feature not evaluated: " +
+                              classify::feature_name(kind));
+}
 
 // --------------------------------------------------------- ExperimentEngine
 
@@ -53,45 +84,99 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec) const {
   const std::size_t train_piats = spec.train_windows * n;
   const std::size_t test_piats = spec.test_windows * n;
 
-  // Off-line phase: the adversary replicates the system per class.
-  std::vector<std::vector<double>> train_streams(num_classes);
-  std::vector<std::vector<double>> test_streams(num_classes);
-  for (std::size_t c = 0; c < num_classes; ++c) {
-    // Separate streams for training and run-time capture: the adversary
-    // trains on HIS replica, then observes the live system (fresh
-    // randomness).
-    train_streams[c] = class_stream(spec, c, train_piats, /*salt=*/1);
-    test_streams[c] = class_stream(spec, c, test_piats, /*salt=*/2);
-    // A finite backend (live capture) may come up short; the adversary
-    // still needs at least two training windows and one test window.
-    LINKPAD_ENSURES(train_streams[c].size() >= 2 * n);
-    LINKPAD_ENSURES(test_streams[c].size() >= n);
-  }
+  const auto features = spec.features();
+  classify::DetectorBank bank(spec.adversary, features, num_classes);
 
-  classify::Adversary adversary(spec.adversary);
-  adversary.train(train_streams);
+  // Per-class training-capture moments (Welford, in stream order) feed the
+  // sanity summaries and r_hat without ever materializing the capture.
+  std::vector<stats::RunningStats> train_stats(num_classes);
+  std::vector<std::size_t> train_got(num_classes, 0);
+
+  // Off-line phase: the adversary replicates the system per class and
+  // streams HIS replica through the bank in bounded batches. An entropy
+  // detector without an explicit Δh first needs the pooled training
+  // moments (Scott's rule), which costs one extra pass: replayable
+  // backends simply re-open the identical streams; a live capture cannot
+  // be replayed, so it is materialized once and both passes run in memory.
+  if (bank.needs_prepass() && !backend_->replayable()) {
+    std::vector<std::vector<double>> train(num_classes);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      train[c] = class_stream(spec, c, train_piats, /*salt=*/1);
+      bank.consume_prepass(train[c]);
+    }
+    bank.finish_prepass();
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      bank.consume_training(c, train[c]);
+      for (const double x : train[c]) train_stats[c].add(x);
+      train_got[c] = train[c].size();
+    }
+  } else {
+    if (bank.needs_prepass()) {
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        stream_batches(*backend_, spec.scenario, c, spec.seed, /*salt=*/1,
+                       train_piats, batch_piats_,
+                       [&](std::span<const double> batch) {
+                         bank.consume_prepass(batch);
+                       });
+      }
+      bank.finish_prepass();
+    }
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      train_got[c] = stream_batches(
+          *backend_, spec.scenario, c, spec.seed, /*salt=*/1, train_piats,
+          batch_piats_, [&](std::span<const double> batch) {
+            bank.consume_training(c, batch);
+            for (const double x : batch) train_stats[c].add(x);
+          });
+    }
+  }
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    // A finite backend (live capture) may come up short; the adversary
+    // still needs at least two training windows per class.
+    LINKPAD_ENSURES(train_got[c] >= 2 * n);
+  }
+  bank.train();
+
+  // Run-time phase: observe the live system (fresh randomness, salt 2) and
+  // classify its windows with every detector as the batches arrive.
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const std::size_t got = stream_batches(
+        *backend_, spec.scenario, c, spec.seed, /*salt=*/2, test_piats,
+        batch_piats_,
+        [&](std::span<const double> batch) { bank.consume_test(c, batch); });
+    LINKPAD_ENSURES(got >= n);
+  }
 
   ExperimentResult result;
-  result.confusion = adversary.evaluate(test_streams);
-  result.detection_rate = result.confusion.detection_rate();
-  result.ci = stats::proportion_ci(
-      static_cast<std::size_t>(std::llround(
-          result.detection_rate * static_cast<double>(result.confusion.total()))),
-      result.confusion.total(), 0.95);
-
-  const auto sum_low = stats::summarize(train_streams.front());
-  const auto sum_high = stats::summarize(train_streams.back());
-  result.piat_mean_low = sum_low.mean;
-  result.piat_mean_high = sum_high.mean;
-  result.piat_var_low = sum_low.variance;
-  result.piat_var_high = sum_high.variance;
+  result.piat_mean_low = train_stats.front().mean();
+  result.piat_mean_high = train_stats.back().mean();
+  result.piat_var_low = train_stats.front().variance();
+  result.piat_var_high = train_stats.back().variance();
 
   if (num_classes == 2) {
-    result.r_hat = analysis::estimate_variance_ratio(train_streams[0],
-                                                     train_streams[1]);
-    result.predicted = theory_prediction(spec.adversary.feature, result.r_hat,
-                                         static_cast<double>(n));
+    result.r_hat = analysis::variance_ratio(train_stats[0].variance(),
+                                            train_stats[1].variance());
   }
+
+  result.per_feature.reserve(features.size());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    FeatureOutcome out;
+    out.feature = features[i];
+    out.confusion = bank.detector(i).confusion();
+    out.detection_rate = out.confusion.detection_rate();
+    out.ci = rate_ci(out.confusion);
+    if (num_classes == 2) {
+      out.predicted = theory_prediction(features[i], result.r_hat,
+                                        static_cast<double>(n));
+    }
+    result.per_feature.push_back(std::move(out));
+  }
+
+  const FeatureOutcome& primary = result.per_feature.front();
+  result.detection_rate = primary.detection_rate;
+  result.ci = primary.ci;
+  result.confusion = primary.confusion;
+  result.predicted = primary.predicted;
   return result;
 }
 
@@ -192,9 +277,10 @@ Scenario make_scenario(SweepGrid::Environment environment, Seconds sigma,
 }  // namespace
 
 std::size_t SweepGrid::size() const {
+  // The feature axis rides each point's DetectorBank instead of expanding
+  // into extra points (and extra simulations).
   const std::size_t taps = tap_hops.empty() ? 1 : tap_hops.size();
-  return sigma_timers.size() * environment_axis(*this).size() * taps *
-         features.size();
+  return sigma_timers.size() * environment_axis(*this).size() * taps;
 }
 
 std::vector<ExperimentSpec> SweepGrid::expand() const {
@@ -220,17 +306,18 @@ std::vector<ExperimentSpec> SweepGrid::expand() const {
           auto& hops = spec.scenario.base.hops_before_tap;
           hops.resize(std::min(tap, hops.size()));
         }
-        for (const auto feature : features) {
-          spec.adversary.feature = feature;
-          spec.adversary.window_size = window_size;
-          spec.train_windows = train_windows;
-          spec.test_windows = test_windows;
-          // Per-point seed: streams never collide across grid points, and
-          // the mapping depends only on (root seed, point index).
-          spec.seed = util::SplitMix64::mix(
-              seed ^ util::SplitMix64::mix(specs.size() + 1));
-          specs.push_back(spec);
-        }
+        // All features share this point's single simulation: the first is
+        // the primary, the rest ride the DetectorBank pass.
+        spec.adversary.feature = features.front();
+        spec.extra_features.assign(features.begin() + 1, features.end());
+        spec.adversary.window_size = window_size;
+        spec.train_windows = train_windows;
+        spec.test_windows = test_windows;
+        // Per-point seed: streams never collide across grid points, and
+        // the mapping depends only on (root seed, point index).
+        spec.seed = util::SplitMix64::mix(
+            seed ^ util::SplitMix64::mix(specs.size() + 1));
+        specs.push_back(spec);
       }
     }
   }

@@ -22,16 +22,36 @@
 
 namespace linkpad::core {
 
-/// One experiment = one scenario × one adversary configuration.
+/// One experiment = one scenario × one adversary configuration. When
+/// `extra_features` is non-empty, a DetectorBank evaluates the primary
+/// feature (`adversary.feature`) AND every extra feature over the same
+/// single stream pass — one simulation, N detection verdicts.
 struct ExperimentSpec {
   Scenario scenario;
   classify::AdversaryConfig adversary;
+  /// Further features detected in the same pass (window size / entropy /
+  /// density knobs are shared with `adversary`). Duplicates are ignored.
+  std::vector<classify::FeatureKind> extra_features;
   std::size_t train_windows = 300;  ///< per class
   std::size_t test_windows = 300;   ///< per class
   std::uint64_t seed = 20030324;    ///< date of the paper's campus capture
+
+  /// Primary feature followed by the (deduplicated) extra features.
+  [[nodiscard]] std::vector<classify::FeatureKind> features() const;
 };
 
-/// Outcome of one experiment.
+/// One feature's verdict inside an experiment.
+struct FeatureOutcome {
+  classify::FeatureKind feature = classify::FeatureKind::kSampleVariance;
+  double detection_rate = 0.5;          ///< empirical, eq. (7)
+  stats::BootstrapResult ci{};          ///< Wilson interval on the rate
+  classify::ConfusionMatrix confusion{2};
+  std::optional<double> predicted;      ///< Theorems 1–3 at r_hat (2-class)
+};
+
+/// Outcome of one experiment. The top-level fields describe the PRIMARY
+/// feature (spec.adversary.feature); `per_feature` carries one outcome per
+/// spec.features(), primary first.
 struct ExperimentResult {
   double detection_rate = 0.5;          ///< empirical, eq. (7)
   stats::BootstrapResult ci{};          ///< Wilson interval on the rate
@@ -42,10 +62,16 @@ struct ExperimentResult {
   double piat_mean_high = 0.0;
   double piat_var_low = 0.0;            ///< padded PIAT variances
   double piat_var_high = 0.0;
+  std::vector<FeatureOutcome> per_feature;
+
+  /// Outcome of `kind`; throws if the experiment did not evaluate it.
+  [[nodiscard]] const FeatureOutcome& outcome(classify::FeatureKind kind) const;
 };
 
-/// Runs the attack pipeline against any ExperimentBackend, pulling PIATs in
-/// bounded batches so arbitrarily long captures never need one giant pull.
+/// Runs the attack pipeline against any ExperimentBackend, streaming PIAT
+/// batches straight into per-feature window accumulators (DetectorBank):
+/// resident memory is O(batch_piats + features × window), independent of
+/// capture length, and every configured feature is detected in one pass.
 class ExperimentEngine {
  public:
   /// Engine over the default simulated backend.
@@ -131,8 +157,11 @@ class SweepRunner {
 };
 
 /// Scenario grid: padding policy (CIT / VIT σ_T) × environment axis
-/// (utilization or diurnal hour) × tap position × adversary feature,
-/// expanded in deterministic row-major order.
+/// (utilization or diurnal hour) × tap position, expanded in deterministic
+/// row-major order. The adversary-feature axis is NOT expanded into
+/// separate points: all `features` ride one ExperimentSpec (primary +
+/// extra_features), so an N-feature grid performs each simulation once and
+/// reports N per-feature outcomes per point.
 struct SweepGrid {
   enum class Environment { kLabZeroCross, kLabCrossTraffic, kCampus, kWan };
 
@@ -146,7 +175,7 @@ struct SweepGrid {
   /// Tap-position axis: number of hops BEFORE the adversary's tap (clamped
   /// to the scenario's path length). Empty ⇒ the scenario default.
   std::vector<std::size_t> tap_hops;
-  /// Adversary axis.
+  /// Adversary features, all evaluated per point in one stream pass.
   std::vector<classify::FeatureKind> features = {
       classify::FeatureKind::kSampleVariance};
 
@@ -158,8 +187,9 @@ struct SweepGrid {
   /// Number of points the grid expands to.
   [[nodiscard]] std::size_t size() const;
 
-  /// Expand to specs (row-major: sigma, env axis, tap, feature). Each point
-  /// gets its own derived seed so streams never collide across points.
+  /// Expand to specs (row-major: sigma, env axis, tap; features collapsed
+  /// into each spec). Each point gets its own derived seed so streams never
+  /// collide across points.
   [[nodiscard]] std::vector<ExperimentSpec> expand() const;
 };
 

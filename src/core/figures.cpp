@@ -6,7 +6,6 @@
 #include <stdexcept>
 
 #include "analysis/theory.hpp"
-#include "classify/adversary.hpp"
 #include "core/experiment.hpp"
 #include "core/piat_model.hpp"
 #include "stats/kde.hpp"
@@ -33,9 +32,10 @@ const ExperimentBackend& backend_of(const FigureOptions& options) {
   return options.backend ? *options.backend : sim_backend();
 }
 
-/// Shared worker: build per-class train/test streams once, then train and
-/// evaluate one adversary per feature. Returns {empirical rate, theory
-/// prediction} per feature (theory from the measured r̂).
+/// Shared worker: one streaming DetectorBank pass per point — every feature
+/// is detected over the SAME simulated capture (one simulation, N verdicts).
+/// Returns {empirical rate, theory prediction} per feature (theory from the
+/// measured r̂; NaN for extension features without a closed form).
 struct FeaturePoint {
   double empirical = 0.5;
   double theory = 0.5;
@@ -45,48 +45,24 @@ std::vector<FeaturePoint> evaluate_point(
     const ExperimentBackend& backend, const Scenario& scenario,
     const std::vector<classify::FeatureKind>& features, std::size_t n,
     std::size_t train_windows, std::size_t test_windows, std::uint64_t seed) {
-  const std::size_t classes = scenario.payload_rates.size();
-
-  std::vector<std::vector<double>> train(classes), test(classes);
-  for (std::size_t c = 0; c < classes; ++c) {
-    train[c] = pull_stream(backend, scenario, c, seed, /*salt=*/1,
-                           train_windows * n);
-    test[c] = pull_stream(backend, scenario, c, seed, /*salt=*/2,
-                          test_windows * n);
-  }
-
-  double r_hat = 1.0;
-  if (classes == 2) {
-    r_hat = analysis::estimate_variance_ratio(train[0], train[1]);
-  }
+  ExperimentSpec spec;
+  spec.scenario = scenario;
+  spec.adversary.feature = features.front();
+  spec.extra_features.assign(features.begin() + 1, features.end());
+  spec.adversary.window_size = n;
+  spec.train_windows = train_windows;
+  spec.test_windows = test_windows;
+  spec.seed = seed;
+  const auto result = ExperimentEngine(backend).run(spec);
 
   std::vector<FeaturePoint> out;
   out.reserve(features.size());
   for (const auto kind : features) {
-    classify::AdversaryConfig cfg;
-    cfg.feature = kind;
-    cfg.window_size = n;
-    classify::Adversary adversary(cfg);
-    adversary.train(train);
-
+    const auto& outcome = result.outcome(kind);
     FeaturePoint fp;
-    fp.empirical = adversary.detection_rate(test);
-    switch (kind) {
-      case classify::FeatureKind::kSampleMean:
-        fp.theory = analysis::detection_rate_mean_exact(r_hat);
-        break;
-      case classify::FeatureKind::kSampleVariance:
-        fp.theory = analysis::detection_rate_variance(r_hat,
-                                                      static_cast<double>(n));
-        break;
-      case classify::FeatureKind::kSampleEntropy:
-        fp.theory = analysis::detection_rate_entropy(r_hat,
-                                                     static_cast<double>(n));
-        break;
-      default:
-        fp.theory = std::numeric_limits<double>::quiet_NaN();
-        break;
-    }
+    fp.empirical = outcome.detection_rate;
+    fp.theory =
+        outcome.predicted.value_or(std::numeric_limits<double>::quiet_NaN());
     out.push_back(fp);
   }
   return out;

@@ -75,6 +75,10 @@ class LiveBackend final : public ExperimentBackend {
     return std::make_unique<LivePiatSource>(live_config, options_);
   }
 
+  /// Real captures: two opens of the same key observe different host
+  /// jitter, so multi-pass consumers must materialize the stream.
+  [[nodiscard]] bool replayable() const override { return false; }
+
   [[nodiscard]] std::string name() const override { return "live"; }
 
  private:

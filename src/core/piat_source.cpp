@@ -59,6 +59,29 @@ std::vector<double> pull_stream(const ExperimentBackend& backend,
   return out;
 }
 
+std::size_t stream_batches(
+    const ExperimentBackend& backend, const Scenario& scenario,
+    std::size_t class_index, std::uint64_t seed, std::uint64_t salt,
+    std::size_t count, std::size_t batch_piats,
+    const std::function<void(std::span<const double>)>& sink) {
+  batch_piats = std::max<std::size_t>(batch_piats, 1);
+  auto source = backend.open(scenario, class_index, seed, salt);
+  std::vector<double> buffer;
+  buffer.reserve(std::min(batch_piats, count));
+  std::size_t delivered = 0;
+  while (delivered < count) {
+    buffer.clear();
+    const std::size_t want = std::min(batch_piats, count - delivered);
+    const std::size_t got = source->collect(want, buffer);
+    if (got > 0) {
+      sink(std::span<const double>(buffer.data(), got));
+      delivered += got;
+    }
+    if (got < want) break;  // backend exhausted
+  }
+  return delivered;
+}
+
 const ExperimentBackend& sim_backend() {
   static const SimBackend backend;
   return backend;

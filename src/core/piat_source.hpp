@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,12 @@ class ExperimentBackend {
       const Scenario& scenario, std::size_t class_index, std::uint64_t seed,
       std::uint64_t salt) const = 0;
 
+  /// True when two opens of the same key yield bit-identical streams (sim,
+  /// trace replay). Live captures return false; multi-pass consumers (e.g.
+  /// the entropy bin-width prepass) must materialize such streams instead
+  /// of re-opening them.
+  [[nodiscard]] virtual bool replayable() const { return true; }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -59,6 +67,17 @@ class ExperimentBackend {
                                               std::uint64_t salt,
                                               std::size_t count,
                                               std::size_t batch_piats = 8192);
+
+/// Open one stream and push up to `count` PIATs through `sink` in bounded
+/// batches — the streaming counterpart of pull_stream: resident memory is
+/// O(batch_piats) regardless of `count`. Returns the number of PIATs
+/// delivered (short when a finite backend exhausts). Batch boundaries are
+/// an implementation detail; sinks must be boundary-agnostic.
+std::size_t stream_batches(
+    const ExperimentBackend& backend, const Scenario& scenario,
+    std::size_t class_index, std::uint64_t seed, std::uint64_t salt,
+    std::size_t count, std::size_t batch_piats,
+    const std::function<void(std::span<const double>)>& sink);
 
 /// Process-wide default backend: the simulated testbed.
 [[nodiscard]] const ExperimentBackend& sim_backend();

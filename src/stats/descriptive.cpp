@@ -105,13 +105,12 @@ double mean(std::span<const double> xs) {
 
 double sample_variance(std::span<const double> xs) {
   LINKPAD_EXPECTS(xs.size() >= 2);
-  const double m = mean(xs);
-  double acc = 0.0;
-  for (double x : xs) {
-    const double d = x - m;
-    acc += d * d;
-  }
-  return acc / static_cast<double>(xs.size() - 1);
+  // One definition of sample variance repo-wide: the Welford recurrence of
+  // RunningStats, so batch routines, streaming accumulators, and r_hat
+  // estimates agree bit for bit on the same data.
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return rs.variance();
 }
 
 double sample_stddev(std::span<const double> xs) {
@@ -139,6 +138,15 @@ double iqr(std::span<const double> xs) {
   std::vector<double> copy(xs.begin(), xs.end());
   std::sort(copy.begin(), copy.end());
   return quantile_sorted(copy, 0.75) - quantile_sorted(copy, 0.25);
+}
+
+double mad(std::span<const double> xs) {
+  const double med = median(xs);
+  std::vector<double> dev(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    dev[i] = std::abs(xs[i] - med);
+  }
+  return median(dev);
 }
 
 Summary summarize(std::span<const double> xs) {

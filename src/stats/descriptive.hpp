@@ -61,6 +61,9 @@ double median(std::span<const double> xs);
 /// Interquartile range Q3 − Q1 (copies + sorts internally).
 double iqr(std::span<const double> xs);
 
+/// Median absolute deviation about the median (copies internally).
+double mad(std::span<const double> xs);
+
 /// Summary of one sample: handy for test diagnostics and figure drivers.
 struct Summary {
   std::size_t count = 0;

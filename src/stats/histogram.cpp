@@ -78,4 +78,10 @@ void SparseHistogram::add_all(std::span<const double> xs) {
   for (double x : xs) add(x);
 }
 
+void SparseHistogram::merge(const SparseHistogram& other) {
+  LINKPAD_EXPECTS(other.width_ == width_);
+  for (const auto& [bin, count] : other.counts_) counts_[bin] += count;
+  total_ += other.total_;
+}
+
 }  // namespace linkpad::stats

@@ -66,6 +66,10 @@ class SparseHistogram {
   void add(double x);
   void add_all(std::span<const double> xs);
 
+  /// Combine with another histogram of the SAME bin width (parallel
+  /// reduction step for the streaming entropy accumulator).
+  void merge(const SparseHistogram& other);
+
   [[nodiscard]] double bin_width() const { return width_; }
   [[nodiscard]] std::uint64_t total() const { return total_; }
   [[nodiscard]] std::size_t occupied_bins() const { return counts_.size(); }

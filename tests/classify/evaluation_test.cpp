@@ -65,6 +65,54 @@ TEST(ConfusionMatrix, MergeRequiresSameShape) {
   EXPECT_THROW(a.merge(b), linkpad::ContractViolation);
 }
 
+TEST(ConfusionMatrix, MergedShardsMatchWholeEvaluationUnderSkewedPriors) {
+  // Parallel evaluation shards merge into the same prior-weighted rate the
+  // whole test set would have produced — for ANY priors, not just uniform.
+  ConfusionMatrix shard_a(2), shard_b(2), whole(2);
+  const auto record = [&](ClassLabel truth, ClassLabel predicted,
+                          ConfusionMatrix& shard, int times) {
+    for (int i = 0; i < times; ++i) {
+      shard.add(truth, predicted);
+      whole.add(truth, predicted);
+    }
+  };
+  record(0, 0, shard_a, 7);
+  record(0, 1, shard_a, 1);
+  record(1, 1, shard_a, 2);
+  record(0, 0, shard_b, 2);
+  record(0, 1, shard_b, 2);
+  record(1, 1, shard_b, 5);
+  record(1, 0, shard_b, 5);
+
+  shard_a.merge(shard_b);
+  const std::vector<double> priors = {0.8, 0.2};
+  EXPECT_DOUBLE_EQ(shard_a.detection_rate(priors),
+                   whole.detection_rate(priors));
+  // Hand check: class 0 = 9/12 correct, class 1 = 7/12 correct.
+  EXPECT_DOUBLE_EQ(shard_a.detection_rate(priors),
+                   0.8 * (9.0 / 12.0) + 0.2 * (7.0 / 12.0));
+  // Merging must not have disturbed the per-class row totals.
+  EXPECT_EQ(shard_a.row_total(0), 12u);
+  EXPECT_EQ(shard_a.row_total(1), 12u);
+}
+
+TEST(ConfusionMatrix, ThreeClassNonUniformPriors) {
+  ConfusionMatrix cm(3);
+  for (int i = 0; i < 4; ++i) cm.add(0, 0);
+  cm.add(0, 2);                              // class 0: 4/5
+  for (int i = 0; i < 3; ++i) cm.add(1, 1);  // class 1: 3/3
+  cm.add(2, 0);
+  cm.add(2, 2);                              // class 2: 1/2
+  const std::vector<double> priors = {0.5, 0.3, 0.2};
+  EXPECT_DOUBLE_EQ(cm.detection_rate(priors),
+                   0.5 * 0.8 + 0.3 * 1.0 + 0.2 * 0.5);
+  // A class the priors ignore cannot move the rate.
+  ConfusionMatrix ignored = cm;
+  ignored.add(2, 1);
+  EXPECT_DOUBLE_EQ(ignored.detection_rate({0.5, 0.5, 0.0}),
+                   0.5 * 0.8 + 0.5 * 1.0);
+}
+
 TEST(ConfusionMatrix, BoundsChecked) {
   ConfusionMatrix cm(2);
   EXPECT_THROW(cm.add(2, 0), linkpad::ContractViolation);

@@ -53,6 +53,23 @@ TEST(IqrFeature, MatchesDescriptiveIqr) {
   EXPECT_DOUBLE_EQ(f.extract(kWindow), stats::iqr(kWindow));
 }
 
+TEST(FeatureFactory, EntropyWithoutBinWidthFailsLoudly) {
+  // Callers that forget entropy_bin_width used to hit a bare ctor
+  // precondition; the factory must name the missing knob and the fix.
+  EXPECT_THROW(make_feature(FeatureKind::kSampleEntropy),
+               linkpad::ContractViolation);
+  try {
+    (void)make_feature(FeatureKind::kSampleEntropy, 0.0);
+    FAIL() << "defaulted bin width must not be accepted";
+  } catch (const linkpad::ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("entropy_bin_width"), std::string::npos) << what;
+    EXPECT_NE(what.find("auto-selection"), std::string::npos) << what;
+  }
+  EXPECT_THROW(make_feature(FeatureKind::kSampleEntropy, -1.0),
+               linkpad::ContractViolation);
+}
+
 TEST(FeatureFactory, ProducesEveryKind) {
   EXPECT_NE(make_feature(FeatureKind::kSampleMean), nullptr);
   EXPECT_NE(make_feature(FeatureKind::kSampleVariance), nullptr);

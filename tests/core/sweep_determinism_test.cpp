@@ -17,7 +17,19 @@
 namespace linkpad::core {
 namespace {
 
-/// Exact (bitwise) equality of two results, field by field.
+void expect_identical_confusion(const classify::ConfusionMatrix& a,
+                                const classify::ConfusionMatrix& b) {
+  ASSERT_EQ(a.num_classes(), b.num_classes());
+  for (std::size_t i = 0; i < a.num_classes(); ++i) {
+    for (std::size_t j = 0; j < a.num_classes(); ++j) {
+      EXPECT_EQ(a.count(static_cast<ClassLabel>(i), static_cast<ClassLabel>(j)),
+                b.count(static_cast<ClassLabel>(i), static_cast<ClassLabel>(j)));
+    }
+  }
+}
+
+/// Exact (bitwise) equality of two results, field by field, including every
+/// per-feature outcome of the bank pass.
 void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
   EXPECT_EQ(std::memcmp(&a.detection_rate, &b.detection_rate, sizeof(double)), 0);
   EXPECT_EQ(std::memcmp(&a.r_hat, &b.r_hat, sizeof(double)), 0);
@@ -29,21 +41,27 @@ void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
   EXPECT_EQ(std::memcmp(&a.piat_mean_high, &b.piat_mean_high, sizeof(double)), 0);
   EXPECT_EQ(std::memcmp(&a.piat_var_low, &b.piat_var_low, sizeof(double)), 0);
   EXPECT_EQ(std::memcmp(&a.piat_var_high, &b.piat_var_high, sizeof(double)), 0);
-  ASSERT_EQ(a.confusion.num_classes(), b.confusion.num_classes());
-  for (std::size_t i = 0; i < a.confusion.num_classes(); ++i) {
-    for (std::size_t j = 0; j < a.confusion.num_classes(); ++j) {
-      EXPECT_EQ(a.confusion.count(static_cast<ClassLabel>(i),
-                                  static_cast<ClassLabel>(j)),
-                b.confusion.count(static_cast<ClassLabel>(i),
-                                  static_cast<ClassLabel>(j)));
+  expect_identical_confusion(a.confusion, b.confusion);
+  ASSERT_EQ(a.per_feature.size(), b.per_feature.size());
+  for (std::size_t f = 0; f < a.per_feature.size(); ++f) {
+    const auto& fa = a.per_feature[f];
+    const auto& fb = b.per_feature[f];
+    EXPECT_EQ(fa.feature, fb.feature);
+    EXPECT_EQ(std::memcmp(&fa.detection_rate, &fb.detection_rate,
+                          sizeof(double)), 0);
+    EXPECT_EQ(fa.predicted.has_value(), fb.predicted.has_value());
+    if (fa.predicted && fb.predicted) {
+      EXPECT_EQ(std::memcmp(&*fa.predicted, &*fb.predicted, sizeof(double)), 0);
     }
+    expect_identical_confusion(fa.confusion, fb.confusion);
   }
 }
 
-/// Small but non-trivial 8-point grid (sigma x feature).
+/// Small but non-trivial 8-point grid (sigma axis; every point detects two
+/// features over its single simulated capture).
 std::vector<ExperimentSpec> eight_point_grid() {
   SweepGrid grid;
-  grid.sigma_timers = {0.0, 20e-6, 100e-6, 1e-3};
+  grid.sigma_timers = {0.0, 10e-6, 20e-6, 50e-6, 100e-6, 200e-6, 500e-6, 1e-3};
   grid.features = {classify::FeatureKind::kSampleVariance,
                    classify::FeatureKind::kSampleEntropy};
   grid.window_size = 100;
@@ -135,7 +153,9 @@ TEST(SweepGridTest, ExpandsRowMajorWithDistinctSeeds) {
   grid.utilizations = {0.1, 0.3, 0.5};
   grid.features = {classify::FeatureKind::kSampleVariance,
                    classify::FeatureKind::kSampleMean};
-  EXPECT_EQ(grid.size(), 2u * 3u * 2u);
+  // The feature axis rides each point's DetectorBank instead of multiplying
+  // the number of points (and simulations).
+  EXPECT_EQ(grid.size(), 2u * 3u);
   const auto specs = grid.expand();
   ASSERT_EQ(specs.size(), grid.size());
 
@@ -145,9 +165,14 @@ TEST(SweepGridTest, ExpandsRowMajorWithDistinctSeeds) {
       EXPECT_NE(specs[i].seed, specs[j].seed) << i << "," << j;
     }
   }
-  // Feature is the fastest axis.
-  EXPECT_EQ(specs[0].adversary.feature, classify::FeatureKind::kSampleVariance);
-  EXPECT_EQ(specs[1].adversary.feature, classify::FeatureKind::kSampleMean);
+  // Every point carries the full feature list, grid order preserved.
+  for (const auto& spec : specs) {
+    EXPECT_EQ(spec.adversary.feature, classify::FeatureKind::kSampleVariance);
+    const auto features = spec.features();
+    ASSERT_EQ(features.size(), 2u);
+    EXPECT_EQ(features[0], classify::FeatureKind::kSampleVariance);
+    EXPECT_EQ(features[1], classify::FeatureKind::kSampleMean);
+  }
   // Expansion is deterministic.
   const auto again = grid.expand();
   for (std::size_t i = 0; i < specs.size(); ++i) {

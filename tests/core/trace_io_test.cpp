@@ -92,6 +92,117 @@ TEST_F(TraceIoTest, TruncatedBinaryRejected) {
   EXPECT_THROW(load_trace_binary(path("t.lpt")), std::runtime_error);
 }
 
+TEST_F(TraceIoTest, MalformedCsvValueNamesFileAndLine) {
+  std::ofstream out(path("corrupt.csv"));
+  out << "# banner\n0.01\n0.02\nbogus-not-a-number\n0.03\n";
+  out.close();
+  try {
+    (void)load_trace_csv(path("corrupt.csv"));
+    FAIL() << "corrupt CSV must not parse";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    // The diagnostic must point at the offending file AND line, not
+    // surface as a bare std::stod error or silent truncation.
+    EXPECT_NE(what.find("corrupt.csv:4"), std::string::npos) << what;
+    EXPECT_NE(what.find("bogus-not-a-number"), std::string::npos) << what;
+  }
+}
+
+TEST_F(TraceIoTest, CsvTrailingGarbageAfterNumberRejected) {
+  // std::stod would silently accept "0.01abc" as 0.01; strict parsing
+  // must flag the corruption instead.
+  std::ofstream out(path("trailing.csv"));
+  out << "0.01\n0.02abc\n";
+  out.close();
+  try {
+    (void)load_trace_csv(path("trailing.csv"));
+    FAIL() << "trailing garbage must not parse";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing.csv:2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(TraceIoTest, CsvAcceptsSurroundingWhitespace) {
+  std::ofstream out(path("ws.csv"));
+  out << "0.01 \n0.02\t\n";
+  out.close();
+  const auto loaded = load_trace_csv(path("ws.csv"));
+  ASSERT_EQ(loaded.piats.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.piats[1], 0.02);
+}
+
+TEST_F(TraceIoTest, BinaryCountMismatchRejected) {
+  // A count field larger than the payload means truncated data.
+  const auto original = sample_trace();
+  save_trace_binary(path("short.lpt"), original);
+  const auto full =
+      static_cast<std::size_t>(std::filesystem::file_size(path("short.lpt")));
+  std::filesystem::resize_file(path("short.lpt"), full - sizeof(double));
+  try {
+    (void)load_trace_binary(path("short.lpt"));
+    FAIL() << "short payload must not parse";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(TraceIoTest, HugeCountFieldDiagnosedWithoutGiantAllocation) {
+  // A corrupt count field below the sanity cap must produce the truncation
+  // diagnostic, not a multi-gigabyte resize ending in bad_alloc.
+  const auto original = sample_trace();
+  save_trace_binary(path("huge.lpt"), original);
+  std::fstream patch(path("huge.lpt"),
+                     std::ios::binary | std::ios::in | std::ios::out);
+  const auto count_offset = static_cast<std::streamoff>(
+      4 + sizeof(std::uint64_t) + original.description.size());
+  const std::uint64_t bogus = (1ull << 32) - 1;
+  patch.seekp(count_offset);
+  patch.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  patch.close();
+  try {
+    (void)load_trace_binary(path("huge.lpt"));
+    FAIL() << "bogus count must not parse";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(TraceIoTest, CsvAcceptsSubnormalValues) {
+  // glibc strtod flags subnormals with ERANGE; they are representable and
+  // must load, unlike genuine overflow.
+  std::ofstream out(path("tiny.csv"));
+  out << "1e-310\n1e+400\n";
+  out.close();
+  try {
+    (void)load_trace_csv(path("tiny.csv"));
+    FAIL() << "overflow line must be rejected";
+  } catch (const std::runtime_error& e) {
+    // Line 1 (the subnormal) parses; line 2 (overflow) is the error.
+    EXPECT_NE(std::string(e.what()).find("tiny.csv:2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(TraceIoTest, BinaryTrailingBytesRejected) {
+  const auto original = sample_trace();
+  save_trace_binary(path("extra.lpt"), original);
+  std::ofstream out(path("extra.lpt"), std::ios::binary | std::ios::app);
+  out << "junk";
+  out.close();
+  EXPECT_THROW(load_trace_binary(path("extra.lpt")), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, TruncatedDescriptionRejected) {
+  const auto original = sample_trace();
+  save_trace_binary(path("desc.lpt"), original);
+  // Chop inside the description bytes (magic 4 + length 8 + partial text).
+  std::filesystem::resize_file(path("desc.lpt"), 4 + 8 + 3);
+  EXPECT_THROW(load_trace_binary(path("desc.lpt")), std::runtime_error);
+}
+
 TEST_F(TraceIoTest, CsvSkipsCommentsAndBlankLines) {
   std::ofstream out(path("manual.csv"));
   out << "# banner\n\n# a description\n0.01\n\n0.02\n";

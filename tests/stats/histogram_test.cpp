@@ -97,5 +97,26 @@ TEST(SparseHistogram, RejectsNonPositiveWidth) {
   EXPECT_THROW(SparseHistogram(-1.0), ContractViolation);
 }
 
+TEST(SparseHistogram, MergeEqualsSequentialAdds) {
+  const std::vector<double> first = {0.1, 0.2, 1.7, -0.4};
+  const std::vector<double> second = {0.15, 2.9, 1.7};
+
+  SparseHistogram a(0.5), b(0.5), combined(0.5);
+  a.add_all(first);
+  b.add_all(second);
+  a.merge(b);
+  combined.add_all(first);
+  combined.add_all(second);
+
+  EXPECT_EQ(a.total(), combined.total());
+  ASSERT_EQ(a.occupied_bins(), combined.occupied_bins());
+  EXPECT_EQ(a.cells(), combined.cells());
+}
+
+TEST(SparseHistogram, MergeRejectsWidthMismatch) {
+  SparseHistogram a(0.5), b(0.25);
+  EXPECT_THROW(a.merge(b), ContractViolation);
+}
+
 }  // namespace
 }  // namespace linkpad::stats

@@ -1,0 +1,80 @@
+#include "stats/quantile_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace linkpad::stats {
+namespace {
+
+std::vector<double> normal_sample(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Normal dist(10e-3, 10e-6);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = dist.sample(rng);
+  return xs;
+}
+
+double exact_quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  return quantile_sorted(xs, q);
+}
+
+TEST(P2Quantile, ExactForFiveOrFewerSamples) {
+  P2Quantile median(0.5);
+  const std::vector<double> xs = {5.0, 1.0, 4.0, 2.0, 3.0};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    median.add(xs[i]);
+    std::vector<double> prefix(xs.begin(), xs.begin() + i + 1);
+    EXPECT_DOUBLE_EQ(median.value(), exact_quantile(prefix, 0.5)) << i;
+  }
+}
+
+TEST(P2Quantile, TracksNormalQuantilesWithinDocumentedTolerance) {
+  const auto xs = normal_sample(20000, 11);
+  const double spread = exact_quantile(xs, 0.75) - exact_quantile(xs, 0.25);
+  for (const double q : {0.25, 0.5, 0.75, 0.9}) {
+    P2Quantile sketch(q);
+    for (double x : xs) sketch.add(x);
+    EXPECT_EQ(sketch.count(), xs.size());
+    // quantile_sketch.hpp documents ~1% relative accuracy; assert a few
+    // percent of the IQR so the test has margin without being vacuous.
+    EXPECT_NEAR(sketch.value(), exact_quantile(xs, q), 0.05 * spread) << q;
+  }
+}
+
+TEST(P2Quantile, TracksSkewedDataWithinTolerance) {
+  util::Rng rng(12);
+  Exponential dist(10e-3);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = dist.sample(rng);
+  const double exact = exact_quantile(xs, 0.5);
+  P2Quantile sketch(0.5);
+  for (double x : xs) sketch.add(x);
+  EXPECT_NEAR(sketch.value(), exact, 0.05 * exact);
+}
+
+TEST(P2Quantile, ResetForgetsSamplesButKeepsTarget) {
+  P2Quantile sketch(0.25);
+  for (double x : normal_sample(1000, 13)) sketch.add(x);
+  sketch.reset();
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.quantile(), 0.25);
+  sketch.add(7.0);
+  EXPECT_DOUBLE_EQ(sketch.value(), 7.0);
+}
+
+TEST(P2Quantile, RejectsDegenerateTargets) {
+  EXPECT_THROW(P2Quantile(0.0), linkpad::ContractViolation);
+  EXPECT_THROW(P2Quantile(1.0), linkpad::ContractViolation);
+  EXPECT_THROW(P2Quantile(0.5).value(), linkpad::ContractViolation);
+}
+
+}  // namespace
+}  // namespace linkpad::stats
