@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
 
   for (std::size_t i = 0; i < fig.x.size(); ++i) {
     const auto n = static_cast<std::size_t>(fig.x[i]);
-    const std::uint64_t seed = opts.seed + i;
+    const std::uint64_t seed = core::derive_point_seed(opts.seed, i);
     const std::size_t piats = windows * n;
 
     classify::DetectorSpec entropy_spec;

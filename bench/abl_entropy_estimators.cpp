@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "common.hpp"
+#include "core/experiment.hpp"
 #include "core/figures.hpp"
 
 using namespace linkpad;
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
     std::vector<classify::FeatureKind> kinds;
     for (const auto& [name, kind] : features) kinds.push_back(kind);
     const auto rates = core::detection_rates_on_scenario(
-        scenario, kinds, 1000, windows, windows, opts.seed + i);
+        scenario, kinds, 1000, windows, windows, core::derive_point_seed(opts.seed, i));
     for (std::size_t f = 0; f < rates.size(); ++f) {
       fig.curves[f].y.push_back(rates[f]);
     }

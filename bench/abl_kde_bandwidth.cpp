@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
   std::uint64_t salt = 0;
   for (const auto& c : cases) {
     const double v = attack(c.density, c.rule, c.fixed_bw, opts.effort,
-                            opts.seed + salt++);
+                            core::derive_point_seed(opts.seed, salt++));
     table.add_row({c.name, util::fmt(v, 4)});
   }
 

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
     spec.adversary.window_size = 2000;
     spec.train_windows = windows;
     spec.test_windows = windows;
-    spec.seed = opts.seed + m;
+    spec.seed = core::derive_point_seed(opts.seed, m);
     const auto result = core::run_experiment(spec);
 
     std::string per_class;

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "common.hpp"
+#include "core/experiment.hpp"
 #include "core/figures.hpp"
 
 using namespace linkpad;
@@ -40,7 +41,7 @@ int main(int argc, char** argv) {
         scenario,
         {classify::FeatureKind::kSampleVariance,
          classify::FeatureKind::kSampleEntropy},
-        1000, windows, windows, opts.seed + hops);
+        1000, windows, windows, core::derive_point_seed(opts.seed, hops));
     fig.x.push_back(static_cast<double>(hops));
     var.y.push_back(rates[0]);
     ent.y.push_back(rates[1]);

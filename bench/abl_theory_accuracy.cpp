@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
       spec.adversary.window_size = n;
       spec.train_windows = windows;
       spec.test_windows = windows;
-      spec.seed = opts.seed + salt++;
+      spec.seed = core::derive_point_seed(opts.seed, salt++);
       const auto result = core::run_experiment(spec);
 
       table.add_row({util::fmt(sigma_us, 1), std::to_string(n),

@@ -57,13 +57,13 @@ int main(int argc, char** argv) {
                                classify::FeatureKind::kSampleEntropy}) {
       const double v_norm =
           attack(std::make_shared<sim::NormalIntervalTimer>(tau, s), feature,
-                 opts.effort, opts.seed + salt++);
+                 opts.effort, core::derive_point_seed(opts.seed, salt++));
       const double v_unif = attack(
           std::make_shared<sim::UniformIntervalTimer>(tau, s * std::sqrt(3.0)),
-          feature, opts.effort, opts.seed + salt++);
+          feature, opts.effort, core::derive_point_seed(opts.seed, salt++));
       const double v_sexp =
           attack(std::make_shared<sim::ShiftedExponentialTimer>(tau - s, s),
-                 feature, opts.effort, opts.seed + salt++);
+                 feature, opts.effort, core::derive_point_seed(opts.seed, salt++));
       table.add_row({util::fmt(units::to_us(s), 1),
                      classify::feature_name(feature), util::fmt(v_norm, 4),
                      util::fmt(v_unif, 4), util::fmt(v_sexp, 4)});

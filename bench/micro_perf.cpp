@@ -3,14 +3,18 @@
 // vs the pooled InlineCallback + TimerTask core, on the CIT testbed's event
 // pattern), PIAT generation through the full testbed, feature extraction
 // (batch extractors vs streaming window accumulators vs the five-feature
-// DetectorBank inner loop), KDE evaluation and the M/G/1 stationary-wait
-// sampler.
+// DetectorBank inner loop), KDE evaluation, the M/G/1 stationary-wait
+// sampler, normal sampling (polar vs Ziggurat) and the prefix-replay
+// curve pipeline (Fig 4(b)'s detection-vs-n workload, one engine run per
+// point vs one collapsed run — outcomes asserted bit-identical).
 //
 // Emits machine-readable JSON with --json (one object per benchmark plus
-// derived fields: "event_core_speedup_cit" and the streaming multi-feature
-// extraction throughput) so future PRs can track the perf trajectory; the
-// default output is a human-readable table.
+// derived headline fields: events/sec speedup, features/sec and curve
+// points/sec) so future PRs can track the perf trajectory; the default
+// output is a human-readable table. --smoke shrinks every workload for CI.
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <queue>
 #include <string>
@@ -18,10 +22,12 @@
 
 #include "classify/feature.hpp"
 #include "classify/window_accumulator.hpp"
+#include "core/experiment.hpp"
 #include "core/scenarios.hpp"
 #include "sim/mg1.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/testbed.hpp"
+#include "stats/distributions.hpp"
 #include "stats/kde.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -252,6 +258,12 @@ struct DerivedMetrics {
   double bank_five_feature_piats_per_sec = 0.0;
   /// Streaming accumulator vs batch extractor, variance feature.
   double streaming_vs_batch_variance = 0.0;
+  /// Fig 4(b) curve points/sec through the prefix-replay engine.
+  double curve_points_per_sec = 0.0;
+  /// Prefix-replay (1 sim) vs per-point engine runs (k sims), same curve.
+  double curve_speedup_fig4b = 0.0;
+  /// Ziggurat vs Marsaglia-polar standard-normal throughput.
+  double ziggurat_normal_speedup = 0.0;
 };
 
 void print_table(const std::vector<BenchResult>& results,
@@ -268,11 +280,16 @@ void print_table(const std::vector<BenchResult>& results,
               "(streaming/batch variance: %.2fx)\n",
               derived.bank_five_feature_piats_per_sec,
               derived.streaming_vs_batch_variance);
+  std::printf("Fig 4(b) curve throughput: %.3e points/sec "
+              "(prefix replay vs per-point sims: %.2fx)\n",
+              derived.curve_points_per_sec, derived.curve_speedup_fig4b);
+  std::printf("ziggurat normal sampling speedup: %.2fx\n",
+              derived.ziggurat_normal_speedup);
 }
 
 void print_json(const std::vector<BenchResult>& results,
                 const DerivedMetrics& derived) {
-  std::printf("{\n  \"version\": 1,\n  \"benchmarks\": [\n");
+  std::printf("{\n  \"version\": 2,\n  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::printf("    {\"name\": \"%s\", \"unit\": \"%s\", "
@@ -283,10 +300,72 @@ void print_json(const std::vector<BenchResult>& results,
   std::printf("  ],\n  \"derived\": {\n"
               "    \"event_core_speedup_cit\": %.4f,\n"
               "    \"bank_five_feature_piats_per_sec\": %.6e,\n"
-              "    \"streaming_vs_batch_variance\": %.4f\n  }\n}\n",
+              "    \"streaming_vs_batch_variance\": %.4f,\n"
+              "    \"curve_points_per_sec\": %.6e,\n"
+              "    \"curve_speedup_fig4b\": %.4f,\n"
+              "    \"ziggurat_normal_speedup\": %.4f\n  }\n}\n",
               derived.event_core_speedup_cit,
               derived.bank_five_feature_piats_per_sec,
-              derived.streaming_vs_batch_variance);
+              derived.streaming_vs_batch_variance,
+              derived.curve_points_per_sec, derived.curve_speedup_fig4b,
+              derived.ziggurat_normal_speedup);
+}
+
+// ------------------------------------------- Fig 4(b) curve workload
+
+/// The detection-vs-n curve of Fig 4(b): 10-point sample-size axis × the
+/// three paper features, auto-selected entropy Δh, windows at n_max sized
+/// for bench runtime. `collapsed` = the prefix-replay engine (1 sim for
+/// the whole axis); otherwise one engine run per point — the pre-replay
+/// pipeline, evaluating each prefix independently on the same capture keys.
+const std::vector<std::size_t>& fig4b_axis() {
+  static const std::vector<std::size_t> axis = {100,  200,  400,  500,  700,
+                                                1000, 1500, 2000, 2500, 3000};
+  return axis;
+}
+
+std::vector<double> run_fig4b_curve(std::size_t windows, bool collapsed) {
+  const auto scenario = core::lab_zero_cross(core::make_cit());
+  const std::vector<classify::FeatureKind> features = {
+      classify::FeatureKind::kSampleMean,
+      classify::FeatureKind::kSampleVariance,
+      classify::FeatureKind::kSampleEntropy,
+  };
+  const auto& axis = fig4b_axis();
+  const std::size_t n_max = axis.back();
+
+  core::ExperimentSpec spec;
+  spec.scenario = scenario;
+  spec.adversary.feature = features.front();
+  spec.extra_features.assign(features.begin() + 1, features.end());
+  spec.train_windows = windows;
+  spec.test_windows = windows;
+  spec.seed = 20030324;
+
+  std::vector<double> rates;
+  rates.reserve(axis.size() * features.size());
+  if (collapsed) {
+    spec.sample_size_axis = axis;
+    spec.adversary.window_size = n_max;
+    const auto result = core::ExperimentEngine().run(spec);
+    for (const auto& point : result.by_sample_size) {
+      for (const auto& outcome : point.per_feature) {
+        rates.push_back(outcome.detection_rate);
+      }
+    }
+  } else {
+    for (const std::size_t n : axis) {
+      core::ExperimentSpec single = spec;
+      single.adversary.window_size = n;
+      single.train_windows = windows * n_max / n;
+      single.test_windows = windows * n_max / n;
+      const auto result = core::ExperimentEngine().run(single);
+      for (const auto& outcome : result.per_feature) {
+        rates.push_back(outcome.detection_rate);
+      }
+    }
+  }
+  return rates;
 }
 
 }  // namespace
@@ -294,9 +373,11 @@ void print_json(const std::vector<BenchResult>& results,
 int main(int argc, char** argv) {
   util::ArgParser args("micro_perf", "hot-path throughput micro benchmarks");
   args.add_flag("--json", "emit machine-readable JSON instead of a table");
+  args.add_flag("--smoke", "CI mode: short measurements, small workloads");
   args.add_option("--min-time", "0.5", "seconds per benchmark measurement");
   if (!args.parse(argc, argv)) return 1;
-  const double min_time = args.num("--min-time");
+  const bool smoke = args.flag("--smoke");
+  const double min_time = smoke ? 0.05 : args.num("--min-time");
 
   std::vector<BenchResult> results;
   DerivedMetrics derived;
@@ -432,6 +513,68 @@ int main(int argc, char** argv) {
           }));
       derived.bank_five_feature_piats_per_sec = results.back().items_per_sec;
     }
+  }
+
+  // Standard-normal sampling: Marsaglia polar (the reference every figure
+  // uses) vs the opt-in 256-layer Ziggurat.
+  {
+    util::Rng rng(7);
+    constexpr int kDraws = 200000;
+    results.push_back(run_bench("rng/normal_polar", "samples", min_time, [&] {
+      double acc = 0.0;
+      for (int i = 0; i < kDraws; ++i) acc += stats::sample_standard_normal(rng);
+      return static_cast<std::uint64_t>(kDraws + (acc > 1e18 ? 1 : 0));
+    }));
+    const double polar_ips = results.back().items_per_sec;
+    results.push_back(
+        run_bench("rng/normal_ziggurat", "samples", min_time, [&] {
+          double acc = 0.0;
+          for (int i = 0; i < kDraws; ++i) {
+            acc += stats::sample_standard_normal_ziggurat(rng);
+          }
+          return static_cast<std::uint64_t>(kDraws + (acc > 1e18 ? 1 : 0));
+        }));
+    derived.ziggurat_normal_speedup = results.back().items_per_sec / polar_ips;
+    results.push_back(
+        run_bench("rng/exponential_ziggurat", "samples", min_time, [&] {
+          double acc = 0.0;
+          for (int i = 0; i < kDraws; ++i) {
+            acc += stats::sample_standard_exponential_ziggurat(rng);
+          }
+          return static_cast<std::uint64_t>(kDraws + (acc < 0.0 ? 1 : 0));
+        }));
+  }
+
+  // Curve throughput: the Fig 4(b) detection-vs-n workload (10-point axis
+  // × 3 paper features). Old pipeline: one engine run — one simulation —
+  // per point. New: the whole axis rides one prefix-replay run. Outcomes
+  // must agree bit for bit; the headline metric is points/sec.
+  {
+    // Same workload in smoke mode (only the measurement time shrinks) so
+    // the BENCH record stays comparable across CI and local runs.
+    const std::size_t windows = 6;
+    const auto old_rates = run_fig4b_curve(windows, /*collapsed=*/false);
+    const auto new_rates = run_fig4b_curve(windows, /*collapsed=*/true);
+    if (old_rates != new_rates) {
+      std::fprintf(stderr,
+                   "FATAL: prefix-replay curve diverged from per-point "
+                   "evaluation — bit-identity contract broken\n");
+      return 1;
+    }
+    const double points = static_cast<double>(fig4b_axis().size());
+    results.push_back(
+        run_bench("curve/fig4b_per_point_sims", "points", min_time, [&] {
+          (void)run_fig4b_curve(windows, /*collapsed=*/false);
+          return static_cast<std::uint64_t>(points);
+        }));
+    const double old_pps = results.back().items_per_sec;
+    results.push_back(
+        run_bench("curve/fig4b_prefix_replay", "points", min_time, [&] {
+          (void)run_fig4b_curve(windows, /*collapsed=*/true);
+          return static_cast<std::uint64_t>(points);
+        }));
+    derived.curve_points_per_sec = results.back().items_per_sec;
+    derived.curve_speedup_fig4b = derived.curve_points_per_sec / old_pps;
   }
 
   if (args.flag("--json")) {

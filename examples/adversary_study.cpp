@@ -137,6 +137,16 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n=== Run-time classification ===\n");
+  // Checkpoints: the single test pass below also answers "how long must
+  // the adversary watch" — outcomes at geometric observation budgets are
+  // snapshotted as the capture streams through (prefix replay at the
+  // detector level; no re-capture, no re-classification).
+  std::vector<std::size_t> budgets;
+  for (std::size_t budget = n; budget < piats; budget *= 4) {
+    budgets.push_back(budget);
+  }
+  budgets.push_back(piats);
+  bank.arm_checkpoints(budgets);
   for (std::size_t c = 0; c < 2; ++c) {
     core::stream_batches(backend, scenario, c, seed, /*salt=*/2, piats, kBatch,
                          [&](std::span<const double> batch) {
@@ -144,6 +154,16 @@ int main(int argc, char** argv) {
                          });
   }
   std::cout << detector.confusion().to_string();
+
+  std::printf("\ndetection rate vs observed PIATs per class (feature '%s'):\n",
+              detector.name().c_str());
+  std::printf("  %12s %10s %10s\n", "PIATs", "windows", "rate");
+  for (const std::size_t budget : budgets) {
+    const auto confusion = bank.evaluate_at(budget).front();
+    std::printf("  %12zu %10llu %10.4f\n", budget,
+                static_cast<unsigned long long>(confusion.total()),
+                confusion.detection_rate());
+  }
 
   const double r_hat = analysis::variance_ratio(train_stats[0].variance(),
                                                 train_stats[1].variance());

@@ -35,6 +35,21 @@ BayesClassifier BayesClassifier::train(
   return clf;
 }
 
+BayesClassifier::BayesClassifier(const BayesClassifier& other)
+    : priors_(other.priors_),
+      feature_lo_(other.feature_lo_),
+      feature_hi_(other.feature_hi_) {
+  models_.reserve(other.models_.size());
+  for (const auto& model : other.models_) models_.push_back(model->clone());
+}
+
+BayesClassifier& BayesClassifier::operator=(const BayesClassifier& other) {
+  if (this == &other) return *this;
+  BayesClassifier copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
 ClassLabel BayesClassifier::classify(double s) const {
   ClassLabel best = 0;
   double best_score = -std::numeric_limits<double>::infinity();

@@ -28,6 +28,14 @@ class BayesClassifier {
       stats::BandwidthRule rule = stats::BandwidthRule::kSilverman,
       double fixed_bandwidth = 0.0);
 
+  // Deep-copyable (density models are cloned) so a trained detector bank
+  // can be checkpointed; moves stay cheap.
+  BayesClassifier(const BayesClassifier& other);
+  BayesClassifier& operator=(const BayesClassifier& other);
+  BayesClassifier(BayesClassifier&&) noexcept = default;
+  BayesClassifier& operator=(BayesClassifier&&) noexcept = default;
+  ~BayesClassifier() = default;
+
   /// Maximum-a-posteriori class of feature value s.
   [[nodiscard]] ClassLabel classify(double s) const;
 

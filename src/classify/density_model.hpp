@@ -26,6 +26,9 @@ class DensityModel {
   [[nodiscard]] virtual double log_pdf(double x) const = 0;
   [[nodiscard]] virtual double pdf(double x) const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+  /// Deep copy — lets a trained classifier (and with it a whole detector
+  /// bank) be checkpointed/forked.
+  [[nodiscard]] virtual std::unique_ptr<DensityModel> clone() const = 0;
 };
 
 /// Gaussian kernel density estimator (the paper's choice).
@@ -38,6 +41,9 @@ class KdeDensity final : public DensityModel {
   [[nodiscard]] double log_pdf(double x) const override;
   [[nodiscard]] double pdf(double x) const override;
   [[nodiscard]] std::string name() const override { return "kde"; }
+  [[nodiscard]] std::unique_ptr<DensityModel> clone() const override {
+    return std::make_unique<KdeDensity>(*this);
+  }
   [[nodiscard]] const stats::GaussianKde& kde() const { return kde_; }
 
  private:
@@ -53,6 +59,9 @@ class GaussianDensity final : public DensityModel {
   [[nodiscard]] double log_pdf(double x) const override;
   [[nodiscard]] double pdf(double x) const override;
   [[nodiscard]] std::string name() const override { return "gaussian"; }
+  [[nodiscard]] std::unique_ptr<DensityModel> clone() const override {
+    return std::make_unique<GaussianDensity>(*this);
+  }
   [[nodiscard]] double mean() const { return mean_; }
   [[nodiscard]] double sigma() const { return sigma_; }
 
@@ -69,6 +78,9 @@ class HistogramDensity final : public DensityModel {
   [[nodiscard]] double log_pdf(double x) const override;
   [[nodiscard]] double pdf(double x) const override;
   [[nodiscard]] std::string name() const override { return "histogram"; }
+  [[nodiscard]] std::unique_ptr<DensityModel> clone() const override {
+    return std::make_unique<HistogramDensity>(*this);
+  }
 
  private:
   stats::Histogram hist_;

@@ -24,6 +24,35 @@ Detector::Detector(DetectorSpec spec, std::size_t num_classes)
   if (!needs_bin_width()) prepare();
 }
 
+Detector::Detector(const Detector& other)
+    : spec_(other.spec_),
+      num_classes_(other.num_classes_),
+      bin_width_(other.bin_width_),
+      prepared_(other.prepared_),
+      trained_(other.trained_),
+      window_buffers_(other.window_buffers_),
+      training_features_(other.training_features_),
+      references_(other.references_),
+      priors_(other.priors_),
+      classifier_(other.classifier_),
+      confusion_(other.confusion_),
+      checkpoints_(other.checkpoints_),
+      test_consumed_(other.test_consumed_),
+      next_checkpoint_(other.next_checkpoint_),
+      checkpoint_rows_(other.checkpoint_rows_) {
+  accumulators_.reserve(other.accumulators_.size());
+  for (const auto& acc : other.accumulators_) {
+    accumulators_.push_back(acc->clone());
+  }
+}
+
+Detector& Detector::operator=(const Detector& other) {
+  if (this == &other) return *this;
+  Detector copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
 std::string Detector::name() const {
   if (is_edf()) {
     return spec_.edf == EdfDistance::kKolmogorovSmirnov ? "EDF nearest (KS)"
@@ -121,24 +150,100 @@ void Detector::classify_edf_window(std::size_t true_class) {
   confusion_.add(static_cast<ClassLabel>(true_class), best);
 }
 
+std::size_t Detector::window_fill(std::size_t class_index) const {
+  return is_edf() ? window_buffers_[class_index].size()
+                  : accumulators_[class_index]->count();
+}
+
+void Detector::feed_chunk(std::size_t class_index,
+                          std::span<const double> chunk, bool testing) {
+  // The caller guarantees the chunk fits inside the current window.
+  const std::size_t n = spec_.adversary.window_size;
+  if (is_edf()) {
+    auto& window = window_buffers_[class_index];
+    window.insert(window.end(), chunk.begin(), chunk.end());
+    if (window.size() == n) complete_window(class_index, testing);
+  } else {
+    auto& acc = *accumulators_[class_index];
+    acc.add_span(chunk);
+    if (acc.count() == n) complete_window(class_index, testing);
+  }
+}
+
 void Detector::feed(std::size_t class_index, std::span<const double> batch,
                     bool testing) {
   LINKPAD_EXPECTS(prepared_);
   LINKPAD_EXPECTS(class_index < num_classes_);
   const std::size_t n = spec_.adversary.window_size;
-  if (is_edf()) {
-    auto& window = window_buffers_[class_index];
-    for (double x : batch) {
-      window.push_back(x);
-      if (window.size() == n) complete_window(class_index, testing);
+  // Walk the batch window by window: one (de)virtualized span add per
+  // window chunk instead of a virtual call + boundary branch per sample.
+  // Chunks additionally break at armed checkpoints so a snapshot lands
+  // exactly at its prefix length.
+  while (!batch.empty()) {
+    std::size_t take = std::min(batch.size(), n - window_fill(class_index));
+    if (testing && !checkpoints_.empty() &&
+        next_checkpoint_[class_index] < checkpoints_.size()) {
+      const std::size_t to_checkpoint =
+          checkpoints_[next_checkpoint_[class_index]] -
+          test_consumed_[class_index];
+      take = std::min(take, to_checkpoint);
     }
-  } else {
-    auto& acc = *accumulators_[class_index];
-    for (double x : batch) {
-      acc.add(x);
-      if (acc.count() == n) complete_window(class_index, testing);
+    feed_chunk(class_index, batch.first(take), testing);
+    batch = batch.subspan(take);
+    if (testing && !checkpoints_.empty()) {
+      test_consumed_[class_index] += take;
+      auto& next = next_checkpoint_[class_index];
+      // A window completing at the boundary is tallied above, BEFORE the
+      // snapshot — exactly what a fresh bank stopped here would hold.
+      while (next < checkpoints_.size() &&
+             test_consumed_[class_index] == checkpoints_[next]) {
+        auto& row = checkpoint_rows_[class_index][next];
+        row.resize(num_classes_);
+        for (std::size_t j = 0; j < num_classes_; ++j) {
+          row[j] = confusion_.count(static_cast<ClassLabel>(class_index),
+                                    static_cast<ClassLabel>(j));
+        }
+        ++next;
+      }
     }
   }
+}
+
+void Detector::arm_checkpoints(std::vector<std::size_t> test_prefixes) {
+  LINKPAD_EXPECTS(checkpoints_.empty());
+  LINKPAD_EXPECTS(confusion_.total() == 0);
+  std::sort(test_prefixes.begin(), test_prefixes.end());
+  test_prefixes.erase(
+      std::unique(test_prefixes.begin(), test_prefixes.end()),
+      test_prefixes.end());
+  LINKPAD_EXPECTS(test_prefixes.empty() || test_prefixes.front() >= 1);
+  checkpoints_ = std::move(test_prefixes);
+  test_consumed_.assign(num_classes_, 0);
+  next_checkpoint_.assign(num_classes_, 0);
+  checkpoint_rows_.assign(
+      num_classes_, std::vector<std::vector<std::uint64_t>>(checkpoints_.size()));
+}
+
+ConfusionMatrix Detector::confusion_at(std::size_t prefix) const {
+  const auto it =
+      std::find(checkpoints_.begin(), checkpoints_.end(), prefix);
+  LINKPAD_EXPECTS(it != checkpoints_.end() &&
+                  "confusion_at: prefix was not armed as a checkpoint");
+  const auto idx =
+      static_cast<std::size_t>(std::distance(checkpoints_.begin(), it));
+  ConfusionMatrix out(num_classes_);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    const bool crossed = next_checkpoint_[c] > idx;
+    for (std::size_t j = 0; j < num_classes_; ++j) {
+      const std::uint64_t count =
+          crossed ? checkpoint_rows_[c][idx][j]
+                  : confusion_.count(static_cast<ClassLabel>(c),
+                                     static_cast<ClassLabel>(j));
+      out.add_count(static_cast<ClassLabel>(c), static_cast<ClassLabel>(j),
+                    count);
+    }
+  }
+  return out;
 }
 
 void Detector::consume_training(std::size_t class_index,
@@ -222,6 +327,39 @@ DetectorBank::DetectorBank(const AdversaryConfig& base,
                            std::size_t num_classes)
     : DetectorBank(specs_for_features(base, features), num_classes) {}
 
+DetectorBank::DetectorBank(const DetectorBank& other)
+    : num_classes_(other.num_classes_),
+      prepass_pooled_(other.prepass_pooled_),
+      prepass_finished_(other.prepass_finished_) {
+  detectors_.reserve(other.detectors_.size());
+  for (const auto& detector : other.detectors_) {
+    detectors_.push_back(std::make_unique<Detector>(*detector));
+  }
+}
+
+DetectorBank& DetectorBank::operator=(const DetectorBank& other) {
+  if (this == &other) return *this;
+  DetectorBank copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+void DetectorBank::arm_checkpoints(std::vector<std::size_t> test_prefixes) {
+  for (auto& detector : detectors_) {
+    detector->arm_checkpoints(test_prefixes);
+  }
+}
+
+std::vector<ConfusionMatrix> DetectorBank::evaluate_at(
+    std::size_t prefix) const {
+  std::vector<ConfusionMatrix> out;
+  out.reserve(detectors_.size());
+  for (const auto& detector : detectors_) {
+    out.push_back(detector->confusion_at(prefix));
+  }
+  return out;
+}
+
 bool DetectorBank::needs_prepass() const {
   if (prepass_finished_) return false;
   return std::any_of(detectors_.begin(), detectors_.end(),
@@ -233,16 +371,17 @@ void DetectorBank::consume_prepass(std::span<const double> batch) {
   for (double x : batch) prepass_pooled_.add(x);
 }
 
-void DetectorBank::finish_prepass() {
+void DetectorBank::finish_prepass() { finish_prepass(prepass_pooled_); }
+
+void DetectorBank::finish_prepass(const stats::RunningStats& pooled) {
   LINKPAD_EXPECTS(!prepass_finished_);
-  LINKPAD_EXPECTS(prepass_pooled_.count() >= 2);
+  LINKPAD_EXPECTS(pooled.count() >= 2);
   for (auto& detector : detectors_) {
     if (!detector->needs_bin_width()) continue;
     // Scott's histogram rule at the detector's window size — the exact
     // selection Adversary::train performs on pooled training data.
     const double n = static_cast<double>(detector->spec().adversary.window_size);
-    const double width =
-        3.49 * prepass_pooled_.stddev() * std::pow(n, -1.0 / 3.0);
+    const double width = 3.49 * pooled.stddev() * std::pow(n, -1.0 / 3.0);
     LINKPAD_ENSURES(width > 0.0);
     detector->set_bin_width(width);
   }

@@ -31,6 +31,18 @@
 // Batches may be any size: results are independent of batch boundaries
 // (every accumulator is per-sample sequential). Partial trailing windows
 // are dropped, exactly like Adversary::windows_of.
+//
+// Checkpoints (the prefix-replay primitives of DESIGN.md §2.6):
+//  * arm_checkpoints({n1 < n2 < ...}) before the run-time phase makes one
+//    test pass emit outcomes at every prefix length: evaluate_at(ni) is the
+//    per-detector confusion as if only the FIRST ni test PIATs of each
+//    class had been consumed — bit-identical to stopping a fresh bank
+//    there, because every accumulator is per-sample sequential and a
+//    window completed within the prefix is the same window either way.
+//  * checkpoint() deep-copies the whole bank (partially-filled windows,
+//    references, classifiers, confusions); the fork and the original then
+//    evolve independently — "what if the adversary kept watching" studies
+//    without re-training or re-capturing.
 #pragma once
 
 #include <memory>
@@ -65,6 +77,15 @@ class Detector {
  public:
   Detector(DetectorSpec spec, std::size_t num_classes);
 
+  /// Deep copy (accumulators, window buffers, classifier, confusion): the
+  /// checkpoint/fork primitive. Cost is O(detector state), independent of
+  /// how much of the stream has been consumed.
+  Detector(const Detector& other);
+  Detector& operator=(const Detector& other);
+  Detector(Detector&&) noexcept = default;
+  Detector& operator=(Detector&&) noexcept = default;
+  ~Detector() = default;
+
   [[nodiscard]] const DetectorSpec& spec() const { return spec_; }
   [[nodiscard]] bool is_edf() const { return spec_.edf.has_value(); }
   /// "sample entropy", "EDF nearest (KS)", ...
@@ -81,6 +102,16 @@ class Detector {
   [[nodiscard]] bool trained() const { return trained_; }
 
   void consume_test(std::size_t true_class, std::span<const double> batch);
+
+  /// Arm run-time checkpoints at ascending per-class test-prefix lengths
+  /// (PIAT counts ≥ 1). One-shot; must be called before any consume_test.
+  void arm_checkpoints(std::vector<std::size_t> test_prefixes);
+
+  /// Confusion as if only the first `prefix` test PIATs of EACH class had
+  /// been consumed. `prefix` must be an armed checkpoint; a class that has
+  /// not yet reached it contributes its current counts (= everything it
+  /// was given, exactly what a fresh bank fed the same short stream holds).
+  [[nodiscard]] ConfusionMatrix confusion_at(std::size_t prefix) const;
 
   [[nodiscard]] const ConfusionMatrix& confusion() const { return confusion_; }
   /// Prior-weighted detection rate of the windows consumed so far.
@@ -100,9 +131,12 @@ class Detector {
   void prepare();  // build accumulators once the bin width is known
   void feed(std::size_t class_index, std::span<const double> batch,
             bool testing);
+  void feed_chunk(std::size_t class_index, std::span<const double> chunk,
+                  bool testing);
   void complete_window(std::size_t class_index, bool testing);
   void classify_edf_window(std::size_t true_class);
   void thin_reference(std::vector<double>& reference) const;
+  [[nodiscard]] std::size_t window_fill(std::size_t class_index) const;
 
   DetectorSpec spec_;
   std::size_t num_classes_;
@@ -119,6 +153,15 @@ class Detector {
   std::vector<double> priors_;
   std::optional<BayesClassifier> classifier_;
   ConfusionMatrix confusion_;
+
+  // Armed test-prefix checkpoints: when class c's consumed test count
+  // crosses checkpoints_[i], row c of the confusion is snapshotted into
+  // checkpoint_rows_[c][i] (rows are per-true-class, so per-class
+  // snapshots assemble into the full prefix confusion).
+  std::vector<std::size_t> checkpoints_;  // ascending, deduplicated
+  std::vector<std::size_t> test_consumed_;     // per class
+  std::vector<std::size_t> next_checkpoint_;   // per class, index
+  std::vector<std::vector<std::vector<std::uint64_t>>> checkpoint_rows_;
 };
 
 /// Evaluates all configured detectors over a single pass of the stream.
@@ -132,6 +175,14 @@ class DetectorBank {
                const std::vector<FeatureKind>& features,
                std::size_t num_classes);
 
+  /// Deep-copyable: all detectors (including partially-consumed window
+  /// state) are cloned. See checkpoint().
+  DetectorBank(const DetectorBank& other);
+  DetectorBank& operator=(const DetectorBank& other);
+  DetectorBank(DetectorBank&&) noexcept = default;
+  DetectorBank& operator=(DetectorBank&&) noexcept = default;
+  ~DetectorBank() = default;
+
   /// True when some entropy detector needs the pooled-training-data Δh
   /// prepass before training can start.
   [[nodiscard]] bool needs_prepass() const;
@@ -141,6 +192,13 @@ class DetectorBank {
   void consume_prepass(std::span<const double> batch);
   void finish_prepass();
 
+  /// Finish the prepass from externally accumulated pooled training
+  /// moments instead of consume_prepass. The prefix-replay engine computes
+  /// per-prefix moments with ONE shared Welford stream plus fork()s at the
+  /// prefix boundaries, then hands each bank its snapshot — identical
+  /// numbers to consuming the clipped stream, at a fraction of the adds.
+  void finish_prepass(const stats::RunningStats& pooled);
+
   void consume_training(std::size_t class_index, std::span<const double> batch);
 
   /// Fit every detector. Empty priors = equal.
@@ -148,6 +206,23 @@ class DetectorBank {
   [[nodiscard]] bool trained() const;
 
   void consume_test(std::size_t true_class, std::span<const double> batch);
+
+  /// Arm every detector with run-time checkpoints at the given ascending
+  /// per-class test-prefix lengths (PIAT counts). One capture pass then
+  /// emits outcomes at every prefix via evaluate_at(). Must be called
+  /// before the first consume_test.
+  void arm_checkpoints(std::vector<std::size_t> test_prefixes);
+
+  /// Per-detector confusion (detector order) as if only the first `prefix`
+  /// test PIATs of each class had been consumed — bit-identical to feeding
+  /// a fresh, identically-trained bank exactly that prefix. `prefix` must
+  /// be an armed checkpoint.
+  [[nodiscard]] std::vector<ConfusionMatrix> evaluate_at(
+      std::size_t prefix) const;
+
+  /// Deep snapshot of the whole bank, mid-stream state included. The fork
+  /// and the original consume independently afterwards (fork semantics).
+  [[nodiscard]] DetectorBank checkpoint() const { return *this; }
 
   [[nodiscard]] std::size_t size() const { return detectors_.size(); }
   [[nodiscard]] std::size_t num_classes() const { return num_classes_; }

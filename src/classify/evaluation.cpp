@@ -19,6 +19,15 @@ void ConfusionMatrix::add(ClassLabel truth, ClassLabel predicted) {
   ++total_;
 }
 
+void ConfusionMatrix::add_count(ClassLabel truth, ClassLabel predicted,
+                                std::uint64_t count) {
+  LINKPAD_EXPECTS(truth >= 0 && static_cast<std::size_t>(truth) < n_);
+  LINKPAD_EXPECTS(predicted >= 0 && static_cast<std::size_t>(predicted) < n_);
+  counts_[static_cast<std::size_t>(truth) * n_ +
+          static_cast<std::size_t>(predicted)] += count;
+  total_ += count;
+}
+
 void ConfusionMatrix::merge(const ConfusionMatrix& other) {
   LINKPAD_EXPECTS(other.n_ == n_);
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];

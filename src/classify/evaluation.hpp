@@ -22,6 +22,9 @@ class ConfusionMatrix {
 
   void add(ClassLabel truth, ClassLabel predicted);
 
+  /// Tally `count` occurrences at once (checkpoint restore / bulk merges).
+  void add_count(ClassLabel truth, ClassLabel predicted, std::uint64_t count);
+
   /// Merge counts (parallel evaluation shards).
   void merge(const ConfusionMatrix& other);
 

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "stats/descriptive.hpp"
 #include "stats/histogram.hpp"
 #include "stats/quantile_sketch.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace linkpad::classify {
 
@@ -19,6 +22,12 @@ class MeanAccumulator final : public WindowAccumulator {
     sum_ += x;
     ++n_;
   }
+  void add_span(std::span<const double> xs) override {
+    // In-order running sum, exactly as add() — just without a virtual call
+    // per sample.
+    for (double x : xs) sum_ += x;
+    n_ += xs.size();
+  }
   [[nodiscard]] double value() const override {
     LINKPAD_EXPECTS(n_ > 0);
     return sum_ / static_cast<double>(n_);
@@ -29,6 +38,9 @@ class MeanAccumulator final : public WindowAccumulator {
   }
   [[nodiscard]] std::size_t count() const override { return n_; }
   [[nodiscard]] std::string name() const override { return "sample mean"; }
+  [[nodiscard]] std::unique_ptr<WindowAccumulator> clone() const override {
+    return std::make_unique<MeanAccumulator>(*this);
+  }
 
  private:
   double sum_ = 0.0;
@@ -38,33 +50,143 @@ class MeanAccumulator final : public WindowAccumulator {
 class VarianceAccumulator final : public WindowAccumulator {
  public:
   void add(double x) override { rs_.add(x); }
+  void add_span(std::span<const double> xs) override {
+    for (double x : xs) rs_.add(x);
+  }
   [[nodiscard]] double value() const override { return rs_.variance(); }
   void reset() override { rs_ = stats::RunningStats{}; }
   [[nodiscard]] std::size_t count() const override { return rs_.count(); }
   [[nodiscard]] std::string name() const override { return "sample variance"; }
+  [[nodiscard]] std::unique_ptr<WindowAccumulator> clone() const override {
+    return std::make_unique<VarianceAccumulator>(*this);
+  }
 
  private:
   stats::RunningStats rs_;
 };
 
+/// Open-addressing (bin index → count) table: the entropy accumulator's hot
+/// store. SparseHistogram's std::map costs a pointer-chasing insert per
+/// PIAT; this flat table makes the per-sample step a hash + linear probe,
+/// which matters because the prefix-replay engine streams every capture
+/// through one entropy accumulator per sample-size point. Counts are
+/// integers, so the content — and any entropy derived from it — is exactly
+/// the histogram a SparseHistogram would hold.
+class FlatBinCounter {
+ public:
+  FlatBinCounter() { cells_.resize(kInitialSlots); }
+
+  void add(std::int64_t bin) {
+    ++total_;
+    std::size_t idx = slot_of(bin);
+    for (;;) {
+      Cell& cell = cells_[idx];
+      if (cell.count == 0) {
+        cell.bin = bin;
+        cell.count = 1;
+        if (++used_ * 3 >= cells_.size() * 2) grow();
+        return;
+      }
+      if (cell.bin == bin) {
+        ++cell.count;
+        return;
+      }
+      idx = (idx + 1) & (cells_.size() - 1);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::size_t occupied() const { return used_; }
+
+  /// Occupied (bin, count) cells in ascending bin order.
+  [[nodiscard]] std::vector<std::pair<std::int64_t, std::uint64_t>> sorted_cells()
+      const {
+    std::vector<std::pair<std::int64_t, std::uint64_t>> out;
+    out.reserve(used_);
+    for (const Cell& cell : cells_) {
+      if (cell.count != 0) out.emplace_back(cell.bin, cell.count);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  void clear() {
+    // Keep the capacity: windows of one detector are all the same size, so
+    // the table reaches steady state after the first window.
+    std::fill(cells_.begin(), cells_.end(), Cell{});
+    used_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  struct Cell {
+    std::int64_t bin = 0;
+    std::uint64_t count = 0;  // 0 == empty slot
+  };
+  static constexpr std::size_t kInitialSlots = 64;  // power of two
+
+  [[nodiscard]] std::size_t slot_of(std::int64_t bin) const {
+    return static_cast<std::size_t>(
+               util::SplitMix64::mix(static_cast<std::uint64_t>(bin))) &
+           (cells_.size() - 1);
+  }
+
+  void grow() {
+    std::vector<Cell> old = std::move(cells_);
+    cells_.assign(old.size() * 2, Cell{});
+    for (const Cell& cell : old) {
+      if (cell.count == 0) continue;
+      std::size_t idx = slot_of(cell.bin);
+      while (cells_[idx].count != 0) idx = (idx + 1) & (cells_.size() - 1);
+      cells_[idx] = cell;
+    }
+  }
+
+  std::vector<Cell> cells_;
+  std::size_t used_ = 0;
+  std::uint64_t total_ = 0;
+};
+
 class EntropyAccumulator final : public WindowAccumulator {
  public:
   EntropyAccumulator(double bin_width, stats::EntropyBias bias)
-      : bias_(bias), hist_(bin_width) {}
-
-  void add(double x) override { hist_.add(x); }
-  [[nodiscard]] double value() const override {
-    return stats::histogram_entropy(hist_, bias_);
+      : bias_(bias), bin_width_(bin_width) {
+    LINKPAD_EXPECTS(bin_width > 0.0);
   }
-  void reset() override { hist_ = stats::SparseHistogram(hist_.bin_width()); }
+
+  void add(double x) override {
+    // Same binning as SparseHistogram::add: bin(x) = floor(x / Δh).
+    counter_.add(static_cast<std::int64_t>(std::floor(x / bin_width_)));
+  }
+  void add_span(std::span<const double> xs) override {
+    for (double x : xs) {
+      counter_.add(static_cast<std::int64_t>(std::floor(x / bin_width_)));
+    }
+  }
+  [[nodiscard]] double value() const override {
+    // Rebuild the canonical SparseHistogram (ascending-bin inserts, a few
+    // dozen cells — negligible next to the window's adds) and evaluate the
+    // one histogram_entropy implementation. Identical cell contents mean an
+    // identical estimate bit for bit, with zero duplicated estimator logic.
+    stats::SparseHistogram hist(bin_width_);
+    for (const auto& [bin, count] : counter_.sorted_cells()) {
+      hist.add_cell(bin, count);
+    }
+    return stats::histogram_entropy(hist, bias_);
+  }
+  void reset() override { counter_.clear(); }
   [[nodiscard]] std::size_t count() const override {
-    return static_cast<std::size_t>(hist_.total());
+    return static_cast<std::size_t>(counter_.total());
   }
   [[nodiscard]] std::string name() const override { return "sample entropy"; }
+  [[nodiscard]] std::unique_ptr<WindowAccumulator> clone() const override {
+    return std::make_unique<EntropyAccumulator>(*this);
+  }
 
  private:
   stats::EntropyBias bias_;
-  stats::SparseHistogram hist_;
+  double bin_width_;
+  FlatBinCounter counter_;
 };
 
 /// Exact dispersion accumulators: buffer the window (bounded by the window
@@ -72,10 +194,16 @@ class EntropyAccumulator final : public WindowAccumulator {
 class BufferedMadAccumulator final : public WindowAccumulator {
  public:
   void add(double x) override { buffer_.push_back(x); }
+  void add_span(std::span<const double> xs) override {
+    buffer_.insert(buffer_.end(), xs.begin(), xs.end());
+  }
   [[nodiscard]] double value() const override { return stats::mad(buffer_); }
   void reset() override { buffer_.clear(); }
   [[nodiscard]] std::size_t count() const override { return buffer_.size(); }
   [[nodiscard]] std::string name() const override { return "MAD"; }
+  [[nodiscard]] std::unique_ptr<WindowAccumulator> clone() const override {
+    return std::make_unique<BufferedMadAccumulator>(*this);
+  }
 
  private:
   std::vector<double> buffer_;
@@ -84,10 +212,16 @@ class BufferedMadAccumulator final : public WindowAccumulator {
 class BufferedIqrAccumulator final : public WindowAccumulator {
  public:
   void add(double x) override { buffer_.push_back(x); }
+  void add_span(std::span<const double> xs) override {
+    buffer_.insert(buffer_.end(), xs.begin(), xs.end());
+  }
   [[nodiscard]] double value() const override { return stats::iqr(buffer_); }
   void reset() override { buffer_.clear(); }
   [[nodiscard]] std::size_t count() const override { return buffer_.size(); }
   [[nodiscard]] std::string name() const override { return "IQR"; }
+  [[nodiscard]] std::unique_ptr<WindowAccumulator> clone() const override {
+    return std::make_unique<BufferedIqrAccumulator>(*this);
+  }
 
  private:
   std::vector<double> buffer_;
@@ -111,6 +245,9 @@ class SketchMadAccumulator final : public WindowAccumulator {
   }
   [[nodiscard]] std::size_t count() const override { return median_.count(); }
   [[nodiscard]] std::string name() const override { return "MAD (P2)"; }
+  [[nodiscard]] std::unique_ptr<WindowAccumulator> clone() const override {
+    return std::make_unique<SketchMadAccumulator>(*this);
+  }
 
  private:
   stats::P2Quantile median_{0.5};
@@ -132,6 +269,9 @@ class SketchIqrAccumulator final : public WindowAccumulator {
   }
   [[nodiscard]] std::size_t count() const override { return q1_.count(); }
   [[nodiscard]] std::string name() const override { return "IQR (P2)"; }
+  [[nodiscard]] std::unique_ptr<WindowAccumulator> clone() const override {
+    return std::make_unique<SketchIqrAccumulator>(*this);
+  }
 
  private:
   stats::P2Quantile q1_{0.25};

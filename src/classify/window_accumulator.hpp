@@ -50,6 +50,13 @@ class WindowAccumulator {
 
   virtual void add(double x) = 0;
 
+  /// Bulk add: same result as add() per element. The hot accumulators
+  /// override this with a devirtualized tight loop — one virtual dispatch
+  /// per span instead of per sample on the bank's streaming path.
+  virtual void add_span(std::span<const double> xs) {
+    for (double x : xs) add(x);
+  }
+
   /// Feature value of the samples added since construction / reset().
   [[nodiscard]] virtual double value() const = 0;
 
@@ -61,9 +68,13 @@ class WindowAccumulator {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  void add_batch(std::span<const double> xs) {
-    for (double x : xs) add(x);
-  }
+  /// Deep copy of the accumulator INCLUDING partially-consumed window
+  /// state — the checkpoint primitive for forked detector banks. O(state):
+  /// O(1) for the moment/sketch accumulators, O(occupied bins) for entropy
+  /// and O(buffered samples) for the exact dispersion accumulators.
+  [[nodiscard]] virtual std::unique_ptr<WindowAccumulator> clone() const = 0;
+
+  void add_batch(std::span<const double> xs) { add_span(xs); }
 };
 
 /// Factory. Throws ContractViolation for kSampleEntropy without a bin width.

@@ -53,6 +53,24 @@ std::vector<classify::FeatureKind> ExperimentSpec::features() const {
   return out;
 }
 
+std::vector<std::size_t> ExperimentSpec::sample_sizes() const {
+  std::vector<std::size_t> ns = sample_size_axis;
+  if (ns.empty()) ns.push_back(adversary.window_size);
+  std::sort(ns.begin(), ns.end());
+  ns.erase(std::unique(ns.begin(), ns.end()), ns.end());
+  LINKPAD_EXPECTS(ns.front() >= 2);
+  return ns;
+}
+
+const FeatureOutcome& SampleSizePoint::outcome(
+    classify::FeatureKind kind) const {
+  for (const auto& o : per_feature) {
+    if (o.feature == kind) return o;
+  }
+  throw std::invalid_argument("SampleSizePoint: feature not evaluated: " +
+                              classify::feature_name(kind));
+}
+
 const FeatureOutcome& ExperimentResult::outcome(
     classify::FeatureKind kind) const {
   for (const auto& o : per_feature) {
@@ -60,6 +78,14 @@ const FeatureOutcome& ExperimentResult::outcome(
   }
   throw std::invalid_argument("ExperimentResult: feature not evaluated: " +
                               classify::feature_name(kind));
+}
+
+const SampleSizePoint& ExperimentResult::at_sample_size(std::size_t n) const {
+  for (const auto& point : by_sample_size) {
+    if (point.sample_size == n) return point;
+  }
+  throw std::invalid_argument("ExperimentResult: sample size not on axis: " +
+                              std::to_string(n));
 }
 
 // --------------------------------------------------------- ExperimentEngine
@@ -75,103 +101,261 @@ std::vector<double> ExperimentEngine::class_stream(
                      stream_salt, piats, batch_piats_);
 }
 
+namespace {
+
+/// One sample-size point's streaming state inside ExperimentEngine::run:
+/// its bank, its per-class prefix budgets, and its training moments.
+struct PrefixPoint {
+  std::size_t n = 0;
+  std::size_t train_windows = 0;
+  std::size_t test_windows = 0;
+  std::size_t train_limit = 0;  ///< per-class training PIAT budget
+  std::size_t test_limit = 0;   ///< per-class test PIAT budget
+  std::vector<stats::RunningStats> train_stats;  ///< per class, over prefix
+};
+
+/// The part of `batch` (starting at stream offset `offset`) that falls
+/// inside a point's prefix budget `limit`.
+std::span<const double> clip_to_limit(std::span<const double> batch,
+                                      std::size_t offset, std::size_t limit) {
+  if (offset >= limit) return {};
+  return batch.first(std::min(batch.size(), limit - offset));
+}
+
+}  // namespace
+
 ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec) const {
   const std::size_t num_classes = spec.scenario.payload_rates.size();
   LINKPAD_EXPECTS(num_classes >= 2);
   LINKPAD_EXPECTS(spec.train_windows >= 2 && spec.test_windows >= 1);
 
-  const std::size_t n = spec.adversary.window_size;
-  const std::size_t train_piats = spec.train_windows * n;
-  const std::size_t test_piats = spec.test_windows * n;
-
+  // Prefix-replay setup (DESIGN.md §2.6): the capture is sized by the
+  // LARGEST sample size; every axis entry n gets its own DetectorBank with
+  // window size n and consumes floor(windows·n_max/n)·n PIATs — a prefix
+  // of the shared capture, so each point is bit-identical to running the
+  // engine at that window size alone. A single-entry axis (the default) is
+  // exactly the pre-axis pipeline.
+  const auto ns = spec.sample_sizes();
+  const std::size_t k = ns.size();
+  const std::size_t n_max = ns.back();
   const auto features = spec.features();
-  classify::DetectorBank bank(spec.adversary, features, num_classes);
 
-  // Per-class training-capture moments (Welford, in stream order) feed the
-  // sanity summaries and r_hat without ever materializing the capture.
-  std::vector<stats::RunningStats> train_stats(num_classes);
+  std::vector<PrefixPoint> points(k);
+  std::vector<classify::DetectorBank> banks;
+  banks.reserve(k);
+  const std::size_t window_cap = spec.max_windows_per_point == 0
+                                     ? static_cast<std::size_t>(-1)
+                                     : spec.max_windows_per_point;
+  std::size_t train_capacity = 0;  // longest prefix any point consumes
+  std::size_t test_capacity = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    PrefixPoint& p = points[i];
+    p.n = ns[i];
+    p.train_windows = std::min(spec.train_windows * n_max / p.n, window_cap);
+    p.test_windows = std::min(spec.test_windows * n_max / p.n, window_cap);
+    p.train_limit = p.train_windows * p.n;
+    p.test_limit = p.test_windows * p.n;
+    train_capacity = std::max(train_capacity, p.train_limit);
+    test_capacity = std::max(test_capacity, p.test_limit);
+    p.train_stats.resize(num_classes);
+    classify::AdversaryConfig adversary = spec.adversary;
+    adversary.window_size = p.n;
+    banks.emplace_back(adversary, features, num_classes);
+  }
+
+  // Training feed for one class: every bank gets its clipped share of the
+  // batch, and the shared Welford moments are forked at each point's
+  // prefix boundary — the snapshot IS that point's training moments, with
+  // the exact adds an independent run would have performed.
   std::vector<std::size_t> train_got(num_classes, 0);
+  auto feed_training = [&](std::size_t c, auto&& for_each_batch) {
+    stats::RunningStats running;
+    std::size_t offset = 0;
+    std::size_t snapshots_taken = 0;  // points are ascending in n, so their
+                                      // train limits are NOT sorted; track
+                                      // crossings per point instead.
+    std::vector<std::uint8_t> crossed(k, 0);
+    const std::size_t got = for_each_batch([&](std::span<const double> batch) {
+      for (std::size_t i = 0; i < k; ++i) {
+        const auto piece = clip_to_limit(batch, offset, points[i].train_limit);
+        if (!piece.empty()) banks[i].consume_training(c, piece);
+      }
+      // Advance the shared moments, snapshotting exactly at boundaries.
+      std::span<const double> rest = batch;
+      while (!rest.empty()) {
+        std::size_t next_boundary = static_cast<std::size_t>(-1);
+        for (std::size_t i = 0; i < k; ++i) {
+          if (!crossed[i] && points[i].train_limit > offset) {
+            next_boundary = std::min(next_boundary, points[i].train_limit);
+          }
+        }
+        const std::size_t take =
+            std::min(rest.size(), next_boundary - offset);
+        for (const double x : rest.first(take)) running.add(x);
+        offset += take;
+        rest = rest.subspan(take);
+        for (std::size_t i = 0; i < k; ++i) {
+          if (!crossed[i] && points[i].train_limit <= offset) {
+            points[i].train_stats[c] = running.fork();
+            crossed[i] = 1;
+            ++snapshots_taken;
+          }
+        }
+      }
+      return offset;
+    });
+    train_got[c] = got;
+    // A finite (live) backend may exhaust before a boundary: the prefix a
+    // fresh run would see is everything delivered, i.e. the current state.
+    if (snapshots_taken < k) {
+      for (std::size_t i = 0; i < k; ++i) {
+        if (!crossed[i]) points[i].train_stats[c] = running.fork();
+      }
+    }
+  };
 
   // Off-line phase: the adversary replicates the system per class and
-  // streams HIS replica through the bank in bounded batches. An entropy
+  // streams HIS replica through the banks in bounded batches. An entropy
   // detector without an explicit Δh first needs the pooled training
-  // moments (Scott's rule), which costs one extra pass: replayable
-  // backends simply re-open the identical streams; a live capture cannot
-  // be replayed, so it is materialized once and both passes run in memory.
-  if (bank.needs_prepass() && !backend_->replayable()) {
+  // moments of ITS prefix (Scott's rule), which costs one extra pass:
+  // a single-point replayable run simply re-opens the identical streams;
+  // a live capture cannot be replayed, and a multi-point axis would
+  // re-simulate the whole capture, so both materialize the training
+  // capture once and run the two passes from memory.
+  const bool prepass = banks.front().needs_prepass();
+  if (prepass && (!backend_->replayable() || k > 1)) {
     std::vector<std::vector<double>> train(num_classes);
     for (std::size_t c = 0; c < num_classes; ++c) {
-      train[c] = class_stream(spec, c, train_piats, /*salt=*/1);
-      bank.consume_prepass(train[c]);
+      train[c] = class_stream(spec, c, train_capacity, /*salt=*/1);
     }
-    bank.finish_prepass();
+    // Pooled prepass moments per DISTINCT prefix budget: the first class
+    // is one shared Welford stream forked at each budget boundary; later
+    // classes resume each fork with their clipped adds. Bit-identical to
+    // k independent clipped streams — banks sharing a budget share the
+    // whole pooled state.
+    std::vector<std::size_t> budgets;
+    budgets.reserve(k);
+    for (const PrefixPoint& p : points) budgets.push_back(p.train_limit);
+    std::sort(budgets.begin(), budgets.end());
+    budgets.erase(std::unique(budgets.begin(), budgets.end()), budgets.end());
+
+    std::vector<stats::RunningStats> pooled(budgets.size());
+    {
+      stats::RunningStats running;
+      std::size_t consumed = 0;
+      std::size_t next = 0;
+      for (const double x : train[0]) {
+        running.add(x);
+        ++consumed;
+        while (next < budgets.size() && budgets[next] == consumed) {
+          pooled[next++] = running.fork();
+        }
+      }
+      while (next < budgets.size()) pooled[next++] = running.fork();
+    }
+    for (std::size_t c = 1; c < num_classes; ++c) {
+      for (std::size_t b = 0; b < budgets.size(); ++b) {
+        for (const double x : clip_to_limit(std::span<const double>(train[c]),
+                                            0, budgets[b])) {
+          pooled[b].add(x);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto it = std::find(budgets.begin(), budgets.end(),
+                                points[i].train_limit);
+      banks[i].finish_prepass(
+          pooled[static_cast<std::size_t>(std::distance(budgets.begin(), it))]);
+    }
     for (std::size_t c = 0; c < num_classes; ++c) {
-      bank.consume_training(c, train[c]);
-      for (const double x : train[c]) train_stats[c].add(x);
-      train_got[c] = train[c].size();
+      feed_training(c, [&](auto&& sink) {
+        sink(std::span<const double>(train[c]));
+        return train[c].size();
+      });
     }
   } else {
-    if (bank.needs_prepass()) {
+    if (prepass) {  // single point, replayable: stream both passes
       for (std::size_t c = 0; c < num_classes; ++c) {
         stream_batches(*backend_, spec.scenario, c, spec.seed, /*salt=*/1,
-                       train_piats, batch_piats_,
+                       train_capacity, batch_piats_,
                        [&](std::span<const double> batch) {
-                         bank.consume_prepass(batch);
+                         banks.front().consume_prepass(batch);
                        });
       }
-      bank.finish_prepass();
+      for (auto& bank : banks) bank.finish_prepass();
     }
     for (std::size_t c = 0; c < num_classes; ++c) {
-      train_got[c] = stream_batches(
-          *backend_, spec.scenario, c, spec.seed, /*salt=*/1, train_piats,
-          batch_piats_, [&](std::span<const double> batch) {
-            bank.consume_training(c, batch);
-            for (const double x : batch) train_stats[c].add(x);
-          });
+      feed_training(c, [&](auto&& sink) {
+        return stream_batches(*backend_, spec.scenario, c, spec.seed,
+                              /*salt=*/1, train_capacity, batch_piats_, sink);
+      });
     }
   }
   for (std::size_t c = 0; c < num_classes; ++c) {
     // A finite backend (live capture) may come up short; the adversary
-    // still needs at least two training windows per class.
-    LINKPAD_ENSURES(train_got[c] >= 2 * n);
+    // still needs at least two training windows per class at every point.
+    for (const PrefixPoint& p : points) {
+      LINKPAD_ENSURES(std::min(train_got[c], p.train_limit) >= 2 * p.n);
+    }
   }
-  bank.train();
+  for (auto& bank : banks) bank.train();
 
   // Run-time phase: observe the live system (fresh randomness, salt 2) and
-  // classify its windows with every detector as the batches arrive.
+  // classify its windows with every detector of every point as the batches
+  // arrive — the axis shares this single observed capture too.
   for (std::size_t c = 0; c < num_classes; ++c) {
+    std::size_t offset = 0;
     const std::size_t got = stream_batches(
-        *backend_, spec.scenario, c, spec.seed, /*salt=*/2, test_piats,
-        batch_piats_,
-        [&](std::span<const double> batch) { bank.consume_test(c, batch); });
-    LINKPAD_ENSURES(got >= n);
+        *backend_, spec.scenario, c, spec.seed, /*salt=*/2, test_capacity,
+        batch_piats_, [&](std::span<const double> batch) {
+          for (std::size_t i = 0; i < k; ++i) {
+            const auto piece =
+                clip_to_limit(batch, offset, points[i].test_limit);
+            if (!piece.empty()) banks[i].consume_test(c, piece);
+          }
+          offset += batch.size();
+        });
+    for (const PrefixPoint& p : points) {
+      LINKPAD_ENSURES(std::min(got, p.test_limit) >= p.n);
+    }
   }
 
   ExperimentResult result;
-  result.piat_mean_low = train_stats.front().mean();
-  result.piat_mean_high = train_stats.back().mean();
-  result.piat_var_low = train_stats.front().variance();
-  result.piat_var_high = train_stats.back().variance();
+  const PrefixPoint& top = points.back();  // n_max: the full capture
+  result.piat_mean_low = top.train_stats.front().mean();
+  result.piat_mean_high = top.train_stats.back().mean();
+  result.piat_var_low = top.train_stats.front().variance();
+  result.piat_var_high = top.train_stats.back().variance();
 
-  if (num_classes == 2) {
-    result.r_hat = analysis::variance_ratio(train_stats[0].variance(),
-                                            train_stats[1].variance());
-  }
-
-  result.per_feature.reserve(features.size());
-  for (std::size_t i = 0; i < features.size(); ++i) {
-    FeatureOutcome out;
-    out.feature = features[i];
-    out.confusion = bank.detector(i).confusion();
-    out.detection_rate = out.confusion.detection_rate();
-    out.ci = rate_ci(out.confusion);
+  result.by_sample_size.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    SampleSizePoint sp;
+    sp.sample_size = points[i].n;
+    sp.train_windows = points[i].train_windows;
+    sp.test_windows = points[i].test_windows;
     if (num_classes == 2) {
-      out.predicted = theory_prediction(features[i], result.r_hat,
-                                        static_cast<double>(n));
+      sp.r_hat = analysis::variance_ratio(points[i].train_stats[0].variance(),
+                                          points[i].train_stats[1].variance());
     }
-    result.per_feature.push_back(std::move(out));
+    sp.per_feature.reserve(features.size());
+    for (std::size_t f = 0; f < features.size(); ++f) {
+      FeatureOutcome out;
+      out.feature = features[f];
+      out.confusion = banks[i].detector(f).confusion();
+      out.detection_rate = out.confusion.detection_rate();
+      out.ci = rate_ci(out.confusion);
+      if (num_classes == 2) {
+        out.predicted = theory_prediction(features[f], sp.r_hat,
+                                          static_cast<double>(points[i].n));
+      }
+      sp.per_feature.push_back(std::move(out));
+    }
+    result.by_sample_size.push_back(std::move(sp));
   }
 
+  const SampleSizePoint& top_point = result.by_sample_size.back();
+  result.r_hat = top_point.r_hat;
+  result.per_feature = top_point.per_feature;
   const FeatureOutcome& primary = result.per_feature.front();
   result.detection_rate = primary.detection_rate;
   result.ci = primary.ci;
@@ -307,16 +491,20 @@ std::vector<ExperimentSpec> SweepGrid::expand() const {
           hops.resize(std::min(tap, hops.size()));
         }
         // All features share this point's single simulation: the first is
-        // the primary, the rest ride the DetectorBank pass.
+        // the primary, the rest ride the DetectorBank pass — and so does
+        // the whole sample-size axis (prefix replay over one capture).
         spec.adversary.feature = features.front();
         spec.extra_features.assign(features.begin() + 1, features.end());
-        spec.adversary.window_size = window_size;
+        spec.adversary.window_size =
+            sample_sizes.empty()
+                ? window_size
+                : *std::max_element(sample_sizes.begin(), sample_sizes.end());
+        spec.sample_size_axis = sample_sizes;
         spec.train_windows = train_windows;
         spec.test_windows = test_windows;
         // Per-point seed: streams never collide across grid points, and
         // the mapping depends only on (root seed, point index).
-        spec.seed = util::SplitMix64::mix(
-            seed ^ util::SplitMix64::mix(specs.size() + 1));
+        spec.seed = derive_point_seed(seed, specs.size());
         specs.push_back(spec);
       }
     }

@@ -19,8 +19,22 @@
 #include "core/piat_source.hpp"
 #include "core/scenarios.hpp"
 #include "stats/bootstrap.hpp"
+#include "util/rng.hpp"
 
 namespace linkpad::core {
+
+/// Canonical derivation of a per-point RNG seed from a root seed and a
+/// point index. EVERY expanded axis (SweepGrid::expand, the figure sweeps,
+/// ad-hoc benches) must derive per-point seeds through this rule: naive
+/// `root + i` arithmetic makes adjacent points reuse streams as soon as two
+/// axes interleave (point 3 of one sweep == point 0 of a sweep rooted 3
+/// later), which silently correlates Monte-Carlo points. Collapsed axes
+/// (features, sample sizes) intentionally share ONE point seed — sharing
+/// the capture is their contract; distinct points must never share.
+[[nodiscard]] constexpr std::uint64_t derive_point_seed(std::uint64_t root,
+                                                        std::uint64_t point) {
+  return util::SplitMix64::mix(root ^ util::SplitMix64::mix(point + 1));
+}
 
 /// One experiment = one scenario × one adversary configuration. When
 /// `extra_features` is non-empty, a DetectorBank evaluates the primary
@@ -32,12 +46,33 @@ struct ExperimentSpec {
   /// Further features detected in the same pass (window size / entropy /
   /// density knobs are shared with `adversary`). Duplicates are ignored.
   std::vector<classify::FeatureKind> extra_features;
-  std::size_t train_windows = 300;  ///< per class
-  std::size_t test_windows = 300;   ///< per class
+  /// Sample-size (window-size) axis, collapsed into ONE capture. Empty ⇒
+  /// the single window size `adversary.window_size`. Non-empty ⇒
+  /// prefix-replay: the engine simulates one capture sized by the LARGEST
+  /// axis entry (train_windows / test_windows count ITS windows) and every
+  /// smaller n re-chops the same capture into floor(windows·n_max/n)
+  /// windows of size n — a k-point detection-vs-n curve costs ~1 simulation
+  /// instead of k. Each point consumes a prefix of the shared capture, so
+  /// its outcome is bit-identical to an independent run of the engine at
+  /// that window size / window count with the same seed (DESIGN.md §2.6).
+  std::vector<std::size_t> sample_size_axis;
+  /// Cap on the windows any one axis point chops from the shared capture
+  /// (0 = unlimited). Small-n points naturally get n_max/n × more windows
+  /// than the largest point — statistically welcome, but classifier cost
+  /// grows quadratically with window count (KDE training set × KDE
+  /// evaluations), so figure-grade axes bound it. Capped points still
+  /// consume a prefix; the bit-identity contract is unchanged.
+  std::size_t max_windows_per_point = 0;
+  std::size_t train_windows = 300;  ///< per class, at the largest axis entry
+  std::size_t test_windows = 300;   ///< per class, at the largest axis entry
   std::uint64_t seed = 20030324;    ///< date of the paper's campus capture
 
   /// Primary feature followed by the (deduplicated) extra features.
   [[nodiscard]] std::vector<classify::FeatureKind> features() const;
+
+  /// The effective axis: sample_size_axis sorted ascending and
+  /// deduplicated, or {adversary.window_size} when the axis is empty.
+  [[nodiscard]] std::vector<std::size_t> sample_sizes() const;
 };
 
 /// One feature's verdict inside an experiment.
@@ -49,9 +84,24 @@ struct FeatureOutcome {
   std::optional<double> predicted;      ///< Theorems 1–3 at r_hat (2-class)
 };
 
+/// One sample-size point of a prefix-replay experiment: every feature's
+/// verdict at window size `sample_size`, evaluated over the shared capture.
+struct SampleSizePoint {
+  std::size_t sample_size = 0;       ///< window size n of this point
+  std::size_t train_windows = 0;     ///< windows chopped at this n, per class
+  std::size_t test_windows = 0;
+  double r_hat = 1.0;                ///< variance ratio over THIS prefix
+  std::vector<FeatureOutcome> per_feature;  ///< primary first
+
+  /// Outcome of `kind`; throws if the point did not evaluate it.
+  [[nodiscard]] const FeatureOutcome& outcome(classify::FeatureKind kind) const;
+};
+
 /// Outcome of one experiment. The top-level fields describe the PRIMARY
 /// feature (spec.adversary.feature); `per_feature` carries one outcome per
-/// spec.features(), primary first.
+/// spec.features(), primary first. `by_sample_size` carries one point per
+/// spec.sample_sizes() (ascending n); the top-level fields mirror the
+/// LARGEST sample size — the point whose capture the axis shares.
 struct ExperimentResult {
   double detection_rate = 0.5;          ///< empirical, eq. (7)
   stats::BootstrapResult ci{};          ///< Wilson interval on the rate
@@ -63,15 +113,28 @@ struct ExperimentResult {
   double piat_var_low = 0.0;            ///< padded PIAT variances
   double piat_var_high = 0.0;
   std::vector<FeatureOutcome> per_feature;
+  std::vector<SampleSizePoint> by_sample_size;
 
-  /// Outcome of `kind`; throws if the experiment did not evaluate it.
+  /// Outcome of `kind` at the largest sample size; throws if the
+  /// experiment did not evaluate it.
   [[nodiscard]] const FeatureOutcome& outcome(classify::FeatureKind kind) const;
+
+  /// Point at window size `n`; throws if `n` was not on the axis.
+  [[nodiscard]] const SampleSizePoint& at_sample_size(std::size_t n) const;
 };
 
 /// Runs the attack pipeline against any ExperimentBackend, streaming PIAT
 /// batches straight into per-feature window accumulators (DetectorBank):
 /// resident memory is O(batch_piats + features × window), independent of
 /// capture length, and every configured feature is detected in one pass.
+///
+/// With a sample_size_axis, ONE capture pass feeds one DetectorBank per
+/// axis entry (each clipped to its prefix budget), so a k-point
+/// detection-vs-n curve costs one simulation. Memory grows to
+/// O(batch + k · features × window); when the axis has several entries AND
+/// an entropy Δh prepass is needed, the engine additionally materializes
+/// the training capture once (O(train capture)) instead of re-simulating
+/// it for the second pass.
 class ExperimentEngine {
  public:
   /// Engine over the default simulated backend.
@@ -166,6 +229,12 @@ struct SweepGrid {
   enum class Environment { kLabZeroCross, kLabCrossTraffic, kCampus, kWan };
 
   Environment environment = Environment::kLabZeroCross;
+  /// Sample-size axis: like the feature axis, NOT expanded into separate
+  /// points. All entries ride each point's single capture via
+  /// ExperimentSpec::sample_size_axis (prefix replay), so a k-point
+  /// detection-vs-n grid still performs one simulation per (policy, env,
+  /// tap) point. Empty ⇒ the single `window_size`.
+  std::vector<std::size_t> sample_sizes;
   /// Policy axis: 0 ⇒ CIT at the paper's τ, σ > 0 ⇒ VIT-normal(τ, σ).
   std::vector<Seconds> sigma_timers = {0.0};
   /// kLabCrossTraffic axis: shared-link utilization.

@@ -4,8 +4,9 @@
 //
 //   Fig 4(a) — PIAT pdf under CIT at 10/40 pps (zero cross traffic)
 //   Fig 4(b) — detection rate vs sample size, experiment + theory
+//              (the whole n axis rides ONE capture via prefix replay)
 //   Fig 5(a) — VIT: detection rate vs σ_T (n = 2000)
-//   Fig 5(b) — theoretical n(99%) vs σ_T
+//   Fig 5(b) — theoretical n(99%) vs σ_T, plus its EMPIRICAL counterpart
 //   Fig 6    — CIT: detection rate vs shared-link utilization (n = 1000)
 //   Fig 8    — campus / WAN: detection rate vs time of day (n = 1000)
 #pragma once
@@ -76,6 +77,13 @@ FigureSeries fig5a_detection_vs_sigma(const FigureOptions& options);
 
 /// Theoretical sample size for 99% detection vs σ_T (paper Fig 5b).
 FigureSeries fig5b_n99_vs_sigma(const FigureOptions& options);
+
+/// EMPIRICAL n(99%) vs σ_T next to the Theorem 2/3 inversion — the
+/// measured counterpart of Fig 5(b), affordable because each sigma's whole
+/// sample-size axis rides ONE simulated capture (prefix replay, DESIGN.md
+/// §2.6). Curves "<feature> empirical" (NaN where 99% is never reached
+/// within the axis — padding wins) and "<feature> theory".
+FigureSeries fig5b_n99_vs_sigma_empirical(const FigureOptions& options);
 
 /// CIT with cross traffic: detection rate vs link utilization (paper Fig 6).
 FigureSeries fig6_detection_vs_utilization(const FigureOptions& options);

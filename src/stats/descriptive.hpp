@@ -6,6 +6,7 @@
 // denominator.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -16,10 +17,39 @@ namespace linkpad::stats {
 /// Tracks up to 4th central moment so skewness / kurtosis are available.
 class RunningStats {
  public:
-  void add(double x);
+  // Inline: this is the innermost operation of the streaming detection
+  // pipeline (every PIAT of every capture passes through it at least once).
+  void add(double x) {
+    if (n_ == 0) {
+      min_ = max_ = x;
+    } else {
+      min_ = std::min(min_, x);
+      max_ = std::max(max_, x);
+    }
+    const double n1 = static_cast<double>(n_);
+    ++n_;
+    const double n = static_cast<double>(n_);
+    const double delta = x - mean_;
+    const double delta_n = delta / n;
+    const double delta_n2 = delta_n * delta_n;
+    const double term1 = delta * delta_n * n1;
+    mean_ += delta_n;
+    m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+           4.0 * delta_n * m3_;
+    m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+    m2_ += term1;
+  }
 
   /// Combine with another accumulator (parallel reduction step).
   void merge(const RunningStats& other);
+
+  /// O(1) snapshot of the partially-consumed state. Resuming the original
+  /// and the fork with the same suffix yields bit-identical moments — the
+  /// checkpoint primitive behind the prefix-replay engine (each sample-size
+  /// prefix forks the shared training moments at its boundary instead of
+  /// re-consuming the stream). Plain copies carry the same guarantee;
+  /// fork() exists so call sites read as intent.
+  [[nodiscard]] RunningStats fork() const { return *this; }
 
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const;

@@ -78,6 +78,12 @@ void SparseHistogram::add_all(std::span<const double> xs) {
   for (double x : xs) add(x);
 }
 
+void SparseHistogram::add_cell(std::int64_t bin, std::uint64_t count) {
+  if (count == 0) return;
+  counts_[bin] += count;
+  total_ += count;
+}
+
 void SparseHistogram::merge(const SparseHistogram& other) {
   LINKPAD_EXPECTS(other.width_ == width_);
   for (const auto& [bin, count] : other.counts_) counts_[bin] += count;

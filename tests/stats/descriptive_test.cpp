@@ -124,5 +124,34 @@ TEST(Descriptive, EmptySpanViolatesContract) {
   EXPECT_THROW(sample_variance(one), ContractViolation);
 }
 
+
+TEST(RunningStats, ForkResumesBitIdentically) {
+  // The prefix-replay engine forks the shared training moments at each
+  // sample-size boundary; the snapshot must continue exactly like the
+  // uninterrupted accumulator.
+  std::vector<double> xs;
+  util::Xoshiro256pp rng(17);
+  for (int i = 0; i < 3000; ++i) xs.push_back(rng.uniform(0.0, 2.0));
+
+  RunningStats uninterrupted;
+  RunningStats first_half;
+  for (int i = 0; i < 1500; ++i) {
+    uninterrupted.add(xs[static_cast<std::size_t>(i)]);
+    first_half.add(xs[static_cast<std::size_t>(i)]);
+  }
+  RunningStats fork = first_half.fork();
+  for (int i = 1500; i < 3000; ++i) {
+    uninterrupted.add(xs[static_cast<std::size_t>(i)]);
+    fork.add(xs[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(fork.count(), uninterrupted.count());
+  EXPECT_EQ(fork.mean(), uninterrupted.mean());
+  EXPECT_EQ(fork.variance(), uninterrupted.variance());
+  EXPECT_EQ(fork.skewness(), uninterrupted.skewness());
+  EXPECT_EQ(fork.excess_kurtosis(), uninterrupted.excess_kurtosis());
+  // The snapshot did not disturb its source.
+  EXPECT_EQ(first_half.count(), 1500u);
+}
+
 }  // namespace
 }  // namespace linkpad::stats

@@ -1,5 +1,7 @@
 #include "stats/histogram.hpp"
 
+#include "util/rng.hpp"
+
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -116,6 +118,42 @@ TEST(SparseHistogram, MergeEqualsSequentialAdds) {
 TEST(SparseHistogram, MergeRejectsWidthMismatch) {
   SparseHistogram a(0.5), b(0.25);
   EXPECT_THROW(a.merge(b), ContractViolation);
+}
+
+
+TEST(SparseHistogram, ForkResumesExactly) {
+  util::Xoshiro256pp rng(23);
+  SparseHistogram uninterrupted(0.25);
+  SparseHistogram prefix(0.25);
+  std::vector<double> tail;
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.uniform(-20.0, 20.0);
+    uninterrupted.add(x);
+    if (i < 2000) {
+      prefix.add(x);
+    } else {
+      tail.push_back(x);
+    }
+  }
+  SparseHistogram fork = prefix.fork();
+  fork.add_all(tail);
+  EXPECT_EQ(fork.total(), uninterrupted.total());
+  EXPECT_EQ(fork.cells(), uninterrupted.cells());
+  EXPECT_EQ(prefix.total(), 2000u);  // source untouched
+}
+
+TEST(SparseHistogram, AddCellTalliesLikeRepeatedAdds) {
+  SparseHistogram by_adds(0.5);
+  by_adds.add(0.6);
+  by_adds.add(0.7);
+  by_adds.add(-1.2);
+
+  SparseHistogram by_cells(0.5);
+  by_cells.add_cell(1, 2);
+  by_cells.add_cell(-3, 1);
+  by_cells.add_cell(5, 0);  // no-op
+  EXPECT_EQ(by_cells.cells(), by_adds.cells());
+  EXPECT_EQ(by_cells.total(), by_adds.total());
 }
 
 }  // namespace

@@ -76,5 +76,32 @@ TEST(P2Quantile, RejectsDegenerateTargets) {
   EXPECT_THROW(P2Quantile(0.5).value(), linkpad::ContractViolation);
 }
 
+
+TEST(P2Quantile, ForkResumesBitIdentically) {
+  // Checkpoint contract: fork mid-stream, feed BOTH the same suffix, and
+  // they stay exactly equal — while adds to the fork never touch the
+  // original.
+  const auto xs = normal_sample(5000, 99);
+  P2Quantile original(0.5);
+  for (std::size_t i = 0; i < 1234; ++i) original.add(xs[i]);
+
+  P2Quantile fork = original.fork();
+  EXPECT_EQ(fork.count(), original.count());
+  EXPECT_EQ(fork.value(), original.value());
+
+  const double before = original.value();
+  P2Quantile scratch = original.fork();
+  for (std::size_t i = 1234; i < xs.size(); ++i) scratch.add(xs[i]);
+  EXPECT_EQ(original.value(), before);  // fork consumption is independent
+
+  for (std::size_t i = 1234; i < xs.size(); ++i) {
+    original.add(xs[i]);
+    fork.add(xs[i]);
+  }
+  EXPECT_EQ(original.count(), fork.count());
+  EXPECT_EQ(original.value(), fork.value());
+  EXPECT_EQ(scratch.value(), original.value());
+}
+
 }  // namespace
 }  // namespace linkpad::stats
