@@ -20,9 +20,12 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "classify/feature.hpp"
 #include "classify/window_accumulator.hpp"
 #include "core/experiment.hpp"
+#include "core/population.hpp"
 #include "core/scenarios.hpp"
 #include "sim/mg1.hpp"
 #include "sim/scheduler.hpp"
@@ -264,6 +267,11 @@ struct DerivedMetrics {
   double curve_speedup_fig4b = 0.0;
   /// Ziggurat vs Marsaglia-polar standard-normal throughput.
   double ziggurat_normal_speedup = 0.0;
+  /// Population throughput: flows/sec through PopulationEngine at M = 1000
+  /// on the hardware thread count.
+  double population_flows_per_sec = 0.0;
+  /// Same workload, hardware threads vs a single thread.
+  double population_thread_speedup = 0.0;
 };
 
 void print_table(const std::vector<BenchResult>& results,
@@ -285,11 +293,15 @@ void print_table(const std::vector<BenchResult>& results,
               derived.curve_points_per_sec, derived.curve_speedup_fig4b);
   std::printf("ziggurat normal sampling speedup: %.2fx\n",
               derived.ziggurat_normal_speedup);
+  std::printf("population throughput at M = 1000: %.3e flows/sec "
+              "(hardware threads vs 1: %.2fx)\n",
+              derived.population_flows_per_sec,
+              derived.population_thread_speedup);
 }
 
 void print_json(const std::vector<BenchResult>& results,
                 const DerivedMetrics& derived) {
-  std::printf("{\n  \"version\": 2,\n  \"benchmarks\": [\n");
+  std::printf("{\n  \"version\": 3,\n  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::printf("    {\"name\": \"%s\", \"unit\": \"%s\", "
@@ -303,12 +315,16 @@ void print_json(const std::vector<BenchResult>& results,
               "    \"streaming_vs_batch_variance\": %.4f,\n"
               "    \"curve_points_per_sec\": %.6e,\n"
               "    \"curve_speedup_fig4b\": %.4f,\n"
-              "    \"ziggurat_normal_speedup\": %.4f\n  }\n}\n",
+              "    \"ziggurat_normal_speedup\": %.4f,\n"
+              "    \"population_flows_per_sec\": %.6e,\n"
+              "    \"population_thread_speedup\": %.4f\n  }\n}\n",
               derived.event_core_speedup_cit,
               derived.bank_five_feature_piats_per_sec,
               derived.streaming_vs_batch_variance,
               derived.curve_points_per_sec, derived.curve_speedup_fig4b,
-              derived.ziggurat_normal_speedup);
+              derived.ziggurat_normal_speedup,
+              derived.population_flows_per_sec,
+              derived.population_thread_speedup);
 }
 
 // ------------------------------------------- Fig 4(b) curve workload
@@ -366,6 +382,30 @@ std::vector<double> run_fig4b_curve(std::size_t windows, bool collapsed) {
     }
   }
   return rates;
+}
+
+// ------------------------------------------- population scaling workload
+
+/// Cheap per-flow experiment so the benchmark measures the POPULATION
+/// machinery (sharding, per-flow engine pipelines, aggregation), not one
+/// flow's classifier arithmetic.
+core::PopulationSpec population_spec(std::size_t flows) {
+  core::PopulationSpec spec;
+  spec.experiment.scenario = core::lab_cross_traffic(core::make_cit(), 0.1);
+  spec.experiment.adversary.feature = classify::FeatureKind::kSampleVariance;
+  spec.experiment.adversary.window_size = 40;
+  spec.experiment.train_windows = 2;
+  spec.experiment.test_windows = 2;
+  spec.flows = flows;
+  spec.seed = 20030324;
+  return spec;
+}
+
+core::PopulationResult run_population(std::size_t flows, std::size_t threads) {
+  core::SweepOptions options;
+  options.threads = threads;
+  return core::PopulationEngine(core::sim_backend(), options)
+      .run(population_spec(flows));
 }
 
 }  // namespace
@@ -575,6 +615,56 @@ int main(int argc, char** argv) {
         }));
     derived.curve_points_per_sec = results.back().items_per_sec;
     derived.curve_speedup_fig4b = derived.curve_points_per_sec / old_pps;
+  }
+
+  // Population scaling (pop_scaling): M = 1000 concurrent padded flows,
+  // one detection pipeline per tapped flow, sharded across the pool.
+  // Headline: flows/sec at the hardware thread count plus the thread
+  // scaling ratio — with a built-in thread-count bit-identity assert on a
+  // small population first (the cheap mirror of the ctest population wall).
+  {
+    const std::size_t hw =
+        std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+    {
+      const auto serial = run_population(64, 1);
+      const auto wide = run_population(64, hw);
+      const auto& sp = serial.by_sample_size[0];
+      const auto& wp = wide.by_sample_size[0];
+      bool identical = sp.mean_rate == wp.mean_rate &&
+                       sp.min_rate == wp.min_rate &&
+                       sp.max_rate == wp.max_rate &&
+                       sp.worst_flow == wp.worst_flow &&
+                       sp.quantiles.median == wp.quantiles.median &&
+                       sp.quantiles.p95 == wp.quantiles.p95;
+      for (std::size_t f = 0; identical && f < serial.flows(); ++f) {
+        identical = serial.per_flow[f].detection_rate ==
+                    wide.per_flow[f].detection_rate;
+      }
+      if (!identical) {
+        std::fprintf(stderr,
+                     "FATAL: population run diverged across thread counts "
+                     "— bit-identity contract broken\n");
+        return 1;
+      }
+    }
+
+    const std::size_t flows = 1000;
+    results.push_back(
+        run_bench("population/flows1000_threads_1", "flows", min_time, [&] {
+          (void)run_population(flows, 1);
+          return flows;
+        }));
+    const double serial_fps = results.back().items_per_sec;
+    // Fixed record name across machines (the hardware count varies per
+    // runner; tools diff successive BENCH records by name).
+    results.push_back(
+        run_bench("population/flows1000_threads_hw", "flows", min_time, [&] {
+          (void)run_population(flows, hw);
+          return flows;
+        }));
+    derived.population_flows_per_sec = results.back().items_per_sec;
+    derived.population_thread_speedup =
+        derived.population_flows_per_sec / serial_fps;
   }
 
   if (args.flag("--json")) {

@@ -70,12 +70,17 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.integer("--seed"));
 
   const auto hours = day_slots(slots);
+  // Each environment's sweep is its own point of the root seed: derive,
+  // never offset (naive `seed + k` collides streams across sweeps once
+  // their grids interleave — see core::derive_point_seed).
   std::fprintf(stderr, "campus sweep:\n");
-  const auto campus_v = detection_over_day(
-      core::SweepGrid::Environment::kCampus, hours, windows, seed);
+  const auto campus_v =
+      detection_over_day(core::SweepGrid::Environment::kCampus, hours, windows,
+                         core::derive_point_seed(seed, 0));
   std::fprintf(stderr, "wan sweep:\n");
-  const auto wan_v = detection_over_day(core::SweepGrid::Environment::kWan,
-                                        hours, windows, seed + 100);
+  const auto wan_v =
+      detection_over_day(core::SweepGrid::Environment::kWan, hours, windows,
+                         core::derive_point_seed(seed, 1));
 
   util::TextTable table({"hour", "campus util", "campus detection",
                          "wan util", "wan detection"});

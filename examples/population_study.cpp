@@ -1,0 +1,109 @@
+// population_study: the paper's Sec 6 deployment guidelines at population
+// scale. A provider pads M user flows onto one shared lab path; the
+// adversary taps EVERY flow and runs the strongest single-flow attack on
+// each. Single-flow curves answer "can flow X be detected" — a deployment
+// review needs the population answer: what fraction of users leak at a
+// given capture budget, how bad is the worst flow, and how long until the
+// FIRST user is exposed.
+//
+// Built on core::PopulationEngine: flows shard across the thread pool,
+// every flow gets its own DetectorBank pipeline, and the whole
+// detection-vs-n axis rides each flow's single capture (prefix replay).
+//
+// Run: ./population_study [--flows 100] [--windows 10] [--sigma 500]
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/population.hpp"
+#include "core/scenarios.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace linkpad;
+
+namespace {
+
+core::PopulationResult run_study(std::shared_ptr<const sim::TimerPolicy> policy,
+                                 std::size_t flows, std::size_t windows,
+                                 std::uint64_t seed) {
+  core::PopulationSpec spec;
+  spec.experiment.scenario = core::lab_cross_traffic(std::move(policy), 0.1);
+  spec.experiment.adversary.feature = classify::FeatureKind::kSampleVariance;
+  spec.experiment.extra_features = {classify::FeatureKind::kSampleEntropy};
+  spec.experiment.sample_size_axis = {100, 300, 1000};
+  spec.experiment.adversary.window_size = 1000;
+  spec.experiment.train_windows = windows;
+  spec.experiment.test_windows = windows;
+  spec.flows = flows;
+  spec.seed = seed;
+
+  core::SweepOptions options;
+  options.progress = [](std::size_t done, std::size_t total) {
+    if (done % 25 == 0 || done == total) {
+      std::fprintf(stderr, "\r  %zu/%zu flows...", done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+    }
+  };
+  return core::PopulationEngine(core::sim_backend(), options).run(spec);
+}
+
+void print_population(const char* title, const core::PopulationResult& result,
+                      double threshold) {
+  std::printf("%s (%zu flows, detection threshold %.2f):\n\n", title,
+              result.flows(), threshold);
+  util::TextTable table({"n", "detected", "mean", "median", "p95", "worst flow",
+                         "worst rate"});
+  for (const auto& point : result.by_sample_size) {
+    table.add_row({std::to_string(point.sample_size),
+                   util::fmt(point.detected_fraction, 3),
+                   util::fmt(point.mean_rate, 4),
+                   util::fmt(point.quantiles.median, 4),
+                   util::fmt(point.quantiles.p95, 4),
+                   std::to_string(point.worst_flow),
+                   util::fmt(point.max_rate, 4)});
+  }
+  std::cout << table.to_string();
+  if (result.first_detection_n) {
+    std::printf("first user exposed at n = %zu (%.1f s of capture)\n\n",
+                *result.first_detection_n, *result.time_to_first_detection);
+  } else {
+    std::printf("no user reaches the threshold on this axis\n\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("population_study",
+                       "padding a user population: who leaks, and how fast");
+  args.add_option("--flows", "100", "concurrent padded flows M");
+  args.add_option("--windows", "10", "train/test windows per class at n_max");
+  args.add_option("--sigma", "500", "VIT timer std-dev in microseconds");
+  args.add_option("--seed", "31", "root RNG seed");
+  if (!args.parse(argc, argv)) return 1;
+
+  const auto flows = static_cast<std::size_t>(args.integer("--flows"));
+  const auto windows = static_cast<std::size_t>(args.integer("--windows"));
+  const double sigma = args.num("--sigma") * 1e-6;
+  const auto seed = static_cast<std::uint64_t>(args.integer("--seed"));
+
+  std::fprintf(stderr, "CIT population:\n");
+  const auto cit = run_study(core::make_cit(), flows, windows,
+                             core::derive_point_seed(seed, 0));
+  std::fprintf(stderr, "VIT population:\n");
+  const auto vit = run_study(core::make_vit(sigma), flows, windows,
+                             core::derive_point_seed(seed, 1));
+
+  print_population("CIT padding", cit, core::PopulationSpec{}.detection_threshold);
+  print_population("VIT padding", vit, core::PopulationSpec{}.detection_threshold);
+
+  std::printf("Security is a worst-case business at population scale too: a\n"
+              "deployment is only as private as its WORST flow. CIT exposes\n"
+              "a first user within seconds of capture; VIT (sigma = %.0f us)\n"
+              "buys every flow far more time at identical bandwidth, and a\n"
+              "larger --sigma pushes first exposure off the axis entirely\n"
+              "(the paper's Sec 6 design rule, population form).\n",
+              sigma * 1e6);
+  return 0;
+}

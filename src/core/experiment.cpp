@@ -388,10 +388,16 @@ SweepRunner::SweepRunner(const ExperimentBackend& backend, SweepOptions options)
     : backend_(&backend), options_(std::move(options)) {}
 
 SweepReport SweepRunner::run(const std::vector<ExperimentSpec>& specs) const {
+  return run(specs.size(), [&](std::size_t i) { return specs[i]; });
+}
+
+SweepReport SweepRunner::run(
+    std::size_t count,
+    const std::function<ExperimentSpec(std::size_t)>& spec_for) const {
   SweepReport report;
-  report.results.resize(specs.size());
-  report.completed.assign(specs.size(), 0);
-  if (specs.empty()) return report;
+  report.results.resize(count);
+  report.completed.assign(count, 0);
+  if (count == 0) return report;
 
   const ExperimentEngine engine(*backend_, options_.batch_piats);
   std::atomic<bool> stop{false};
@@ -400,7 +406,7 @@ SweepReport SweepRunner::run(const std::vector<ExperimentSpec>& specs) const {
 
   auto body = [&](std::size_t i) {
     if (stop.load(std::memory_order_relaxed)) return;  // early-stopped
-    report.results[i] = engine.run(specs[i]);
+    report.results[i] = engine.run(spec_for(i));
     report.completed[i] = 1;
     const std::size_t finished = done.fetch_add(1) + 1;
     if (options_.early_stop || options_.progress) {
@@ -408,15 +414,15 @@ SweepReport SweepRunner::run(const std::vector<ExperimentSpec>& specs) const {
       if (options_.early_stop && options_.early_stop(i, report.results[i])) {
         stop.store(true, std::memory_order_relaxed);
       }
-      if (options_.progress) options_.progress(finished, specs.size());
+      if (options_.progress) options_.progress(finished, count);
     }
   };
 
   if (options_.threads == 0) {
-    util::parallel_for(specs.size(), body);
+    util::parallel_for(count, body);
   } else {
     util::ThreadPool pool(options_.threads);
-    util::parallel_for(pool, specs.size(), body);
+    util::parallel_for(pool, count, body);
   }
 
   report.completed_count = done.load();

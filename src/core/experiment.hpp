@@ -214,6 +214,15 @@ class SweepRunner {
 
   [[nodiscard]] SweepReport run(const std::vector<ExperimentSpec>& specs) const;
 
+  /// Lazy form for very large sweeps (e.g. a PopulationEngine's flows):
+  /// point i runs spec_for(i), constructed inside the worker that executes
+  /// it, so the full spec set never materializes at once. `spec_for` must
+  /// be pure (same i → same spec) and thread-safe; it may be called from
+  /// any worker. Results are identical to run(expanded vector).
+  [[nodiscard]] SweepReport run(
+      std::size_t count,
+      const std::function<ExperimentSpec(std::size_t)>& spec_for) const;
+
  private:
   const ExperimentBackend* backend_;
   SweepOptions options_;

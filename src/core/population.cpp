@@ -1,0 +1,107 @@
+#include "core/population.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "stats/quantile_sketch.hpp"
+#include "util/check.hpp"
+
+namespace linkpad::core {
+
+ExperimentSpec PopulationSpec::flow_spec(std::size_t flow_id) const {
+  LINKPAD_EXPECTS(flow_id < flows);
+  ExperimentSpec out = experiment;
+  out.scenario = with_population_load(experiment.scenario,
+                                      effective_contention() - 1,
+                                      max_hop_utilization);
+  out.seed = derive_point_seed(seed, flow_id);
+  return out;
+}
+
+const PopulationPoint& PopulationResult::at_sample_size(std::size_t n) const {
+  for (const auto& point : by_sample_size) {
+    if (point.sample_size == n) return point;
+  }
+  throw std::invalid_argument("PopulationResult: sample size not on axis: " +
+                              std::to_string(n));
+}
+
+PopulationEngine::PopulationEngine(const ExperimentBackend& backend,
+                                   SweepOptions options)
+    : backend_(&backend), options_(std::move(options)) {
+  // Skipped flows would leave default-initialized holes in the population
+  // aggregates; a run is all flows or nothing.
+  LINKPAD_EXPECTS(!options_.early_stop);
+}
+
+PopulationResult PopulationEngine::run(const PopulationSpec& spec) const {
+  LINKPAD_EXPECTS(spec.flows >= 1);
+  LINKPAD_EXPECTS(spec.contention_flows == 0 ||
+                  spec.contention_flows >= spec.flows);
+  LINKPAD_EXPECTS(spec.detection_threshold > 0.0 &&
+                  spec.detection_threshold <= 1.0);
+
+  PopulationResult result;
+  {
+    // Each worker materializes its flow's spec on demand (the lazy
+    // SweepRunner form): M scenario copies never coexist, and flow_spec is
+    // the single source of truth for scenario loading + seed derivation.
+    auto report = SweepRunner(*backend_, options_)
+                      .run(spec.flows,
+                           [&](std::size_t f) { return spec.flow_spec(f); });
+    LINKPAD_ENSURES(report.all_completed());
+    result.per_flow = std::move(report.results);
+  }
+
+  // Aggregate AFTER the join, replaying flows in id order: P² marker state
+  // is feed-order-dependent, so a fixed order is what keeps population
+  // metrics bit-identical across thread counts.
+  const auto ns = spec.experiment.sample_sizes();
+  result.by_sample_size.reserve(ns.size());
+  for (const std::size_t n : ns) {
+    PopulationPoint point;
+    point.sample_size = n;
+    stats::P2Quantile q05(0.05), q25(0.25), q50(0.5), q75(0.75), q95(0.95);
+    double sum = 0.0;
+    std::size_t detected = 0;
+    for (std::size_t f = 0; f < result.per_flow.size(); ++f) {
+      const double rate = result.per_flow[f]
+                              .at_sample_size(n)
+                              .per_feature.front()
+                              .detection_rate;
+      q05.add(rate);
+      q25.add(rate);
+      q50.add(rate);
+      q75.add(rate);
+      q95.add(rate);
+      sum += rate;
+      if (rate >= spec.detection_threshold) ++detected;
+      if (f == 0 || rate < point.min_rate) point.min_rate = rate;
+      if (f == 0 || rate > point.max_rate) {
+        point.max_rate = rate;
+        point.worst_flow = f;
+      }
+    }
+    const double m = static_cast<double>(result.per_flow.size());
+    point.detected_fraction = static_cast<double>(detected) / m;
+    point.mean_rate = sum / m;
+    point.quantiles = {q05.value(), q25.value(), q50.value(), q75.value(),
+                       q95.value()};
+    result.by_sample_size.push_back(point);
+
+    if (!result.first_detection_n && detected > 0) {
+      result.first_detection_n = n;
+      result.time_to_first_detection =
+          static_cast<double>(n) *
+          spec.experiment.scenario.base.policy->mean_interval();
+    }
+  }
+  return result;
+}
+
+PopulationResult run_population(const PopulationSpec& spec) {
+  return PopulationEngine().run(spec);
+}
+
+}  // namespace linkpad::core

@@ -1,0 +1,146 @@
+// PopulationEngine: the flow-count axis. The paper evaluates ONE padded
+// flow against one adversary; its Sec 6 guidelines, however, are about
+// deploying link padding for whole user populations — and population-scale
+// adversaries are the norm in the related literature (statistical
+// disclosure aggregates rounds across many users; throughput
+// fingerprinting exploits many concurrent flows sharing a bottleneck).
+//
+// A population run simulates M concurrent padded flows through one shared
+// scenario. Flows contend for the same router path: every flow's hops
+// carry the mutual cross traffic of the other padded flows
+// (with_population_load — each padded stream offers a payload-independent
+// constant wire rate, so the aggregate load is analytic), and the
+// adversary taps every flow, running one full detection pipeline
+// (ExperimentEngine → DetectorBank per feature) per tapped flow.
+//
+// Determinism contract (the population analogue of prefix replay,
+// DESIGN.md §2.7):
+//  * flow f's streams derive from core::derive_point_seed(seed, f) — flows
+//    never share RNG streams, and flow f's outcome is a pure function of
+//    (spec template, contention, seed, f);
+//  * results are bit-identical at ANY thread count (flows shard across
+//    util::thread_pool; aggregation replays per-flow results in flow-id
+//    order after the join, so the order-sensitive P² sketches see a fixed
+//    feed order);
+//  * M-prefix: flows 0..k-1 of an M-flow run are bit-identical to a
+//    standalone k-flow run of the same spec with contention_flows pinned
+//    to M — shrinking the tapped set never perturbs the flows kept.
+//
+// Memory: per-flow results are O(features × axis); transient per-worker
+// state is O(batch + axis · features × window) per in-flight flow, so a
+// 10k-flow run needs O(threads) flow pipelines resident, never O(M).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace linkpad::core {
+
+/// One population experiment: M flows × one per-flow experiment template.
+struct PopulationSpec {
+  /// Per-flow experiment (scenario, adversary, features, sample-size axis,
+  /// window budgets). `experiment.seed` is ignored: flow f runs with
+  /// derive_point_seed(seed, f) so flows never share streams.
+  ExperimentSpec experiment;
+
+  /// Number of tapped flows M (each gets its own adversary pipeline).
+  std::size_t flows = 1;
+
+  /// Number of flows loading the shared path. 0 ⇒ `flows` (every tapped
+  /// flow is also on the link). Each flow's hops then carry the wire rate
+  /// of the OTHER contention_flows - 1 padded streams as cross traffic.
+  /// The M-prefix contract compares runs at EQUAL contention: tapping
+  /// fewer flows of the same deployed population (contention pinned) keeps
+  /// the kept flows bit-identical.
+  std::size_t contention_flows = 0;
+
+  /// Per-hop utilization cap under population load (sim::add_cross_load).
+  double max_hop_utilization = 0.95;
+
+  /// A flow counts as "detected" at a sample size when its primary-feature
+  /// detection rate reaches this threshold. 0.75 is halfway between
+  /// coin-flipping and certainty — past it the adversary is clearly
+  /// winning on that flow.
+  double detection_threshold = 0.75;
+
+  std::uint64_t seed = 20030324;
+
+  /// contention_flows, with 0 resolved to `flows`.
+  [[nodiscard]] std::size_t effective_contention() const {
+    return contention_flows == 0 ? flows : contention_flows;
+  }
+
+  /// The fully resolved per-flow spec of flow `flow_id`: the shared
+  /// scenario under population load, the template's adversary/axis, and
+  /// the flow's derived seed. A standalone ExperimentEngine::run of this
+  /// spec is bit-identical to slot `flow_id` of the population run.
+  [[nodiscard]] ExperimentSpec flow_spec(std::size_t flow_id) const;
+};
+
+/// Detection-rate quantiles over the population (stats::P2Quantile; exact
+/// for M ≤ 5, documented ~1% sketch accuracy beyond).
+struct RateQuantiles {
+  double p05 = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Population-level aggregation at one sample size (primary feature).
+struct PopulationPoint {
+  std::size_t sample_size = 0;
+  /// Fraction of flows at or above the detection threshold.
+  double detected_fraction = 0.0;
+  double mean_rate = 0.0;
+  double min_rate = 0.0;
+  double max_rate = 0.0;
+  /// Flow with the highest detection rate — the deployment's worst case
+  /// (ties break to the lowest flow id).
+  std::size_t worst_flow = 0;
+  RateQuantiles quantiles;
+};
+
+/// Outcome of a population run: per-flow experiment results (slot = flow
+/// id) plus one aggregated point per sample size (ascending, mirroring
+/// ExperimentResult::by_sample_size).
+struct PopulationResult {
+  std::vector<ExperimentResult> per_flow;
+  std::vector<PopulationPoint> by_sample_size;
+
+  /// Smallest axis sample size at which ANY flow crosses the detection
+  /// threshold; empty when the whole population holds at every n.
+  std::optional<std::size_t> first_detection_n;
+  /// first_detection_n expressed as observation time: n PIATs ≈ n mean
+  /// timer intervals of capture on the weakest flow.
+  std::optional<Seconds> time_to_first_detection;
+
+  [[nodiscard]] std::size_t flows() const { return per_flow.size(); }
+
+  /// Point at sample size `n`; throws if `n` was not on the axis.
+  [[nodiscard]] const PopulationPoint& at_sample_size(std::size_t n) const;
+};
+
+/// Runs M per-flow experiments sharded across util::thread_pool and
+/// aggregates them. Accepts SweepOptions (threads / batch_piats /
+/// progress, where progress counts finished flows); early_stop must be
+/// unset — skipping flows would break the population aggregates.
+class PopulationEngine {
+ public:
+  explicit PopulationEngine(const ExperimentBackend& backend = sim_backend(),
+                            SweepOptions options = {});
+
+  [[nodiscard]] PopulationResult run(const PopulationSpec& spec) const;
+
+ private:
+  const ExperimentBackend* backend_;
+  SweepOptions options_;
+};
+
+/// Run one population experiment on the default simulated backend.
+PopulationResult run_population(const PopulationSpec& spec);
+
+}  // namespace linkpad::core

@@ -157,6 +157,19 @@ Scenario wan(std::shared_ptr<const sim::TimerPolicy> policy, double hour) {
   return s;
 }
 
+double padded_wire_rate_bps(const Scenario& scenario) {
+  return sim::padded_wire_rate_bps(scenario.base);
+}
+
+Scenario with_population_load(Scenario scenario, std::size_t other_flows,
+                              double max_hop_utilization) {
+  sim::add_cross_load(scenario.base,
+                      static_cast<double>(other_flows) *
+                          sim::padded_wire_rate_bps(scenario.base),
+                      max_hop_utilization);
+  return scenario;
+}
+
 Scenario lab_multirate(std::shared_ptr<const sim::TimerPolicy> policy,
                        std::size_t m, PacketsPerSecond rate_lo,
                        PacketsPerSecond rate_hi) {

@@ -76,4 +76,20 @@ Scenario lab_multirate(std::shared_ptr<const sim::TimerPolicy> policy,
                        std::size_t m, PacketsPerSecond rate_lo = 10.0,
                        PacketsPerSecond rate_hi = 40.0);
 
+/// Offered wire rate (bits/sec) of one padded flow of this scenario —
+/// constant across classes because the padding timer, not the payload,
+/// paces the wire (sim::padded_wire_rate_bps).
+[[nodiscard]] double padded_wire_rate_bps(const Scenario& scenario);
+
+/// `scenario` with the mutual cross traffic of `other_flows` further padded
+/// flows multiplexed into every hop before the tap — the population view of
+/// the paper's Sec 6 deployment guidelines: each user's flow crosses a path
+/// also carrying everyone else's constant-rate padded streams. Per-hop
+/// utilization saturates at `max_hop_utilization` (see sim::add_cross_load).
+/// A scenario without hops (tap at GW1's output) is returned unchanged:
+/// there is no shared link for the population to contend on.
+[[nodiscard]] Scenario with_population_load(Scenario scenario,
+                                            std::size_t other_flows,
+                                            double max_hop_utilization = 0.95);
+
 }  // namespace linkpad::core

@@ -1,5 +1,7 @@
 #include "sim/testbed.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace linkpad::sim {
@@ -87,6 +89,25 @@ std::vector<Seconds> collect_piats(const TestbedConfig& config,
                                    util::Rng& rng, std::size_t count) {
   Testbed bed(config, rng);
   return bed.collect_piats(count);
+}
+
+double padded_wire_rate_bps(const TestbedConfig& config) {
+  LINKPAD_EXPECTS(config.policy != nullptr);
+  LINKPAD_EXPECTS(config.wire_bytes > 0);
+  return 8.0 * static_cast<double>(config.wire_bytes) /
+         config.policy->mean_interval();
+}
+
+void add_cross_load(TestbedConfig& config, double extra_bps,
+                    double max_utilization) {
+  LINKPAD_EXPECTS(extra_bps >= 0.0);
+  LINKPAD_EXPECTS(max_utilization > 0.0 && max_utilization < 1.0);
+  if (extra_bps == 0.0) return;
+  for (HopConfig& hop : config.hops_before_tap) {
+    const double loaded = hop.cross_utilization + extra_bps / hop.bandwidth_bps;
+    hop.cross_utilization =
+        std::max(hop.cross_utilization, std::min(loaded, max_utilization));
+  }
 }
 
 }  // namespace linkpad::sim

@@ -100,4 +100,22 @@ class Testbed {
 std::vector<Seconds> collect_piats(const TestbedConfig& config,
                                    util::Rng& rng, std::size_t count);
 
+// ------------------------------------------------- population multiplexing
+
+/// Offered wire rate (bits/sec) of one padded flow: the timer-driven
+/// gateway emits exactly one wire_bytes packet per mean timer interval,
+/// payload-independent — that invariance is the whole point of link
+/// padding, and it makes the load a padded flow places on shared links a
+/// constant of the policy, not of the (hidden) payload rate.
+[[nodiscard]] double padded_wire_rate_bps(const TestbedConfig& config);
+
+/// Multiplex `extra_bps` of additional traffic into every hop before the
+/// tap — the analytic form of other flows sharing this flow's path. Each
+/// hop's cross utilization grows by extra_bps / hop bandwidth, saturating
+/// at `max_utilization` (the M/G/1 wait model requires rho < 1; a link
+/// pushed past the cap stays a maximally-congested-but-stable queue).
+/// Hops already configured above the cap are left unchanged.
+void add_cross_load(TestbedConfig& config, double extra_bps,
+                    double max_utilization = 0.95);
+
 }  // namespace linkpad::sim

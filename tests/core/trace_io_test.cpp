@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+
+#include "util/rng.hpp"
 
 namespace linkpad::core {
 namespace {
@@ -211,6 +214,96 @@ TEST_F(TraceIoTest, CsvSkipsCommentsAndBlankLines) {
   ASSERT_EQ(loaded.piats.size(), 2u);
   EXPECT_DOUBLE_EQ(loaded.piats[0], 0.01);
   EXPECT_EQ(loaded.description, "a description");
+}
+
+// ------------------------------------------------------ round-trip fuzzing
+
+/// Randomized trace: mixed magnitudes, exact duplicates (equal
+/// timestamps), negatives, subnormals, and exact zeros — everything a real
+/// capture or a clock glitch can produce except NaN (not a time).
+Trace random_trace(util::Rng& rng, std::size_t count) {
+  Trace t;
+  if (rng.uniform01() < 0.7) {
+    t.description = "fuzz trace " + std::to_string(count);
+  }
+  t.piats.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double pick = rng.uniform01();
+    double x;
+    if (pick < 0.15) {
+      x = t.piats.empty() ? 0.01 : t.piats.back();  // duplicate timestamp
+    } else if (pick < 0.25) {
+      x = 0.0;
+    } else if (pick < 0.3) {
+      x = rng.uniform(-1e-3, 0.0);  // negative PIAT (clock skew artifact)
+    } else if (pick < 0.35) {
+      x = 5e-310 * rng.uniform01();  // subnormal territory
+    } else if (pick < 0.45) {
+      x = rng.uniform(1e8, 1e12);  // absurd magnitude, still finite
+    } else {
+      x = 10e-3 + rng.uniform(-3e-3, 3e-3);  // realistic padded PIAT
+    }
+    t.piats.push_back(x);
+  }
+  return t;
+}
+
+void expect_traces_bitwise_equal(const Trace& a, const Trace& b,
+                                 const std::string& label) {
+  EXPECT_EQ(a.description, b.description) << label;
+  ASSERT_EQ(a.piats.size(), b.piats.size()) << label;
+  for (std::size_t i = 0; i < a.piats.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&a.piats[i], &b.piats[i], sizeof(double)), 0)
+        << label << " index " << i << ": " << a.piats[i] << " vs "
+        << b.piats[i];
+  }
+}
+
+TEST_F(TraceIoTest, RandomTracesRoundTripBitwiseInBothFormats) {
+  // 17 significant digits uniquely identify a double, so BOTH formats owe
+  // a bitwise round trip — CSV included. Edge sizes 0 (empty capture) and
+  // 1 (single packet pair) are always in the sweep.
+  util::Rng rng(20030324);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const std::size_t count =
+        i == 0 ? 0
+               : (i == 1 ? 1
+                         : static_cast<std::size_t>(rng.uniform(0.0, 300.0)));
+    const auto original = random_trace(rng, count);
+    const std::string tag = "iteration " + std::to_string(i);
+
+    save_trace_csv(path("fuzz.csv"), original);
+    expect_traces_bitwise_equal(load_trace_csv(path("fuzz.csv")), original,
+                                tag + " csv");
+
+    save_trace_binary(path("fuzz.lpt"), original);
+    expect_traces_bitwise_equal(load_trace_binary(path("fuzz.lpt")), original,
+                                tag + " binary");
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_F(TraceIoTest, CrossFormatRoundTripPreservesTrace) {
+  // CSV → load → binary → load must end bit-identical to the original:
+  // the two formats describe one Trace, not two dialects of it.
+  util::Rng rng(7);
+  const auto original = random_trace(rng, 120);
+  save_trace_csv(path("x.csv"), original);
+  const auto via_csv = load_trace_csv(path("x.csv"));
+  save_trace_binary(path("x.lpt"), via_csv);
+  expect_traces_bitwise_equal(load_trace_binary(path("x.lpt")), original,
+                              "csv->binary");
+}
+
+TEST_F(TraceIoTest, DuplicateTimestampRunsSurviveRoundTrip) {
+  Trace t;
+  t.description = "all equal";
+  t.piats.assign(200, 0.0099999999999999985);  // not exactly representable
+  save_trace_csv(path("dup.csv"), t);
+  expect_traces_bitwise_equal(load_trace_csv(path("dup.csv")), t, "dup csv");
+  save_trace_binary(path("dup.lpt"), t);
+  expect_traces_bitwise_equal(load_trace_binary(path("dup.lpt")), t,
+                              "dup binary");
 }
 
 }  // namespace

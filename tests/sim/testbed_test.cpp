@@ -115,5 +115,44 @@ TEST(Testbed, MissingPolicyRejected) {
   EXPECT_THROW(Testbed(cfg, rng), linkpad::ContractViolation);
 }
 
+TEST(PopulationMultiplex, PaddedWireRateIsPolicyTimesWireBytes) {
+  auto cfg = base_config();  // tau = 10 ms, wire_bytes = 1000
+  EXPECT_DOUBLE_EQ(padded_wire_rate_bps(cfg), 8.0 * 1000.0 / 10e-3);
+  // Payload rate is irrelevant: the timer paces the wire.
+  cfg.payload_rate = 10.0;
+  EXPECT_DOUBLE_EQ(padded_wire_rate_bps(cfg), 8.0 * 1000.0 / 10e-3);
+  cfg.wire_bytes = 500;
+  EXPECT_DOUBLE_EQ(padded_wire_rate_bps(cfg), 8.0 * 500.0 / 10e-3);
+}
+
+TEST(PopulationMultiplex, CrossLoadRaisesEveryHopAndClamps) {
+  auto cfg = base_config();
+  HopConfig fast;
+  fast.bandwidth_bps = 1e9;
+  fast.cross_utilization = 0.2;
+  HopConfig slow;
+  slow.bandwidth_bps = 10e6;
+  slow.cross_utilization = 0.1;
+  HopConfig hot;  // already configured above the cap: left unchanged
+  hot.bandwidth_bps = 1e9;
+  hot.cross_utilization = 0.97;
+  cfg.hops_before_tap = {fast, slow, hot};
+
+  add_cross_load(cfg, /*extra_bps=*/100e6, /*max_utilization=*/0.95);
+  EXPECT_DOUBLE_EQ(cfg.hops_before_tap[0].cross_utilization, 0.3);
+  EXPECT_DOUBLE_EQ(cfg.hops_before_tap[1].cross_utilization, 0.95);  // clamp
+  EXPECT_DOUBLE_EQ(cfg.hops_before_tap[2].cross_utilization, 0.97);  // kept
+
+  // Zero extra load is the identity, and a loaded config still simulates
+  // (the clamp keeps every M/G/1 hop strictly stable).
+  add_cross_load(cfg, 0.0);
+  EXPECT_DOUBLE_EQ(cfg.hops_before_tap[0].cross_utilization, 0.3);
+  util::Xoshiro256pp rng(23);
+  EXPECT_EQ(collect_piats(cfg, rng, 200).size(), 200u);
+
+  EXPECT_THROW(add_cross_load(cfg, -1.0), linkpad::ContractViolation);
+  EXPECT_THROW(add_cross_load(cfg, 1.0, 1.5), linkpad::ContractViolation);
+}
+
 }  // namespace
 }  // namespace linkpad::sim
