@@ -25,6 +25,7 @@
 #include "classify/feature.hpp"
 #include "classify/window_accumulator.hpp"
 #include "core/experiment.hpp"
+#include "core/frontier.hpp"
 #include "core/population.hpp"
 #include "core/scenarios.hpp"
 #include "sim/mg1.hpp"
@@ -272,6 +273,10 @@ struct DerivedMetrics {
   double population_flows_per_sec = 0.0;
   /// Same workload, hardware threads vs a single thread.
   double population_thread_speedup = 0.0;
+  /// Defense-frontier throughput: policy points/sec through run_frontier
+  /// on the 5-rung budget ladder (gateway queue-feedback seam + overhead
+  /// accounting included).
+  double frontier_points_per_sec = 0.0;
 };
 
 void print_table(const std::vector<BenchResult>& results,
@@ -297,11 +302,13 @@ void print_table(const std::vector<BenchResult>& results,
               "(hardware threads vs 1: %.2fx)\n",
               derived.population_flows_per_sec,
               derived.population_thread_speedup);
+  std::printf("defense-frontier throughput: %.3e policy points/sec\n",
+              derived.frontier_points_per_sec);
 }
 
 void print_json(const std::vector<BenchResult>& results,
                 const DerivedMetrics& derived) {
-  std::printf("{\n  \"version\": 3,\n  \"benchmarks\": [\n");
+  std::printf("{\n  \"version\": 4,\n  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::printf("    {\"name\": \"%s\", \"unit\": \"%s\", "
@@ -317,14 +324,16 @@ void print_json(const std::vector<BenchResult>& results,
               "    \"curve_speedup_fig4b\": %.4f,\n"
               "    \"ziggurat_normal_speedup\": %.4f,\n"
               "    \"population_flows_per_sec\": %.6e,\n"
-              "    \"population_thread_speedup\": %.4f\n  }\n}\n",
+              "    \"population_thread_speedup\": %.4f,\n"
+              "    \"frontier_points_per_sec\": %.6e\n  }\n}\n",
               derived.event_core_speedup_cit,
               derived.bank_five_feature_piats_per_sec,
               derived.streaming_vs_batch_variance,
               derived.curve_points_per_sec, derived.curve_speedup_fig4b,
               derived.ziggurat_normal_speedup,
               derived.population_flows_per_sec,
-              derived.population_thread_speedup);
+              derived.population_thread_speedup,
+              derived.frontier_points_per_sec);
 }
 
 // ------------------------------------------- Fig 4(b) curve workload
@@ -615,6 +624,27 @@ int main(int argc, char** argv) {
         }));
     derived.curve_points_per_sec = results.back().items_per_sec;
     derived.curve_speedup_fig4b = derived.curve_points_per_sec / old_pps;
+  }
+
+  // Defense frontier: the 5-rung budget ladder through run_frontier — one
+  // full attack pipeline per policy point, exercising the gateway's
+  // queue-feedback seam (spend_dummy/observe per fire) plus the per-stream
+  // overhead accounting. Headline: policy points/sec.
+  {
+    core::FrontierSpec fspec;
+    fspec.scenario = core::lab_zero_cross(core::make_cit());
+    fspec.policies = core::budget_ladder({0.0, 40.0, 70.0, 85.0, 100.0});
+    fspec.window_size = 100;
+    fspec.train_windows = 4;
+    fspec.test_windows = 4;
+    fspec.seed = 20030324;
+    const double points = static_cast<double>(fspec.policies.size());
+    results.push_back(
+        run_bench("frontier/budget_ladder5", "points", min_time, [&] {
+          (void)core::run_frontier(fspec);
+          return static_cast<std::uint64_t>(points);
+        }));
+    derived.frontier_points_per_sec = results.back().items_per_sec;
   }
 
   // Population scaling (pop_scaling): M = 1000 concurrent padded flows,

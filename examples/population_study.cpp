@@ -88,15 +88,21 @@ int main(int argc, char** argv) {
   const double sigma = args.num("--sigma") * 1e-6;
   const auto seed = static_cast<std::uint64_t>(args.integer("--seed"));
 
-  std::fprintf(stderr, "CIT population:\n");
-  const auto cit = run_study(core::make_cit(), flows, windows,
+  // One naming accessor for every surface: tables, benches and JSON records
+  // all label a policy by TimerPolicy::name(), never by an ad-hoc string.
+  const auto cit_policy = core::make_cit();
+  const auto vit_policy = core::make_vit(sigma);
+  std::fprintf(stderr, "%s population:\n", cit_policy->name().c_str());
+  const auto cit = run_study(cit_policy, flows, windows,
                              core::derive_point_seed(seed, 0));
-  std::fprintf(stderr, "VIT population:\n");
-  const auto vit = run_study(core::make_vit(sigma), flows, windows,
+  std::fprintf(stderr, "%s population:\n", vit_policy->name().c_str());
+  const auto vit = run_study(vit_policy, flows, windows,
                              core::derive_point_seed(seed, 1));
 
-  print_population("CIT padding", cit, core::PopulationSpec{}.detection_threshold);
-  print_population("VIT padding", vit, core::PopulationSpec{}.detection_threshold);
+  print_population(cit_policy->name().c_str(), cit,
+                   core::PopulationSpec{}.detection_threshold);
+  print_population(vit_policy->name().c_str(), vit,
+                   core::PopulationSpec{}.detection_threshold);
 
   std::printf("Security is a worst-case business at population scale too: a\n"
               "deployment is only as private as its WORST flow. CIT exposes\n"

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Perf-trajectory regression gate for micro_perf JSON records.
+
+Compares a fresh `micro_perf --json --smoke` record against the committed
+baseline (BENCH_pr5.json) and fails when any throughput metric dropped by
+more than the threshold (default 25%). Metrics compared:
+
+  * every `benchmarks[].items_per_sec`, keyed by benchmark name;
+  * every `derived.*_per_sec` field.
+
+Ratio-style derived fields (speedups) are reported for context but never
+gate: they compare two in-record measurements and stay meaningful across
+machines, yet small workloads make them noisy.
+
+Caveat the budget is sized for: the committed baseline is a min-of-N
+FLOOR recorded on one machine/compiler, while CI runs the gate on shared
+runners with both gcc and clang — absolute throughput carries that
+cross-machine variance. If the runner fleet shifts enough that healthy
+builds breach the budget, recommit a fresh floor (and/or raise
+--threshold in ci.yml via PERF_GATE_THRESHOLD); do not delete the gate.
+
+Usage:
+  perf_gate.py --baseline BENCH_pr5.json --current BENCH_<tag>.json \
+               [--threshold 0.25] [--report perf_gate_report.md]
+
+Exit status: 0 = within budget, 1 = regression (or missing metric),
+2 = bad invocation / unreadable record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_record(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.stderr.write(f"perf_gate: cannot read {path}: {error}\n")
+        sys.exit(2)
+    if "benchmarks" not in record or "derived" not in record:
+        sys.stderr.write(f"perf_gate: {path} is not a micro_perf record\n")
+        sys.exit(2)
+    return record
+
+
+def throughput_metrics(record: dict) -> dict[str, float]:
+    """All gated metrics of a record: name -> items/sec."""
+    metrics: dict[str, float] = {}
+    for bench in record["benchmarks"]:
+        metrics[bench["name"]] = float(bench["items_per_sec"])
+    for key, value in record["derived"].items():
+        if key.endswith("_per_sec"):
+            metrics[f"derived.{key}"] = float(value)
+    return metrics
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline record (BENCH_pr5.json)")
+    parser.add_argument("--current", required=True,
+                        help="fresh micro_perf --json --smoke record")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated fractional drop (default 0.25)")
+    parser.add_argument("--report", default=None,
+                        help="write a markdown comparison report here")
+    args = parser.parse_args()
+    if not 0.0 < args.threshold < 1.0:
+        sys.stderr.write("perf_gate: --threshold must be in (0, 1)\n")
+        return 2
+    if os.path.realpath(args.baseline) == os.path.realpath(args.current):
+        sys.stderr.write(
+            "perf_gate: baseline and current are the same file — a "
+            "self-comparison passes vacuously and gates nothing\n")
+        return 2
+
+    baseline = throughput_metrics(load_record(args.baseline))
+    current = throughput_metrics(load_record(args.current))
+
+    rows = []  # (name, base, cur, ratio, status)
+    failures = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        if name not in current:
+            rows.append((name, base, None, None, "MISSING"))
+            failures.append(f"{name}: present in baseline, absent in current")
+            continue
+        cur = current[name]
+        ratio = cur / base if base > 0.0 else float("inf")
+        ok = ratio >= 1.0 - args.threshold
+        rows.append((name, base, cur, ratio, "ok" if ok else "REGRESSED"))
+        if not ok:
+            failures.append(
+                f"{name}: {base:.3e} -> {cur:.3e} "
+                f"({100.0 * (1.0 - ratio):.1f}% drop, budget "
+                f"{100.0 * args.threshold:.0f}%)")
+    for name in sorted(set(current) - set(baseline)):
+        rows.append((name, None, current[name], None, "new"))
+
+    verdict = "PASS" if not failures else "FAIL"
+    lines = [
+        "# perf gate report",
+        "",
+        f"baseline `{args.baseline}` vs current `{args.current}` — "
+        f"budget: {100.0 * args.threshold:.0f}% drop on any `*_per_sec` "
+        f"metric — **{verdict}**",
+        "",
+        "| metric | baseline | current | ratio | status |",
+        "|---|---|---|---|---|",
+    ]
+    for name, base, cur, ratio, status in rows:
+        fmt = lambda value: "-" if value is None else f"{value:.3e}"
+        ratio_text = "-" if ratio is None else f"{ratio:.3f}"
+        lines.append(
+            f"| {name} | {fmt(base)} | {fmt(cur)} | {ratio_text} | {status} |")
+    report = "\n".join(lines) + "\n"
+
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    sys.stdout.write(report)
+
+    if failures:
+        sys.stderr.write("\nperf_gate: FAIL\n")
+        for failure in failures:
+            sys.stderr.write(f"  {failure}\n")
+        return 1
+    sys.stdout.write(f"\nperf_gate: PASS ({len(rows)} metrics checked)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "analysis/overhead.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/check.hpp"
@@ -28,6 +29,52 @@ PaddingCost padding_cost(Seconds tau, PacketsPerSecond payload_peak,
   cost.mean_payload_delay = tau / 2.0;
   cost.worst_payload_delay = tau;
   return cost;
+}
+
+PaddingCost budgeted_padding_cost(Seconds tau, PacketsPerSecond payload_peak,
+                                  PacketsPerSecond dummy_budget,
+                                  int wire_bytes) {
+  LINKPAD_EXPECTS(tau > 0.0);
+  LINKPAD_EXPECTS(payload_peak >= 0.0);
+  LINKPAD_EXPECTS(dummy_budget >= 0.0);
+  LINKPAD_EXPECTS(wire_bytes > 0);
+
+  const PacketsPerSecond timer_rate = 1.0 / tau;
+  if (timer_rate < payload_peak) {
+    throw std::invalid_argument(
+        "budgeted_padding_cost: timer rate below peak payload rate — the "
+        "gateway queue would grow without bound");
+  }
+  PaddingCost cost;
+  const PacketsPerSecond dummy_rate =
+      std::min(dummy_budget, timer_rate - payload_peak);
+  cost.wire_rate = payload_peak + dummy_rate;
+  cost.dummy_fraction =
+      cost.wire_rate > 0.0 ? dummy_rate / cost.wire_rate : 0.0;
+  cost.wire_bandwidth_bps = cost.wire_rate * wire_bytes * 8.0;
+  cost.overhead_bps = dummy_rate * wire_bytes * 8.0;
+  // Payload still waits for the timer regardless of the dummy budget.
+  cost.mean_payload_delay = tau / 2.0;
+  cost.worst_payload_delay = tau;
+  return cost;
+}
+
+std::vector<std::size_t> pareto_front(
+    std::span<const std::pair<double, double>> points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i == j) continue;
+      const bool no_worse = points[j].first <= points[i].first &&
+                            points[j].second <= points[i].second;
+      const bool strictly_better = points[j].first < points[i].first ||
+                                   points[j].second < points[i].second;
+      dominated = no_worse && strictly_better;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
 }
 
 std::vector<TradeoffPoint> padding_tradeoff(const DesignInputs& inputs,

@@ -10,6 +10,9 @@
 // delay, σ_T) frontier a deployment engineer picks from.
 #pragma once
 
+#include <cstddef>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "analysis/guidelines.hpp"
@@ -46,5 +49,24 @@ struct TradeoffPoint {
 std::vector<TradeoffPoint> padding_tradeoff(const DesignInputs& inputs,
                                             const std::vector<Seconds>& taus,
                                             int wire_bytes);
+
+// ---------------------------------------------- defense-frontier hooks
+
+/// Static cost model of BUDGETED (token-bucket) padding: the emitted dummy
+/// rate is capped at `dummy_budget` pps, so the wire carries
+/// payload + min(dummy_budget, 1/τ − payload) packets/sec. dummy_budget →
+/// ∞ recovers padding_cost (full padding); dummy_budget = 0 is a bare wire
+/// whose only cost is the timer's payload delay.
+PaddingCost budgeted_padding_cost(Seconds tau, PacketsPerSecond payload_peak,
+                                  PacketsPerSecond dummy_budget,
+                                  int wire_bytes);
+
+/// Indices of the Pareto-efficient points when BOTH coordinates are costs
+/// to minimize — for the defense frontier: (padding overhead bps, adversary
+/// detection rate). Point i is efficient iff no other point is ≤ in both
+/// coordinates and < in at least one. Returned in input order; duplicate
+/// coordinate pairs are all kept.
+std::vector<std::size_t> pareto_front(
+    std::span<const std::pair<double, double>> points);
 
 }  // namespace linkpad::analysis

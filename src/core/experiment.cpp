@@ -88,6 +88,45 @@ const SampleSizePoint& ExperimentResult::at_sample_size(std::size_t n) const {
                               std::to_string(n));
 }
 
+namespace {
+
+/// Mean of one StreamOverhead field across classes (equal priors).
+template <typename Fn>
+std::optional<double> mean_over_classes(
+    const std::vector<StreamOverhead>& per_class, Fn&& field) {
+  if (per_class.empty()) return std::nullopt;
+  double sum = 0.0;
+  for (const auto& oh : per_class) sum += field(oh);
+  return sum / static_cast<double>(per_class.size());
+}
+
+}  // namespace
+
+std::optional<double> ExperimentResult::mean_padding_bps() const {
+  return mean_over_classes(overhead_per_class,
+                           [](const StreamOverhead& oh) { return oh.padding_bps; });
+}
+
+std::optional<double> ExperimentResult::mean_wire_bps() const {
+  return mean_over_classes(overhead_per_class,
+                           [](const StreamOverhead& oh) { return oh.wire_bps; });
+}
+
+std::optional<double> ExperimentResult::mean_dummy_fraction() const {
+  return mean_over_classes(
+      overhead_per_class,
+      [](const StreamOverhead& oh) { return oh.dummy_fraction; });
+}
+
+std::optional<Seconds> ExperimentResult::worst_delay_p95() const {
+  if (overhead_per_class.empty()) return std::nullopt;
+  Seconds worst = 0.0;
+  for (const auto& oh : overhead_per_class) {
+    worst = std::max(worst, oh.delay_p95);
+  }
+  return worst;
+}
+
 // --------------------------------------------------------- ExperimentEngine
 
 ExperimentEngine::ExperimentEngine(const ExperimentBackend& backend,
@@ -302,12 +341,16 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec) const {
 
   // Run-time phase: observe the live system (fresh randomness, salt 2) and
   // classify its windows with every detector of every point as the batches
-  // arrive — the axis shares this single observed capture too.
+  // arrive — the axis shares this single observed capture too. The source
+  // is held open past the stream so its padding-cost accounting (the
+  // overhead half of the defense frontier) can be read off afterwards.
+  std::vector<StreamOverhead> overheads;
   for (std::size_t c = 0; c < num_classes; ++c) {
     std::size_t offset = 0;
+    auto source = backend_->open(spec.scenario, c, spec.seed, /*salt=*/2);
     const std::size_t got = stream_batches(
-        *backend_, spec.scenario, c, spec.seed, /*salt=*/2, test_capacity,
-        batch_piats_, [&](std::span<const double> batch) {
+        *source, test_capacity, batch_piats_,
+        [&](std::span<const double> batch) {
           for (std::size_t i = 0; i < k; ++i) {
             const auto piece =
                 clip_to_limit(batch, offset, points[i].test_limit);
@@ -318,9 +361,13 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec) const {
     for (const PrefixPoint& p : points) {
       LINKPAD_ENSURES(std::min(got, p.test_limit) >= p.n);
     }
+    if (const auto oh = source->overhead()) overheads.push_back(*oh);
   }
 
   ExperimentResult result;
+  if (overheads.size() == num_classes) {
+    result.overhead_per_class = std::move(overheads);
+  }
   const PrefixPoint& top = points.back();  // n_max: the full capture
   result.piat_mean_low = top.train_stats.front().mean();
   result.piat_mean_high = top.train_stats.back().mean();
@@ -448,9 +495,9 @@ std::vector<double> environment_axis(const SweepGrid& grid) {
   return {0.0};  // zero-cross lab has no environment axis
 }
 
-Scenario make_scenario(SweepGrid::Environment environment, Seconds sigma,
+Scenario make_scenario(SweepGrid::Environment environment,
+                       std::shared_ptr<const sim::TimerPolicy> policy,
                        double axis_value) {
-  auto policy = sigma > 0.0 ? make_vit(sigma) : make_cit();
   switch (environment) {
     case SweepGrid::Environment::kLabCrossTraffic:
       return lab_cross_traffic(std::move(policy), axis_value);
@@ -464,17 +511,32 @@ Scenario make_scenario(SweepGrid::Environment environment, Seconds sigma,
   return lab_zero_cross(std::move(policy));
 }
 
+/// The grid's policy axis: explicit prototypes when given, otherwise the
+/// paper's σ_T parameterization (0 ⇒ CIT, σ > 0 ⇒ VIT-normal).
+std::vector<std::shared_ptr<const sim::TimerPolicy>> policy_axis(
+    const SweepGrid& grid) {
+  if (!grid.policies.empty()) return grid.policies;
+  std::vector<std::shared_ptr<const sim::TimerPolicy>> axis;
+  axis.reserve(grid.sigma_timers.size());
+  for (const Seconds sigma : grid.sigma_timers) {
+    axis.push_back(sigma > 0.0 ? make_vit(sigma) : make_cit());
+  }
+  return axis;
+}
+
 }  // namespace
 
 std::size_t SweepGrid::size() const {
   // The feature axis rides each point's DetectorBank instead of expanding
   // into extra points (and extra simulations).
   const std::size_t taps = tap_hops.empty() ? 1 : tap_hops.size();
-  return sigma_timers.size() * environment_axis(*this).size() * taps;
+  const std::size_t policy_points =
+      policies.empty() ? sigma_timers.size() : policies.size();
+  return policy_points * environment_axis(*this).size() * taps;
 }
 
 std::vector<ExperimentSpec> SweepGrid::expand() const {
-  LINKPAD_EXPECTS(!sigma_timers.empty());
+  LINKPAD_EXPECTS(!sigma_timers.empty() || !policies.empty());
   LINKPAD_EXPECTS(!features.empty());
 
   const auto axis = environment_axis(*this);
@@ -486,9 +548,10 @@ std::vector<ExperimentSpec> SweepGrid::expand() const {
 
   std::vector<ExperimentSpec> specs;
   specs.reserve(size());
-  for (const Seconds sigma : sigma_timers) {
+  for (const auto& policy : policy_axis(*this)) {
+    LINKPAD_EXPECTS(policy != nullptr);
     for (const double axis_value : axis) {
-      Scenario scenario = make_scenario(environment, sigma, axis_value);
+      Scenario scenario = make_scenario(environment, policy, axis_value);
       for (const std::size_t tap : taps) {
         ExperimentSpec spec;
         spec.scenario = scenario;

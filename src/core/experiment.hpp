@@ -114,6 +114,20 @@ struct ExperimentResult {
   double piat_var_high = 0.0;
   std::vector<FeatureOutcome> per_feature;
   std::vector<SampleSizePoint> by_sample_size;
+  /// Padding-cost accounting of the run-time (test) capture, one entry per
+  /// class in class order — empty when the backend cannot account (live).
+  std::vector<StreamOverhead> overhead_per_class;
+
+  /// Expected padding bandwidth under equal priors: mean of padding_bps
+  /// across classes. nullopt without accounting.
+  [[nodiscard]] std::optional<double> mean_padding_bps() const;
+  /// Expected on-wire bandwidth under equal priors.
+  [[nodiscard]] std::optional<double> mean_wire_bps() const;
+  /// Expected dummy fraction under equal priors.
+  [[nodiscard]] std::optional<double> mean_dummy_fraction() const;
+  /// Worst per-class p95 payload queueing delay — the QoS half of the
+  /// overhead/detectability frontier.
+  [[nodiscard]] std::optional<Seconds> worst_delay_p95() const;
 
   /// Outcome of `kind` at the largest sample size; throws if the
   /// experiment did not evaluate it.
@@ -245,7 +259,13 @@ struct SweepGrid {
   /// tap) point. Empty ⇒ the single `window_size`.
   std::vector<std::size_t> sample_sizes;
   /// Policy axis: 0 ⇒ CIT at the paper's τ, σ > 0 ⇒ VIT-normal(τ, σ).
+  /// Ignored when `policies` is non-empty.
   std::vector<Seconds> sigma_timers = {0.0};
+  /// First-class policy axis (defense frontier): when non-empty it REPLACES
+  /// sigma_timers — one point (one simulation) per policy prototype, cloned
+  /// into the environment scenario. Any TimerPolicy rides here, including
+  /// the payload-reactive on/off, budgeted and adaptive-gap defenses.
+  std::vector<std::shared_ptr<const sim::TimerPolicy>> policies;
   /// kLabCrossTraffic axis: shared-link utilization.
   std::vector<double> utilizations = {0.25};
   /// kCampus / kWan axis: diurnal phase (hour of day).

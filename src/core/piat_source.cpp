@@ -21,6 +21,29 @@ class SimPiatSource final : public PiatSource {
     return testbed_.collect_piats(count, out);
   }
 
+  [[nodiscard]] std::optional<StreamOverhead> overhead() const override {
+    const sim::GatewayStats& gs = testbed_.gateway_stats();
+    StreamOverhead oh;
+    oh.payload_packets = gs.payload_out;
+    oh.dummy_packets = gs.dummy_out;
+    oh.suppressed_fires = gs.suppressed_fires;
+    oh.wire_bps = testbed_.measured_wire_bps();
+    const std::uint64_t wire_packets = gs.payload_out + gs.dummy_out;
+    if (wire_packets > 0) {
+      oh.dummy_fraction =
+          static_cast<double>(gs.dummy_out) / static_cast<double>(wire_packets);
+      oh.padding_bps = oh.wire_bps * static_cast<double>(gs.padding_bytes) /
+                       static_cast<double>(gs.payload_bytes + gs.padding_bytes);
+    }
+    if (gs.queueing_delay.count() > 0) {
+      oh.delay_mean = gs.queueing_delay.mean();
+      oh.delay_p50 = gs.delay_p50.value();
+      oh.delay_p95 = gs.delay_p95.value();
+      oh.delay_p99 = gs.delay_p99.value();
+    }
+    return oh;
+  }
+
   [[nodiscard]] std::string name() const override { return "sim"; }
 
  private:
@@ -64,15 +87,21 @@ std::size_t stream_batches(
     std::size_t class_index, std::uint64_t seed, std::uint64_t salt,
     std::size_t count, std::size_t batch_piats,
     const std::function<void(std::span<const double>)>& sink) {
-  batch_piats = std::max<std::size_t>(batch_piats, 1);
   auto source = backend.open(scenario, class_index, seed, salt);
+  return stream_batches(*source, count, batch_piats, sink);
+}
+
+std::size_t stream_batches(
+    PiatSource& source, std::size_t count, std::size_t batch_piats,
+    const std::function<void(std::span<const double>)>& sink) {
+  batch_piats = std::max<std::size_t>(batch_piats, 1);
   std::vector<double> buffer;
   buffer.reserve(std::min(batch_piats, count));
   std::size_t delivered = 0;
   while (delivered < count) {
     buffer.clear();
     const std::size_t want = std::min(batch_piats, count - delivered);
-    const std::size_t got = source->collect(want, buffer);
+    const std::size_t got = source.collect(want, buffer);
     if (got > 0) {
       sink(std::span<const double>(buffer.data(), got));
       delivered += got;

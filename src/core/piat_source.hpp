@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -23,6 +24,22 @@
 #include "core/scenarios.hpp"
 
 namespace linkpad::core {
+
+/// Padding cost measured on ONE stream's capture so far — the overhead half
+/// of the defense frontier (DESIGN.md §2.8). Backends that cannot account
+/// (a passive live tap never sees the gateway's queue) report nothing.
+struct StreamOverhead {
+  std::uint64_t payload_packets = 0;  ///< payload packets on the wire
+  std::uint64_t dummy_packets = 0;    ///< dummies on the wire
+  std::uint64_t suppressed_fires = 0; ///< timer fires that emitted nothing
+  double wire_bps = 0.0;              ///< measured on-wire bandwidth
+  double padding_bps = 0.0;           ///< dummy share of wire_bps
+  double dummy_fraction = 0.0;        ///< dummies / wire packets
+  Seconds delay_mean = 0.0;           ///< payload queueing delay in GW1
+  Seconds delay_p50 = 0.0;            ///< P² percentiles of that delay
+  Seconds delay_p95 = 0.0;
+  Seconds delay_p99 = 0.0;
+};
 
 /// Pull-based stream of padded inter-arrival times at the adversary's tap.
 class PiatSource {
@@ -33,6 +50,13 @@ class PiatSource {
   /// number appended. A short count means the backend is exhausted (e.g. a
   /// finite live capture); simulated streams never exhaust.
   virtual std::size_t collect(std::size_t count, std::vector<double>& out) = 0;
+
+  /// Padding-cost accounting over everything collected so far, when the
+  /// backend can see the gateway (sim, trace replay with metadata). The
+  /// default — and a passive live capture — reports nothing.
+  [[nodiscard]] virtual std::optional<StreamOverhead> overhead() const {
+    return std::nullopt;
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };
@@ -77,6 +101,13 @@ std::size_t stream_batches(
     const ExperimentBackend& backend, const Scenario& scenario,
     std::size_t class_index, std::uint64_t seed, std::uint64_t salt,
     std::size_t count, std::size_t batch_piats,
+    const std::function<void(std::span<const double>)>& sink);
+
+/// Same, over an already-opened source — for callers that need the source
+/// afterwards (e.g. to read its StreamOverhead accounting). Batch sequence
+/// is identical to the backend-opening overload.
+std::size_t stream_batches(
+    PiatSource& source, std::size_t count, std::size_t batch_piats,
     const std::function<void(std::span<const double>)>& sink);
 
 /// Process-wide default backend: the simulated testbed.

@@ -9,12 +9,19 @@
 
 namespace linkpad::core {
 
+Scenario PopulationSpec::loaded_scenario() const {
+  const std::size_t others = effective_contention() - 1;
+  if (others == 0) return experiment.scenario;
+  const double per_flow_bps = flow_wire_rate_bps(
+      experiment.scenario, derive_point_seed(seed, kCalibrationSalt));
+  return with_population_load(experiment.scenario, others,
+                              max_hop_utilization, per_flow_bps);
+}
+
 ExperimentSpec PopulationSpec::flow_spec(std::size_t flow_id) const {
   LINKPAD_EXPECTS(flow_id < flows);
   ExperimentSpec out = experiment;
-  out.scenario = with_population_load(experiment.scenario,
-                                      effective_contention() - 1,
-                                      max_hop_utilization);
+  out.scenario = loaded_scenario();
   out.seed = derive_point_seed(seed, flow_id);
   return out;
 }
@@ -44,12 +51,18 @@ PopulationResult PopulationEngine::run(const PopulationSpec& spec) const {
 
   PopulationResult result;
   {
-    // Each worker materializes its flow's spec on demand (the lazy
-    // SweepRunner form): M scenario copies never coexist, and flow_spec is
-    // the single source of truth for scenario loading + seed derivation.
+    // The loaded scenario is flow-independent: resolve it ONCE (a reactive
+    // policy's rate calibration runs a capture — per-flow recomputation
+    // would re-simulate it M times) and stamp each flow's seed in-worker.
+    // flow_spec(f) stays the contract: it resolves to exactly this spec.
+    const Scenario loaded = spec.loaded_scenario();
     auto report = SweepRunner(*backend_, options_)
-                      .run(spec.flows,
-                           [&](std::size_t f) { return spec.flow_spec(f); });
+                      .run(spec.flows, [&](std::size_t f) {
+                        ExperimentSpec flow = spec.experiment;
+                        flow.scenario = loaded;
+                        flow.seed = derive_point_seed(spec.seed, f);
+                        return flow;
+                      });
     LINKPAD_ENSURES(report.all_completed());
     result.per_flow = std::move(report.results);
   }

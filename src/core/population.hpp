@@ -73,11 +73,25 @@ struct PopulationSpec {
     return contention_flows == 0 ? flows : contention_flows;
   }
 
+  /// The shared scenario under population cross-load. Each contention flow
+  /// offers flow_wire_rate_bps: the analytic constant rate for the paper's
+  /// policies, a MEASURED calibration rate for payload-reactive policies
+  /// (whose wire load tracks the payload instead of the timer — the
+  /// constant-wire-rate invariant the analytic form needs is gone). The
+  /// calibration substream derives from (seed, kCalibrationSalt), so every
+  /// flow sees the identical loaded path. Flow-independent; the engine
+  /// computes it ONCE per run.
+  [[nodiscard]] Scenario loaded_scenario() const;
+
   /// The fully resolved per-flow spec of flow `flow_id`: the shared
   /// scenario under population load, the template's adversary/axis, and
   /// the flow's derived seed. A standalone ExperimentEngine::run of this
   /// spec is bit-identical to slot `flow_id` of the population run.
   [[nodiscard]] ExperimentSpec flow_spec(std::size_t flow_id) const;
+
+  /// Salt of the calibration substream — far outside any flow id, so the
+  /// measurement never shares streams with a tapped flow.
+  static constexpr std::uint64_t kCalibrationSalt = 0x63616c6962726174ULL;
 };
 
 /// Detection-rate quantiles over the population (stats::P2Quantile; exact

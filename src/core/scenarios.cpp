@@ -19,6 +19,25 @@ std::shared_ptr<const sim::TimerPolicy> make_vit(Seconds sigma, Seconds tau) {
   return std::make_shared<sim::NormalIntervalTimer>(tau, sigma);
 }
 
+std::shared_ptr<const sim::TimerPolicy> make_onoff(Seconds hangover,
+                                                   Seconds tau) {
+  return std::make_shared<sim::OnOffTimer>(
+      std::make_unique<sim::ConstantIntervalTimer>(tau), hangover);
+}
+
+std::shared_ptr<const sim::TimerPolicy> make_budgeted(
+    double dummy_budget_per_sec, double burst, Seconds tau) {
+  return std::make_shared<sim::TokenBucketTimer>(
+      std::make_unique<sim::ConstantIntervalTimer>(tau), dummy_budget_per_sec,
+      burst);
+}
+
+std::shared_ptr<const sim::TimerPolicy> make_adaptive(Seconds base_gap,
+                                                      double gain,
+                                                      Seconds min_gap) {
+  return std::make_shared<sim::AdaptiveGapTimer>(base_gap, gain, min_gap);
+}
+
 namespace {
 
 sim::TestbedConfig base_config(std::shared_ptr<const sim::TimerPolicy> policy) {
@@ -161,11 +180,37 @@ double padded_wire_rate_bps(const Scenario& scenario) {
   return sim::padded_wire_rate_bps(scenario.base);
 }
 
+double flow_wire_rate_bps(const Scenario& scenario, std::uint64_t measure_seed,
+                          std::size_t piats_per_class) {
+  LINKPAD_EXPECTS(scenario.base.policy != nullptr);
+  LINKPAD_EXPECTS(!scenario.payload_rates.empty());
+  if (!scenario.base.policy->payload_reactive()) {
+    return sim::padded_wire_rate_bps(scenario.base);
+  }
+  // Reactive policy: the wire rate depends on the (hidden) payload class, so
+  // measure each class with its own derived substream and average.
+  const util::RngFactory factory(measure_seed);
+  double sum = 0.0;
+  for (std::size_t c = 0; c < scenario.payload_rates.size(); ++c) {
+    auto rng = factory.make(c);
+    sum += sim::measured_wire_rate_bps(scenario.config_for(c), rng,
+                                       piats_per_class);
+  }
+  return sum / static_cast<double>(scenario.payload_rates.size());
+}
+
 Scenario with_population_load(Scenario scenario, std::size_t other_flows,
-                              double max_hop_utilization) {
+                              double max_hop_utilization,
+                              double per_flow_bps) {
+  if (per_flow_bps < 0.0) {
+    // The analytic constant rate only exists while the constant-wire-rate
+    // invariant holds; reactive policies must pass a measured rate.
+    LINKPAD_EXPECTS(scenario.base.policy != nullptr &&
+                    !scenario.base.policy->payload_reactive());
+    per_flow_bps = sim::padded_wire_rate_bps(scenario.base);
+  }
   sim::add_cross_load(scenario.base,
-                      static_cast<double>(other_flows) *
-                          sim::padded_wire_rate_bps(scenario.base),
+                      static_cast<double>(other_flows) * per_flow_bps,
                       max_hop_utilization);
   return scenario;
 }

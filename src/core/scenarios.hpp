@@ -49,6 +49,25 @@ std::shared_ptr<const sim::TimerPolicy> make_cit(Seconds tau = constants::kTau);
 std::shared_ptr<const sim::TimerPolicy> make_vit(Seconds sigma,
                                                  Seconds tau = constants::kTau);
 
+// Defense-frontier policies (payload-reactive; DESIGN.md §2.8). All pace
+// like CIT at τ — what changes is WHEN a fire may put a dummy on the wire.
+
+/// On/off (idle-stop) padding: dummies only within `hangover` of payload
+/// activity.
+std::shared_ptr<const sim::TimerPolicy> make_onoff(
+    Seconds hangover, Seconds tau = constants::kTau);
+
+/// Token-bucket budgeted padding: emitted dummies capped at
+/// `dummy_budget_per_sec` (burst `burst`).
+std::shared_ptr<const sim::TimerPolicy> make_budgeted(
+    double dummy_budget_per_sec, double burst = 5.0,
+    Seconds tau = constants::kTau);
+
+/// Adaptive-gap padding: designed gap shrinks from `base_gap` toward
+/// `min_gap` as the gateway queue builds.
+std::shared_ptr<const sim::TimerPolicy> make_adaptive(
+    Seconds base_gap, double gain, Seconds min_gap);
+
 /// Laboratory, no cross traffic, tap right at GW1's output (Sec 5.1.1) —
 /// the adversary's best case.
 Scenario lab_zero_cross(std::shared_ptr<const sim::TimerPolicy> policy);
@@ -78,18 +97,36 @@ Scenario lab_multirate(std::shared_ptr<const sim::TimerPolicy> policy,
 
 /// Offered wire rate (bits/sec) of one padded flow of this scenario —
 /// constant across classes because the padding timer, not the payload,
-/// paces the wire (sim::padded_wire_rate_bps).
+/// paces the wire (sim::padded_wire_rate_bps). For a payload-reactive
+/// policy this is only the DESIGNED idle pacing — the realized rate can
+/// land on either side (budgeted/on-off emit less, adaptive-gap emits
+/// MORE whenever bursts shrink the gap); use flow_wire_rate_bps then.
 [[nodiscard]] double padded_wire_rate_bps(const Scenario& scenario);
+
+/// Offered wire rate (bits/sec) of one padded flow, truthful for EVERY
+/// policy: the analytic 1/τ rate when the policy keeps the constant-wire-
+/// rate invariant, otherwise MEASURED from a short calibration capture per
+/// class and averaged across classes (a contention flow's payload class is
+/// hidden; equal priors). Deterministic in `measure_seed`.
+[[nodiscard]] double flow_wire_rate_bps(const Scenario& scenario,
+                                        std::uint64_t measure_seed,
+                                        std::size_t piats_per_class = 2000);
 
 /// `scenario` with the mutual cross traffic of `other_flows` further padded
 /// flows multiplexed into every hop before the tap — the population view of
 /// the paper's Sec 6 deployment guidelines: each user's flow crosses a path
-/// also carrying everyone else's constant-rate padded streams. Per-hop
-/// utilization saturates at `max_hop_utilization` (see sim::add_cross_load).
-/// A scenario without hops (tap at GW1's output) is returned unchanged:
-/// there is no shared link for the population to contend on.
+/// also carrying everyone else's padded streams. Per-hop utilization
+/// saturates at `max_hop_utilization` (see sim::add_cross_load). A scenario
+/// without hops (tap at GW1's output) is returned unchanged: there is no
+/// shared link for the population to contend on.
+///
+/// `per_flow_bps` is the load each of the other flows offers; negative ⇒
+/// derive the analytic constant rate, which REQUIRES a non-reactive policy
+/// (payload-reactive policies broke that invariant — pass
+/// flow_wire_rate_bps explicitly, as PopulationSpec does).
 [[nodiscard]] Scenario with_population_load(Scenario scenario,
                                             std::size_t other_flows,
-                                            double max_hop_utilization = 0.95);
+                                            double max_hop_utilization = 0.95,
+                                            double per_flow_bps = -1.0);
 
 }  // namespace linkpad::core

@@ -46,32 +46,55 @@ void PaddingGateway::on_timer(Seconds /*now*/) {
   // The interrupt routine runs after a random scheduling delay; payload
   // arrivals since the previous fire each contributed a blocking term.
   const Seconds delay = jitter_.emission_delay(rng_, arrivals_since_fire_);
+
+  GatewayFeedback feedback;
+  feedback.now = sim_.now();
+  feedback.arrivals_since_fire = arrivals_since_fire_;
   arrivals_since_fire_ = 0;
 
   Packet wire;
-  wire.id = next_wire_id_++;
   wire.flow = FlowId::kMonitored;
   wire.size_bytes = wire_bytes_;  // constant wire size hides payload length
+  bool emit = true;
   if (!queue_.empty()) {
     const Packet payload = queue_.front();
     queue_.pop_front();
     wire.kind = PacketKind::kPayload;
     wire.created = payload.created;
-    stats_.queueing_delay.add(sim_.now() - payload.created);
+    const Seconds waited = sim_.now() - payload.created;
+    stats_.queueing_delay.add(waited);
+    stats_.delay_p50.add(waited);
+    stats_.delay_p95.add(waited);
+    stats_.delay_p99.add(waited);
     ++stats_.payload_out;
-  } else {
+    stats_.payload_bytes += static_cast<std::uint64_t>(wire_bytes_);
+    feedback.emitted_payload = true;
+  } else if (policy_->spend_dummy(feedback)) {
     wire.kind = PacketKind::kDummy;
     wire.created = sim_.now();
     ++stats_.dummy_out;
+    stats_.padding_bytes += static_cast<std::uint64_t>(wire_bytes_);
+    feedback.emitted_dummy = true;
+  } else {
+    // The queue-feedback seam in action: the policy declined to pad, so
+    // this interrupt puts nothing on the wire.
+    ++stats_.suppressed_fires;
+    emit = false;
   }
+  feedback.queue_depth = queue_.size();
 
   const Seconds emit_time = sim_.now() + delay;
-  sim_.schedule_at(emit_time, [this, wire, emit_time]() mutable {
-    wire.emitted = emit_time;
-    downstream_.on_packet(wire, emit_time);
-  });
+  if (emit) {
+    wire.id = next_wire_id_++;
+    sim_.schedule_at(emit_time, [this, wire, emit_time]() mutable {
+      wire.emitted = emit_time;
+      downstream_.on_packet(wire, emit_time);
+    });
+  }
 
-  // Absolute (drift-free) scheduling of the next designed interrupt.
+  // Absolute (drift-free) scheduling of the next designed interrupt; the
+  // policy sees the post-emission link state before the draw.
+  policy_->observe(feedback);
   next_designed_fire_ += policy_->next_interval(rng_);
   // A grossly delayed interrupt cannot overtake the next one on real
   // hardware; the kernel coalesces. Model: push the schedule if needed.

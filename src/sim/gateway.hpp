@@ -21,18 +21,30 @@
 #include "sim/scheduler.hpp"
 #include "sim/timer_policy.hpp"
 #include "stats/descriptive.hpp"
+#include "stats/quantile_sketch.hpp"
 #include "util/rng.hpp"
 
 namespace linkpad::sim {
 
-/// Operational counters exposed for invariant checks and QoS reporting.
+/// Operational counters exposed for invariant checks, QoS reporting and the
+/// defense frontier's overhead accounting (DESIGN.md §2.8).
 struct GatewayStats {
   std::uint64_t payload_in = 0;       ///< payload packets accepted
   std::uint64_t payload_out = 0;      ///< payload packets emitted
   std::uint64_t dummy_out = 0;        ///< dummy packets emitted
   std::uint64_t dropped = 0;          ///< payload drops (queue overflow)
   std::uint64_t timer_fires = 0;      ///< interrupts processed
+  /// Fires that emitted NOTHING: empty queue and the policy declined a
+  /// dummy (on/off padding off-phase, exhausted token bucket).
+  std::uint64_t suppressed_fires = 0;
+  std::uint64_t payload_bytes = 0;    ///< wire bytes carrying payload
+  std::uint64_t padding_bytes = 0;    ///< wire bytes carrying dummies
   stats::RunningStats queueing_delay; ///< payload wait in GW1 (QoS metric)
+  /// Streaming percentiles of the payload queueing delay (P², ~1% sketch
+  /// accuracy) — the latency half of the overhead/detectability frontier.
+  stats::P2Quantile delay_p50{0.5};
+  stats::P2Quantile delay_p95{0.95};
+  stats::P2Quantile delay_p99{0.99};
 };
 
 /// Sender-side padding gateway. The interrupt timer rides the scheduler's
@@ -59,8 +71,11 @@ class PaddingGateway final : public PacketSink, public TimerTask {
   [[nodiscard]] const GatewayStats& stats() const { return stats_; }
   [[nodiscard]] const TimerPolicy& policy() const { return *policy_; }
 
-  /// Emitted wire rate = 1 / E[T]; constant regardless of payload rate —
-  /// the perfect-secrecy property padding is built on.
+  /// DESIGNED wire rate = 1 / E[T]. For the paper's policies this is the
+  /// constant emitted rate regardless of payload — the perfect-secrecy
+  /// property padding is built on. For payload-reactive policies the
+  /// realized rate can sit on either side of it; measure it instead
+  /// (Testbed::measured_wire_bps).
   [[nodiscard]] PacketsPerSecond wire_rate() const;
 
  private:

@@ -91,6 +91,24 @@ std::vector<Seconds> collect_piats(const TestbedConfig& config,
   return bed.collect_piats(count);
 }
 
+double Testbed::measured_wire_bps() const {
+  const Seconds elapsed = sim_.now();
+  if (elapsed <= 0.0) return 0.0;
+  const GatewayStats& gs = gateway_->stats();
+  return 8.0 * static_cast<double>(gs.payload_bytes + gs.padding_bytes) /
+         elapsed;
+}
+
+double measured_wire_rate_bps(const TestbedConfig& config, util::Rng& rng,
+                              std::size_t piats) {
+  LINKPAD_EXPECTS(piats > 0);
+  Testbed bed(config, rng);
+  std::vector<Seconds> sink;
+  sink.reserve(piats);
+  bed.collect_piats(piats, sink);
+  return bed.measured_wire_bps();
+}
+
 double padded_wire_rate_bps(const TestbedConfig& config) {
   LINKPAD_EXPECTS(config.policy != nullptr);
   LINKPAD_EXPECTS(config.wire_bytes > 0);

@@ -69,6 +69,12 @@ class Testbed {
   [[nodiscard]] const Simulation& simulation() const { return sim_; }
   [[nodiscard]] const TestbedConfig& config() const { return config_; }
 
+  /// MEASURED on-wire bandwidth so far: emitted wire bytes (payload +
+  /// padding) over elapsed sim time. Tracks padded_wire_rate_bps for the
+  /// paper's policies; for payload-reactive policies this is the only
+  /// truthful number. Returns 0 before any simulated time has elapsed.
+  [[nodiscard]] double measured_wire_bps() const;
+
  private:
   // Adapter: receives GW1 emissions, pushes them through the analytic path
   // and records tap arrival times.
@@ -106,8 +112,22 @@ std::vector<Seconds> collect_piats(const TestbedConfig& config,
 /// gateway emits exactly one wire_bytes packet per mean timer interval,
 /// payload-independent — that invariance is the whole point of link
 /// padding, and it makes the load a padded flow places on shared links a
-/// constant of the policy, not of the (hidden) payload rate.
+/// constant of the policy, not of the (hidden) payload rate. For a
+/// payload-reactive policy (TimerPolicy::payload_reactive) the invariant is
+/// deliberately broken and this value is only the DESIGNED idle pacing —
+/// the realized rate may be below it (budgeted/on-off suppress dummies) or
+/// ABOVE it (adaptive-gap fires faster while draining bursts); use
+/// measured_wire_rate_bps instead.
 [[nodiscard]] double padded_wire_rate_bps(const TestbedConfig& config);
+
+/// MEASURED offered wire rate of one padded flow: runs a short calibration
+/// capture (`piats` tap arrivals) of `config` seeded by `rng` and returns
+/// the realized on-wire bandwidth. Deterministic in the RNG stream — the
+/// population layer derives it from (spec seed, calibration salt) so every
+/// flow agrees on the contention each padded stream offers.
+[[nodiscard]] double measured_wire_rate_bps(const TestbedConfig& config,
+                                            util::Rng& rng,
+                                            std::size_t piats = 2000);
 
 /// Multiplex `extra_bps` of additional traffic into every hop before the
 /// tap — the analytic form of other flows sharing this flow's path. Each

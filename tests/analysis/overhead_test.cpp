@@ -79,5 +79,71 @@ TEST(PaddingTradeoff, EmptySweepRejected) {
                linkpad::ContractViolation);
 }
 
+// ------------------------------------------------ defense-frontier hooks
+
+TEST(BudgetedPaddingCost, LargeBudgetRecoversFullPadding) {
+  const auto full = padding_cost(10e-3, 40.0, 1000);
+  const auto budgeted = budgeted_padding_cost(10e-3, 40.0, 1e6, 1000);
+  EXPECT_DOUBLE_EQ(budgeted.wire_rate, full.wire_rate);
+  EXPECT_DOUBLE_EQ(budgeted.overhead_bps, full.overhead_bps);
+  EXPECT_DOUBLE_EQ(budgeted.dummy_fraction, full.dummy_fraction);
+}
+
+TEST(BudgetedPaddingCost, ZeroBudgetIsABareWire) {
+  const auto cost = budgeted_padding_cost(10e-3, 40.0, 0.0, 1000);
+  EXPECT_DOUBLE_EQ(cost.wire_rate, 40.0);
+  EXPECT_DOUBLE_EQ(cost.overhead_bps, 0.0);
+  EXPECT_DOUBLE_EQ(cost.dummy_fraction, 0.0);
+  // The timer still delays payload: that cost is budget-independent.
+  EXPECT_DOUBLE_EQ(cost.mean_payload_delay, 5e-3);
+}
+
+TEST(BudgetedPaddingCost, BudgetCapsAtTheTimersFreeSlots) {
+  // 100 pps timer, 40 pps payload: at most 60 dummies/sec fit.
+  const auto cost = budgeted_padding_cost(10e-3, 40.0, 80.0, 1000);
+  EXPECT_DOUBLE_EQ(cost.wire_rate, 100.0);
+  EXPECT_NEAR(cost.overhead_bps, 60.0 * 8000.0, 1e-9);
+}
+
+TEST(BudgetedPaddingCost, OverheadMonotoneInBudget) {
+  double previous = -1.0;
+  for (const double budget : {0.0, 10.0, 30.0, 60.0, 90.0, 200.0}) {
+    const auto cost = budgeted_padding_cost(10e-3, 40.0, budget, 1000);
+    EXPECT_GE(cost.overhead_bps, previous);
+    previous = cost.overhead_bps;
+  }
+}
+
+TEST(BudgetedPaddingCost, RejectsUndersizedTimer) {
+  EXPECT_THROW(budgeted_padding_cost(0.1, 40.0, 10.0, 1000),
+               std::invalid_argument);
+}
+
+TEST(ParetoFront, KeepsExactlyTheUndominatedPoints) {
+  // (overhead, detection): minimize both.
+  const std::vector<std::pair<double, double>> points = {
+      {0.0, 1.00},   // cheapest → efficient
+      {100.0, 0.90}, // efficient
+      {150.0, 0.95}, // dominated by (100, 0.90)
+      {200.0, 0.60}, // efficient
+      {250.0, 0.60}, // dominated (same detection, dearer)
+      {300.0, 0.50}, // efficient
+  };
+  const auto front = pareto_front(points);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 3, 5}));
+}
+
+TEST(ParetoFront, DuplicatePointsAllSurvive) {
+  const std::vector<std::pair<double, double>> points = {
+      {1.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}};
+  EXPECT_EQ(pareto_front(points), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(ParetoFront, EmptyAndSingleton) {
+  EXPECT_TRUE(pareto_front({}).empty());
+  const std::vector<std::pair<double, double>> one = {{5.0, 0.5}};
+  EXPECT_EQ(pareto_front(one), (std::vector<std::size_t>{0}));
+}
+
 }  // namespace
 }  // namespace linkpad::analysis

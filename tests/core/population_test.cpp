@@ -344,6 +344,67 @@ TEST(Population, ContentionLoadsSharedHops) {
   EXPECT_TRUE(isolated.flow_spec(0).scenario.base.hops_before_tap.empty());
 }
 
+TEST(Population, ReactivePolicyContendsAtItsMeasuredRateNotTheCeiling) {
+  // A budgeted policy with a tiny dummy budget emits far below the 1/τ
+  // ceiling; the population load every peer sees must be the MEASURED rate
+  // (the constant-wire-rate invariant is gone), so the loaded hop sits well
+  // under the analytic prediction — and stays deterministic in the seed.
+  PopulationSpec spec;
+  spec.experiment.scenario = lab_cross_traffic(make_budgeted(5.0), 0.15);
+  spec.flows = 100;
+  spec.seed = 2024;
+
+  const double analytic = padded_wire_rate_bps(spec.experiment.scenario);
+  const double measured = flow_wire_rate_bps(
+      spec.experiment.scenario,
+      derive_point_seed(spec.seed, PopulationSpec::kCalibrationSalt));
+  // Mean payload 25 pps + ≤5 dummies/s against the 100 pps ceiling.
+  EXPECT_LT(measured, 0.40 * analytic);
+  EXPECT_GT(measured, 0.15 * analytic);
+
+  const auto loaded = spec.loaded_scenario();
+  ASSERT_EQ(loaded.base.hops_before_tap.size(), 1u);
+  EXPECT_NEAR(loaded.base.hops_before_tap[0].cross_utilization,
+              0.15 + 99.0 * measured / 500e6, 1e-12);
+
+  // Same seed ⇒ bitwise identical calibration (it is a simulated capture).
+  EXPECT_EQ(loaded.base.hops_before_tap[0].cross_utilization,
+            spec.loaded_scenario().base.hops_before_tap[0].cross_utilization);
+  // Non-reactive policies keep the exact analytic form.
+  PopulationSpec cit_spec;
+  cit_spec.experiment.scenario = lab_cross_traffic(make_cit(), 0.15);
+  cit_spec.flows = 100;
+  EXPECT_NEAR(
+      cit_spec.loaded_scenario().base.hops_before_tap[0].cross_utilization,
+      0.15 + 99.0 * analytic / 500e6, 1e-12);
+}
+
+TEST(Population, FlowSpecReproducesPopulationSlotForReactivePolicy) {
+  // The engine resolves the loaded scenario once per run; flow_spec must
+  // still be the literal per-flow contract even for measured-rate policies.
+  PopulationSpec spec;
+  spec.experiment.scenario = lab_cross_traffic(make_budgeted(20.0), 0.1);
+  spec.experiment.adversary.feature = classify::FeatureKind::kSampleMean;
+  spec.experiment.adversary.window_size = 40;
+  spec.experiment.train_windows = 3;
+  spec.experiment.test_windows = 3;
+  spec.flows = 3;
+  spec.seed = 7;
+
+  const auto population = PopulationEngine().run(spec);
+  for (std::size_t f = 0; f < spec.flows; ++f) {
+    const auto standalone = run_experiment(spec.flow_spec(f));
+    EXPECT_EQ(standalone.detection_rate,
+              population.per_flow[f].detection_rate);
+    ASSERT_EQ(standalone.overhead_per_class.size(),
+              population.per_flow[f].overhead_per_class.size());
+    for (std::size_t c = 0; c < standalone.overhead_per_class.size(); ++c) {
+      EXPECT_EQ(standalone.overhead_per_class[c].wire_bps,
+                population.per_flow[f].overhead_per_class[c].wire_bps);
+    }
+  }
+}
+
 TEST(Population, MoreContentionWeakensTheAdversary) {
   // The population effect the engine exists to measure: a busier shared
   // link (more peers multiplexed into the path) adds queueing noise, which

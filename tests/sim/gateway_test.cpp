@@ -160,5 +160,91 @@ TEST(PaddingGateway, WireRateAccessor) {
   EXPECT_DOUBLE_EQ(gw.wire_rate(), 100.0);
 }
 
+TEST(PaddingGateway, OverheadAccountingMatchesByHandCounts) {
+  // The counting sink (WireTap) is the by-hand truth: every byte the stats
+  // claim must be a packet the tap saw, split payload/dummy the same way.
+  Harness h(40.0, JitterParams{}, 31);
+  h.sim.run_until(50.0);
+  const auto& gs = h.gateway->stats();
+  EXPECT_EQ(gs.payload_bytes, gs.payload_out * 1000u);
+  EXPECT_EQ(gs.padding_bytes, gs.dummy_out * 1000u);
+  // The tap may lag the stats by the (µs-scale) emissions still in flight
+  // at the horizon — never by more.
+  EXPECT_LE(h.tap.payload, gs.payload_out);
+  EXPECT_GE(h.tap.payload + 2, gs.payload_out);
+  EXPECT_LE(h.tap.dummy, gs.dummy_out);
+  EXPECT_GE(h.tap.dummy + 2, gs.dummy_out);
+  EXPECT_EQ(gs.suppressed_fires, 0u);  // CIT always pads
+  EXPECT_EQ(gs.timer_fires, gs.payload_out + gs.dummy_out);
+  // Delay percentiles ordered and inside the observed range.
+  ASSERT_GT(gs.queueing_delay.count(), 0u);
+  EXPECT_LE(gs.delay_p50.value(), gs.delay_p95.value());
+  EXPECT_LE(gs.delay_p95.value(), gs.delay_p99.value());
+  EXPECT_LE(gs.delay_p99.value(), gs.queueing_delay.max() + 1e-12);
+}
+
+TEST(PaddingGateway, ZeroBudgetPolicySuppressesEveryDummy) {
+  Simulation sim;
+  util::Xoshiro256pp rng(37);
+  WireTap tap;
+  PaddingGateway gw(sim,
+                    std::make_unique<TokenBucketTimer>(
+                        std::make_unique<ConstantIntervalTimer>(10e-3),
+                        /*dummy_budget_per_sec=*/0.0, /*burst=*/0.0),
+                    JitterParams{}, rng, tap, 1000);
+  CbrSource src(10.0, 512);
+  src.start(sim, gw, rng);
+  gw.start();
+  sim.run_until(50.0);
+  const auto& gs = gw.stats();
+  // The wire carries ONLY payload: every empty-queue fire was suppressed.
+  EXPECT_EQ(tap.dummy, 0u);
+  EXPECT_EQ(gs.dummy_out, 0u);
+  EXPECT_EQ(gs.padding_bytes, 0u);
+  EXPECT_GT(gs.suppressed_fires, 0u);
+  EXPECT_EQ(gs.timer_fires, gs.payload_out + gs.suppressed_fires);
+  EXPECT_LE(tap.payload, gs.payload_out);
+  EXPECT_GE(tap.payload + 2, gs.payload_out);
+  EXPECT_NEAR(static_cast<double>(tap.payload) / 50.0, 10.0, 0.5);
+}
+
+TEST(PaddingGateway, BudgetedDummiesRespectTheCapOnTheWire) {
+  constexpr double kBudget = 20.0;
+  constexpr double kBurst = 5.0;
+  constexpr Seconds kHorizon = 50.0;
+  Simulation sim;
+  util::Xoshiro256pp rng(41);
+  WireTap tap;
+  PaddingGateway gw(sim,
+                    std::make_unique<TokenBucketTimer>(
+                        std::make_unique<ConstantIntervalTimer>(10e-3),
+                        kBudget, kBurst),
+                    JitterParams{}, rng, tap, 1000);
+  CbrSource src(10.0, 512);
+  src.start(sim, gw, rng);
+  gw.start();
+  sim.run_until(kHorizon);
+  EXPECT_LE(static_cast<double>(tap.dummy), kBurst + kBudget * kHorizon);
+  // And the budget is actually used, not just respected.
+  EXPECT_GT(tap.dummy, 0u);
+}
+
+TEST(PaddingGateway, OnOffGatewayIsSilentWithoutPayload) {
+  Simulation sim;
+  util::Xoshiro256pp rng(43);
+  WireTap tap;
+  PaddingGateway gw(sim,
+                    std::make_unique<OnOffTimer>(
+                        std::make_unique<ConstantIntervalTimer>(10e-3),
+                        /*hangover=*/50e-3),
+                    JitterParams{}, rng, tap, 1000);
+  // No source at all: an idle protected subnet must put NOTHING on the wire.
+  gw.start();
+  sim.run_until(10.0);
+  EXPECT_TRUE(tap.times.empty());
+  EXPECT_EQ(gw.stats().suppressed_fires, gw.stats().timer_fires);
+  EXPECT_GT(gw.stats().timer_fires, 900u);
+}
+
 }  // namespace
 }  // namespace linkpad::sim

@@ -97,6 +97,196 @@ TEST(TimerPolicy, NamesIdentifyPolicies) {
             std::string::npos);
 }
 
+// ----------------------------------------- payload-reactive policies
+
+GatewayFeedback feedback_at(Seconds now, unsigned arrivals = 0,
+                            std::size_t depth = 0) {
+  GatewayFeedback fb;
+  fb.now = now;
+  fb.arrivals_since_fire = arrivals;
+  fb.queue_depth = depth;
+  return fb;
+}
+
+TEST(OnOffTimer, StartsIdleAndPadsOnlyWithinHangover) {
+  OnOffTimer policy(std::make_unique<ConstantIntervalTimer>(10e-3),
+                    /*hangover=*/50e-3);
+  // Fresh policy: no payload ever seen, so no padding.
+  EXPECT_FALSE(policy.spend_dummy(feedback_at(0.0)));
+  EXPECT_FALSE(policy.spend_dummy(feedback_at(1.0)));
+
+  // Activity in the current interval pads immediately, even before observe.
+  EXPECT_TRUE(policy.spend_dummy(feedback_at(1.0, /*arrivals=*/1)));
+
+  // Observed activity at t = 1 keeps the pad on through the hangover...
+  auto fb = feedback_at(1.0, /*arrivals=*/1);
+  policy.observe(fb);
+  EXPECT_TRUE(policy.spend_dummy(feedback_at(1.04)));
+  // ...and off again past it.
+  EXPECT_FALSE(policy.spend_dummy(feedback_at(1.051)));
+
+  // A forwarded payload packet also counts as activity.
+  auto forwarded = feedback_at(2.0);
+  forwarded.emitted_payload = true;
+  policy.observe(forwarded);
+  EXPECT_TRUE(policy.spend_dummy(feedback_at(2.05)));
+}
+
+TEST(OnOffTimer, PacesLikeItsBaseAndReportsReactive) {
+  OnOffTimer policy(std::make_unique<ConstantIntervalTimer>(10e-3), 50e-3);
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(policy.next_interval(rng), 10e-3);
+  EXPECT_DOUBLE_EQ(policy.mean_interval(), 10e-3);
+  EXPECT_DOUBLE_EQ(policy.interval_variance(), 0.0);
+  EXPECT_TRUE(policy.payload_reactive());
+  EXPECT_NE(policy.name().find("onoff"), std::string::npos);
+  EXPECT_NE(policy.name().find("CIT"), std::string::npos);
+}
+
+TEST(OnOffTimer, CloneResetsActivityState) {
+  OnOffTimer policy(std::make_unique<ConstantIntervalTimer>(10e-3), 50e-3);
+  auto fb = feedback_at(1.0, 1);
+  policy.observe(fb);
+  EXPECT_TRUE(policy.spend_dummy(feedback_at(1.01)));
+  auto clone = policy.clone();
+  // The clone starts idle: it must not inherit the original's clock.
+  EXPECT_FALSE(clone->spend_dummy(feedback_at(1.01)));
+}
+
+TEST(TokenBucketTimer, PositiveBudgetWithSubUnitBurstRejected) {
+  // burst < 1 with a positive budget can never spend a token: the silent
+  // never-pads trap is a contract violation, not a valid configuration.
+  EXPECT_THROW(TokenBucketTimer(std::make_unique<ConstantIntervalTimer>(1e-2),
+                                /*dummy_budget_per_sec=*/100.0,
+                                /*burst=*/0.5),
+               linkpad::ContractViolation);
+  // Zero budget may carry any burst (including none): explicit no-padding.
+  EXPECT_NO_THROW(TokenBucketTimer(
+      std::make_unique<ConstantIntervalTimer>(1e-2), 0.0, 0.5));
+}
+
+TEST(TokenBucketTimer, SpendsBurstThenRefillsAtBudgetRate) {
+  TokenBucketTimer policy(std::make_unique<ConstantIntervalTimer>(10e-3),
+                          /*dummy_budget_per_sec=*/10.0, /*burst=*/2.0);
+  // Full bucket at t = 0: two dummies, then empty.
+  EXPECT_TRUE(policy.spend_dummy(feedback_at(0.0)));
+  EXPECT_TRUE(policy.spend_dummy(feedback_at(0.0)));
+  EXPECT_FALSE(policy.spend_dummy(feedback_at(0.0)));
+  // 0.1 s at 10 tokens/s refills exactly one.
+  EXPECT_TRUE(policy.spend_dummy(feedback_at(0.1)));
+  EXPECT_FALSE(policy.spend_dummy(feedback_at(0.1)));
+}
+
+TEST(TokenBucketTimer, ZeroBudgetZeroBurstNeverPads) {
+  TokenBucketTimer policy(std::make_unique<ConstantIntervalTimer>(10e-3), 0.0,
+                          0.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(policy.spend_dummy(feedback_at(static_cast<double>(i))));
+  }
+}
+
+TEST(TokenBucketTimer, CloneStartsWithAFullBucket) {
+  TokenBucketTimer policy(std::make_unique<ConstantIntervalTimer>(10e-3), 1.0,
+                          1.0);
+  EXPECT_TRUE(policy.spend_dummy(feedback_at(0.0)));
+  EXPECT_FALSE(policy.spend_dummy(feedback_at(0.0)));
+  auto clone = policy.clone();
+  EXPECT_TRUE(clone->spend_dummy(feedback_at(0.0)));
+  EXPECT_TRUE(policy.payload_reactive());
+  EXPECT_NE(policy.name().find("budget"), std::string::npos);
+}
+
+/// The budget property the frontier is built on: over ANY horizon, granted
+/// dummies never exceed burst + rate·elapsed — driven with 200 seeded
+/// random fire streams (random fire spacing, random idle/busy pattern).
+TEST(TokenBucketTimer, EmittedPaddingNeverExceedsBudgetOn200RandomStreams) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    util::Rng rng(seed);
+    // Valid configurations only: a positive budget requires burst >= 1
+    // (constructor contract); ~10% of streams exercise the zero-budget
+    // case, whose cap is the initial burst alone.
+    const double rate =
+        rng.uniform(0.0, 1.0) < 0.1 ? 0.0 : rng.uniform(0.1, 120.0);
+    const double burst =
+        rate == 0.0 ? rng.uniform(0.0, 8.0) : rng.uniform(1.0, 8.0);
+    TokenBucketTimer policy(std::make_unique<ConstantIntervalTimer>(10e-3),
+                            rate, burst);
+    Seconds now = 0.0;
+    std::uint64_t granted = 0;
+    for (int fire = 0; fire < 500; ++fire) {
+      now += rng.uniform(1e-4, 30e-3);  // random fire spacing
+      // Random link state; the bucket must hold regardless.
+      const bool queue_empty = rng.uniform(0.0, 1.0) < 0.7;
+      if (!queue_empty) continue;  // payload fire: no dummy decision
+      if (policy.spend_dummy(feedback_at(now))) ++granted;
+      const double cap = burst + rate * now;
+      ASSERT_LE(static_cast<double>(granted), cap + 1e-9)
+          << "seed " << seed << " fire " << fire;
+    }
+  }
+}
+
+TEST(AdaptiveGapTimer, GapShrinksWithQueueDepthAndClampsAtMin) {
+  AdaptiveGapTimer policy(/*base_gap=*/20e-3, /*gain=*/1.0,
+                          /*min_gap=*/2e-3);
+  util::Rng rng(2);
+  // Empty queue: base gap.
+  EXPECT_DOUBLE_EQ(policy.next_interval(rng), 20e-3);
+  policy.observe(feedback_at(0.0, 0, /*depth=*/1));
+  EXPECT_DOUBLE_EQ(policy.next_interval(rng), 10e-3);
+  policy.observe(feedback_at(0.0, 0, /*depth=*/3));
+  EXPECT_DOUBLE_EQ(policy.next_interval(rng), 5e-3);
+  policy.observe(feedback_at(0.0, 0, /*depth=*/1000));
+  EXPECT_DOUBLE_EQ(policy.next_interval(rng), 2e-3);  // clamped
+  EXPECT_TRUE(policy.payload_reactive());
+  EXPECT_NE(policy.name().find("adaptive-gap"), std::string::npos);
+}
+
+TEST(AdaptiveGapTimer, CloneResetsQueueView) {
+  AdaptiveGapTimer policy(20e-3, 1.0, 2e-3);
+  policy.observe(feedback_at(0.0, 0, 3));
+  auto clone = policy.clone();
+  util::Rng rng(3);
+  EXPECT_DOUBLE_EQ(clone->next_interval(rng), 20e-3);
+  EXPECT_DOUBLE_EQ(policy.next_interval(rng), 5e-3);
+}
+
+TEST(ReactiveDecorators, ComposeInEitherOrder) {
+  // Budget(OnOff(...)): observe must reach the inner activity clock, so a
+  // funded bucket still refuses to pad an idle subnet and pads near
+  // activity.
+  TokenBucketTimer budget_outside(
+      std::make_unique<OnOffTimer>(
+          std::make_unique<ConstantIntervalTimer>(10e-3), /*hangover=*/50e-3),
+      /*dummy_budget_per_sec=*/100.0, /*burst=*/5.0);
+  EXPECT_FALSE(budget_outside.spend_dummy(feedback_at(1.0)));  // idle
+  auto activity = feedback_at(2.0, /*arrivals=*/1);
+  budget_outside.observe(activity);
+  EXPECT_TRUE(budget_outside.spend_dummy(feedback_at(2.01)));
+
+  // OnOff(Budget(...)): dummies granted during activity must still spend
+  // tokens — the hard overhead cap survives the wrapper.
+  OnOffTimer onoff_outside(
+      std::make_unique<TokenBucketTimer>(
+          std::make_unique<ConstantIntervalTimer>(10e-3), /*budget=*/0.0,
+          /*burst=*/1.0),
+      /*hangover=*/50e-3);
+  // One token in the bucket: the first active fire spends it, the second
+  // is refused even though the pad is "on".
+  EXPECT_TRUE(onoff_outside.spend_dummy(feedback_at(0.0, /*arrivals=*/1)));
+  EXPECT_FALSE(onoff_outside.spend_dummy(feedback_at(0.0, /*arrivals=*/1)));
+}
+
+TEST(TimerPolicy, PaperPoliciesAreNotPayloadReactive) {
+  EXPECT_FALSE(ConstantIntervalTimer(1e-2).payload_reactive());
+  EXPECT_FALSE(NormalIntervalTimer(1e-2, 1e-4).payload_reactive());
+  EXPECT_FALSE(UniformIntervalTimer(1e-2, 1e-4).payload_reactive());
+  EXPECT_FALSE(ShiftedExponentialTimer(8e-3, 2e-3).payload_reactive());
+  // And their default seam always pads — the paper's behaviour.
+  ConstantIntervalTimer cit(1e-2);
+  EXPECT_TRUE(cit.spend_dummy(feedback_at(0.0)));
+}
+
 // Property sweep: equal-variance policies report equal interval_variance.
 class VitVarianceEquivalence : public ::testing::TestWithParam<double> {};
 
