@@ -12,11 +12,13 @@
 // derived headline fields: events/sec speedup, features/sec and curve
 // points/sec) so future PRs can track the perf trajectory; the default
 // output is a human-readable table. --smoke shrinks every workload for CI.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <queue>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -260,6 +262,8 @@ struct DerivedMetrics {
   double event_core_speedup_cit = 0.0;
   /// PIATs/sec through all five features at once (DetectorBank inner loop).
   double bank_five_feature_piats_per_sec = 0.0;
+  /// Whole-window add_span fan-out vs per-sample add, five-feature bank.
+  double bank_span_speedup = 0.0;
   /// Streaming accumulator vs batch extractor, variance feature.
   double streaming_vs_batch_variance = 0.0;
   /// Fig 4(b) curve points/sec through the prefix-replay engine.
@@ -273,6 +277,9 @@ struct DerivedMetrics {
   double population_flows_per_sec = 0.0;
   /// Same workload, hardware threads vs a single thread.
   double population_thread_speedup = 0.0;
+  /// Thread-scaling curve for the same workload: 2 and 4 threads vs 1.
+  double population_thread_speedup_2 = 0.0;
+  double population_thread_speedup_4 = 0.0;
   /// Defense-frontier throughput: policy points/sec through run_frontier
   /// on the 5-rung budget ladder (gateway queue-feedback seam + overhead
   /// accounting included).
@@ -290,17 +297,19 @@ void print_table(const std::vector<BenchResult>& results,
   std::printf("\nevent core speedup on CIT testbed workload: %.2fx\n",
               derived.event_core_speedup_cit);
   std::printf("five-feature streaming extraction: %.3e piats/sec "
-              "(streaming/batch variance: %.2fx)\n",
+              "(streaming/batch variance: %.2fx, span path: %.2fx)\n",
               derived.bank_five_feature_piats_per_sec,
-              derived.streaming_vs_batch_variance);
+              derived.streaming_vs_batch_variance, derived.bank_span_speedup);
   std::printf("Fig 4(b) curve throughput: %.3e points/sec "
               "(prefix replay vs per-point sims: %.2fx)\n",
               derived.curve_points_per_sec, derived.curve_speedup_fig4b);
   std::printf("ziggurat normal sampling speedup: %.2fx\n",
               derived.ziggurat_normal_speedup);
   std::printf("population throughput at M = 1000: %.3e flows/sec "
-              "(hardware threads vs 1: %.2fx)\n",
+              "(thread scaling vs 1: x2 %.2fx, x4 %.2fx, hw %.2fx)\n",
               derived.population_flows_per_sec,
+              derived.population_thread_speedup_2,
+              derived.population_thread_speedup_4,
               derived.population_thread_speedup);
   std::printf("defense-frontier throughput: %.3e policy points/sec\n",
               derived.frontier_points_per_sec);
@@ -308,7 +317,13 @@ void print_table(const std::vector<BenchResult>& results,
 
 void print_json(const std::vector<BenchResult>& results,
                 const DerivedMetrics& derived) {
-  std::printf("{\n  \"version\": 4,\n  \"benchmarks\": [\n");
+  // hw_threads lets gate tooling condition floors on runner width (a thread
+  // scaling target is meaningless on a 1-core CI box).
+  const unsigned hw_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  std::printf("{\n  \"version\": 5,\n  \"hw_threads\": %u,\n"
+              "  \"benchmarks\": [\n",
+              hw_threads);
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::printf("    {\"name\": \"%s\", \"unit\": \"%s\", "
@@ -319,20 +334,26 @@ void print_json(const std::vector<BenchResult>& results,
   std::printf("  ],\n  \"derived\": {\n"
               "    \"event_core_speedup_cit\": %.4f,\n"
               "    \"bank_five_feature_piats_per_sec\": %.6e,\n"
+              "    \"bank_span_speedup\": %.4f,\n"
               "    \"streaming_vs_batch_variance\": %.4f,\n"
               "    \"curve_points_per_sec\": %.6e,\n"
               "    \"curve_speedup_fig4b\": %.4f,\n"
               "    \"ziggurat_normal_speedup\": %.4f,\n"
               "    \"population_flows_per_sec\": %.6e,\n"
               "    \"population_thread_speedup\": %.4f,\n"
+              "    \"population_thread_speedup_2\": %.4f,\n"
+              "    \"population_thread_speedup_4\": %.4f,\n"
               "    \"frontier_points_per_sec\": %.6e\n  }\n}\n",
               derived.event_core_speedup_cit,
               derived.bank_five_feature_piats_per_sec,
+              derived.bank_span_speedup,
               derived.streaming_vs_batch_variance,
               derived.curve_points_per_sec, derived.curve_speedup_fig4b,
               derived.ziggurat_normal_speedup,
               derived.population_flows_per_sec,
               derived.population_thread_speedup,
+              derived.population_thread_speedup_2,
+              derived.population_thread_speedup_4,
               derived.frontier_points_per_sec);
 }
 
@@ -561,6 +582,24 @@ int main(int argc, char** argv) {
                                               (v < 0.0 ? 1 : 0));
           }));
       derived.bank_five_feature_piats_per_sec = results.back().items_per_sec;
+      const double per_sample_ips = results.back().items_per_sec;
+
+      // Same bank, whole window handed to each accumulator as one span —
+      // the SoA batch path the chunked population dispatch feeds (one
+      // virtual call per window per feature instead of one per PIAT).
+      results.push_back(
+          run_bench("bank/five_feature_span_4k", "piats", min_time, [&] {
+            const std::span<const double> xs(window);
+            for (auto& acc : bank) acc->add_span(xs);
+            double v = 0.0;
+            for (auto& acc : bank) {
+              v += acc->value();
+              acc->reset();
+            }
+            return static_cast<std::uint64_t>(window.size() +
+                                              (v < 0.0 ? 1 : 0));
+          }));
+      derived.bank_span_speedup = results.back().items_per_sec / per_sample_ips;
     }
   }
 
@@ -685,8 +724,24 @@ int main(int argc, char** argv) {
           return flows;
         }));
     const double serial_fps = results.back().items_per_sec;
-    // Fixed record name across machines (the hardware count varies per
-    // runner; tools diff successive BENCH records by name).
+    // Thread-scaling curve at fixed counts 2 and 4 (a pool wider than the
+    // machine just idles, so the ratios saturate at the core count), then
+    // the hardware width. Fixed record names across machines (the hardware
+    // count varies per runner; tools diff successive BENCH records by name).
+    results.push_back(
+        run_bench("population/flows1000_threads_2", "flows", min_time, [&] {
+          (void)run_population(flows, 2);
+          return flows;
+        }));
+    derived.population_thread_speedup_2 =
+        results.back().items_per_sec / serial_fps;
+    results.push_back(
+        run_bench("population/flows1000_threads_4", "flows", min_time, [&] {
+          (void)run_population(flows, 4);
+          return flows;
+        }));
+    derived.population_thread_speedup_4 =
+        results.back().items_per_sec / serial_fps;
     results.push_back(
         run_bench("population/flows1000_threads_hw", "flows", min_time, [&] {
           (void)run_population(flows, hw);

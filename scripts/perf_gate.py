@@ -9,8 +9,19 @@ more than the threshold (default 25%). Metrics compared:
   * every `derived.*_per_sec` field.
 
 Ratio-style derived fields (speedups) are reported for context but never
-gate: they compare two in-record measurements and stay meaningful across
-machines, yet small workloads make them noisy.
+gate against the baseline: they compare two in-record measurements and stay
+meaningful across machines, yet small workloads make them noisy.
+
+Target floors (--floors floors.json) gate ANY metric — ratios included —
+against an absolute minimum instead of the baseline. Each entry:
+
+  {"metric": "derived.population_thread_speedup", "floor": 4.0,
+   "min_hw_threads": 8}
+
+`min_hw_threads` (optional) skips the floor when the CURRENT record's
+`hw_threads` is below it — a thread-scaling target is unmeetable on a
+1-core runner, so the floor only binds where the hardware can express it.
+A floored metric missing from the current record always fails.
 
 Caveat the budget is sized for: the committed baseline is a min-of-N
 FLOOR recorded on one machine/compiler, while CI runs the gate on shared
@@ -20,8 +31,9 @@ builds breach the budget, recommit a fresh floor (and/or raise
 --threshold in ci.yml via PERF_GATE_THRESHOLD); do not delete the gate.
 
 Usage:
-  perf_gate.py --baseline BENCH_pr5.json --current BENCH_<tag>.json \
-               [--threshold 0.25] [--report perf_gate_report.md]
+  perf_gate.py --baseline BENCH_pr6.json --current BENCH_<tag>.json \
+               [--threshold 0.25] [--floors perf_floors.json] \
+               [--report perf_gate_report.md]
 
 Exit status: 0 = within budget, 1 = regression (or missing metric),
 2 = bad invocation / unreadable record.
@@ -49,7 +61,7 @@ def load_record(path: str) -> dict:
 
 
 def throughput_metrics(record: dict) -> dict[str, float]:
-    """All gated metrics of a record: name -> items/sec."""
+    """All baseline-gated metrics of a record: name -> items/sec."""
     metrics: dict[str, float] = {}
     for bench in record["benchmarks"]:
         metrics[bench["name"]] = float(bench["items_per_sec"])
@@ -57,6 +69,61 @@ def throughput_metrics(record: dict) -> dict[str, float]:
         if key.endswith("_per_sec"):
             metrics[f"derived.{key}"] = float(value)
     return metrics
+
+
+def all_metrics(record: dict) -> dict[str, float]:
+    """Every metric a floor may target — throughput AND ratio fields."""
+    metrics = throughput_metrics(record)
+    for key, value in record["derived"].items():
+        metrics.setdefault(f"derived.{key}", float(value))
+    return metrics
+
+
+def load_floors(path: str) -> list[dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            floors = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.stderr.write(f"perf_gate: cannot read {path}: {error}\n")
+        sys.exit(2)
+    if not isinstance(floors, list):
+        sys.stderr.write(f"perf_gate: {path} must be a JSON list\n")
+        sys.exit(2)
+    for entry in floors:
+        if "metric" not in entry or "floor" not in entry:
+            sys.stderr.write(
+                f"perf_gate: floor entry {entry!r} needs 'metric' + 'floor'\n")
+            sys.exit(2)
+    return floors
+
+
+def check_floors(floors: list[dict], record: dict,
+                 failures: list[str]) -> list[tuple]:
+    """Evaluate target floors against the CURRENT record.
+
+    Returns report rows (name, floor, value, status); appends to failures.
+    """
+    metrics = all_metrics(record)
+    hw_threads = int(record.get("hw_threads", 1))
+    rows = []
+    for entry in floors:
+        name = entry["metric"]
+        floor = float(entry["floor"])
+        min_hw = int(entry.get("min_hw_threads", 0))
+        if hw_threads < min_hw:
+            rows.append((name, floor, metrics.get(name), "skipped"))
+            continue
+        value = metrics.get(name)
+        if value is None:
+            rows.append((name, floor, None, "MISSING"))
+            failures.append(f"floor {name}: metric absent from current record")
+        elif value < floor:
+            rows.append((name, floor, value, "BELOW FLOOR"))
+            failures.append(
+                f"floor {name}: {value:.3f} < target floor {floor:.3f}")
+        else:
+            rows.append((name, floor, value, "ok"))
+    return rows
 
 
 def main() -> int:
@@ -67,6 +134,9 @@ def main() -> int:
                         help="fresh micro_perf --json --smoke record")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max tolerated fractional drop (default 0.25)")
+    parser.add_argument("--floors", default=None,
+                        help="JSON list of absolute target floors to enforce "
+                             "on the current record")
     parser.add_argument("--report", default=None,
                         help="write a markdown comparison report here")
     args = parser.parse_args()
@@ -80,7 +150,8 @@ def main() -> int:
         return 2
 
     baseline = throughput_metrics(load_record(args.baseline))
-    current = throughput_metrics(load_record(args.current))
+    current_record = load_record(args.current)
+    current = throughput_metrics(current_record)
 
     rows = []  # (name, base, cur, ratio, status)
     failures = []
@@ -102,6 +173,11 @@ def main() -> int:
     for name in sorted(set(current) - set(baseline)):
         rows.append((name, None, current[name], None, "new"))
 
+    floor_rows = []
+    if args.floors:
+        floor_rows = check_floors(load_floors(args.floors), current_record,
+                                  failures)
+
     verdict = "PASS" if not failures else "FAIL"
     lines = [
         "# perf gate report",
@@ -118,6 +194,18 @@ def main() -> int:
         ratio_text = "-" if ratio is None else f"{ratio:.3f}"
         lines.append(
             f"| {name} | {fmt(base)} | {fmt(cur)} | {ratio_text} | {status} |")
+    if floor_rows:
+        lines += [
+            "",
+            f"Target floors (`{args.floors}`, current "
+            f"hw_threads = {current_record.get('hw_threads', 1)}):",
+            "",
+            "| metric | floor | current | status |",
+            "|---|---|---|---|",
+        ]
+        for name, floor, value, status in floor_rows:
+            value_text = "-" if value is None else f"{value:.3f}"
+            lines.append(f"| {name} | {floor:.3f} | {value_text} | {status} |")
     report = "\n".join(lines) + "\n"
 
     if args.report:
@@ -130,7 +218,8 @@ def main() -> int:
         for failure in failures:
             sys.stderr.write(f"  {failure}\n")
         return 1
-    sys.stdout.write(f"\nperf_gate: PASS ({len(rows)} metrics checked)\n")
+    sys.stdout.write(f"\nperf_gate: PASS ({len(rows)} metrics, "
+                     f"{len(floor_rows)} floors checked)\n")
     return 0
 
 

@@ -81,11 +81,17 @@ const FeatureOutcome& ExperimentResult::outcome(
 }
 
 const SampleSizePoint& ExperimentResult::at_sample_size(std::size_t n) const {
-  for (const auto& point : by_sample_size) {
-    if (point.sample_size == n) return point;
+  // by_sample_size is ascending in n (spec.sample_sizes() order).
+  const auto it = std::lower_bound(
+      by_sample_size.begin(), by_sample_size.end(), n,
+      [](const SampleSizePoint& point, std::size_t key) {
+        return point.sample_size < key;
+      });
+  if (it == by_sample_size.end() || it->sample_size != n) {
+    throw std::invalid_argument("ExperimentResult: sample size not on axis: " +
+                                std::to_string(n));
   }
-  throw std::invalid_argument("ExperimentResult: sample size not on axis: " +
-                              std::to_string(n));
+  return *it;
 }
 
 namespace {
@@ -446,30 +452,65 @@ SweepReport SweepRunner::run(
   report.completed.assign(count, 0);
   if (count == 0) return report;
 
-  const ExperimentEngine engine(*backend_, options_.batch_piats);
   std::atomic<bool> stop{false};
   std::atomic<std::size_t> done{0};
   std::mutex callback_mutex;
 
-  auto body = [&](std::size_t i) {
+  // Runs point i on `engine`. early_stop stays serialized (its contract);
+  // progress is invoked OUTSIDE the lock with its own snapshot of the done
+  // count, so a slow observer never serializes the workers.
+  auto run_point = [&](const ExperimentEngine& engine, std::size_t i) {
     if (stop.load(std::memory_order_relaxed)) return;  // early-stopped
     report.results[i] = engine.run(spec_for(i));
     report.completed[i] = 1;
     const std::size_t finished = done.fetch_add(1) + 1;
-    if (options_.early_stop || options_.progress) {
+    if (options_.early_stop) {
       std::lock_guard<std::mutex> lock(callback_mutex);
-      if (options_.early_stop && options_.early_stop(i, report.results[i])) {
+      if (options_.early_stop(i, report.results[i])) {
         stop.store(true, std::memory_order_relaxed);
       }
-      if (options_.progress) options_.progress(finished, count);
+    }
+    if (options_.progress) options_.progress(finished, count);
+  };
+
+  const std::size_t grain = std::max<std::size_t>(options_.grain, 1);
+  auto dispatch = [&](util::ThreadPool& pool) {
+    switch (options_.execution) {
+      case util::ExecutionPolicy::kSerial: {
+        const ExperimentEngine engine(*backend_, options_.batch_piats);
+        for (std::size_t i = 0; i < count; ++i) run_point(engine, i);
+        return;
+      }
+      case util::ExecutionPolicy::kMultithread: {
+        const ExperimentEngine engine(*backend_, options_.batch_piats);
+        util::parallel_for(
+            pool, count, [&](std::size_t i) { run_point(engine, i); }, grain);
+        return;
+      }
+      case util::ExecutionPolicy::kChunked: {
+        // One engine per worker slot, alive across every chunk the slot
+        // drains — the scratch-reuse shape PopulationEngine builds on.
+        std::vector<ExperimentEngine> engines(
+            util::chunk_slots(pool, count, grain),
+            ExperimentEngine(*backend_, options_.batch_piats));
+        util::parallel_for_chunks(
+            pool, count, grain,
+            [&](std::size_t slot, std::size_t begin, std::size_t end) {
+              for (std::size_t i = begin; i < end; ++i) {
+                run_point(engines[slot], i);
+              }
+            });
+        return;
+      }
     }
   };
 
-  if (options_.threads == 0) {
-    util::parallel_for(count, body);
+  if (options_.execution == util::ExecutionPolicy::kSerial ||
+      options_.threads == 0) {
+    dispatch(util::ThreadPool::global());
   } else {
     util::ThreadPool pool(options_.threads);
-    util::parallel_for(pool, count, body);
+    dispatch(pool);
   }
 
   report.completed_count = done.load();

@@ -20,6 +20,7 @@
 #include "core/scenarios.hpp"
 #include "stats/bootstrap.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace linkpad::core {
 
@@ -197,8 +198,23 @@ struct SweepOptions {
   std::size_t threads = 0;
   /// PIAT pull size per PiatSource::collect call.
   std::size_t batch_piats = 8192;
-  /// Called after every finished point with (points done, points total);
-  /// invocations are serialized but may come from any worker thread.
+  /// Dispatch shape (util::ExecutionPolicy): kSerial runs every point
+  /// inline on the caller, kMultithread submits one pool task per point,
+  /// kChunked drains grain-sized runs of points per pool task with one
+  /// ExperimentEngine per worker slot. Results are bit-identical under
+  /// every policy — the choice selects a schedule, not a computation.
+  util::ExecutionPolicy execution = util::ExecutionPolicy::kChunked;
+  /// Points handed to a worker per claim under kChunked (and the
+  /// parallel_for grain under kMultithread). 0 = policy default: 1 for
+  /// sweeps, a flow-count-derived grain for PopulationEngine. The chunk
+  /// partition derives from (count, grain) only, so grain never perturbs
+  /// results either.
+  std::size_t grain = 0;
+  /// Called after every finished point with (points done, points total).
+  /// Invoked OUTSIDE the runner's callback lock so a slow observer cannot
+  /// serialize the workers: invocations may arrive concurrently and out of
+  /// order (each carries its own snapshot of the done count), so the
+  /// callback must be thread-safe.
   std::function<void(std::size_t, std::size_t)> progress;
   /// Early stop: called (serialized) with (point index, its result) after
   /// each point; returning true stops points that have not yet STARTED —

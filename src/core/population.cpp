@@ -1,11 +1,18 @@
 #include "core/population.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <iterator>
+#include <limits>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "stats/quantile_sketch.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace linkpad::core {
 
@@ -27,12 +34,70 @@ ExperimentSpec PopulationSpec::flow_spec(std::size_t flow_id) const {
 }
 
 const PopulationPoint& PopulationResult::at_sample_size(std::size_t n) const {
-  for (const auto& point : by_sample_size) {
-    if (point.sample_size == n) return point;
+  // by_sample_size is ascending in n (spec.sample_sizes() order).
+  const auto it = std::lower_bound(
+      by_sample_size.begin(), by_sample_size.end(), n,
+      [](const PopulationPoint& point, std::size_t key) {
+        return point.sample_size < key;
+      });
+  if (it == by_sample_size.end() || it->sample_size != n) {
+    throw std::invalid_argument("PopulationResult: sample size not on axis: " +
+                                std::to_string(n));
   }
-  throw std::invalid_argument("PopulationResult: sample size not on axis: " +
-                              std::to_string(n));
+  return *it;
 }
+
+namespace {
+
+/// One flow's overhead summary, recorded in-worker so the population
+/// aggregates survive keep_per_flow = false.
+struct FlowOverhead {
+  bool has_cost = false;  ///< padding/wire/dummy accounting present
+  double padding_bps = 0.0;
+  double wire_bps = 0.0;
+  double dummy_fraction = 0.0;
+  bool has_delay = false;
+  Seconds delay_p95 = 0.0;
+};
+
+/// Mergeable per-chunk aggregation state (DESIGN.md §2.9). A chunk covers a
+/// contiguous, grain-aligned run of flow ids and stores, in flow order: one
+/// detection rate per (axis point, flow), one overhead summary per flow,
+/// and (optionally) the flows' full ExperimentResults. Merging adjacent
+/// chunks is ordered concatenation — exact and associative — so the
+/// reduction tree's shape can never perturb a bit; the order-sensitive
+/// parts of the aggregation (P² sketches, float sums) run over the merged
+/// flow-order sequence at finalize.
+struct ChunkAggregate {
+  std::size_t first_flow = 0;
+  std::vector<std::vector<double>> rates;  ///< [axis point][flow - first_flow]
+  std::vector<FlowOverhead> overhead;      ///< [flow - first_flow]
+  std::vector<ExperimentResult> per_flow;  ///< kept only when requested
+
+  void merge(ChunkAggregate& right) {
+    LINKPAD_EXPECTS(first_flow + overhead.size() == right.first_flow);
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      rates[i].insert(rates[i].end(), right.rates[i].begin(),
+                      right.rates[i].end());
+    }
+    overhead.insert(overhead.end(), right.overhead.begin(),
+                    right.overhead.end());
+    per_flow.insert(per_flow.end(),
+                    std::make_move_iterator(right.per_flow.begin()),
+                    std::make_move_iterator(right.per_flow.end()));
+  }
+};
+
+/// Chunk size for the flow axis: large enough that chunk claims are
+/// amortized against ~100 µs+ per-flow pipelines, small enough that M=1000
+/// still load-balances across a wide machine. Derives from M alone — the
+/// chunk partition is part of the determinism contract, so it must not
+/// depend on the pool.
+std::size_t default_flow_grain(std::size_t flows) {
+  return std::clamp<std::size_t>(flows / 128, 1, 32);
+}
+
+}  // namespace
 
 PopulationEngine::PopulationEngine(const ExperimentBackend& backend,
                                    SweepOptions options)
@@ -49,40 +114,109 @@ PopulationResult PopulationEngine::run(const PopulationSpec& spec) const {
   LINKPAD_EXPECTS(spec.detection_threshold > 0.0 &&
                   spec.detection_threshold <= 1.0);
 
-  PopulationResult result;
-  {
-    // The loaded scenario is flow-independent: resolve it ONCE (a reactive
-    // policy's rate calibration runs a capture — per-flow recomputation
-    // would re-simulate it M times) and stamp each flow's seed in-worker.
-    // flow_spec(f) stays the contract: it resolves to exactly this spec.
-    const Scenario loaded = spec.loaded_scenario();
-    auto report = SweepRunner(*backend_, options_)
-                      .run(spec.flows, [&](std::size_t f) {
-                        ExperimentSpec flow = spec.experiment;
-                        flow.scenario = loaded;
-                        flow.seed = derive_point_seed(spec.seed, f);
-                        return flow;
-                      });
-    LINKPAD_ENSURES(report.all_completed());
-    result.per_flow = std::move(report.results);
-  }
-
-  // Aggregate AFTER the join, replaying flows in id order: P² marker state
-  // is feed-order-dependent, so a fixed order is what keeps population
-  // metrics bit-identical across thread counts.
+  // The loaded scenario is flow-independent: resolve it ONCE (a reactive
+  // policy's rate calibration runs a capture — per-flow recomputation
+  // would re-simulate it M times) and stamp each flow's seed in-worker.
+  // flow_spec(f) stays the contract: it resolves to exactly this spec.
+  const Scenario loaded = spec.loaded_scenario();
   const auto ns = spec.experiment.sample_sizes();
+  const std::size_t flows = spec.flows;
+  const std::size_t grain =
+      options_.grain != 0 ? options_.grain : default_flow_grain(flows);
+  const ExperimentEngine engine(*backend_, options_.batch_piats);
+
+  std::vector<ChunkAggregate> chunks((flows + grain - 1) / grain);
+  std::atomic<std::size_t> done{0};
+
+  // Per worker slot: ONE spec whose scenario (and its shared policy
+  // prototype) is copied once per slot, then re-seeded per flow — instead
+  // of a Scenario copy per flow whose shared_ptr refcounts ping-pong
+  // between threads.
+  auto make_body = [&](std::vector<std::optional<ExperimentSpec>>& slot_specs) {
+    return [&](std::size_t slot, std::size_t begin, std::size_t end) {
+      if (!slot_specs[slot]) {
+        slot_specs[slot] = spec.experiment;
+        slot_specs[slot]->scenario = loaded;
+      }
+      ExperimentSpec& flow_spec = *slot_specs[slot];
+      ChunkAggregate& chunk = chunks[begin / grain];
+      chunk.first_flow = begin;
+      const std::size_t count = end - begin;
+      chunk.rates.resize(ns.size());
+      for (auto& r : chunk.rates) r.reserve(count);
+      chunk.overhead.reserve(count);
+      if (spec.keep_per_flow) chunk.per_flow.reserve(count);
+
+      for (std::size_t f = begin; f < end; ++f) {
+        flow_spec.seed = derive_point_seed(spec.seed, f);
+        ExperimentResult result = engine.run(flow_spec);
+        LINKPAD_ENSURES(result.by_sample_size.size() == ns.size());
+        for (std::size_t i = 0; i < ns.size(); ++i) {
+          chunk.rates[i].push_back(
+              result.by_sample_size[i].per_feature.front().detection_rate);
+        }
+        FlowOverhead oh;
+        if (const auto padding = result.mean_padding_bps()) {
+          oh.has_cost = true;
+          oh.padding_bps = *padding;
+          oh.wire_bps = result.mean_wire_bps().value_or(0.0);
+          oh.dummy_fraction = result.mean_dummy_fraction().value_or(0.0);
+        }
+        if (const auto delay = result.worst_delay_p95()) {
+          oh.has_delay = true;
+          oh.delay_p95 = *delay;
+        }
+        chunk.overhead.push_back(oh);
+        if (spec.keep_per_flow) chunk.per_flow.push_back(std::move(result));
+        const std::size_t finished = done.fetch_add(1) + 1;
+        if (options_.progress) options_.progress(finished, flows);
+      }
+    };
+  };
+
+  if (options_.execution == util::ExecutionPolicy::kSerial) {
+    std::vector<std::optional<ExperimentSpec>> slot_specs(1);
+    auto body = make_body(slot_specs);
+    for (std::size_t start = 0; start < flows; start += grain) {
+      body(0, start, std::min(flows, start + grain));
+    }
+  } else if (options_.threads == 0) {
+    util::ThreadPool& pool = util::ThreadPool::global();
+    std::vector<std::optional<ExperimentSpec>> slot_specs(
+        util::chunk_slots(pool, flows, grain));
+    util::parallel_for_chunks(pool, flows, grain, make_body(slot_specs));
+  } else {
+    util::ThreadPool pool(options_.threads);
+    std::vector<std::optional<ExperimentSpec>> slot_specs(
+        util::chunk_slots(pool, flows, grain));
+    util::parallel_for_chunks(pool, flows, grain, make_body(slot_specs));
+  }
+  LINKPAD_ENSURES(done.load() == flows);
+
+  // Deterministic fixed-shape binary tree over the per-chunk partials.
+  // Every merge is an ordered concatenation, so the reduced aggregate is
+  // the flow-id-ordered sequence no matter how many threads ran.
+  ChunkAggregate all = util::tree_reduce(
+      std::move(chunks),
+      [](ChunkAggregate& left, ChunkAggregate& right) { left.merge(right); });
+
+  PopulationResult result;
+  result.flow_count = flows;
+  result.per_flow = std::move(all.per_flow);
+
+  // Finalize the order-sensitive aggregates over the merged flow-order
+  // rates: P² marker state depends on feed order, so the fixed order is
+  // what keeps population metrics bit-identical across thread counts.
+  const double m = static_cast<double>(flows);
   result.by_sample_size.reserve(ns.size());
-  for (const std::size_t n : ns) {
+  for (std::size_t i = 0; i < ns.size(); ++i) {
     PopulationPoint point;
-    point.sample_size = n;
+    point.sample_size = ns[i];
     stats::P2Quantile q05(0.05), q25(0.25), q50(0.5), q75(0.75), q95(0.95);
     double sum = 0.0;
     std::size_t detected = 0;
-    for (std::size_t f = 0; f < result.per_flow.size(); ++f) {
-      const double rate = result.per_flow[f]
-                              .at_sample_size(n)
-                              .per_feature.front()
-                              .detection_rate;
+    for (std::size_t f = 0; f < flows; ++f) {
+      const double rate = all.rates[i][f];
       q05.add(rate);
       q25.add(rate);
       q50.add(rate);
@@ -90,13 +224,12 @@ PopulationResult PopulationEngine::run(const PopulationSpec& spec) const {
       q95.add(rate);
       sum += rate;
       if (rate >= spec.detection_threshold) ++detected;
-      if (f == 0 || rate < point.min_rate) point.min_rate = rate;
-      if (f == 0 || rate > point.max_rate) {
+      if (rate < point.min_rate) point.min_rate = rate;
+      if (rate > point.max_rate) {
         point.max_rate = rate;
         point.worst_flow = f;
       }
     }
-    const double m = static_cast<double>(result.per_flow.size());
     point.detected_fraction = static_cast<double>(detected) / m;
     point.mean_rate = sum / m;
     point.quantiles = {q05.value(), q25.value(), q50.value(), q75.value(),
@@ -104,12 +237,36 @@ PopulationResult PopulationEngine::run(const PopulationSpec& spec) const {
     result.by_sample_size.push_back(point);
 
     if (!result.first_detection_n && detected > 0) {
-      result.first_detection_n = n;
+      result.first_detection_n = ns[i];
       result.time_to_first_detection =
-          static_cast<double>(n) *
+          static_cast<double>(ns[i]) *
           spec.experiment.scenario.base.policy->mean_interval();
     }
   }
+
+  // Population-wide overhead, folded in flow-id order for the same
+  // bit-identity reason. All flows must have accounting for the means to
+  // be meaningful (the simulated backend always accounts; live captures
+  // never do).
+  bool all_cost = true;
+  bool all_delay = true;
+  double padding_sum = 0.0, wire_sum = 0.0, dummy_sum = 0.0;
+  Seconds worst_delay = -std::numeric_limits<double>::infinity();
+  for (const FlowOverhead& oh : all.overhead) {
+    all_cost = all_cost && oh.has_cost;
+    all_delay = all_delay && oh.has_delay;
+    padding_sum += oh.padding_bps;
+    wire_sum += oh.wire_bps;
+    dummy_sum += oh.dummy_fraction;
+    if (oh.delay_p95 > worst_delay) worst_delay = oh.delay_p95;
+  }
+  if (all_cost) {
+    result.mean_padding_bps = padding_sum / m;
+    result.mean_wire_bps = wire_sum / m;
+    result.mean_dummy_fraction = dummy_sum / m;
+  }
+  if (all_delay) result.worst_delay_p95 = worst_delay;
+
   return result;
 }
 

@@ -18,10 +18,13 @@
 //  * flow f's streams derive from core::derive_point_seed(seed, f) — flows
 //    never share RNG streams, and flow f's outcome is a pure function of
 //    (spec template, contention, seed, f);
-//  * results are bit-identical at ANY thread count (flows shard across
-//    util::thread_pool; aggregation replays per-flow results in flow-id
-//    order after the join, so the order-sensitive P² sketches see a fixed
-//    feed order);
+//  * results are bit-identical at ANY thread count: flows dispatch in
+//    grain-aligned chunks (util::parallel_for_chunks; chunk boundaries
+//    derive from M alone), each chunk folds its flows' rates and overhead
+//    into a mergeable accumulator in flow order, and the per-chunk partials
+//    reduce in a deterministic fixed-shape binary tree (util::tree_reduce)
+//    whose merges are exact concatenations — so the order-sensitive P²
+//    sketches still see the full flow-id feed order at finalize;
 //  * M-prefix: flows 0..k-1 of an M-flow run are bit-identical to a
 //    standalone k-flow run of the same spec with contention_flows pinned
 //    to M — shrinking the tapped set never perturbs the flows kept.
@@ -32,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -65,6 +69,14 @@ struct PopulationSpec {
   /// coin-flipping and certainty — past it the adversary is clearly
   /// winning on that flow.
   double detection_threshold = 0.75;
+
+  /// Materialize per-flow ExperimentResults in PopulationResult::per_flow.
+  /// true keeps the full per-flow detail (memory O(M × features × axis));
+  /// false drops each flow's result right after its rates and overhead are
+  /// folded into the chunk aggregates, shrinking a run to O(M × axis)
+  /// doubles — the knob for the millions-of-flows regime. Aggregates are
+  /// bit-identical either way.
+  bool keep_per_flow = true;
 
   std::uint64_t seed = 20030324;
 
@@ -110,8 +122,10 @@ struct PopulationPoint {
   /// Fraction of flows at or above the detection threshold.
   double detected_fraction = 0.0;
   double mean_rate = 0.0;
-  double min_rate = 0.0;
-  double max_rate = 0.0;
+  /// Extremes start at the identity of min/max so a default-constructed
+  /// point is safe to fold rates into (and obviously unfed if read early).
+  double min_rate = std::numeric_limits<double>::infinity();
+  double max_rate = -std::numeric_limits<double>::infinity();
   /// Flow with the highest detection rate — the deployment's worst case
   /// (ties break to the lowest flow id).
   std::size_t worst_flow = 0;
@@ -119,8 +133,10 @@ struct PopulationPoint {
 };
 
 /// Outcome of a population run: per-flow experiment results (slot = flow
-/// id) plus one aggregated point per sample size (ascending, mirroring
-/// ExperimentResult::by_sample_size).
+/// id; empty when PopulationSpec::keep_per_flow is false) plus one
+/// aggregated point per sample size (ascending, mirroring
+/// ExperimentResult::by_sample_size) and population-wide overhead
+/// aggregates.
 struct PopulationResult {
   std::vector<ExperimentResult> per_flow;
   std::vector<PopulationPoint> by_sample_size;
@@ -132,16 +148,37 @@ struct PopulationResult {
   /// timer intervals of capture on the weakest flow.
   std::optional<Seconds> time_to_first_detection;
 
-  [[nodiscard]] std::size_t flows() const { return per_flow.size(); }
+  /// Padding-cost aggregates across the population (equal priors, like the
+  /// per-flow ExperimentResult::mean_* accessors): means over flows of each
+  /// flow's expected overhead, and the worst per-flow p95 payload queueing
+  /// delay (ties break to the lowest flow id). nullopt when any flow lacks
+  /// backend accounting (live captures). Folded in flow-id order, so they
+  /// are bit-identical at any thread count — and they survive
+  /// keep_per_flow = false.
+  std::optional<double> mean_padding_bps;
+  std::optional<double> mean_wire_bps;
+  std::optional<double> mean_dummy_fraction;
+  std::optional<Seconds> worst_delay_p95;
+
+  /// Number of flows the run executed (per_flow.size() when per-flow
+  /// results were kept, still M when they were dropped).
+  std::size_t flow_count = 0;
+
+  [[nodiscard]] std::size_t flows() const { return flow_count; }
 
   /// Point at sample size `n`; throws if `n` was not on the axis.
   [[nodiscard]] const PopulationPoint& at_sample_size(std::size_t n) const;
 };
 
 /// Runs M per-flow experiments sharded across util::thread_pool and
-/// aggregates them. Accepts SweepOptions (threads / batch_piats /
+/// aggregates them. Accepts SweepOptions (threads / batch_piats / grain /
 /// progress, where progress counts finished flows); early_stop must be
 /// unset — skipping flows would break the population aggregates.
+/// Dispatch is chunked by construction (flows are many and cheap):
+/// execution = kSerial forces the inline reference schedule, every other
+/// policy runs grain-aligned chunks over the pool with one spec copy per
+/// worker slot. grain = 0 picks a flow-count-derived default; any grain
+/// yields bit-identical results.
 class PopulationEngine {
  public:
   explicit PopulationEngine(const ExperimentBackend& backend = sim_backend(),

@@ -40,6 +40,9 @@ Mg1WaitSampler::Mg1WaitSampler(double rho, Seconds mean_service,
         es1_ += TrimodalMix::kProbs[i] * si;
         es2_ += TrimodalMix::kProbs[i] * si * si;
         es3_ += TrimodalMix::kProbs[i] * si * si * si;
+        tri_service_[i] = si;
+        tri_weight_[i] = TrimodalMix::kProbs[i] * si;
+        tri_total_ += tri_weight_[i];
       }
       break;
     }
@@ -49,48 +52,6 @@ Mg1WaitSampler::Mg1WaitSampler(double rho, Seconds mean_service,
 void Mg1WaitSampler::set_rho(double rho) {
   LINKPAD_EXPECTS(rho >= 0.0 && rho < 1.0);
   rho_ = rho;
-}
-
-Seconds Mg1WaitSampler::sample_residual(util::Rng& rng) const {
-  switch (model_) {
-    case ServiceModel::kDeterministic:
-      // Residual of a constant S is Uniform(0, S].
-      return mean_service_ * (1.0 - rng.uniform01());
-    case ServiceModel::kExponential:
-      // Memoryless: residual is Exp(mean_service) again.
-      return -mean_service_ * std::log1p(-rng.uniform01());
-    case ServiceModel::kTrimodal: {
-      // Residual density (1−F)/E[S]: pick a component size-biased by its
-      // service time, then a uniform residual within it.
-      const double mb = TrimodalMix::mean_bytes();
-      double weights[3];
-      double total = 0.0;
-      for (int i = 0; i < 3; ++i) {
-        const double si = TrimodalMix::kSizes[i] / mb * mean_service_;
-        weights[i] = TrimodalMix::kProbs[i] * si;
-        total += weights[i];
-      }
-      double u = rng.uniform01() * total;
-      int pick = 0;
-      for (; pick < 2; ++pick) {
-        if (u < weights[pick]) break;
-        u -= weights[pick];
-      }
-      const double s_pick = TrimodalMix::kSizes[pick] / mb * mean_service_;
-      return s_pick * (1.0 - rng.uniform01());
-    }
-  }
-  return 0.0;  // unreachable
-}
-
-Seconds Mg1WaitSampler::sample(util::Rng& rng) const {
-  if (rho_ <= 0.0) return 0.0;
-  // K ~ Geometric(rho): count failures until a U >= rho.
-  Seconds v = 0.0;
-  while (rng.uniform01() < rho_) {
-    v += sample_residual(rng);
-  }
-  return v;
 }
 
 double Mg1WaitSampler::mean_wait() const {

@@ -52,6 +52,17 @@ void Histogram::add_all(std::span<const double> xs) {
   for (double x : xs) add(x);
 }
 
+void Histogram::merge(const Histogram& other) {
+  LINKPAD_EXPECTS(other.lo_ == lo_ && other.hi_ == hi_ &&
+                  other.counts_.size() == counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 double Histogram::bin_center(std::size_t i) const {
   LINKPAD_EXPECTS(i < counts_.size());
   return lo_ + (static_cast<double>(i) + 0.5) * width_;

@@ -29,6 +29,12 @@ class Histogram {
   void add(double x);
   void add_all(std::span<const double> xs);
 
+  /// Combine with another histogram of the SAME [lo, hi) range and bin
+  /// count (parallel reduction step). Counts are integers, so the merge is
+  /// exact: merge(a, b) equals feeding a's and b's samples into one
+  /// histogram, in any order.
+  void merge(const Histogram& other);
+
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }
   [[nodiscard]] double lo() const { return lo_; }
   [[nodiscard]] double hi() const { return hi_; }

@@ -72,6 +72,50 @@ void P2Quantile::add(double x) {
   }
 }
 
+void P2Quantile::merge(const P2Quantile& other) {
+  LINKPAD_EXPECTS(q_ == other.q_);
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.n_ <= 5) {
+    // The other side still holds its raw samples: replay them. Exact in
+    // multiset terms (and exactly feed(a∥b) while our own state is raw too).
+    for (std::size_t i = 0; i < other.n_; ++i) add(other.heights_[i]);
+    return;
+  }
+  if (n_ <= 5) {
+    // Keep the bigger marker state as the base and replay our raw samples
+    // into a copy of it (the branch above), then adopt the result.
+    P2Quantile base = other;
+    base.merge(*this);
+    *this = base;
+    return;
+  }
+  // Both sides are summarized. Reconstruct the other side's empirical
+  // distribution as the piecewise-linear inverse CDF through its five
+  // markers — marker i sits at cumulative rank pos_[i] of other.n_ samples
+  // — and replay other.n_ equi-spaced deterministic draws from it. The
+  // draw order (ascending u) is fixed, so the merge is deterministic.
+  std::array<double, 5> t{};  // marker ranks mapped to [0, 1]
+  const double denom = other.pos_[4] - other.pos_[0];
+  for (std::size_t i = 0; i < 5; ++i) {
+    t[i] = (other.pos_[i] - other.pos_[0]) / denom;
+  }
+  const std::size_t m = other.n_;
+  for (std::size_t k = 0; k < m; ++k) {
+    const double u =
+        (static_cast<double>(k) + 0.5) / static_cast<double>(m);
+    std::size_t seg = 0;
+    while (seg < 3 && u > t[seg + 1]) ++seg;
+    const double span = t[seg + 1] - t[seg];
+    const double w = span > 0.0 ? (u - t[seg]) / span : 0.0;
+    add(other.heights_[seg] +
+        w * (other.heights_[seg + 1] - other.heights_[seg]));
+  }
+}
+
 double P2Quantile::value() const {
   LINKPAD_EXPECTS(n_ > 0);
   if (n_ <= 5) {

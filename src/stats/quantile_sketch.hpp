@@ -8,9 +8,15 @@
 // once a few hundred samples have been seen — the documented tolerance the
 // sketch-based MAD/IQR window accumulators inherit.
 //
-// The sketch is NOT mergeable (marker state is order-dependent); mergeable
-// reductions should use `RunningStats` (moments) or `SparseHistogram`
-// (entropy) instead.
+// Merging: marker state is order-dependent, so P² has no exact merge in
+// general. `merge` folds another sketch in APPROXIMATELY — exactly while
+// both sides still hold raw samples (combined count ≤ 5), otherwise by
+// replaying the other side's five-marker summary through a piecewise-linear
+// inverse CDF. The result carries the documented ~1% marker error plus the
+// interpolation error of the summary; reductions that must be exact should
+// use `RunningStats` (moments) or `SparseHistogram` (entropy) instead.
+// Deterministic: merge(a, b) is a pure function of the two sketch states,
+// so a fixed-shape reduction tree yields identical bits on every run.
 #pragma once
 
 #include <array>
@@ -35,6 +41,15 @@ class P2Quantile {
 
   /// Forget all samples (the target quantile is kept).
   void reset();
+
+  /// Fold `other` (same target quantile) into this sketch. Exact — equal to
+  /// feeding the concatenated samples — while the combined count is ≤ 5;
+  /// beyond that the smaller-state side is replayed into the larger: raw
+  /// samples directly when it still holds them, otherwise `other.count()`
+  /// deterministic draws off the piecewise-linear inverse CDF through its
+  /// five markers (cost O(other.count())). Tolerance-bounded, not exact:
+  /// see the header comment.
+  void merge(const P2Quantile& other);
 
   /// O(1) snapshot of the partially-consumed sketch (five markers + their
   /// positions). The fork and the original evolve independently; feeding

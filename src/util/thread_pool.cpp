@@ -5,6 +5,13 @@
 
 namespace linkpad::util {
 
+namespace {
+/// The pool whose worker_loop is running on this thread (nullptr on
+/// non-worker threads). Lets nested parallel dispatch detect "I am already
+/// inside this pool" and run inline instead of deadlocking in wait_idle.
+thread_local const ThreadPool* tls_current_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   std::size_t n = threads != 0 ? threads : std::thread::hardware_concurrency();
   n = std::max<std::size_t>(n, 1);
@@ -39,12 +46,15 @@ void ThreadPool::wait_idle() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::on_worker_thread() const { return tls_current_pool == this; }
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
 }
 
 void ThreadPool::worker_loop() {
+  tls_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -75,7 +85,7 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   grain = std::max<std::size_t>(grain, 1);
 
   const std::size_t workers = pool.thread_count();
-  if (workers <= 1 || n <= grain) {
+  if (workers <= 1 || n <= grain || pool.on_worker_thread()) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }

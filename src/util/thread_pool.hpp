@@ -1,12 +1,27 @@
-// Fixed-size thread pool and a deterministic parallel_for built on it.
+// Fixed-size thread pool and deterministic parallel dispatch built on it.
 //
 // The experiment runner shards Monte-Carlo trials across threads. Work items
 // are indexed [0, n); each item derives its own RNG substream from its index
 // (see util/rng.hpp), so the *schedule* is free to be dynamic while results
 // stay independent of thread count. Chunks are handed out via an atomic
 // cursor (self-balancing for uneven item costs, e.g. different sample sizes).
+//
+// Two dispatch shapes are offered (the execution-policy seam, in the style
+// of ROOT FitUtil's ExecutionPolicy + redFunction pattern):
+//  * parallel_for        — body(i) per index; the simple per-item form.
+//  * parallel_for_chunks — body(slot, begin, end) per grain-sized run of
+//    indices. `slot` identifies the executing task (stable for that task's
+//    whole drain loop), so callers keep per-slot scratch — engines, spec
+//    copies, partial reductions — alive across every chunk the task claims
+//    instead of rebuilding state per item. Pair with tree_reduce to fold
+//    the per-chunk partials deterministically.
+//
+// Both are nested-dispatch safe: a call issued from inside a task of the
+// SAME pool runs inline on that worker (waiting on the pool from one of its
+// own tasks would deadlock — the waiting task itself counts as in flight).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -14,9 +29,27 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace linkpad::util {
+
+/// How a sharded workload is dispatched. Results must never depend on the
+/// choice — it selects a schedule, not a computation.
+enum class ExecutionPolicy {
+  /// Inline on the calling thread; no pool, no atomics. The reference
+  /// schedule every parallel policy is bit-compared against.
+  kSerial,
+  /// One logical task per index over a pool (parallel_for). The right shape
+  /// for few, expensive, uneven items (sweep points).
+  kMultithread,
+  /// Chunked dispatch with per-slot scratch reuse and a caller-side
+  /// reduction of per-chunk partials (parallel_for_chunks + tree_reduce).
+  /// The right shape for many cheap items (population flows).
+  kChunked,
+};
 
 /// A simple fixed-size worker pool executing std::function tasks.
 class ThreadPool {
@@ -31,10 +64,16 @@ class ThreadPool {
   /// Enqueue a task for asynchronous execution.
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished executing.
+  /// Block until every submitted task has finished executing. Must not be
+  /// called from a task of THIS pool (the caller is still in flight).
   void wait_idle();
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// True when the calling thread is one of this pool's workers — the test
+  /// parallel dispatch uses to run nested calls inline instead of
+  /// deadlocking in wait_idle.
+  [[nodiscard]] bool on_worker_thread() const;
 
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& global();
@@ -52,9 +91,10 @@ class ThreadPool {
 };
 
 /// Runs body(i) for i in [0, n) across the global pool (or inline when n is
-/// small / only one hardware thread). Exceptions from the body propagate to
-/// the caller (first one wins). `grain` is the chunk size handed to a worker
-/// at a time; pick larger grains for cheap bodies.
+/// small / only one hardware thread / the caller is already a pool worker).
+/// Exceptions from the body propagate to the caller (first one wins).
+/// `grain` is the chunk size handed to a worker at a time; pick larger
+/// grains for cheap bodies.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t grain = 1);
 
@@ -72,6 +112,95 @@ std::vector<T> parallel_map(std::size_t n, Fn&& fn, std::size_t grain = 1) {
   parallel_for(
       n, [&](std::size_t i) { out[i] = fn(i); }, grain);
   return out;
+}
+
+/// Upper bound on the `slot` values parallel_for_chunks passes for a given
+/// dispatch — size per-slot scratch arrays with this.
+[[nodiscard]] inline std::size_t chunk_slots(const ThreadPool& pool,
+                                             std::size_t n,
+                                             std::size_t grain) {
+  if (n == 0) return 1;
+  grain = grain == 0 ? 1 : grain;
+  const std::size_t tasks = (n + grain - 1) / grain;
+  const std::size_t workers =
+      (pool.thread_count() <= 1 || pool.on_worker_thread())
+          ? 1
+          : pool.thread_count();
+  return std::max<std::size_t>(1, std::min(workers, tasks));
+}
+
+/// Chunked dispatch: body(slot, begin, end) over grain-aligned runs of
+/// [0, n). Every chunk starts at a multiple of `grain`, so the chunk
+/// partition depends only on (n, grain) — never on the pool size — and a
+/// caller reducing per-chunk partials in chunk order gets bit-identical
+/// results at any thread count. `slot` < chunk_slots(pool, n, grain) names
+/// the draining task; per-slot scratch survives across its chunks. Runs
+/// inline (single slot 0, chunks in order) when the pool is trivial or the
+/// caller is already one of its workers. Exceptions propagate (first wins);
+/// remaining chunks may be skipped once a body throws.
+template <typename Body>
+void parallel_for_chunks(ThreadPool& pool, std::size_t n, std::size_t grain,
+                         Body&& body) {
+  if (n == 0) return;
+  grain = grain == 0 ? 1 : grain;
+
+  const std::size_t workers = pool.thread_count();
+  if (workers <= 1 || n <= grain || pool.on_worker_thread()) {
+    for (std::size_t start = 0; start < n; start += grain) {
+      body(std::size_t{0}, start, std::min(n, start + grain));
+    }
+    return;
+  }
+
+  const std::size_t tasks = std::min(workers, (n + grain - 1) / grain);
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  for (std::size_t slot = 0; slot < tasks; ++slot) {
+    // By-reference captures are safe: wait_idle below outlives every task.
+    pool.submit([&, slot] {
+      try {
+        for (;;) {
+          if (failed.load(std::memory_order_relaxed)) break;
+          const std::size_t start = cursor.fetch_add(grain);
+          if (start >= n) break;
+          body(slot, start, std::min(n, start + grain));
+        }
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  pool.wait_idle();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Deterministic fixed-shape binary tree reduction: adjacent pairs fold
+/// level by level (merge(left, right) folds right INTO left) until one item
+/// remains. The tree shape is a pure function of items.size(), so a
+/// non-commutative merge — concatenation, order-sensitive sketches — still
+/// reduces identically on every run and at every thread count. Expects at
+/// least one item.
+template <typename T, typename Merge>
+T tree_reduce(std::vector<T> items, Merge&& merge) {
+  LINKPAD_EXPECTS(!items.empty());
+  while (items.size() > 1) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i + 1 < items.size(); i += 2) {
+      merge(items[i], items[i + 1]);
+      if (out != i) items[out] = std::move(items[i]);
+      ++out;
+    }
+    if (items.size() % 2 == 1) {
+      items[out++] = std::move(items.back());
+    }
+    items.resize(out);
+  }
+  return std::move(items.front());
 }
 
 }  // namespace linkpad::util

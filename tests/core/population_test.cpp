@@ -16,7 +16,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <limits>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -422,6 +425,153 @@ TEST(Population, MoreContentionWeakensTheAdversary) {
   const double quiet_mean = quiet_run.by_sample_size.back().mean_rate;
   const double busy_mean = busy_run.by_sample_size.back().mean_rate;
   EXPECT_LT(busy_mean, quiet_mean + 0.05);
+}
+
+// ----------------------------------------------------- reduction tree wall
+
+void expect_same_optional(const std::optional<double>& a,
+                          const std::optional<double>& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.has_value(), b.has_value()) << label;
+  if (a) expect_bitwise_equal(*a, *b, label);
+}
+
+/// Full-result comparison: per-flow detail, every aggregate point, first
+/// detection, and the population-wide overhead fields.
+void expect_same_population(const PopulationResult& a,
+                            const PopulationResult& b,
+                            const std::string& label) {
+  ASSERT_EQ(a.flows(), b.flows()) << label;
+  ASSERT_EQ(a.per_flow.size(), b.per_flow.size()) << label;
+  for (std::size_t f = 0; f < a.per_flow.size(); ++f) {
+    expect_same_experiment(a.per_flow[f], b.per_flow[f],
+                           label + " flow " + std::to_string(f));
+  }
+  ASSERT_EQ(a.by_sample_size.size(), b.by_sample_size.size()) << label;
+  for (std::size_t i = 0; i < a.by_sample_size.size(); ++i) {
+    expect_same_population_point(a.by_sample_size[i], b.by_sample_size[i],
+                                 label);
+  }
+  EXPECT_EQ(a.first_detection_n, b.first_detection_n) << label;
+  expect_same_optional(a.time_to_first_detection, b.time_to_first_detection,
+                       label + " ttfd");
+  expect_same_optional(a.mean_padding_bps, b.mean_padding_bps,
+                       label + " padding");
+  expect_same_optional(a.mean_wire_bps, b.mean_wire_bps, label + " wire");
+  expect_same_optional(a.mean_dummy_fraction, b.mean_dummy_fraction,
+                       label + " dummy");
+  expect_same_optional(a.worst_delay_p95, b.worst_delay_p95, label + " delay");
+}
+
+/// Single-axis, small-window spec cheap enough to run 1000 flows in a test.
+PopulationSpec wide_spec(std::size_t flows) {
+  PopulationSpec spec;
+  spec.experiment.scenario = lab_cross_traffic(make_cit(), 0.1);
+  spec.experiment.adversary.feature = classify::FeatureKind::kSampleVariance;
+  spec.experiment.adversary.window_size = 40;
+  spec.experiment.train_windows = 2;
+  spec.experiment.test_windows = 2;
+  spec.flows = flows;
+  spec.seed = 20030324;
+  return spec;
+}
+
+TEST(PopulationReduction, TreeMatchesSerialReplayAcrossThreadAndFlowCounts) {
+  // The chunked dispatch + fixed-shape tree reduction must reproduce the
+  // inline serial schedule bit for bit — per-flow results, every aggregate
+  // point (order-sensitive P² sketches included), and the overhead fields —
+  // at thread counts {1, 2, hw} for flow counts spanning one chunk, a
+  // partial chunk, a ragged multi-chunk run, and a wide run.
+  const std::size_t hardware =
+      std::max<std::size_t>(std::thread::hardware_concurrency(), 2);
+  for (const std::size_t flows :
+       {std::size_t{1}, std::size_t{2}, std::size_t{33}, std::size_t{1000}}) {
+    const auto spec = flows >= 1000 ? wide_spec(flows) : small_spec(flows);
+
+    SweepOptions serial;
+    serial.execution = util::ExecutionPolicy::kSerial;
+    const auto reference = PopulationEngine(sim_backend(), serial).run(spec);
+    ASSERT_EQ(reference.flows(), flows);
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      hardware}) {
+      SweepOptions options;
+      options.threads = threads;
+      const auto run = PopulationEngine(sim_backend(), options).run(spec);
+      expect_same_population(reference, run,
+                             "flows " + std::to_string(flows) + " threads " +
+                                 std::to_string(threads));
+    }
+  }
+}
+
+TEST(PopulationReduction, GrainNeverPerturbsResults) {
+  // Chunk merges are ordered concatenations, so the chunk partition — and
+  // with it the reduction tree's leaf count — must not matter.
+  const auto spec = small_spec(33);
+  SweepOptions reference_options;
+  reference_options.execution = util::ExecutionPolicy::kSerial;
+  const auto reference =
+      PopulationEngine(sim_backend(), reference_options).run(spec);
+  for (const std::size_t grain :
+       {std::size_t{1}, std::size_t{5}, std::size_t{64}}) {
+    SweepOptions options;
+    options.threads = 2;
+    options.grain = grain;
+    const auto run = PopulationEngine(sim_backend(), options).run(spec);
+    expect_same_population(reference, run,
+                           "grain " + std::to_string(grain));
+  }
+}
+
+TEST(Population, KeepPerFlowFalseDropsDetailKeepsAggregates) {
+  auto spec = small_spec(7);
+  const auto full = PopulationEngine().run(spec);
+  spec.keep_per_flow = false;
+  const auto lean = PopulationEngine().run(spec);
+
+  EXPECT_TRUE(lean.per_flow.empty());
+  EXPECT_EQ(lean.flows(), 7u);  // flow count survives the drop
+  ASSERT_EQ(lean.by_sample_size.size(), full.by_sample_size.size());
+  for (std::size_t i = 0; i < full.by_sample_size.size(); ++i) {
+    expect_same_population_point(full.by_sample_size[i],
+                                 lean.by_sample_size[i], "lean");
+  }
+  EXPECT_EQ(lean.first_detection_n, full.first_detection_n);
+  expect_same_optional(lean.mean_padding_bps, full.mean_padding_bps,
+                       "lean padding");
+  expect_same_optional(lean.worst_delay_p95, full.worst_delay_p95,
+                       "lean delay");
+}
+
+TEST(Population, OverheadAggregatesMatchPerFlowRecompute) {
+  const auto result = PopulationEngine().run(small_spec(6));
+  ASSERT_EQ(result.flows(), 6u);
+
+  // The simulated backend always accounts, so the aggregates must be
+  // present and equal the flow-id-order fold of the per-flow summaries.
+  double padding = 0.0, wire = 0.0, dummy = 0.0;
+  Seconds worst = -std::numeric_limits<double>::infinity();
+  for (const auto& flow : result.per_flow) {
+    ASSERT_TRUE(flow.mean_padding_bps().has_value());
+    padding += *flow.mean_padding_bps();
+    wire += *flow.mean_wire_bps();
+    dummy += *flow.mean_dummy_fraction();
+    ASSERT_TRUE(flow.worst_delay_p95().has_value());
+    if (*flow.worst_delay_p95() > worst) worst = *flow.worst_delay_p95();
+  }
+  ASSERT_TRUE(result.mean_padding_bps.has_value());
+  expect_bitwise_equal(*result.mean_padding_bps, padding / 6.0, "padding");
+  expect_bitwise_equal(*result.mean_wire_bps, wire / 6.0, "wire");
+  expect_bitwise_equal(*result.mean_dummy_fraction, dummy / 6.0, "dummy");
+  ASSERT_TRUE(result.worst_delay_p95.has_value());
+  expect_bitwise_equal(*result.worst_delay_p95, worst, "delay");
+}
+
+TEST(PopulationPointDefaults, ExtremesStartAtFoldIdentities) {
+  const PopulationPoint point;
+  EXPECT_EQ(point.min_rate, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(point.max_rate, -std::numeric_limits<double>::infinity());
 }
 
 // -------------------------------------------------------------- validation

@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <mutex>
 #include <vector>
 
 #include "core/piat_source.hpp"
@@ -106,6 +108,35 @@ TEST(SweepDeterminism, SharedPoolMatchesDedicatedPools) {
   }
 }
 
+TEST(SweepDeterminism, ExecutionPoliciesAgreeBitwise) {
+  // The execution-policy seam only changes HOW points are dispatched —
+  // inline loop, task-per-point, or grain-aligned chunks with per-slot
+  // engines — never WHAT they compute.
+  const auto specs = eight_point_grid();
+
+  SweepOptions serial;
+  serial.execution = util::ExecutionPolicy::kSerial;
+  SweepOptions task_per_point;
+  task_per_point.execution = util::ExecutionPolicy::kMultithread;
+  task_per_point.threads = 4;
+  SweepOptions chunked;
+  chunked.execution = util::ExecutionPolicy::kChunked;
+  chunked.threads = 4;
+  chunked.grain = 3;  // ragged: 8 points -> chunks of 3, 3, 2
+
+  const auto reference = SweepRunner(sim_backend(), serial).run(specs);
+  const auto tasks = SweepRunner(sim_backend(), task_per_point).run(specs);
+  const auto chunks = SweepRunner(sim_backend(), chunked).run(specs);
+
+  ASSERT_TRUE(reference.all_completed());
+  ASSERT_TRUE(tasks.all_completed());
+  ASSERT_TRUE(chunks.all_completed());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    expect_identical(reference.results[i], tasks.results[i]);
+    expect_identical(reference.results[i], chunks.results[i]);
+  }
+}
+
 TEST(SweepDeterminism, LegacyRunSweepMatchesSingleRuns) {
   const auto specs = eight_point_grid();
   const auto swept = run_sweep(specs);
@@ -116,16 +147,26 @@ TEST(SweepDeterminism, LegacyRunSweepMatchesSingleRuns) {
 
 TEST(SweepRunnerTest, ProgressCoversEveryPoint) {
   const auto specs = eight_point_grid();
+  // Progress now fires OUTSIDE the runner's lock (so a slow observer can't
+  // stall the sweep) — callbacks may arrive concurrently and the observer
+  // owns its own synchronization.
+  std::mutex mutex;
   std::vector<std::size_t> done_values;
   SweepOptions options;
   options.threads = 4;
   options.progress = [&](std::size_t done, std::size_t total) {
     EXPECT_EQ(total, specs.size());
+    const std::lock_guard<std::mutex> lock(mutex);
     done_values.push_back(done);
   };
   const auto report = SweepRunner(sim_backend(), options).run(specs);
   EXPECT_TRUE(report.all_completed());
   EXPECT_EQ(done_values.size(), specs.size());
+  // Every count 1..N is reported exactly once, though possibly out of order.
+  std::sort(done_values.begin(), done_values.end());
+  for (std::size_t i = 0; i < done_values.size(); ++i) {
+    EXPECT_EQ(done_values[i], i + 1);
+  }
 }
 
 TEST(SweepRunnerTest, EarlyStopSkipsRemainingPoints) {

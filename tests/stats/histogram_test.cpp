@@ -66,6 +66,36 @@ TEST(Histogram, InvalidConstructionRejected) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
 }
 
+TEST(Histogram, MergeEqualsSequentialAdds) {
+  // Dense merge is exact: integer counts make merge(a, b) equal feeding
+  // a's and b's samples into one histogram, including the out-of-range
+  // tallies.
+  util::Rng rng(17);
+  std::vector<double> first(500), second(300);
+  for (auto& x : first) x = rng.uniform(-1.0, 11.0);
+  for (auto& x : second) x = rng.uniform(-1.0, 11.0);
+
+  Histogram a(0.0, 10.0, 16), b(0.0, 10.0, 16), combined(0.0, 10.0, 16);
+  a.add_all(first);
+  b.add_all(second);
+  a.merge(b);
+  combined.add_all(first);
+  combined.add_all(second);
+
+  EXPECT_EQ(a.total(), combined.total());
+  EXPECT_EQ(a.underflow(), combined.underflow());
+  EXPECT_EQ(a.overflow(), combined.overflow());
+  EXPECT_EQ(a.counts(), combined.counts());
+}
+
+TEST(Histogram, MergeRejectsShapeMismatch) {
+  Histogram a(0.0, 10.0, 16);
+  Histogram range(0.0, 9.0, 16);
+  Histogram bins(0.0, 10.0, 8);
+  EXPECT_THROW(a.merge(range), ContractViolation);
+  EXPECT_THROW(a.merge(bins), ContractViolation);
+}
+
 TEST(SparseHistogram, BinsAnchoredAtZero) {
   SparseHistogram h(1.0);
   h.add(0.5);    // bin 0

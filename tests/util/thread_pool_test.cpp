@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace linkpad::util {
@@ -68,6 +70,161 @@ TEST(ParallelFor, ResultIndependentOfGrain) {
   parallel_for(n, [&](std::size_t i) { a[i] = static_cast<double>(i) * 0.5; }, 1);
   parallel_for(n, [&](std::size_t i) { b[i] = static_cast<double>(i) * 0.5; }, 128);
   EXPECT_EQ(a, b);
+}
+
+TEST(ParallelFor, NestedDispatchRunsInlineInsteadOfDeadlocking) {
+  // A parallel_for issued from inside a task of the SAME pool must run
+  // inline on that worker — waiting on the pool would deadlock because the
+  // outer task itself still counts as in flight.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(pool, 4, [&](std::size_t outer) {
+    EXPECT_TRUE(pool.on_worker_thread());
+    parallel_for(pool, 16, [&](std::size_t inner) {
+      hits[outer * 16 + inner].fetch_add(1);
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+// ------------------------------------------------------ chunked dispatch
+
+TEST(ParallelForChunks, CoversEveryIndexOnceAtAnyGrain) {
+  ThreadPool pool(3);
+  // Grain boundaries: grain 1, a grain that divides n, one that leaves a
+  // ragged tail, one equal to n, and one past it.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{5}, std::size_t{64},
+                              std::size_t{65}}) {
+    for (const std::size_t grain :
+         {std::size_t{1}, std::size_t{3}, std::size_t{16}, n, n + 9}) {
+      std::vector<std::atomic<int>> hits(n);
+      parallel_for_chunks(pool, n, grain,
+                          [&](std::size_t, std::size_t begin, std::size_t end) {
+                            ASSERT_LE(end, n);
+                            // Chunks are grain-aligned: the partition derives
+                            // from (n, grain) alone, never the pool.
+                            EXPECT_EQ(begin % grain, 0u);
+                            for (std::size_t i = begin; i < end; ++i) {
+                              hits[i].fetch_add(1);
+                            }
+                          });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " grain=" << grain;
+      }
+    }
+  }
+}
+
+TEST(ParallelForChunks, SlotIdsStayBelowChunkSlots) {
+  ThreadPool pool(4);
+  const std::size_t n = 100, grain = 7;
+  const std::size_t slots = chunk_slots(pool, n, grain);
+  std::atomic<std::size_t> max_slot{0};
+  parallel_for_chunks(pool, n, grain,
+                      [&](std::size_t slot, std::size_t, std::size_t) {
+                        std::size_t seen = max_slot.load();
+                        while (slot > seen &&
+                               !max_slot.compare_exchange_weak(seen, slot)) {
+                        }
+                      });
+  EXPECT_LT(max_slot.load(), slots);
+}
+
+TEST(ParallelForChunks, PerSlotScratchSurvivesAcrossChunks) {
+  // The point of the chunked shape: slot-indexed scratch is touched by one
+  // task only, so per-chunk partial sums need no synchronization and their
+  // total is exact.
+  ThreadPool pool(4);
+  const std::size_t n = 1000, grain = 9;
+  std::vector<std::uint64_t> partial(chunk_slots(pool, n, grain), 0);
+  parallel_for_chunks(pool, n, grain,
+                      [&](std::size_t slot, std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          partial[slot] += i;
+                        }
+                      });
+  EXPECT_EQ(std::accumulate(partial.begin(), partial.end(), std::uint64_t{0}),
+            static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ParallelForChunks, PropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      parallel_for_chunks(pool, 100, 4,
+                          [](std::size_t, std::size_t begin, std::size_t) {
+                            if (begin == 56) throw std::runtime_error("boom");
+                          }),
+      std::runtime_error);
+}
+
+TEST(ParallelForChunks, NestedDispatchRunsInline) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(60);
+  parallel_for_chunks(pool, 3, 1, [&](std::size_t, std::size_t outer,
+                                      std::size_t) {
+    parallel_for_chunks(pool, 20, 4,
+                        [&](std::size_t slot, std::size_t begin,
+                            std::size_t end) {
+                          EXPECT_EQ(slot, 0u);  // inline fallback: one slot
+                          for (std::size_t i = begin; i < end; ++i) {
+                            hits[outer * 20 + i].fetch_add(1);
+                          }
+                        });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForChunks, HandlesZeroItems) {
+  ThreadPool pool(2);
+  parallel_for_chunks(pool, 0, 8,
+                      [](std::size_t, std::size_t, std::size_t) {
+                        FAIL() << "body must not run";
+                      });
+}
+
+// ----------------------------------------------------------- tree_reduce
+
+TEST(TreeReduce, MatchesSerialLeftFoldForConcatenation) {
+  // Adjacent-pair merging keeps element order, so reducing strings by
+  // concatenation must reproduce the in-order join at every size — the
+  // property the population reduction's ordered chunk merges rely on.
+  for (std::size_t n = 1; n <= 9; ++n) {
+    std::vector<std::string> items;
+    std::string expected;
+    for (std::size_t i = 0; i < n; ++i) {
+      items.push_back(std::string(1, static_cast<char>('a' + i)));
+      expected += items.back();
+    }
+    const std::string reduced = tree_reduce(
+        std::move(items),
+        [](std::string& left, std::string& right) { left += right; });
+    EXPECT_EQ(reduced, expected) << n;
+  }
+}
+
+TEST(TreeReduce, FixedShapeIsDeterministic) {
+  // The merge ORDER (tree shape) is a pure function of the item count:
+  // tagging each merge must give the same trace on every run.
+  auto trace = [] {
+    std::vector<std::string> items = {"0", "1", "2", "3", "4"};
+    std::vector<std::string> log;
+    (void)tree_reduce(std::move(items),
+                      [&](std::string& left, std::string& right) {
+                        log.push_back(left + "+" + right);
+                        left += right;
+                      });
+    return log;
+  };
+  const auto first = trace();
+  EXPECT_EQ(first, trace());
+  // Five leaves: (0+1)(2+3) carry 4, then (01+23), then (0123+4).
+  const std::vector<std::string> expected = {"0+1", "2+3", "01+23", "0123+4"};
+  EXPECT_EQ(first, expected);
+}
+
+TEST(TreeReduce, RejectsEmptyInput) {
+  EXPECT_THROW(tree_reduce(std::vector<int>{}, [](int& a, int& b) { a += b; }),
+               linkpad::ContractViolation);
 }
 
 }  // namespace
