@@ -30,6 +30,7 @@
 #include "core/frontier.hpp"
 #include "core/population.hpp"
 #include "core/scenarios.hpp"
+#include "core/shard_io.hpp"
 #include "sim/mg1.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/testbed.hpp"
@@ -284,6 +285,10 @@ struct DerivedMetrics {
   /// on the 5-rung budget ladder (gateway queue-feedback seam + overhead
   /// accounting included).
   double frontier_points_per_sec = 0.0;
+  /// End-to-end sharded pipeline (8 shard runs + serialize + parse + merge)
+  /// vs the plain in-process run, same M = 1000 workload: ~1.0 means
+  /// process sharding costs nothing but the file round-trip.
+  double population_shard_speedup = 0.0;
 };
 
 void print_table(const std::vector<BenchResult>& results,
@@ -313,6 +318,8 @@ void print_table(const std::vector<BenchResult>& results,
               derived.population_thread_speedup);
   std::printf("defense-frontier throughput: %.3e policy points/sec\n",
               derived.frontier_points_per_sec);
+  std::printf("sharded population pipeline vs in-process run: %.2fx\n",
+              derived.population_shard_speedup);
 }
 
 void print_json(const std::vector<BenchResult>& results,
@@ -321,7 +328,7 @@ void print_json(const std::vector<BenchResult>& results,
   // scaling target is meaningless on a 1-core CI box).
   const unsigned hw_threads =
       std::max(1u, std::thread::hardware_concurrency());
-  std::printf("{\n  \"version\": 5,\n  \"hw_threads\": %u,\n"
+  std::printf("{\n  \"version\": 6,\n  \"hw_threads\": %u,\n"
               "  \"benchmarks\": [\n",
               hw_threads);
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -343,7 +350,8 @@ void print_json(const std::vector<BenchResult>& results,
               "    \"population_thread_speedup\": %.4f,\n"
               "    \"population_thread_speedup_2\": %.4f,\n"
               "    \"population_thread_speedup_4\": %.4f,\n"
-              "    \"frontier_points_per_sec\": %.6e\n  }\n}\n",
+              "    \"frontier_points_per_sec\": %.6e,\n"
+              "    \"population_shard_speedup\": %.4f\n  }\n}\n",
               derived.event_core_speedup_cit,
               derived.bank_five_feature_piats_per_sec,
               derived.bank_span_speedup,
@@ -354,7 +362,8 @@ void print_json(const std::vector<BenchResult>& results,
               derived.population_thread_speedup,
               derived.population_thread_speedup_2,
               derived.population_thread_speedup_4,
-              derived.frontier_points_per_sec);
+              derived.frontier_points_per_sec,
+              derived.population_shard_speedup);
 }
 
 // ------------------------------------------- Fig 4(b) curve workload
@@ -750,6 +759,78 @@ int main(int argc, char** argv) {
     derived.population_flows_per_sec = results.back().items_per_sec;
     derived.population_thread_speedup =
         derived.population_flows_per_sec / serial_fps;
+  }
+
+  // Process sharding (core/shard_io): the same M = 1000 workload split 8
+  // ways. Measures the file-format cost alone (serialize + parse round
+  // trip, N-shard merge + finalize) and the end-to-end sharded pipeline
+  // relative to the plain in-process run — with a built-in assert that
+  // merged shards reproduce the plain run byte for byte.
+  {
+    const std::size_t hw =
+        std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+    const auto shards_of = [&](std::size_t flows, std::size_t shard_n,
+                               std::size_t threads) {
+      const auto spec = population_spec(flows);
+      std::vector<core::PopulationShard> shards;
+      shards.reserve(shard_n);
+      for (std::size_t i = 0; i < shard_n; ++i) {
+        core::SweepOptions options;
+        options.threads = threads;
+        options.shard_index = i;
+        options.shard_count = shard_n;
+        shards.push_back(
+            core::run_population_shard(spec, core::sim_backend(), options));
+      }
+      return shards;
+    };
+
+    {
+      const auto merged = core::merge_shards(shards_of(64, 3, 1));
+      const auto direct = run_population(64, hw);
+      if (core::population_result_json(merged) !=
+          core::population_result_json(direct)) {
+        std::fprintf(stderr,
+                     "FATAL: merged shards diverged from the in-process "
+                     "population run — bit-identity contract broken\n");
+        return 1;
+      }
+    }
+
+    const std::size_t flows = 1000;
+    const std::size_t shard_n = 8;
+    const auto shards = shards_of(flows, shard_n, hw);
+
+    results.push_back(
+        run_bench("shard/roundtrip_1000x8", "flows", min_time, [&] {
+          std::size_t round_tripped = 0;
+          for (const auto& shard : shards) {
+            const core::PopulationShard back =
+                core::parse_shard(core::serialize_shard(shard));
+            round_tripped += back.chunks.size() ? back.flows / shard_n : 0;
+          }
+          return round_tripped;
+        }));
+
+    results.push_back(run_bench("shard/merge_1000x8", "shards", min_time, [&] {
+      auto copies = shards;
+      const auto merged = core::merge_shards(std::move(copies));
+      return shard_n + (merged.flow_count == 0 ? 1 : 0);
+    }));
+
+    results.push_back(
+        run_bench("shard/pipeline_1000x8", "flows", min_time, [&] {
+          auto fresh = shards_of(flows, shard_n, hw);
+          std::vector<core::PopulationShard> parsed;
+          parsed.reserve(fresh.size());
+          for (const auto& shard : fresh) {
+            parsed.push_back(core::parse_shard(core::serialize_shard(shard)));
+          }
+          const auto merged = core::merge_shards(std::move(parsed));
+          return merged.flow_count;
+        }));
+    derived.population_shard_speedup =
+        results.back().items_per_sec / derived.population_flows_per_sec;
   }
 
   if (args.flag("--json")) {

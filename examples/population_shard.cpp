@@ -1,0 +1,173 @@
+// population_shard: one population campaign split across PROCESSES.
+//
+// The thread-pool engine scales a population run to the cores of one
+// machine; this driver scales it to N independent worker processes (same
+// box or N boxes sharing a filesystem) without giving up a single bit of
+// determinism. Worker i computes the chunks with id ≡ i (mod N) of the
+// (flows, grain) partition, checkpoints each completed chunk to its shard
+// file (atomic rewrite, so SIGKILL at any instant loses at most the chunk
+// in flight), and the merge step reassembles all shards and finalizes —
+// byte-for-byte the result the single-process run prints.
+//
+// Worker:    ./population_shard --shard 2/8 --emit-shard s2.shard [--resume]
+// Merge:     ./population_shard --merge s0.shard,...,s7.shard --out merged.json
+// Reference: ./population_shard --run --out single.json
+//
+// The spec knobs (--flows/--windows/--sigma/--seed/--grain) must be
+// identical across every worker and the merge is self-checking beyond
+// that: shard headers carry the campaign parameters, and merging shards
+// of different campaigns or an incomplete chunk cover is an error, not a
+// quietly wrong number.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/population.hpp"
+#include "core/scenarios.hpp"
+#include "core/shard_io.hpp"
+#include "util/cli.hpp"
+
+using namespace linkpad;
+
+namespace {
+
+core::PopulationSpec make_spec(const util::ArgParser& args) {
+  const auto windows = static_cast<std::size_t>(args.integer("--windows"));
+  const double sigma = args.num("--sigma") * 1e-6;
+
+  core::PopulationSpec spec;
+  spec.experiment.scenario = core::lab_cross_traffic(
+      sigma > 0 ? core::make_vit(sigma) : core::make_cit(), 0.1);
+  spec.experiment.adversary.feature = classify::FeatureKind::kSampleVariance;
+  spec.experiment.adversary.window_size = 400;
+  spec.experiment.sample_size_axis = {100, 400};
+  spec.experiment.train_windows = windows;
+  spec.experiment.test_windows = windows;
+  spec.flows = static_cast<std::size_t>(args.integer("--flows"));
+  spec.seed = static_cast<std::uint64_t>(args.integer("--seed"));
+  spec.keep_per_flow = !args.flag("--drop-per-flow");
+  return spec;
+}
+
+core::SweepOptions make_options(const util::ArgParser& args) {
+  core::SweepOptions options;
+  options.threads = static_cast<std::size_t>(args.integer("--threads"));
+  options.grain = static_cast<std::size_t>(args.integer("--grain"));
+  return options;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  if (path.empty() || path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "population_shard: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> split_paths(const std::string& list) {
+  std::vector<std::string> paths;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    const std::size_t comma = list.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > begin) paths.push_back(list.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return paths;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("population_shard",
+                       "sharded population campaign: worker / merge / reference");
+  args.add_option("--shard", "",
+                  "worker mode: this worker's share as i/N (e.g. 2/8)");
+  args.add_option("--emit-shard", "",
+                  "worker mode: shard checkpoint file (atomically rewritten "
+                  "after every completed chunk)");
+  args.add_flag("--resume",
+                "worker mode: reuse completed chunks already in --emit-shard");
+  args.add_option("--merge", "",
+                  "merge mode: comma-separated shard files to finalize");
+  args.add_flag("--run", "reference mode: single-process run of the campaign");
+  args.add_option("--out", "-",
+                  "result JSON destination for --merge/--run (- = stdout)");
+  args.add_option("--flows", "64", "concurrent padded flows M");
+  args.add_option("--windows", "4", "train/test windows per class at n_max");
+  args.add_option("--sigma", "0",
+                  "VIT timer std-dev in microseconds (0 = CIT)");
+  args.add_option("--seed", "7", "root RNG seed");
+  args.add_option("--grain", "0", "chunk grain (0 = flow-count default)");
+  args.add_option("--threads", "0", "worker threads (0 = hardware)");
+  args.add_flag("--drop-per-flow",
+                "aggregate-only run (omits per-flow rates from the JSON)");
+  if (!args.parse(argc, argv)) return 1;
+
+  try {
+    const std::string merge_list = args.str("--merge");
+    if (!merge_list.empty()) {
+      const auto paths = split_paths(merge_list);
+      const core::PopulationResult merged = core::merge_shard_files(paths);
+      return write_text_file(args.str("--out"),
+                             core::population_result_json(merged))
+                 ? 0
+                 : 1;
+    }
+
+    const std::string shard_arg = args.str("--shard");
+    if (!shard_arg.empty()) {
+      std::size_t index = 0;
+      std::size_t count = 0;
+      if (std::sscanf(shard_arg.c_str(), "%zu/%zu", &index, &count) != 2 ||
+          count == 0 || index >= count) {
+        std::fprintf(stderr,
+                     "population_shard: --shard wants i/N with i < N, got %s\n",
+                     shard_arg.c_str());
+        return 1;
+      }
+      const std::string emit = args.str("--emit-shard");
+      if (emit.empty()) {
+        std::fprintf(stderr, "population_shard: worker mode needs --emit-shard\n");
+        return 1;
+      }
+      core::SweepOptions options = make_options(args);
+      options.shard_index = index;
+      options.shard_count = count;
+      core::ShardRunOptions durability;
+      durability.checkpoint_path = emit;
+      durability.resume = args.flag("--resume");
+      const core::PopulationShard shard = core::run_population_shard(
+          make_spec(args), core::sim_backend(), options, durability);
+      std::fprintf(stderr, "population_shard: shard %zu/%zu done (%zu chunks) -> %s\n",
+                   index, count, shard.chunks.size(), emit.c_str());
+      return 0;
+    }
+
+    if (args.flag("--run")) {
+      core::PopulationEngine engine(core::sim_backend(), make_options(args));
+      const core::PopulationResult result = engine.run(make_spec(args));
+      return write_text_file(args.str("--out"),
+                             core::population_result_json(result))
+                 ? 0
+                 : 1;
+    }
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "population_shard: %s\n", err.what());
+    return 1;
+  }
+
+  std::fprintf(stderr, "population_shard: pick a mode: --shard i/N, --merge, or --run\n%s",
+               args.help().c_str());
+  return 1;
+}

@@ -111,6 +111,11 @@ def check_floors(floors: list[dict], record: dict,
         floor = float(entry["floor"])
         min_hw = int(entry.get("min_hw_threads", 0))
         if hw_threads < min_hw:
+            # Armed but unmeetable here: say so out loud, so a fleet of
+            # small runners cannot silently retire a floor forever.
+            print(f"perf_gate: floor {name} >= {floor:g} armed but SKIPPED "
+                  f"(record has hw_threads={hw_threads}, floor needs "
+                  f">= {min_hw})")
             rows.append((name, floor, metrics.get(name), "skipped"))
             continue
         value = metrics.get(name)

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Run a sharded population campaign with N local worker processes.
+
+Spawns N `population_shard` workers (worker i computes the chunks with
+id ≡ i mod N), waits for all of them, merges the shard files, and writes
+the merged result JSON. With --check it also runs the single-process
+reference and byte-compares the two JSON files — the end-to-end proof
+that process sharding never perturbs a bit (CI runs exactly this).
+
+All workers and the merge MUST share the spec knobs (--flows/--windows/
+--sigma/--seed/--grain); this script passes one set to every invocation.
+Shard headers carry the campaign parameters, so a mixed-spec merge fails
+loudly in the binary rather than silently here.
+
+Usage:
+  shard_campaign.py --binary build/population_shard --workers 4 \
+      --flows 200 --outdir /tmp/campaign [--resume] [--check]
+
+Exit status: 0 = success (and byte-identical under --check),
+1 = worker/merge failure or a --check mismatch, 2 = bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import filecmp
+import pathlib
+import subprocess
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True,
+                        help="path to the population_shard binary")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="number of shard worker processes")
+    parser.add_argument("--flows", type=int, default=64)
+    parser.add_argument("--windows", type=int, default=4)
+    parser.add_argument("--sigma", type=float, default=0.0,
+                        help="VIT timer std-dev in microseconds (0 = CIT)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--grain", type=int, default=0)
+    parser.add_argument("--threads", type=int, default=0,
+                        help="threads per worker (0 = hardware)")
+    parser.add_argument("--outdir", required=True,
+                        help="directory for shard files and result JSON")
+    parser.add_argument("--resume", action="store_true",
+                        help="let workers reuse completed chunks on disk")
+    parser.add_argument("--check", action="store_true",
+                        help="also run the single-process reference and "
+                             "byte-compare the result JSON")
+    args = parser.parse_args()
+
+    if args.workers < 1:
+        print("shard_campaign: --workers must be >= 1", file=sys.stderr)
+        return 2
+    binary = pathlib.Path(args.binary)
+    if not binary.exists():
+        print(f"shard_campaign: no such binary: {binary}", file=sys.stderr)
+        return 2
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    spec = [
+        "--flows", str(args.flows),
+        "--windows", str(args.windows),
+        "--sigma", str(args.sigma),
+        "--seed", str(args.seed),
+        "--grain", str(args.grain),
+    ]
+
+    # Launch every worker, then wait: the whole point is that shards are
+    # independent processes with no shared state but the filesystem.
+    shard_files = []
+    procs = []
+    for i in range(args.workers):
+        shard_file = outdir / f"shard_{i}.shard"
+        shard_files.append(shard_file)
+        cmd = [str(binary), "--shard", f"{i}/{args.workers}",
+               "--emit-shard", str(shard_file),
+               "--threads", str(args.threads)] + spec
+        if args.resume:
+            cmd.append("--resume")
+        procs.append((i, subprocess.Popen(cmd)))
+
+    failed = False
+    for i, proc in procs:
+        if proc.wait() != 0:
+            print(f"shard_campaign: worker {i}/{args.workers} failed "
+                  f"(exit {proc.returncode})", file=sys.stderr)
+            failed = True
+    if failed:
+        return 1
+
+    merged = outdir / "merged.json"
+    merge_cmd = [str(binary), "--merge", ",".join(str(p) for p in shard_files),
+                 "--out", str(merged)] + spec
+    if subprocess.run(merge_cmd).returncode != 0:
+        print("shard_campaign: merge failed", file=sys.stderr)
+        return 1
+    print(f"shard_campaign: merged {args.workers} shards -> {merged}")
+
+    if args.check:
+        single = outdir / "single.json"
+        run_cmd = [str(binary), "--run", "--out", str(single),
+                   "--threads", str(args.threads)] + spec
+        if subprocess.run(run_cmd).returncode != 0:
+            print("shard_campaign: single-process reference failed",
+                  file=sys.stderr)
+            return 1
+        if not filecmp.cmp(merged, single, shallow=False):
+            print(f"shard_campaign: MISMATCH — {merged} differs from {single}; "
+                  f"the shard pipeline perturbed the result", file=sys.stderr)
+            return 1
+        print(f"shard_campaign: byte-identical to the single-process run "
+              f"({merged.stat().st_size} bytes)")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 
 #include "analysis/theory.hpp"
@@ -88,8 +89,17 @@ const SampleSizePoint& ExperimentResult::at_sample_size(std::size_t n) const {
         return point.sample_size < key;
       });
   if (it == by_sample_size.end() || it->sample_size != n) {
-    throw std::invalid_argument("ExperimentResult: sample size not on axis: " +
-                                std::to_string(n));
+    // First stop of a shard/merge axis mismatch: say what was requested AND
+    // what the result actually carries, not just that the lookup failed.
+    std::ostringstream msg;
+    msg << "ExperimentResult::at_sample_size: requested n = " << n
+        << " is not on the axis; available sample sizes:";
+    if (by_sample_size.empty()) {
+      msg << " (none)";
+    } else {
+      for (const auto& point : by_sample_size) msg << ' ' << point.sample_size;
+    }
+    throw std::invalid_argument(msg.str());
   }
   return *it;
 }

@@ -210,6 +210,16 @@ struct SweepOptions {
   /// partition derives from (count, grain) only, so grain never perturbs
   /// results either.
   std::size_t grain = 0;
+  /// Process-sharding of a population campaign (DESIGN.md §2.10): this
+  /// process claims chunk c of the (flows, grain) partition iff
+  /// c % shard_count == shard_index. The partition itself never changes
+  /// with the shard count — shards select chunks, they do not re-cut them —
+  /// so merging all shards' ChunkAggregates (core::merge_shards) is
+  /// bit-identical to the 1-process run at any thread count. Consumed by
+  /// core::run_population_shard; SweepRunner ignores both fields, and
+  /// PopulationEngine::run requires the full population (shard_count ≤ 1).
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
   /// Called after every finished point with (points done, points total).
   /// Invoked OUTSIDE the runner's callback lock so a slow observer cannot
   /// serialize the workers: invocations may arrive concurrently and out of

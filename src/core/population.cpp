@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
-#include <iterator>
 #include <limits>
+#include <mutex>
+#include <numeric>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -41,60 +43,45 @@ const PopulationPoint& PopulationResult::at_sample_size(std::size_t n) const {
         return point.sample_size < key;
       });
   if (it == by_sample_size.end() || it->sample_size != n) {
-    throw std::invalid_argument("PopulationResult: sample size not on axis: " +
-                                std::to_string(n));
+    // Merge-mismatch diagnostics hit this first: name what was asked AND
+    // what the axis actually holds, so a shard merged against the wrong
+    // spec is identifiable from the message alone.
+    std::ostringstream msg;
+    msg << "PopulationResult::at_sample_size: requested n = " << n
+        << " is not on the axis; available sample sizes:";
+    if (by_sample_size.empty()) {
+      msg << " (none)";
+    } else {
+      for (const auto& point : by_sample_size) msg << ' ' << point.sample_size;
+    }
+    throw std::invalid_argument(msg.str());
   }
   return *it;
 }
 
+std::size_t resolved_flow_grain(std::size_t flows, std::size_t grain_option) {
+  if (grain_option != 0) return grain_option;
+  // Chunk size for the flow axis: large enough that chunk claims are
+  // amortized against ~100 µs+ per-flow pipelines, small enough that
+  // M = 1000 still load-balances across a wide machine. Derives from M
+  // alone — the chunk partition is part of the determinism contract, so it
+  // must not depend on the pool (or the shard count).
+  return std::clamp<std::size_t>(flows / 128, 1, 32);
+}
+
+std::size_t population_chunk_count(std::size_t flows, std::size_t grain) {
+  LINKPAD_EXPECTS(grain >= 1);
+  return (flows + grain - 1) / grain;
+}
+
 namespace {
 
-/// One flow's overhead summary, recorded in-worker so the population
-/// aggregates survive keep_per_flow = false.
-struct FlowOverhead {
-  bool has_cost = false;  ///< padding/wire/dummy accounting present
-  double padding_bps = 0.0;
-  double wire_bps = 0.0;
-  double dummy_fraction = 0.0;
-  bool has_delay = false;
-  Seconds delay_p95 = 0.0;
-};
-
-/// Mergeable per-chunk aggregation state (DESIGN.md §2.9). A chunk covers a
-/// contiguous, grain-aligned run of flow ids and stores, in flow order: one
-/// detection rate per (axis point, flow), one overhead summary per flow,
-/// and (optionally) the flows' full ExperimentResults. Merging adjacent
-/// chunks is ordered concatenation — exact and associative — so the
-/// reduction tree's shape can never perturb a bit; the order-sensitive
-/// parts of the aggregation (P² sketches, float sums) run over the merged
-/// flow-order sequence at finalize.
-struct ChunkAggregate {
-  std::size_t first_flow = 0;
-  std::vector<std::vector<double>> rates;  ///< [axis point][flow - first_flow]
-  std::vector<FlowOverhead> overhead;      ///< [flow - first_flow]
-  std::vector<ExperimentResult> per_flow;  ///< kept only when requested
-
-  void merge(ChunkAggregate& right) {
-    LINKPAD_EXPECTS(first_flow + overhead.size() == right.first_flow);
-    for (std::size_t i = 0; i < rates.size(); ++i) {
-      rates[i].insert(rates[i].end(), right.rates[i].begin(),
-                      right.rates[i].end());
-    }
-    overhead.insert(overhead.end(), right.overhead.begin(),
-                    right.overhead.end());
-    per_flow.insert(per_flow.end(),
-                    std::make_move_iterator(right.per_flow.begin()),
-                    std::make_move_iterator(right.per_flow.end()));
-  }
-};
-
-/// Chunk size for the flow axis: large enough that chunk claims are
-/// amortized against ~100 µs+ per-flow pipelines, small enough that M=1000
-/// still load-balances across a wide machine. Derives from M alone — the
-/// chunk partition is part of the determinism contract, so it must not
-/// depend on the pool.
-std::size_t default_flow_grain(std::size_t flows) {
-  return std::clamp<std::size_t>(flows / 128, 1, 32);
+void validate_spec(const PopulationSpec& spec) {
+  LINKPAD_EXPECTS(spec.flows >= 1);
+  LINKPAD_EXPECTS(spec.contention_flows == 0 ||
+                  spec.contention_flows >= spec.flows);
+  LINKPAD_EXPECTS(spec.detection_threshold > 0.0 &&
+                  spec.detection_threshold <= 1.0);
 }
 
 }  // namespace
@@ -107,12 +94,19 @@ PopulationEngine::PopulationEngine(const ExperimentBackend& backend,
   LINKPAD_EXPECTS(!options_.early_stop);
 }
 
-PopulationResult PopulationEngine::run(const PopulationSpec& spec) const {
-  LINKPAD_EXPECTS(spec.flows >= 1);
-  LINKPAD_EXPECTS(spec.contention_flows == 0 ||
-                  spec.contention_flows >= spec.flows);
-  LINKPAD_EXPECTS(spec.detection_threshold > 0.0 &&
-                  spec.detection_threshold <= 1.0);
+std::vector<ChunkAggregate> PopulationEngine::run_chunks(
+    const PopulationSpec& spec, const std::vector<std::size_t>& chunk_ids,
+    const std::function<void(std::size_t, const ChunkAggregate&)>& on_chunk)
+    const {
+  validate_spec(spec);
+  const std::size_t flows = spec.flows;
+  const std::size_t grain = resolved_flow_grain(flows, options_.grain);
+  const std::size_t total_chunks = population_chunk_count(flows, grain);
+  for (std::size_t i = 0; i < chunk_ids.size(); ++i) {
+    LINKPAD_EXPECTS(chunk_ids[i] < total_chunks);
+    LINKPAD_EXPECTS(i == 0 || chunk_ids[i - 1] < chunk_ids[i]);
+  }
+  if (chunk_ids.empty()) return {};
 
   // The loaded scenario is flow-independent: resolve it ONCE (a reactive
   // policy's rate calibration runs a capture — per-flow recomputation
@@ -120,85 +114,103 @@ PopulationResult PopulationEngine::run(const PopulationSpec& spec) const {
   // flow_spec(f) stays the contract: it resolves to exactly this spec.
   const Scenario loaded = spec.loaded_scenario();
   const auto ns = spec.experiment.sample_sizes();
-  const std::size_t flows = spec.flows;
-  const std::size_t grain =
-      options_.grain != 0 ? options_.grain : default_flow_grain(flows);
   const ExperimentEngine engine(*backend_, options_.batch_piats);
 
-  std::vector<ChunkAggregate> chunks((flows + grain - 1) / grain);
+  std::size_t shard_flows = 0;  // flows this call executes (progress total)
+  for (const std::size_t c : chunk_ids) {
+    shard_flows += std::min(flows, (c + 1) * grain) - c * grain;
+  }
+
+  std::vector<ChunkAggregate> chunks(chunk_ids.size());
   std::atomic<std::size_t> done{0};
+  std::mutex chunk_mutex;  // serializes on_chunk (checkpoint appends)
 
   // Per worker slot: ONE spec whose scenario (and its shared policy
   // prototype) is copied once per slot, then re-seeded per flow — instead
   // of a Scenario copy per flow whose shared_ptr refcounts ping-pong
-  // between threads.
+  // between threads. Dispatch is over chunk-id slots (grain 1 in chunk
+  // space): one atomic claim per chunk, exactly like the full run.
   auto make_body = [&](std::vector<std::optional<ExperimentSpec>>& slot_specs) {
-    return [&](std::size_t slot, std::size_t begin, std::size_t end) {
+    return [&](std::size_t slot, std::size_t chunk_begin,
+               std::size_t chunk_end) {
       if (!slot_specs[slot]) {
         slot_specs[slot] = spec.experiment;
         slot_specs[slot]->scenario = loaded;
       }
       ExperimentSpec& flow_spec = *slot_specs[slot];
-      ChunkAggregate& chunk = chunks[begin / grain];
-      chunk.first_flow = begin;
-      const std::size_t count = end - begin;
-      chunk.rates.resize(ns.size());
-      for (auto& r : chunk.rates) r.reserve(count);
-      chunk.overhead.reserve(count);
-      if (spec.keep_per_flow) chunk.per_flow.reserve(count);
+      for (std::size_t slot_idx = chunk_begin; slot_idx < chunk_end;
+           ++slot_idx) {
+        const std::size_t chunk_id = chunk_ids[slot_idx];
+        const std::size_t begin = chunk_id * grain;
+        const std::size_t end = std::min(flows, begin + grain);
+        ChunkAggregate& chunk = chunks[slot_idx];
+        chunk.first_flow = begin;
+        const std::size_t count = end - begin;
+        chunk.rates.resize(ns.size());
+        for (auto& r : chunk.rates) r.reserve(count);
+        chunk.overhead.reserve(count);
+        if (spec.keep_per_flow) chunk.per_flow.reserve(count);
 
-      for (std::size_t f = begin; f < end; ++f) {
-        flow_spec.seed = derive_point_seed(spec.seed, f);
-        ExperimentResult result = engine.run(flow_spec);
-        LINKPAD_ENSURES(result.by_sample_size.size() == ns.size());
-        for (std::size_t i = 0; i < ns.size(); ++i) {
-          chunk.rates[i].push_back(
-              result.by_sample_size[i].per_feature.front().detection_rate);
+        for (std::size_t f = begin; f < end; ++f) {
+          flow_spec.seed = derive_point_seed(spec.seed, f);
+          ExperimentResult result = engine.run(flow_spec);
+          LINKPAD_ENSURES(result.by_sample_size.size() == ns.size());
+          for (std::size_t i = 0; i < ns.size(); ++i) {
+            chunk.rates[i].push_back(
+                result.by_sample_size[i].per_feature.front().detection_rate);
+          }
+          FlowOverhead oh;
+          if (const auto padding = result.mean_padding_bps()) {
+            oh.has_cost = true;
+            oh.padding_bps = *padding;
+            oh.wire_bps = result.mean_wire_bps().value_or(0.0);
+            oh.dummy_fraction = result.mean_dummy_fraction().value_or(0.0);
+          }
+          if (const auto delay = result.worst_delay_p95()) {
+            oh.has_delay = true;
+            oh.delay_p95 = *delay;
+          }
+          chunk.overhead.push_back(oh);
+          if (spec.keep_per_flow) chunk.per_flow.push_back(std::move(result));
+          const std::size_t finished = done.fetch_add(1) + 1;
+          if (options_.progress) options_.progress(finished, shard_flows);
         }
-        FlowOverhead oh;
-        if (const auto padding = result.mean_padding_bps()) {
-          oh.has_cost = true;
-          oh.padding_bps = *padding;
-          oh.wire_bps = result.mean_wire_bps().value_or(0.0);
-          oh.dummy_fraction = result.mean_dummy_fraction().value_or(0.0);
+        if (on_chunk) {
+          const std::lock_guard<std::mutex> lock(chunk_mutex);
+          on_chunk(chunk_id, chunk);
         }
-        if (const auto delay = result.worst_delay_p95()) {
-          oh.has_delay = true;
-          oh.delay_p95 = *delay;
-        }
-        chunk.overhead.push_back(oh);
-        if (spec.keep_per_flow) chunk.per_flow.push_back(std::move(result));
-        const std::size_t finished = done.fetch_add(1) + 1;
-        if (options_.progress) options_.progress(finished, flows);
       }
     };
   };
 
+  const std::size_t n_chunks = chunk_ids.size();
   if (options_.execution == util::ExecutionPolicy::kSerial) {
     std::vector<std::optional<ExperimentSpec>> slot_specs(1);
     auto body = make_body(slot_specs);
-    for (std::size_t start = 0; start < flows; start += grain) {
-      body(0, start, std::min(flows, start + grain));
-    }
+    for (std::size_t c = 0; c < n_chunks; ++c) body(0, c, c + 1);
   } else if (options_.threads == 0) {
     util::ThreadPool& pool = util::ThreadPool::global();
     std::vector<std::optional<ExperimentSpec>> slot_specs(
-        util::chunk_slots(pool, flows, grain));
-    util::parallel_for_chunks(pool, flows, grain, make_body(slot_specs));
+        util::chunk_slots(pool, n_chunks, 1));
+    util::parallel_for_chunks(pool, n_chunks, 1, make_body(slot_specs));
   } else {
     util::ThreadPool pool(options_.threads);
     std::vector<std::optional<ExperimentSpec>> slot_specs(
-        util::chunk_slots(pool, flows, grain));
-    util::parallel_for_chunks(pool, flows, grain, make_body(slot_specs));
+        util::chunk_slots(pool, n_chunks, 1));
+    util::parallel_for_chunks(pool, n_chunks, 1, make_body(slot_specs));
   }
-  LINKPAD_ENSURES(done.load() == flows);
+  LINKPAD_ENSURES(done.load() == shard_flows);
+  return chunks;
+}
 
-  // Deterministic fixed-shape binary tree over the per-chunk partials.
-  // Every merge is an ordered concatenation, so the reduced aggregate is
-  // the flow-id-ordered sequence no matter how many threads ran.
-  ChunkAggregate all = util::tree_reduce(
-      std::move(chunks),
-      [](ChunkAggregate& left, ChunkAggregate& right) { left.merge(right); });
+PopulationResult finalize_population(ChunkAggregate all, std::size_t flows,
+                                     const std::vector<std::size_t>& sample_sizes,
+                                     double detection_threshold,
+                                     Seconds mean_interval) {
+  LINKPAD_EXPECTS(flows >= 1);
+  LINKPAD_EXPECTS(all.first_flow == 0);
+  LINKPAD_EXPECTS(all.flow_count() == flows);
+  LINKPAD_EXPECTS(all.rates.size() == sample_sizes.size());
 
   PopulationResult result;
   result.flow_count = flows;
@@ -208,10 +220,10 @@ PopulationResult PopulationEngine::run(const PopulationSpec& spec) const {
   // rates: P² marker state depends on feed order, so the fixed order is
   // what keeps population metrics bit-identical across thread counts.
   const double m = static_cast<double>(flows);
-  result.by_sample_size.reserve(ns.size());
-  for (std::size_t i = 0; i < ns.size(); ++i) {
+  result.by_sample_size.reserve(sample_sizes.size());
+  for (std::size_t i = 0; i < sample_sizes.size(); ++i) {
     PopulationPoint point;
-    point.sample_size = ns[i];
+    point.sample_size = sample_sizes[i];
     stats::P2Quantile q05(0.05), q25(0.25), q50(0.5), q75(0.75), q95(0.95);
     double sum = 0.0;
     std::size_t detected = 0;
@@ -223,7 +235,7 @@ PopulationResult PopulationEngine::run(const PopulationSpec& spec) const {
       q75.add(rate);
       q95.add(rate);
       sum += rate;
-      if (rate >= spec.detection_threshold) ++detected;
+      if (rate >= detection_threshold) ++detected;
       if (rate < point.min_rate) point.min_rate = rate;
       if (rate > point.max_rate) {
         point.max_rate = rate;
@@ -237,10 +249,9 @@ PopulationResult PopulationEngine::run(const PopulationSpec& spec) const {
     result.by_sample_size.push_back(point);
 
     if (!result.first_detection_n && detected > 0) {
-      result.first_detection_n = ns[i];
+      result.first_detection_n = sample_sizes[i];
       result.time_to_first_detection =
-          static_cast<double>(ns[i]) *
-          spec.experiment.scenario.base.policy->mean_interval();
+          static_cast<double>(sample_sizes[i]) * mean_interval;
     }
   }
 
@@ -268,6 +279,31 @@ PopulationResult PopulationEngine::run(const PopulationSpec& spec) const {
   if (all_delay) result.worst_delay_p95 = worst_delay;
 
   return result;
+}
+
+PopulationResult PopulationEngine::run(const PopulationSpec& spec) const {
+  validate_spec(spec);
+  // A sharded worker must go through run_population_shard + merge_shards —
+  // run() silently computing 1/Nth of the population would corrupt every
+  // aggregate.
+  LINKPAD_EXPECTS(options_.shard_count <= 1);
+  const std::size_t grain = resolved_flow_grain(spec.flows, options_.grain);
+  std::vector<std::size_t> all_chunks(
+      population_chunk_count(spec.flows, grain));
+  std::iota(all_chunks.begin(), all_chunks.end(), std::size_t{0});
+  std::vector<ChunkAggregate> chunks = run_chunks(spec, all_chunks);
+
+  // Deterministic fixed-shape binary tree over the per-chunk partials.
+  // Every merge is an ordered concatenation, so the reduced aggregate is
+  // the flow-id-ordered sequence no matter how many threads ran.
+  ChunkAggregate all = util::tree_reduce(
+      std::move(chunks),
+      [](ChunkAggregate& left, ChunkAggregate& right) { left.merge(right); });
+
+  return finalize_population(
+      std::move(all), spec.flows, spec.experiment.sample_sizes(),
+      spec.detection_threshold,
+      spec.experiment.scenario.base.policy->mean_interval());
 }
 
 PopulationResult run_population(const PopulationSpec& spec) {

@@ -35,11 +35,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "util/check.hpp"
 
 namespace linkpad::core {
 
@@ -105,6 +107,65 @@ struct PopulationSpec {
   /// measurement never shares streams with a tapped flow.
   static constexpr std::uint64_t kCalibrationSalt = 0x63616c6962726174ULL;
 };
+
+/// One flow's overhead summary, recorded in-worker so the population
+/// aggregates survive keep_per_flow = false.
+struct FlowOverhead {
+  bool has_cost = false;  ///< padding/wire/dummy accounting present
+  double padding_bps = 0.0;
+  double wire_bps = 0.0;
+  double dummy_fraction = 0.0;
+  bool has_delay = false;
+  Seconds delay_p95 = 0.0;
+};
+
+/// Mergeable per-chunk aggregation state (DESIGN.md §2.9). A chunk covers a
+/// contiguous, grain-aligned run of flow ids and stores, in flow order: one
+/// detection rate per (axis point, flow), one overhead summary per flow,
+/// and (optionally) the flows' full ExperimentResults. Merging adjacent
+/// chunks is ordered concatenation — exact and associative — so the
+/// reduction tree's shape can never perturb a bit; the order-sensitive
+/// parts of the aggregation (P² sketches, float sums) run over the merged
+/// flow-order sequence at finalize. Because the merge is pure
+/// concatenation, a chunk is also the unit of process sharding: shard
+/// files carry serialized ChunkAggregates (core/shard_io), and N-shard
+/// merges reassemble exactly the sequence a single process would have
+/// reduced.
+struct ChunkAggregate {
+  std::size_t first_flow = 0;
+  std::vector<std::vector<double>> rates;  ///< [axis point][flow - first_flow]
+  std::vector<FlowOverhead> overhead;      ///< [flow - first_flow]
+  std::vector<ExperimentResult> per_flow;  ///< kept only when requested
+
+  /// Flows this chunk covers (overhead has exactly one entry per flow).
+  [[nodiscard]] std::size_t flow_count() const { return overhead.size(); }
+
+  void merge(ChunkAggregate& right) {
+    LINKPAD_EXPECTS(first_flow + overhead.size() == right.first_flow);
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      rates[i].insert(rates[i].end(), right.rates[i].begin(),
+                      right.rates[i].end());
+    }
+    overhead.insert(overhead.end(), right.overhead.begin(),
+                    right.overhead.end());
+    per_flow.insert(per_flow.end(),
+                    std::make_move_iterator(right.per_flow.begin()),
+                    std::make_move_iterator(right.per_flow.end()));
+  }
+};
+
+/// The grain actually used for `flows` when SweepOptions::grain is
+/// `grain_option` (0 ⇒ the flow-count-derived default clamp(M/128, 1, 32)).
+/// The chunk partition is a pure function of (flows, grain) — never the
+/// pool width or process count — which is what makes N-shard merges
+/// bit-identical to the single-process run (DESIGN.md §2.10).
+[[nodiscard]] std::size_t resolved_flow_grain(std::size_t flows,
+                                              std::size_t grain_option);
+
+/// Number of grain-aligned chunks in the (flows, grain) partition. Chunk c
+/// covers flows [c·grain, min(flows, (c+1)·grain)).
+[[nodiscard]] std::size_t population_chunk_count(std::size_t flows,
+                                                 std::size_t grain);
 
 /// Detection-rate quantiles over the population (stats::P2Quantile; exact
 /// for M ≤ 5, documented ~1% sketch accuracy beyond).
@@ -186,10 +247,41 @@ class PopulationEngine {
 
   [[nodiscard]] PopulationResult run(const PopulationSpec& spec) const;
 
+  /// Compute the chunk aggregates of a SUBSET of the (flows, grain)
+  /// partition — the shard execution mode (core/shard_io). `chunk_ids`
+  /// selects chunks (each < population_chunk_count, strictly ascending);
+  /// slot i of the returned vector is chunk chunk_ids[i]. Every chunk is
+  /// the identical pure function of (spec, chunk id) the full run
+  /// computes, so reassembling all chunks of all shards and running the
+  /// finalize once reproduces run() bit for bit. `on_chunk`, when set, is
+  /// invoked under an internal lock — serialized, possibly out of chunk
+  /// order — right after each chunk completes, with (chunk id, aggregate):
+  /// the checkpoint hook a durable shard file hangs off.
+  [[nodiscard]] std::vector<ChunkAggregate> run_chunks(
+      const PopulationSpec& spec, const std::vector<std::size_t>& chunk_ids,
+      const std::function<void(std::size_t, const ChunkAggregate&)>& on_chunk =
+          {}) const;
+
+  [[nodiscard]] const SweepOptions& options() const { return options_; }
+
  private:
   const ExperimentBackend* backend_;
   SweepOptions options_;
 };
+
+/// The order-sensitive tail of a population run: P² feeds, float sums,
+/// min/max/worst-flow and the population-wide overhead fold over the merged
+/// flow-order aggregate. Runs EXACTLY once per population — at the end of
+/// PopulationEngine::run, or once in core::merge_shards after the last
+/// shard is concatenated (running it per shard would feed the sketches
+/// partial sequences). `all` must cover flows [0, flows) in order;
+/// `mean_interval` is the padding policy's mean timer interval (converts
+/// first_detection_n to observation time).
+[[nodiscard]] PopulationResult finalize_population(ChunkAggregate all,
+                                                   std::size_t flows,
+                                                   const std::vector<std::size_t>& sample_sizes,
+                                                   double detection_threshold,
+                                                   Seconds mean_interval);
 
 /// Run one population experiment on the default simulated backend.
 PopulationResult run_population(const PopulationSpec& spec);

@@ -314,6 +314,18 @@ TEST(Population, LookupThrowsOffAxis) {
   const auto result = PopulationEngine().run(small_spec(2));
   EXPECT_NO_THROW((void)result.at_sample_size(30));
   EXPECT_THROW((void)result.at_sample_size(31), std::invalid_argument);
+
+  // The error must be actionable: name the requested n AND the axis that
+  // actually exists, so a figure driver typo is a one-glance fix.
+  try {
+    (void)result.at_sample_size(31);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("31"), std::string::npos) << what;
+    EXPECT_NE(what.find("30"), std::string::npos) << what;
+    EXPECT_NE(what.find("60"), std::string::npos) << what;
+  }
 }
 
 // -------------------------------------------------------------- contention

@@ -150,6 +150,18 @@ TEST(PrefixReplay, LookupThrowsOffAxis) {
   EXPECT_THROW(result.by_sample_size.front().outcome(
                    classify::FeatureKind::kMedianAbsDeviation),
                std::invalid_argument);
+
+  // The message must name the requested n and the available axis values.
+  try {
+    (void)result.at_sample_size(101);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("101"), std::string::npos) << what;
+    for (const char* n : {"100", "250", "300", "500"}) {
+      EXPECT_NE(what.find(n), std::string::npos) << what << " missing " << n;
+    }
+  }
 }
 
 // ---------------------------------------------------------------- probing
