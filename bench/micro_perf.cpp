@@ -6,7 +6,10 @@
 // DetectorBank inner loop), KDE evaluation, the M/G/1 stationary-wait
 // sampler, normal sampling (polar vs Ziggurat) and the prefix-replay
 // curve pipeline (Fig 4(b)'s detection-vs-n workload, one engine run per
-// point vs one collapsed run — outcomes asserted bit-identical).
+// point vs one collapsed run — outcomes asserted bit-identical), plus the
+// population axis: thread scaling, process sharding, and the sampled
+// execution mode (m-of-M strata with contention pinned at the full M,
+// sampled flows asserted bitwise equal to their exhaustive twins).
 //
 // Emits machine-readable JSON with --json (one object per benchmark plus
 // derived headline fields: events/sec speedup, features/sec and curve
@@ -289,6 +292,14 @@ struct DerivedMetrics {
   /// vs the plain in-process run, same M = 1000 workload: ~1.0 means
   /// process sharding costs nothing but the file round-trip.
   double population_shard_speedup = 0.0;
+  /// Sampled execution mode (DESIGN.md §2.11): executed flows/sec of a
+  /// m = 1000 stratum drawn from a deployed M = 100k population (contention
+  /// pinned at the full M).
+  double population_sampled_flows_per_sec = 0.0;
+  /// Wall-clock ratio of the exhaustive M = 100k campaign (extrapolated
+  /// from the measured exhaustive per-flow rate) over the measured sampled
+  /// m = 1000 run — the headline "millions of flows in seconds" number.
+  double population_sampling_speedup = 0.0;
 };
 
 void print_table(const std::vector<BenchResult>& results,
@@ -320,6 +331,10 @@ void print_table(const std::vector<BenchResult>& results,
               derived.frontier_points_per_sec);
   std::printf("sharded population pipeline vs in-process run: %.2fx\n",
               derived.population_shard_speedup);
+  std::printf("sampled population (m = 1000 of M = 100k): %.3e flows/sec, "
+              "%.1fx over exhaustive\n",
+              derived.population_sampled_flows_per_sec,
+              derived.population_sampling_speedup);
 }
 
 void print_json(const std::vector<BenchResult>& results,
@@ -328,7 +343,7 @@ void print_json(const std::vector<BenchResult>& results,
   // scaling target is meaningless on a 1-core CI box).
   const unsigned hw_threads =
       std::max(1u, std::thread::hardware_concurrency());
-  std::printf("{\n  \"version\": 6,\n  \"hw_threads\": %u,\n"
+  std::printf("{\n  \"version\": 7,\n  \"hw_threads\": %u,\n"
               "  \"benchmarks\": [\n",
               hw_threads);
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -351,7 +366,9 @@ void print_json(const std::vector<BenchResult>& results,
               "    \"population_thread_speedup_2\": %.4f,\n"
               "    \"population_thread_speedup_4\": %.4f,\n"
               "    \"frontier_points_per_sec\": %.6e,\n"
-              "    \"population_shard_speedup\": %.4f\n  }\n}\n",
+              "    \"population_shard_speedup\": %.4f,\n"
+              "    \"population_sampled_flows_per_sec\": %.6e,\n"
+              "    \"population_sampling_speedup\": %.4f\n  }\n}\n",
               derived.event_core_speedup_cit,
               derived.bank_five_feature_piats_per_sec,
               derived.bank_span_speedup,
@@ -363,7 +380,9 @@ void print_json(const std::vector<BenchResult>& results,
               derived.population_thread_speedup_2,
               derived.population_thread_speedup_4,
               derived.frontier_points_per_sec,
-              derived.population_shard_speedup);
+              derived.population_shard_speedup,
+              derived.population_sampled_flows_per_sec,
+              derived.population_sampling_speedup);
 }
 
 // ------------------------------------------- Fig 4(b) curve workload
@@ -759,6 +778,67 @@ int main(int argc, char** argv) {
     derived.population_flows_per_sec = results.back().items_per_sec;
     derived.population_thread_speedup =
         derived.population_flows_per_sec / serial_fps;
+  }
+
+  // Sampled execution mode (DESIGN.md §2.11): a m = 1000 stratum of a
+  // deployed M = 100k population, contention pinned at the full M. First
+  // the in-bench wall: every sampled flow must be bitwise identical to the
+  // same flow id of the exhaustive run (the pinned-contention contract the
+  // whole mode rests on), checked at a small M where exhaustive is cheap.
+  // Headline: population_sampling_speedup — the wall-clock of the
+  // exhaustive M = 100k campaign (M flows at the measured exhaustive
+  // per-flow rate; running it for real would take minutes per iteration)
+  // over the measured sampled wall-clock.
+  {
+    const std::size_t hw =
+        std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+    {
+      const auto exhaustive = run_population(64, hw);
+      core::SweepOptions options;
+      options.threads = hw;
+      const auto sampled = core::PopulationEngine(core::sim_backend(), options)
+                               .run(population_spec(64).sampled(16));
+      bool identical = sampled.sampled_ids.size() == sampled.flows();
+      for (std::size_t i = 0; identical && i < sampled.flows(); ++i) {
+        const auto& sub = sampled.per_flow[i];
+        const auto& full = exhaustive.per_flow[sampled.sampled_ids[i]];
+        identical = sub.by_sample_size.size() == full.by_sample_size.size();
+        for (std::size_t a = 0; identical && a < sub.by_sample_size.size();
+             ++a) {
+          for (std::size_t j = 0;
+               identical && j < sub.by_sample_size[a].per_feature.size();
+               ++j) {
+            identical = sub.by_sample_size[a].per_feature[j].detection_rate ==
+                        full.by_sample_size[a].per_feature[j].detection_rate;
+          }
+        }
+      }
+      if (!identical) {
+        std::fprintf(stderr,
+                     "FATAL: sampled flows diverged from the exhaustive run "
+                     "at the same flow ids — bit-identity contract broken\n");
+        return 1;
+      }
+    }
+
+    const std::size_t deployed = 100000;
+    const std::size_t stratum = 1000;
+    core::SweepOptions options;
+    options.threads = hw;
+    const core::PopulationEngine engine(core::sim_backend(), options);
+    results.push_back(
+        run_bench("population/sampled_1000_of_100k", "flows", min_time, [&] {
+          (void)engine.run(population_spec(deployed).sampled(stratum));
+          return stratum;
+        }));
+    derived.population_sampled_flows_per_sec = results.back().items_per_sec;
+    // Exhaustive M = 100k wall = M / exhaustive flows/sec; sampled wall =
+    // m / sampled flows/sec. Same per-flow workload (contention is analytic
+    // either way), so the ratio is ~M/m modulo estimator overhead.
+    derived.population_sampling_speedup =
+        (static_cast<double>(deployed) / derived.population_flows_per_sec) /
+        (static_cast<double>(stratum) /
+         derived.population_sampled_flows_per_sec);
   }
 
   // Process sharding (core/shard_io): the same M = 1000 workload split 8

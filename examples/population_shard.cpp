@@ -13,11 +13,25 @@
 // Merge:     ./population_shard --merge s0.shard,...,s7.shard --out merged.json
 // Reference: ./population_shard --run --out single.json
 //
-// The spec knobs (--flows/--windows/--sigma/--seed/--grain) must be
-// identical across every worker and the merge is self-checking beyond
-// that: shard headers carry the campaign parameters, and merging shards
-// of different campaigns or an incomplete chunk cover is an error, not a
-// quietly wrong number.
+// Sampled campaigns (DESIGN.md §2.11): --sample m executes only stratum
+// --round of a seed-derived m-of-M subset while contention stays at the
+// full --flows; the JSON then carries concentration-bound estimates. The
+// sampled fields are part of the campaign identity, so every worker and
+// the merge must agree on them like any other spec knob.
+//
+// The spec knobs (--flows/--windows/--sigma/--seed/--grain/--sample/
+// --round) must be identical across every worker and the merge is
+// self-checking beyond that: shard headers carry the campaign parameters,
+// and merging shards of different campaigns or an incomplete chunk cover
+// is an error, not a quietly wrong number.
+//
+// --progress emits heartbeat lines on stderr — machine-parseable, at most
+// ~1/second — from the flow-level progress callback, which the engine
+// invokes OUTSIDE every lock (the chunk counters are atomics bumped under
+// the checkpoint lock; the formatting and write happen lock-free):
+//   population_shard: progress shard=0/2 chunks=3/11 flows=96/334 eta_s=12.4
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -46,6 +60,8 @@ core::PopulationSpec make_spec(const util::ArgParser& args) {
   spec.experiment.train_windows = windows;
   spec.experiment.test_windows = windows;
   spec.flows = static_cast<std::size_t>(args.integer("--flows"));
+  spec.sample_flows = static_cast<std::size_t>(args.integer("--sample"));
+  spec.sample_round = static_cast<std::size_t>(args.integer("--round"));
   spec.seed = static_cast<std::uint64_t>(args.integer("--seed"));
   spec.keep_per_flow = !args.flag("--drop-per-flow");
   return spec;
@@ -57,6 +73,55 @@ core::SweepOptions make_options(const util::ArgParser& args) {
   options.grain = static_cast<std::size_t>(args.integer("--grain"));
   return options;
 }
+
+/// Throttled stderr heartbeats for multi-hour campaigns. The chunk
+/// counters are written under the engine's chunk lock (cheap atomic
+/// stores); emit() runs from SweepOptions::progress — outside every lock —
+/// so a slow pipe can never stall a checkpoint.
+class ProgressMeter {
+ public:
+  ProgressMeter(std::size_t shard_index, std::size_t shard_count)
+      : shard_index_(shard_index),
+        shard_count_(shard_count),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void set_chunks(std::size_t done, std::size_t total) {
+    chunks_done_.store(done, std::memory_order_relaxed);
+    chunks_total_.store(total, std::memory_order_relaxed);
+  }
+
+  void emit(std::size_t flows_done, std::size_t flows_total) {
+    using namespace std::chrono;
+    const auto now = steady_clock::now();
+    const long long ms = duration_cast<milliseconds>(now - start_).count();
+    long long last = last_emit_ms_.load(std::memory_order_relaxed);
+    const bool final_flow = flows_done == flows_total;
+    if (!final_flow && ms - last < 1000) return;  // ≤ ~1 line/second
+    if (!last_emit_ms_.compare_exchange_strong(last, ms)) return;
+    const double elapsed_s = static_cast<double>(ms) / 1000.0;
+    const double eta_s =
+        flows_done == 0
+            ? 0.0
+            : elapsed_s * static_cast<double>(flows_total - flows_done) /
+                  static_cast<double>(flows_done);
+    std::fprintf(stderr,
+                 "population_shard: progress shard=%zu/%zu chunks=%zu/%zu "
+                 "flows=%zu/%zu eta_s=%.1f\n",
+                 shard_index_, shard_count_,
+                 chunks_done_.load(std::memory_order_relaxed),
+                 chunks_total_.load(std::memory_order_relaxed), flows_done,
+                 flows_total, eta_s);
+    std::fflush(stderr);
+  }
+
+ private:
+  std::size_t shard_index_;
+  std::size_t shard_count_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::size_t> chunks_done_{0};
+  std::atomic<std::size_t> chunks_total_{0};
+  std::atomic<long long> last_emit_ms_{-1000000};
+};
 
 bool write_text_file(const std::string& path, const std::string& text) {
   if (path.empty() || path == "-") {
@@ -104,6 +169,11 @@ int main(int argc, char** argv) {
   args.add_option("--out", "-",
                   "result JSON destination for --merge/--run (- = stdout)");
   args.add_option("--flows", "64", "concurrent padded flows M");
+  args.add_option("--sample", "0",
+                  "sampled mode: simulate only m seed-derived flows of M "
+                  "(0 = exhaustive); contention stays at M");
+  args.add_option("--round", "0",
+                  "sampled mode: which disjoint stratum of the permutation");
   args.add_option("--windows", "4", "train/test windows per class at n_max");
   args.add_option("--sigma", "0",
                   "VIT timer std-dev in microseconds (0 = CIT)");
@@ -112,6 +182,8 @@ int main(int argc, char** argv) {
   args.add_option("--threads", "0", "worker threads (0 = hardware)");
   args.add_flag("--drop-per-flow",
                 "aggregate-only run (omits per-flow rates from the JSON)");
+  args.add_flag("--progress",
+                "heartbeat lines on stderr (chunks done/total, ETA)");
   if (!args.parse(argc, argv)) return 1;
 
   try {
@@ -147,6 +219,16 @@ int main(int argc, char** argv) {
       core::ShardRunOptions durability;
       durability.checkpoint_path = emit;
       durability.resume = args.flag("--resume");
+      ProgressMeter meter(index, count);
+      if (args.flag("--progress")) {
+        durability.chunk_progress = [&meter](std::size_t done,
+                                             std::size_t total) {
+          meter.set_chunks(done, total);
+        };
+        options.progress = [&meter](std::size_t done, std::size_t total) {
+          meter.emit(done, total);
+        };
+      }
       const core::PopulationShard shard = core::run_population_shard(
           make_spec(args), core::sim_backend(), options, durability);
       std::fprintf(stderr, "population_shard: shard %zu/%zu done (%zu chunks) -> %s\n",
@@ -155,7 +237,14 @@ int main(int argc, char** argv) {
     }
 
     if (args.flag("--run")) {
-      core::PopulationEngine engine(core::sim_backend(), make_options(args));
+      core::SweepOptions options = make_options(args);
+      ProgressMeter meter(0, 1);
+      if (args.flag("--progress")) {
+        options.progress = [&meter](std::size_t done, std::size_t total) {
+          meter.emit(done, total);
+        };
+      }
+      core::PopulationEngine engine(core::sim_backend(), options);
       const core::PopulationResult result = engine.run(make_spec(args));
       return write_text_file(args.str("--out"),
                              core::population_result_json(result))

@@ -2,7 +2,7 @@
 """Perf-trajectory regression gate for micro_perf JSON records.
 
 Compares a fresh `micro_perf --json --smoke` record against the committed
-baseline (BENCH_pr5.json) and fails when any throughput metric dropped by
+baseline (BENCH_pr8.json) and fails when any throughput metric dropped by
 more than the threshold (default 25%). Metrics compared:
 
   * every `benchmarks[].items_per_sec`, keyed by benchmark name;
@@ -23,6 +23,11 @@ against an absolute minimum instead of the baseline. Each entry:
 1-core runner, so the floor only binds where the hardware can express it.
 A floored metric missing from the current record always fails.
 
+Metrics that are absent fail, and every absent name is ALSO collected into
+one final stderr line ("perf_gate: MISSING metrics (3): a, b, c") so a
+renamed benchmark section surfaces the full damage in one read instead of
+one name per CI round-trip.
+
 Caveat the budget is sized for: the committed baseline is a min-of-N
 FLOOR recorded on one machine/compiler, while CI runs the gate on shared
 runners with both gcc and clang — absolute throughput carries that
@@ -31,9 +36,10 @@ builds breach the budget, recommit a fresh floor (and/or raise
 --threshold in ci.yml via PERF_GATE_THRESHOLD); do not delete the gate.
 
 Usage:
-  perf_gate.py --baseline BENCH_pr6.json --current BENCH_<tag>.json \
+  perf_gate.py --baseline BENCH_pr8.json --current BENCH_<tag>.json \
                [--threshold 0.25] [--floors perf_floors.json] \
                [--report perf_gate_report.md]
+  perf_gate.py --self-test   # gate the gate: synthetic-record unit checks
 
 Exit status: 0 = within budget, 1 = regression (or missing metric),
 2 = bad invocation / unreadable record.
@@ -97,11 +103,43 @@ def load_floors(path: str) -> list[dict]:
     return floors
 
 
-def check_floors(floors: list[dict], record: dict,
-                 failures: list[str]) -> list[tuple]:
+def compare_to_baseline(baseline: dict[str, float], current: dict[str, float],
+                        threshold: float) -> tuple[list, list, list]:
+    """Baseline comparison: (rows, failures, missing metric names).
+
+    Never stops at the first absent metric — the caller prints the whole
+    missing list in one line, which is the entire point.
+    """
+    rows = []  # (name, base, cur, ratio, status)
+    failures = []
+    missing = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        if name not in current:
+            rows.append((name, base, None, None, "MISSING"))
+            failures.append(f"{name}: present in baseline, absent in current")
+            missing.append(name)
+            continue
+        cur = current[name]
+        ratio = cur / base if base > 0.0 else float("inf")
+        ok = ratio >= 1.0 - threshold
+        rows.append((name, base, cur, ratio, "ok" if ok else "REGRESSED"))
+        if not ok:
+            failures.append(
+                f"{name}: {base:.3e} -> {cur:.3e} "
+                f"({100.0 * (1.0 - ratio):.1f}% drop, budget "
+                f"{100.0 * threshold:.0f}%)")
+    for name in sorted(set(current) - set(baseline)):
+        rows.append((name, None, current[name], None, "new"))
+    return rows, failures, missing
+
+
+def check_floors(floors: list[dict], record: dict, failures: list[str],
+                 missing: list[str]) -> list[tuple]:
     """Evaluate target floors against the CURRENT record.
 
-    Returns report rows (name, floor, value, status); appends to failures.
+    Returns report rows (name, floor, value, status); appends to failures
+    and to the campaign-wide missing-metric list.
     """
     metrics = all_metrics(record)
     hw_threads = int(record.get("hw_threads", 1))
@@ -122,6 +160,7 @@ def check_floors(floors: list[dict], record: dict,
         if value is None:
             rows.append((name, floor, None, "MISSING"))
             failures.append(f"floor {name}: metric absent from current record")
+            missing.append(name)
         elif value < floor:
             rows.append((name, floor, value, "BELOW FLOOR"))
             failures.append(
@@ -131,11 +170,84 @@ def check_floors(floors: list[dict], record: dict,
     return rows
 
 
+def missing_line(missing: list[str]) -> str:
+    """The one loud line that names EVERY absent metric at once."""
+    return (f"perf_gate: MISSING metrics ({len(missing)}): "
+            f"{', '.join(missing)}")
+
+
+def self_test() -> int:
+    """Gate the gate: run the comparison logic on synthetic records.
+
+    CI invokes this so a refactor of perf_gate.py cannot silently turn the
+    gate vacuous. Pure in-memory — no files, no benchmarks.
+    """
+    failures: list[str] = []
+
+    def expect(condition: bool, label: str) -> None:
+        if not condition:
+            failures.append(label)
+
+    base = {"a/x": 100.0, "a/y": 200.0, "derived.z_per_sec": 50.0}
+
+    # Healthy record within budget passes with no failures.
+    rows, fail, miss = compare_to_baseline(
+        base, {"a/x": 95.0, "a/y": 210.0, "derived.z_per_sec": 49.0}, 0.25)
+    expect(not fail and not miss, "healthy record must pass")
+    expect(all(r[4] == "ok" for r in rows), "healthy rows all ok")
+
+    # A >threshold drop is a failure naming the metric.
+    _, fail, miss = compare_to_baseline(base, {"a/x": 10.0, "a/y": 200.0,
+                                               "derived.z_per_sec": 50.0},
+                                        0.25)
+    expect(len(fail) == 1 and "a/x" in fail[0], "deep drop fails by name")
+    expect(not miss, "a present-but-slow metric is not 'missing'")
+
+    # EVERY absent metric is collected — not just the first one hit.
+    _, fail, miss = compare_to_baseline(base, {"a/y": 200.0}, 0.25)
+    expect(miss == ["a/x", "derived.z_per_sec"],
+           "all absent metrics collected in one pass")
+    expect(len(fail) == 2, "each absent metric is its own failure")
+    line = missing_line(miss)
+    expect("(2)" in line and "a/x" in line and "derived.z_per_sec" in line,
+           "missing line names every absent metric at once")
+
+    # New metrics in current never fail (forward-compatible records).
+    _, fail, miss = compare_to_baseline(
+        base, {"a/x": 100.0, "a/y": 200.0, "derived.z_per_sec": 50.0,
+               "b/new": 1.0}, 0.25)
+    expect(not fail and not miss, "new current-only metrics are informational")
+
+    # Floors: below-floor fails, absent fails AND lands in missing,
+    # min_hw_threads skips on small hardware.
+    record = {"benchmarks": [{"name": "a/x", "items_per_sec": 3.0}],
+              "derived": {"speedup": 2.0}, "hw_threads": 4}
+    fail2: list[str] = []
+    miss2: list[str] = []
+    floor_rows = check_floors(
+        [{"metric": "derived.speedup", "floor": 4.0},
+         {"metric": "derived.gone", "floor": 1.0},
+         {"metric": "a/x", "floor": 1.0, "min_hw_threads": 64}],
+        record, fail2, miss2)
+    expect(len(fail2) == 2, "below-floor + absent floor both fail")
+    expect(miss2 == ["derived.gone"], "absent floored metric is missing")
+    expect([r[3] for r in floor_rows] == ["BELOW FLOOR", "MISSING", "skipped"],
+           "floor row statuses")
+
+    if failures:
+        for label in failures:
+            sys.stderr.write(f"perf_gate: self-test FAILED: {label}\n")
+        return 1
+    print("perf_gate: self-test PASS (baseline compare, missing aggregation, "
+          "floors)")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True,
-                        help="committed baseline record (BENCH_pr5.json)")
-    parser.add_argument("--current", required=True,
+    parser.add_argument("--baseline",
+                        help="committed baseline record (BENCH_pr8.json)")
+    parser.add_argument("--current",
                         help="fresh micro_perf --json --smoke record")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max tolerated fractional drop (default 0.25)")
@@ -144,7 +256,15 @@ def main() -> int:
                              "on the current record")
     parser.add_argument("--report", default=None,
                         help="write a markdown comparison report here")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the gate's own unit checks and exit")
     args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        sys.stderr.write("perf_gate: --baseline and --current are required "
+                         "(or use --self-test)\n")
+        return 2
     if not 0.0 < args.threshold < 1.0:
         sys.stderr.write("perf_gate: --threshold must be in (0, 1)\n")
         return 2
@@ -158,30 +278,13 @@ def main() -> int:
     current_record = load_record(args.current)
     current = throughput_metrics(current_record)
 
-    rows = []  # (name, base, cur, ratio, status)
-    failures = []
-    for name in sorted(baseline):
-        base = baseline[name]
-        if name not in current:
-            rows.append((name, base, None, None, "MISSING"))
-            failures.append(f"{name}: present in baseline, absent in current")
-            continue
-        cur = current[name]
-        ratio = cur / base if base > 0.0 else float("inf")
-        ok = ratio >= 1.0 - args.threshold
-        rows.append((name, base, cur, ratio, "ok" if ok else "REGRESSED"))
-        if not ok:
-            failures.append(
-                f"{name}: {base:.3e} -> {cur:.3e} "
-                f"({100.0 * (1.0 - ratio):.1f}% drop, budget "
-                f"{100.0 * args.threshold:.0f}%)")
-    for name in sorted(set(current) - set(baseline)):
-        rows.append((name, None, current[name], None, "new"))
+    rows, failures, missing = compare_to_baseline(baseline, current,
+                                                  args.threshold)
 
     floor_rows = []
     if args.floors:
         floor_rows = check_floors(load_floors(args.floors), current_record,
-                                  failures)
+                                  failures, missing)
 
     verdict = "PASS" if not failures else "FAIL"
     lines = [
@@ -222,6 +325,8 @@ def main() -> int:
         sys.stderr.write("\nperf_gate: FAIL\n")
         for failure in failures:
             sys.stderr.write(f"  {failure}\n")
+        if missing:
+            sys.stderr.write(missing_line(missing) + "\n")
         return 1
     sys.stdout.write(f"\nperf_gate: PASS ({len(rows)} metrics, "
                      f"{len(floor_rows)} floors checked)\n")

@@ -8,13 +8,18 @@ reference and byte-compares the two JSON files — the end-to-end proof
 that process sharding never perturbs a bit (CI runs exactly this).
 
 All workers and the merge MUST share the spec knobs (--flows/--windows/
---sigma/--seed/--grain); this script passes one set to every invocation.
-Shard headers carry the campaign parameters, so a mixed-spec merge fails
-loudly in the binary rather than silently here.
+--sigma/--seed/--grain/--sample/--round); this script passes one set to
+every invocation. Shard headers carry the campaign parameters, so a
+mixed-spec merge fails loudly in the binary rather than silently here.
+
+With --progress each worker emits heartbeat lines on stderr and this
+script aggregates them into one campaign-wide line per second:
+
+  shard_campaign: progress flows=196/334 (59%) chunks=7/11 eta~12s
 
 Usage:
   shard_campaign.py --binary build/population_shard --workers 4 \
-      --flows 200 --outdir /tmp/campaign [--resume] [--check]
+      --flows 200 --outdir /tmp/campaign [--resume] [--check] [--progress]
 
 Exit status: 0 = success (and byte-identical under --check),
 1 = worker/merge failure or a --check mismatch, 2 = bad invocation.
@@ -25,8 +30,66 @@ from __future__ import annotations
 import argparse
 import filecmp
 import pathlib
+import re
 import subprocess
 import sys
+import threading
+import time
+
+# One heartbeat line of a --progress worker, e.g.
+#   population_shard: progress shard=0/2 chunks=3/11 flows=96/334 eta_s=12.4
+PROGRESS_RE = re.compile(
+    r"population_shard: progress shard=(\d+)/(\d+) chunks=(\d+)/(\d+) "
+    r"flows=(\d+)/(\d+) eta_s=([0-9.]+)"
+)
+
+
+class CampaignProgress:
+    """Aggregates per-worker heartbeat lines into campaign-wide totals."""
+
+    def __init__(self, workers: int) -> None:
+        self._lock = threading.Lock()
+        # worker index -> (chunks_done, chunks_total, flows_done,
+        #                  flows_total, eta_s)
+        self._state: dict[int, tuple[int, int, int, int, float]] = {}
+        self._workers = workers
+        self._last_print = 0.0
+
+    def consume(self, worker: int, stream) -> None:
+        """Reader thread body: parse heartbeats, forward everything else."""
+        for raw in iter(stream.readline, b""):
+            line = raw.decode("utf-8", errors="replace").rstrip("\n")
+            match = PROGRESS_RE.match(line)
+            if match is None:
+                # Not a heartbeat (e.g. the final "shard i/N done" line):
+                # forward it verbatim so worker diagnostics are never eaten.
+                print(line, file=sys.stderr)
+                continue
+            shard_index = int(match.group(1))
+            state = (int(match.group(3)), int(match.group(4)),
+                     int(match.group(5)), int(match.group(6)),
+                     float(match.group(7)))
+            with self._lock:
+                self._state[shard_index] = state
+                self._maybe_print_locked()
+        stream.close()
+
+    def _maybe_print_locked(self) -> None:
+        now = time.monotonic()
+        if now - self._last_print < 1.0:
+            return
+        self._last_print = now
+        chunks_done = sum(s[0] for s in self._state.values())
+        chunks_total = sum(s[1] for s in self._state.values())
+        flows_done = sum(s[2] for s in self._state.values())
+        flows_total = sum(s[3] for s in self._state.values())
+        # The campaign finishes when its SLOWEST worker does.
+        eta = max((s[4] for s in self._state.values()), default=0.0)
+        percent = 100 * flows_done // flows_total if flows_total else 0
+        print(f"shard_campaign: progress flows={flows_done}/{flows_total} "
+              f"({percent}%) chunks={chunks_done}/{chunks_total} "
+              f"eta~{eta:.0f}s [{len(self._state)}/{self._workers} workers "
+              f"reporting]", file=sys.stderr)
 
 
 def main() -> int:
@@ -36,6 +99,11 @@ def main() -> int:
     parser.add_argument("--workers", type=int, default=2,
                         help="number of shard worker processes")
     parser.add_argument("--flows", type=int, default=64)
+    parser.add_argument("--sample", type=int, default=0,
+                        help="sampled mode: simulate only m seed-derived "
+                             "flows of M (0 = exhaustive)")
+    parser.add_argument("--round", type=int, default=0,
+                        help="sampled mode: which disjoint stratum")
     parser.add_argument("--windows", type=int, default=4)
     parser.add_argument("--sigma", type=float, default=0.0,
                         help="VIT timer std-dev in microseconds (0 = CIT)")
@@ -47,6 +115,9 @@ def main() -> int:
                         help="directory for shard files and result JSON")
     parser.add_argument("--resume", action="store_true",
                         help="let workers reuse completed chunks on disk")
+    parser.add_argument("--progress", action="store_true",
+                        help="aggregate per-worker heartbeats into one "
+                             "campaign progress line per second")
     parser.add_argument("--check", action="store_true",
                         help="also run the single-process reference and "
                              "byte-compare the result JSON")
@@ -64,6 +135,8 @@ def main() -> int:
 
     spec = [
         "--flows", str(args.flows),
+        "--sample", str(args.sample),
+        "--round", str(getattr(args, "round")),
         "--windows", str(args.windows),
         "--sigma", str(args.sigma),
         "--seed", str(args.seed),
@@ -72,6 +145,8 @@ def main() -> int:
 
     # Launch every worker, then wait: the whole point is that shards are
     # independent processes with no shared state but the filesystem.
+    progress = CampaignProgress(args.workers) if args.progress else None
+    readers = []
     shard_files = []
     procs = []
     for i in range(args.workers):
@@ -82,7 +157,16 @@ def main() -> int:
                "--threads", str(args.threads)] + spec
         if args.resume:
             cmd.append("--resume")
-        procs.append((i, subprocess.Popen(cmd)))
+        if progress is not None:
+            cmd.append("--progress")
+            proc = subprocess.Popen(cmd, stderr=subprocess.PIPE)
+            reader = threading.Thread(target=progress.consume,
+                                      args=(i, proc.stderr), daemon=True)
+            reader.start()
+            readers.append(reader)
+        else:
+            proc = subprocess.Popen(cmd)
+        procs.append((i, proc))
 
     failed = False
     for i, proc in procs:
@@ -90,6 +174,8 @@ def main() -> int:
             print(f"shard_campaign: worker {i}/{args.workers} failed "
                   f"(exit {proc.returncode})", file=sys.stderr)
             failed = True
+    for reader in readers:
+        reader.join(timeout=5.0)
     if failed:
         return 1
 

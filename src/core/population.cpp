@@ -12,6 +12,7 @@
 #include <string>
 #include <utility>
 
+#include "stats/concentration.hpp"
 #include "stats/quantile_sketch.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -76,12 +77,72 @@ std::size_t population_chunk_count(std::size_t flows, std::size_t grain) {
 
 namespace {
 
+/// Salt separating the sampling permutation's key schedule from every flow
+/// substream (flow ids and kCalibrationSalt both feed derive_point_seed on
+/// the raw seed; the permutation keys derive from seed ^ salt).
+constexpr std::uint64_t kSampleSalt = 0x73616d706c656431ULL;  // "sampled1"
+
+}  // namespace
+
+std::vector<std::size_t> sampled_flow_ids(std::size_t flows, std::size_t m,
+                                          std::size_t round,
+                                          std::uint64_t seed) {
+  LINKPAD_EXPECTS(flows >= 1);
+  LINKPAD_EXPECTS(m >= 1 && m <= flows);
+  LINKPAD_EXPECTS(round <= (flows - m) / m);  // (round+1)·m ≤ flows, no overflow
+
+  // Feistel domain: the smallest even-bit power of two covering `flows`
+  // (even so the two halves are the same width). At most 4·flows, so the
+  // cycle walk below terminates in ~4 expected steps.
+  int bits = 2;
+  while ((std::uint64_t{1} << bits) < flows) bits += 2;
+  const int half_bits = bits / 2;
+  const std::uint64_t mask = (std::uint64_t{1} << half_bits) - 1;
+
+  std::uint64_t keys[4];
+  for (std::uint64_t r = 0; r < 4; ++r) {
+    keys[r] = derive_point_seed(seed ^ kSampleSalt, r);
+  }
+  const auto permute = [&](std::uint64_t x) {
+    std::uint64_t left = x >> half_bits;
+    std::uint64_t right = x & mask;
+    for (const std::uint64_t key : keys) {
+      const std::uint64_t next = left ^ (derive_point_seed(key, right) & mask);
+      left = right;
+      right = next;
+    }
+    return (left << half_bits) | right;
+  };
+
+  std::vector<std::size_t> ids;
+  ids.reserve(m);
+  for (std::size_t p = round * m; p < round * m + m; ++p) {
+    // Cycle-walk: the permutation is a bijection on [0, 2^bits); following
+    // the orbit from a position < flows must re-enter [0, flows) — and the
+    // first re-entry point is itself a bijection of the position, so
+    // distinct positions (hence distinct rounds) select distinct flows.
+    std::uint64_t x = permute(p);
+    while (x >= flows) x = permute(x);
+    ids.push_back(static_cast<std::size_t>(x));
+  }
+  return ids;
+}
+
+namespace {
+
 void validate_spec(const PopulationSpec& spec) {
   LINKPAD_EXPECTS(spec.flows >= 1);
   LINKPAD_EXPECTS(spec.contention_flows == 0 ||
                   spec.contention_flows >= spec.flows);
   LINKPAD_EXPECTS(spec.detection_threshold > 0.0 &&
                   spec.detection_threshold <= 1.0);
+  if (spec.is_sampled()) {
+    LINKPAD_EXPECTS(spec.sample_flows <= spec.flows);
+    LINKPAD_EXPECTS(spec.sample_round <=
+                    (spec.flows - spec.sample_flows) / spec.sample_flows);
+  } else {
+    LINKPAD_EXPECTS(spec.sample_round == 0);
+  }
 }
 
 }  // namespace
@@ -99,9 +160,19 @@ std::vector<ChunkAggregate> PopulationEngine::run_chunks(
     const std::function<void(std::size_t, const ChunkAggregate&)>& on_chunk)
     const {
   validate_spec(spec);
-  const std::size_t flows = spec.flows;
+  // Everything below runs in the EXECUTED index space: m slots when
+  // sampled, M when exhaustive. The chunk partition, shard ownership and
+  // progress totals all live there; only the per-flow seed (and the
+  // contention model, which resolves from spec.flows regardless) sees the
+  // real flow ids.
+  const std::size_t flows = spec.executed_flows();
   const std::size_t grain = resolved_flow_grain(flows, options_.grain);
   const std::size_t total_chunks = population_chunk_count(flows, grain);
+  std::vector<std::size_t> sampled_ids;
+  if (spec.is_sampled()) {
+    sampled_ids = sampled_flow_ids(spec.flows, spec.sample_flows,
+                                   spec.sample_round, spec.seed);
+  }
   for (std::size_t i = 0; i < chunk_ids.size(); ++i) {
     LINKPAD_EXPECTS(chunk_ids[i] < total_chunks);
     LINKPAD_EXPECTS(i == 0 || chunk_ids[i - 1] < chunk_ids[i]);
@@ -152,7 +223,8 @@ std::vector<ChunkAggregate> PopulationEngine::run_chunks(
         if (spec.keep_per_flow) chunk.per_flow.reserve(count);
 
         for (std::size_t f = begin; f < end; ++f) {
-          flow_spec.seed = derive_point_seed(spec.seed, f);
+          const std::size_t flow_id = spec.is_sampled() ? sampled_ids[f] : f;
+          flow_spec.seed = derive_point_seed(spec.seed, flow_id);
           ExperimentResult result = engine.run(flow_spec);
           LINKPAD_ENSURES(result.by_sample_size.size() == ns.size());
           for (std::size_t i = 0; i < ns.size(); ++i) {
@@ -206,15 +278,24 @@ std::vector<ChunkAggregate> PopulationEngine::run_chunks(
 PopulationResult finalize_population(ChunkAggregate all, std::size_t flows,
                                      const std::vector<std::size_t>& sample_sizes,
                                      double detection_threshold,
-                                     Seconds mean_interval) {
+                                     Seconds mean_interval,
+                                     const SampledFinalize* sampled) {
   LINKPAD_EXPECTS(flows >= 1);
   LINKPAD_EXPECTS(all.first_flow == 0);
   LINKPAD_EXPECTS(all.flow_count() == flows);
   LINKPAD_EXPECTS(all.rates.size() == sample_sizes.size());
+  if (sampled != nullptr) {
+    LINKPAD_EXPECTS(sampled->flow_ids.size() == flows);
+    LINKPAD_EXPECTS(sampled->population >= flows);
+  }
 
   PopulationResult result;
   result.flow_count = flows;
   result.per_flow = std::move(all.per_flow);
+  if (sampled != nullptr) {
+    result.sampled_from = sampled->population;
+    result.sampled_ids = sampled->flow_ids;
+  }
 
   // Finalize the order-sensitive aggregates over the merged flow-order
   // rates: P² marker state depends on feed order, so the fixed order is
@@ -239,7 +320,9 @@ PopulationResult finalize_population(ChunkAggregate all, std::size_t flows,
       if (rate < point.min_rate) point.min_rate = rate;
       if (rate > point.max_rate) {
         point.max_rate = rate;
-        point.worst_flow = f;
+        // worst_flow names the REAL flow id so a sampled campaign's worst
+        // case is actionable against the deployed population.
+        point.worst_flow = sampled != nullptr ? sampled->flow_ids[f] : f;
       }
     }
     point.detected_fraction = static_cast<double>(detected) / m;
@@ -247,6 +330,21 @@ PopulationResult finalize_population(ChunkAggregate all, std::size_t flows,
     point.quantiles = {q05.value(), q25.value(), q50.value(), q75.value(),
                        q95.value()};
     result.by_sample_size.push_back(point);
+
+    if (sampled != nullptr) {
+      SampledEstimates est;
+      est.sample_size = sample_sizes[i];
+      const stats::ConfidenceInterval det = stats::wilson_interval(
+          detected, flows, sampled->confidence);
+      est.detected_fraction = {det.point, det.lo, det.hi, flows,
+                               sampled->population};
+      const stats::ConfidenceInterval mean = stats::hoeffding_interval(
+          point.mean_rate, flows, 0.0, 1.0, sampled->confidence);
+      est.mean_rate = {mean.point, mean.lo, mean.hi, flows,
+                       sampled->population};
+      est.dkw_epsilon = stats::dkw_epsilon(flows, sampled->confidence);
+      result.estimates.push_back(est);
+    }
 
     if (!result.first_detection_n && detected > 0) {
       result.first_detection_n = sample_sizes[i];
@@ -275,6 +373,21 @@ PopulationResult finalize_population(ChunkAggregate all, std::size_t flows,
     result.mean_padding_bps = padding_sum / m;
     result.mean_wire_bps = wire_sum / m;
     result.mean_dummy_fraction = dummy_sum / m;
+    if (sampled != nullptr) {
+      // Empirical Bernstein needs the SAMPLE variance: second pass over the
+      // per-flow dummy fractions (still flow-order, still deterministic).
+      double ss = 0.0;
+      for (const FlowOverhead& oh : all.overhead) {
+        const double d = oh.dummy_fraction - *result.mean_dummy_fraction;
+        ss += d * d;
+      }
+      const double variance = flows >= 2 ? ss / (m - 1.0) : 0.0;
+      const stats::ConfidenceInterval dummy = stats::bernstein_interval(
+          *result.mean_dummy_fraction, variance, flows, 0.0, 1.0,
+          sampled->confidence);
+      result.dummy_fraction_estimate = PopulationEstimate{
+          dummy.point, dummy.lo, dummy.hi, flows, sampled->population};
+    }
   }
   if (all_delay) result.worst_delay_p95 = worst_delay;
 
@@ -287,9 +400,9 @@ PopulationResult PopulationEngine::run(const PopulationSpec& spec) const {
   // run() silently computing 1/Nth of the population would corrupt every
   // aggregate.
   LINKPAD_EXPECTS(options_.shard_count <= 1);
-  const std::size_t grain = resolved_flow_grain(spec.flows, options_.grain);
-  std::vector<std::size_t> all_chunks(
-      population_chunk_count(spec.flows, grain));
+  const std::size_t executed = spec.executed_flows();
+  const std::size_t grain = resolved_flow_grain(executed, options_.grain);
+  std::vector<std::size_t> all_chunks(population_chunk_count(executed, grain));
   std::iota(all_chunks.begin(), all_chunks.end(), std::size_t{0});
   std::vector<ChunkAggregate> chunks = run_chunks(spec, all_chunks);
 
@@ -300,14 +413,85 @@ PopulationResult PopulationEngine::run(const PopulationSpec& spec) const {
       std::move(chunks),
       [](ChunkAggregate& left, ChunkAggregate& right) { left.merge(right); });
 
+  std::optional<SampledFinalize> sampled;
+  if (spec.is_sampled()) {
+    sampled.emplace();
+    sampled->population = spec.flows;
+    sampled->flow_ids = sampled_flow_ids(spec.flows, spec.sample_flows,
+                                         spec.sample_round, spec.seed);
+  }
   return finalize_population(
-      std::move(all), spec.flows, spec.experiment.sample_sizes(),
+      std::move(all), executed, spec.experiment.sample_sizes(),
       spec.detection_threshold,
-      spec.experiment.scenario.base.policy->mean_interval());
+      spec.experiment.scenario.base.policy->mean_interval(),
+      sampled ? &*sampled : nullptr);
 }
 
 PopulationResult run_population(const PopulationSpec& spec) {
   return PopulationEngine().run(spec);
+}
+
+PopulationResult run_sampled_until(const PopulationSpec& spec,
+                                   const AdaptiveSamplingOptions& adaptive,
+                                   const ExperimentBackend& backend,
+                                   SweepOptions options) {
+  LINKPAD_EXPECTS(!spec.is_sampled());  // the driver owns the sampling fields
+  LINKPAD_EXPECTS(adaptive.round_flows >= 1 &&
+                  adaptive.round_flows <= spec.flows);
+  LINKPAD_EXPECTS(adaptive.target_half_width > 0.0);
+  LINKPAD_EXPECTS(options.shard_count <= 1);
+  const PopulationEngine engine(backend, std::move(options));
+
+  // Accumulated strata, rebased to permutation-position space: round r's
+  // chunk at local first_flow x covers positions r·m + x, so consecutive
+  // rounds concatenate into exactly the prefix a single (k·m)-flow sampled
+  // run would execute — the aggregates are bit-identical to it.
+  std::vector<ChunkAggregate> accumulated;
+  SampledFinalize view;
+  view.population = spec.flows;
+  view.confidence = adaptive.confidence;
+
+  const std::size_t available_rounds = spec.flows / adaptive.round_flows;
+  PopulationResult result;
+  for (std::size_t round = 0; round < available_rounds; ++round) {
+    if (adaptive.max_rounds != 0 && round >= adaptive.max_rounds) break;
+    const PopulationSpec round_spec =
+        spec.sampled(adaptive.round_flows, round);
+    const std::size_t grain =
+        resolved_flow_grain(adaptive.round_flows, engine.options().grain);
+    std::vector<std::size_t> chunk_ids(
+        population_chunk_count(adaptive.round_flows, grain));
+    std::iota(chunk_ids.begin(), chunk_ids.end(), std::size_t{0});
+    std::vector<ChunkAggregate> chunks = engine.run_chunks(round_spec,
+                                                           chunk_ids);
+    for (ChunkAggregate& chunk : chunks) {
+      chunk.first_flow += round * adaptive.round_flows;
+      accumulated.push_back(std::move(chunk));
+    }
+    const std::vector<std::size_t> round_ids = sampled_flow_ids(
+        spec.flows, adaptive.round_flows, round, spec.seed);
+    view.flow_ids.insert(view.flow_ids.end(), round_ids.begin(),
+                         round_ids.end());
+
+    // Re-finalize over a COPY: later rounds keep extending the accumulated
+    // sequence, and the tree reduction consumes its input.
+    std::vector<ChunkAggregate> partials = accumulated;
+    ChunkAggregate all = util::tree_reduce(
+        std::move(partials),
+        [](ChunkAggregate& left, ChunkAggregate& right) { left.merge(right); });
+    result = finalize_population(
+        std::move(all), view.flow_ids.size(), spec.experiment.sample_sizes(),
+        spec.detection_threshold,
+        spec.experiment.scenario.base.policy->mean_interval(), &view);
+
+    double worst_half_width = 0.0;
+    for (const SampledEstimates& est : result.estimates) {
+      worst_half_width =
+          std::max(worst_half_width, est.detected_fraction.half_width());
+    }
+    if (worst_half_width <= adaptive.target_half_width) break;
+  }
+  return result;
 }
 
 }  // namespace linkpad::core

@@ -55,6 +55,21 @@ struct PopulationSpec {
   /// Number of tapped flows M (each gets its own adversary pipeline).
   std::size_t flows = 1;
 
+  /// Sampled execution mode (DESIGN.md §2.11): when non-zero, the engine
+  /// simulates only this many flows — stratum `sample_round` of a
+  /// seed-derived pseudorandom permutation of [0, flows) — while the
+  /// contention model stays at the FULL population (effective_contention()
+  /// still resolves from `flows`). Cross-load is analytic per flow, so each
+  /// sampled flow's capture is bitwise identical to the same flow_id in the
+  /// exhaustive run; aggregates over the sample carry concentration-bound
+  /// error bars (PopulationResult::estimates). 0 ⇒ exhaustive.
+  std::size_t sample_flows = 0;
+
+  /// Which disjoint stratum of the sampling permutation to execute:
+  /// positions [round·m, (round+1)·m). Rounds never overlap, which is what
+  /// lets run_sampled_until grow the sample by whole strata.
+  std::size_t sample_round = 0;
+
   /// Number of flows loading the shared path. 0 ⇒ `flows` (every tapped
   /// flow is also on the link). Each flow's hops then carry the wire rate
   /// of the OTHER contention_flows - 1 padded streams as cross traffic.
@@ -82,9 +97,29 @@ struct PopulationSpec {
 
   std::uint64_t seed = 20030324;
 
-  /// contention_flows, with 0 resolved to `flows`.
+  /// contention_flows, with 0 resolved to `flows`. Sampling never changes
+  /// this: a sampled run keeps the full M flows on the link.
   [[nodiscard]] std::size_t effective_contention() const {
     return contention_flows == 0 ? flows : contention_flows;
+  }
+
+  /// A copy of this spec in sampled mode: simulate stratum `round` (m flows)
+  /// of the deployed population of `flows`.
+  [[nodiscard]] PopulationSpec sampled(std::size_t m,
+                                       std::size_t round = 0) const {
+    PopulationSpec out = *this;
+    out.sample_flows = m;
+    out.sample_round = round;
+    return out;
+  }
+
+  [[nodiscard]] bool is_sampled() const { return sample_flows != 0; }
+
+  /// Number of flows a run of this spec actually simulates: m when sampled,
+  /// M when exhaustive. The chunk partition (and the shard ownership map)
+  /// lives in this executed index space.
+  [[nodiscard]] std::size_t executed_flows() const {
+    return sample_flows == 0 ? flows : sample_flows;
   }
 
   /// The shared scenario under population cross-load. Each contention flow
@@ -167,6 +202,20 @@ struct ChunkAggregate {
 [[nodiscard]] std::size_t population_chunk_count(std::size_t flows,
                                                  std::size_t grain);
 
+/// The flow ids stratum `round` of the sampling permutation selects:
+/// positions [round·m, (round+1)·m) of a seed-keyed pseudorandom
+/// permutation of [0, flows), in permutation order. Implemented as a
+/// 4-round Feistel network over the smallest even-bit power-of-two domain
+/// covering `flows`, cycle-walked back into range — a bijection evaluated
+/// in O(1) memory, so selecting 1k of 10M flows never materializes the
+/// population. Pure integer function of (flows, m, round, seed): identical
+/// on every thread, shard, and platform. Distinct rounds are disjoint by
+/// construction. Requires 1 ≤ m ≤ flows and (round+1)·m ≤ flows.
+[[nodiscard]] std::vector<std::size_t> sampled_flow_ids(std::size_t flows,
+                                                        std::size_t m,
+                                                        std::size_t round,
+                                                        std::uint64_t seed);
+
 /// Detection-rate quantiles over the population (stats::P2Quantile; exact
 /// for M ≤ 5, documented ~1% sketch accuracy beyond).
 struct RateQuantiles {
@@ -191,6 +240,40 @@ struct PopulationPoint {
   /// (ties break to the lowest flow id).
   std::size_t worst_flow = 0;
   RateQuantiles quantiles;
+};
+
+/// Two-sided confidence level every sampled-mode estimate is computed at
+/// unless a caller (run_sampled_until) asks otherwise. A constant, not a
+/// spec knob: merge_shards must finalize with the same level as the
+/// single-process run for the byte-diffed JSON to agree.
+inline constexpr double kDefaultEstimateConfidence = 0.95;
+
+/// A population-level estimate extrapolated from a sample: the point value
+/// measured over the m executed flows plus a finite-sample [lo, hi] bound
+/// on the corresponding exhaustive-M value (stats/concentration).
+struct PopulationEstimate {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  std::size_t m = 0;  ///< flows the estimate was measured on
+  std::size_t M = 0;  ///< deployed population it speaks for
+
+  [[nodiscard]] double half_width() const { return (hi - lo) / 2.0; }
+};
+
+/// Per-sample-size error bars of a sampled run, parallel to
+/// PopulationResult::by_sample_size.
+struct SampledEstimates {
+  std::size_t sample_size = 0;
+  /// Wilson score interval on the population detected fraction.
+  PopulationEstimate detected_fraction;
+  /// Hoeffding interval on the population mean detection rate (rates are
+  /// bounded in [0, 1], so the bound needs no variance estimate).
+  PopulationEstimate mean_rate;
+  /// DKW band half-width: the sample's rate ECDF (hence each reported
+  /// quantile's plotting position) is within ±dkw_epsilon of the
+  /// population ECDF, simultaneously over the whole curve.
+  double dkw_epsilon = 0.0;
 };
 
 /// Outcome of a population run: per-flow experiment results (slot = flow
@@ -222,8 +305,23 @@ struct PopulationResult {
   std::optional<Seconds> worst_delay_p95;
 
   /// Number of flows the run executed (per_flow.size() when per-flow
-  /// results were kept, still M when they were dropped).
+  /// results were kept; the executed count when they were dropped).
   std::size_t flow_count = 0;
+
+  /// Sampled-mode provenance: the deployed population M the executed flows
+  /// were drawn from (0 ⇒ exhaustive run), the real flow ids executed (slot
+  /// i of per_flow / of each rates row is flow sampled_ids[i]), and one
+  /// error-bar block per sample size. All empty/zero when exhaustive.
+  std::size_t sampled_from = 0;
+  std::vector<std::size_t> sampled_ids;
+  std::vector<SampledEstimates> estimates;
+  /// Empirical-Bernstein interval on the population mean dummy fraction
+  /// (per-flow dummy fractions concentrate tightly under a common policy,
+  /// where Bernstein beats Hoeffding); absent when overhead accounting is
+  /// (or exhaustive mode makes estimates) unavailable.
+  std::optional<PopulationEstimate> dummy_fraction_estimate;
+
+  [[nodiscard]] bool is_sampled() const { return sampled_from != 0; }
 
   [[nodiscard]] std::size_t flows() const { return flow_count; }
 
@@ -277,13 +375,47 @@ class PopulationEngine {
 /// partial sequences). `all` must cover flows [0, flows) in order;
 /// `mean_interval` is the padding policy's mean timer interval (converts
 /// first_detection_n to observation time).
+///
+/// For a sampled run, pass a SampledFinalize: `flows` is then the executed
+/// count m, execution slot i is real flow `sampled.flow_ids[i]` (worst_flow
+/// reports real ids), and the result carries concentration-bound estimates
+/// for the population of `sampled.population` flows.
+struct SampledFinalize {
+  std::size_t population = 0;          ///< deployed M behind the sample
+  std::vector<std::size_t> flow_ids;   ///< executed ids, execution order
+  double confidence = kDefaultEstimateConfidence;
+};
+
 [[nodiscard]] PopulationResult finalize_population(ChunkAggregate all,
                                                    std::size_t flows,
                                                    const std::vector<std::size_t>& sample_sizes,
                                                    double detection_threshold,
-                                                   Seconds mean_interval);
+                                                   Seconds mean_interval,
+                                                   const SampledFinalize* sampled = nullptr);
 
 /// Run one population experiment on the default simulated backend.
 PopulationResult run_population(const PopulationSpec& spec);
+
+/// Adaptive sampling driver: add disjoint strata of `round_flows` flows
+/// until the widest per-sample-size Wilson half-width on the detected
+/// fraction reaches `target_half_width` (or the permutation runs out of
+/// whole strata, or `max_rounds` caps the loop).
+struct AdaptiveSamplingOptions {
+  std::size_t round_flows = 256;
+  double target_half_width = 0.05;
+  double confidence = kDefaultEstimateConfidence;
+  std::size_t max_rounds = 0;  ///< 0 ⇒ only stratum exhaustion stops growth
+};
+
+/// Runs spec.sampled(round_flows, r) for r = 0, 1, … — each round's chunks
+/// computed by the normal chunked/threaded path — concatenating rounds via
+/// the same ChunkAggregate/tree_reduce machinery and re-finalizing after
+/// each, until the stopping rule fires. `spec` must be exhaustive (the
+/// driver owns the sampling fields); requires round_flows ≤ spec.flows.
+/// The result is bit-identical to a single spec.sampled(k·round_flows)-
+/// style run over the same k strata at any thread count or grain.
+[[nodiscard]] PopulationResult run_sampled_until(
+    const PopulationSpec& spec, const AdaptiveSamplingOptions& adaptive,
+    const ExperimentBackend& backend = sim_backend(), SweepOptions options = {});
 
 }  // namespace linkpad::core

@@ -585,16 +585,19 @@ ChunkAggregate parse_chunk_line(const JsonValue& v, std::size_t* chunk_id) {
   return chunk;
 }
 
-// Validate one chunk against the (flows, grain) partition and the header's
-// axis; `chunk_id` must be the partition slot its first_flow implies.
+// Validate one chunk against the (executed_flows, grain) partition and the
+// header's axis; `chunk_id` must be the partition slot its first_flow
+// implies. A sampled campaign partitions the m executed slots, not the
+// deployed M.
 void validate_chunk(const PopulationShard& header, std::size_t chunk_id,
                     const ChunkAggregate& chunk) {
-  const std::size_t total = population_chunk_count(header.flows, header.grain);
+  const std::size_t executed = header.executed_flows();
+  const std::size_t total = population_chunk_count(executed, header.grain);
   if (chunk_id >= total) {
     throw std::invalid_argument("shard_io: chunk id beyond partition");
   }
   const std::size_t begin = chunk_id * header.grain;
-  const std::size_t end = std::min(header.flows, begin + header.grain);
+  const std::size_t end = std::min(executed, begin + header.grain);
   if (chunk.first_flow != begin || chunk.flow_count() != end - begin) {
     throw std::invalid_argument("shard_io: chunk does not match the (flows, grain) partition");
   }
@@ -627,6 +630,8 @@ PopulationShard parse_shard_header_line(const JsonValue& v) {
   shard.shard_count = v.at("shard_count").as_size();
   shard.flows = v.at("flows").as_size();
   shard.grain = v.at("grain").as_size();
+  shard.sample_flows = v.at("sample_flows").as_size();
+  shard.sample_round = v.at("sample_round").as_size();
   for (const auto& n : v.at("sample_sizes").as_array()) {
     shard.sample_sizes.push_back(n.as_size());
   }
@@ -639,6 +644,16 @@ PopulationShard parse_shard_header_line(const JsonValue& v) {
   }
   if (shard.flows == 0 || shard.grain == 0) {
     throw std::invalid_argument("shard_io: bad partition parameters in header");
+  }
+  if (shard.sample_flows == 0) {
+    if (shard.sample_round != 0) {
+      throw std::invalid_argument(
+          "shard_io: exhaustive header carries a sample round");
+    }
+  } else if (shard.sample_flows > shard.flows ||
+             shard.sample_round >
+                 (shard.flows - shard.sample_flows) / shard.sample_flows) {
+    throw std::invalid_argument("shard_io: bad sampled-subset fields in header");
   }
   return shard;
 }
@@ -703,7 +718,7 @@ double decode_double(const std::string& hex) {
 // ------------------------------------------------------------- shard model
 
 std::vector<std::size_t> PopulationShard::owned_chunk_ids() const {
-  const std::size_t total = population_chunk_count(flows, grain);
+  const std::size_t total = population_chunk_count(executed_flows(), grain);
   std::vector<std::size_t> ids;
   for (std::size_t c = shard_index; c < total; c += shard_count) ids.push_back(c);
   return ids;
@@ -712,6 +727,8 @@ std::vector<std::size_t> PopulationShard::owned_chunk_ids() const {
 bool PopulationShard::same_campaign(const PopulationShard& other) const {
   return version == other.version && shard_count == other.shard_count &&
          flows == other.flows && grain == other.grain &&
+         sample_flows == other.sample_flows &&
+         sample_round == other.sample_round &&
          sample_sizes == other.sample_sizes &&
          std::bit_cast<std::uint64_t>(detection_threshold) ==
              std::bit_cast<std::uint64_t>(other.detection_threshold) &&
@@ -728,7 +745,9 @@ PopulationShard make_shard_header(const PopulationSpec& spec,
   shard.shard_index = options.shard_index;
   shard.shard_count = options.shard_count;
   shard.flows = spec.flows;
-  shard.grain = resolved_flow_grain(spec.flows, options.grain);
+  shard.grain = resolved_flow_grain(spec.executed_flows(), options.grain);
+  shard.sample_flows = spec.sample_flows;
+  shard.sample_round = spec.sample_round;
   shard.sample_sizes = spec.experiment.sample_sizes();
   shard.detection_threshold = spec.detection_threshold;
   shard.mean_interval = spec.experiment.scenario.base.policy->mean_interval();
@@ -750,6 +769,10 @@ std::string serialize_shard_header(const PopulationShard& shard) {
   append_u64(out, shard.flows);
   out += ",\"grain\":";
   append_u64(out, shard.grain);
+  out += ",\"sample_flows\":";
+  append_u64(out, shard.sample_flows);
+  out += ",\"sample_round\":";
+  append_u64(out, shard.sample_round);
   out += ",\"sample_sizes\":[";
   for (std::size_t i = 0; i < shard.sample_sizes.size(); ++i) {
     if (i != 0) out.push_back(',');
@@ -904,24 +927,38 @@ PopulationShard run_population_shard(const PopulationSpec& spec,
   }
 
   const std::string header_line = serialize_shard_header(shard);
+  const std::size_t owned_total = shard.owned_chunk_ids().size();
+  std::size_t chunks_done = completed.size();  // resumed chunks count as done
   std::function<void(std::size_t, const ChunkAggregate&)> on_chunk;
-  if (!durability.checkpoint_path.empty()) {
+  if (!durability.checkpoint_path.empty() || durability.chunk_progress) {
     // run_chunks serializes on_chunk invocations, so the maps need no lock.
     // Rewriting the whole file per chunk keeps the on-disk bytes a pure
     // function of the completed set: sorted by chunk id, independent of
     // completion order, so kill + resume converges to the uninterrupted
-    // file byte for byte.
+    // file byte for byte. chunk_progress fires AFTER the checkpoint commit,
+    // so a reported count is always durable.
     on_chunk = [&](std::size_t id, const ChunkAggregate& chunk) {
-      lines.emplace(id, serialize_chunk(id, chunk));
-      std::string text = header_line;
-      text.push_back('\n');
-      for (const auto& [cid, line] : lines) {
-        (void)cid;
-        text += line;
+      if (!durability.checkpoint_path.empty()) {
+        lines.emplace(id, serialize_chunk(id, chunk));
+        std::string text = header_line;
         text.push_back('\n');
+        for (const auto& [cid, line] : lines) {
+          (void)cid;
+          text += line;
+          text.push_back('\n');
+        }
+        atomic_write_file(durability.checkpoint_path, text);
       }
-      atomic_write_file(durability.checkpoint_path, text);
+      ++chunks_done;
+      if (durability.chunk_progress) {
+        durability.chunk_progress(chunks_done, owned_total);
+      }
     };
+  }
+  if (durability.chunk_progress) {
+    // Report the resumed baseline immediately so a restarted worker is
+    // never silent before its first fresh chunk.
+    durability.chunk_progress(chunks_done, owned_total);
   }
 
   SweepOptions engine_options = options;
@@ -964,8 +1001,8 @@ PopulationResult merge_shards(std::vector<PopulationShard> shards) {
     }
   }
 
-  // Reassemble the full chunk sequence in flow order and check it covers
-  // the (flows, grain) partition exactly once.
+  // Reassemble the full chunk sequence in execution order and check it
+  // covers the (executed_flows, grain) partition exactly once.
   std::vector<ChunkAggregate> chunks;
   for (auto& shard : shards) {
     for (auto& chunk : shard.chunks) chunks.push_back(std::move(chunk));
@@ -985,10 +1022,11 @@ PopulationResult merge_shards(std::vector<PopulationShard> shards) {
     }
     expect_flow += chunk.flow_count();
   }
-  if (expect_flow != head.flows) {
+  const std::size_t executed = head.executed_flows();
+  if (expect_flow != executed) {
     std::ostringstream msg;
     msg << "shard_io: merged chunks cover " << expect_flow << " of "
-        << head.flows << " flows — a shard is missing or incomplete";
+        << executed << " flows — a shard is missing or incomplete";
     throw std::invalid_argument(msg.str());
   }
 
@@ -996,8 +1034,16 @@ PopulationResult merge_shards(std::vector<PopulationShard> shards) {
   ChunkAggregate all = util::tree_reduce(
       std::move(chunks),
       [](ChunkAggregate& left, ChunkAggregate& right) { left.merge(right); });
-  return finalize_population(std::move(all), head.flows, head.sample_sizes,
-                             head.detection_threshold, head.mean_interval);
+  std::optional<SampledFinalize> sampled;
+  if (head.sample_flows != 0) {
+    sampled.emplace();
+    sampled->population = head.flows;
+    sampled->flow_ids = sampled_flow_ids(head.flows, head.sample_flows,
+                                         head.sample_round, head.seed);
+  }
+  return finalize_population(std::move(all), executed, head.sample_sizes,
+                             head.detection_threshold, head.mean_interval,
+                             sampled ? &*sampled : nullptr);
 }
 
 PopulationResult merge_shard_files(const std::vector<std::string>& paths) {
@@ -1170,6 +1216,21 @@ void append_optional_result_double(std::string& out,
   }
 }
 
+void append_population_estimate(std::string& out,
+                                const PopulationEstimate& est) {
+  out += "{\"point\": ";
+  append_result_double(out, est.point);
+  out += ", \"lo\": ";
+  append_result_double(out, est.lo);
+  out += ", \"hi\": ";
+  append_result_double(out, est.hi);
+  out += ", \"m\": ";
+  append_u64(out, est.m);
+  out += ", \"M\": ";
+  append_u64(out, est.M);
+  out.push_back('}');
+}
+
 }  // namespace
 
 std::string population_result_json(const PopulationResult& result) {
@@ -1191,6 +1252,34 @@ std::string population_result_json(const PopulationResult& result) {
   append_optional_result_double(out, result.mean_dummy_fraction);
   out += ",\n  \"worst_delay_p95\": ";
   append_optional_result_double(out, result.worst_delay_p95);
+  out += ",\n  \"sampled_from\": ";
+  append_u64(out, result.sampled_from);
+  out += ",\n  \"estimates\": ";
+  if (result.estimates.empty()) {
+    out += "null";
+  } else {
+    out.push_back('[');
+    for (std::size_t i = 0; i < result.estimates.size(); ++i) {
+      const SampledEstimates& est = result.estimates[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"n\": ";
+      append_u64(out, est.sample_size);
+      out += ", \"detected_fraction\": ";
+      append_population_estimate(out, est.detected_fraction);
+      out += ", \"mean_rate\": ";
+      append_population_estimate(out, est.mean_rate);
+      out += ", \"dkw_epsilon\": ";
+      append_result_double(out, est.dkw_epsilon);
+      out.push_back('}');
+    }
+    out += "\n  ]";
+  }
+  out += ",\n  \"dummy_fraction_estimate\": ";
+  if (result.dummy_fraction_estimate.has_value()) {
+    append_population_estimate(out, *result.dummy_fraction_estimate);
+  } else {
+    out += "null";
+  }
   out += ",\n  \"by_sample_size\": [";
   for (std::size_t i = 0; i < result.by_sample_size.size(); ++i) {
     const PopulationPoint& p = result.by_sample_size[i];

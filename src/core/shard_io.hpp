@@ -40,8 +40,9 @@ namespace linkpad::core {
 
 /// Version stamp of the shard serialization format. Bump on ANY change to
 /// the schema below; merge and resume refuse mismatched versions instead
-/// of guessing.
-inline constexpr std::uint64_t kShardFormatVersion = 1;
+/// of guessing. v2 added the sampled-subset fields (sample_flows,
+/// sample_round) to the header.
+inline constexpr std::uint64_t kShardFormatVersion = 2;
 
 // ------------------------------------------------------------ exact doubles
 
@@ -64,6 +65,11 @@ struct PopulationShard {
   std::size_t shard_count = 1;
   std::size_t flows = 0;
   std::size_t grain = 1;
+  /// Sampled-subset coordinates (PopulationSpec::sample_flows /
+  /// sample_round): 0/0 for an exhaustive campaign. Part of the campaign
+  /// identity — a sampled shard never merges with an exhaustive one.
+  std::size_t sample_flows = 0;
+  std::size_t sample_round = 0;
   std::vector<std::size_t> sample_sizes;
   double detection_threshold = 0.75;
   Seconds mean_interval = 0.0;
@@ -71,8 +77,14 @@ struct PopulationShard {
   bool keep_per_flow = true;
   std::vector<ChunkAggregate> chunks;
 
+  /// Flows the campaign executes — the index space of the chunk partition:
+  /// sample_flows when sampled, flows when exhaustive.
+  [[nodiscard]] std::size_t executed_flows() const {
+    return sample_flows == 0 ? flows : sample_flows;
+  }
+
   /// Chunk ids this shard is responsible for: {c : c ≡ shard_index (mod
-  /// shard_count)} over the (flows, grain) partition, ascending.
+  /// shard_count)} over the (executed_flows, grain) partition, ascending.
   [[nodiscard]] std::vector<std::size_t> owned_chunk_ids() const;
 
   /// True when `other` describes the same campaign (all header fields
@@ -130,6 +142,13 @@ struct ShardRunOptions {
   /// the same campaign + shard coordinates; a mismatch throws rather than
   /// silently merging foreign chunks.
   bool resume = false;
+  /// Invoked after each chunk completes (and, when checkpointing, after its
+  /// checkpoint committed) with (chunks done, chunks owned by this shard) —
+  /// resumed chunks count as done from the start, so a restarted worker
+  /// reports where it really is. Runs UNDER the internal chunk lock; keep
+  /// it to counter updates and emit heartbeat lines from
+  /// SweepOptions::progress, which runs outside every lock.
+  std::function<void(std::size_t, std::size_t)> chunk_progress;
 };
 
 /// Run shard (options.shard_index / options.shard_count) of the population:
@@ -150,11 +169,12 @@ struct ShardRunOptions {
 // ------------------------------------------------------------------ merge
 
 /// Merge N shards of one campaign into the final PopulationResult: verify
-/// the headers agree and the chunk union covers the (flows, grain)
+/// the headers agree and the chunk union covers the (executed_flows, grain)
 /// partition exactly once, tree-reduce the deserialized ChunkAggregates in
 /// chunk order (ordered concatenation — the same fixed-shape reduction the
 /// single-process run uses), and run the order-sensitive finalize exactly
-/// once. Bit-identical to PopulationEngine::run of the same spec.
+/// once (with the sampled-estimate view when the campaign is sampled).
+/// Bit-identical to PopulationEngine::run of the same spec.
 [[nodiscard]] PopulationResult merge_shards(std::vector<PopulationShard> shards);
 
 /// read_shard_file over every path, then merge_shards.

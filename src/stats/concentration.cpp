@@ -1,0 +1,91 @@
+#include "stats/concentration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special_math.hpp"
+#include "util/check.hpp"
+
+namespace linkpad::stats {
+namespace {
+
+/// ln(2/δ) for the two-sided bounds; validates confidence ∈ (0, 1).
+double log_two_over_delta(double confidence) {
+  LINKPAD_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  return std::log(2.0 / (1.0 - confidence));
+}
+
+ConfidenceInterval clamped(double mean, double eps, double lo, double hi) {
+  ConfidenceInterval ci;
+  ci.point = mean;
+  ci.lo = std::max(lo, mean - eps);
+  ci.hi = std::min(hi, mean + eps);
+  return ci;
+}
+
+}  // namespace
+
+ConfidenceInterval wilson_interval(std::size_t successes, std::size_t trials,
+                                   double confidence) {
+  LINKPAD_EXPECTS(trials >= 1 && successes <= trials);
+  LINKPAD_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z = normal_quantile(0.5 + confidence / 2.0);
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double spread =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  ConfidenceInterval ci;
+  ci.point = p;
+  ci.lo = std::max(0.0, center - spread);
+  ci.hi = std::min(1.0, center + spread);
+  // center - spread is 0 (resp. 1) in exact arithmetic at p̂ = 0 (resp. 1);
+  // snap away the sqrt rounding so the interval always contains p̂.
+  if (successes == 0) ci.lo = 0.0;
+  if (successes == trials) ci.hi = 1.0;
+  return ci;
+}
+
+double hoeffding_epsilon(std::size_t n, double range, double confidence) {
+  LINKPAD_EXPECTS(n >= 1 && range >= 0.0);
+  return range *
+         std::sqrt(log_two_over_delta(confidence) / (2.0 * static_cast<double>(n)));
+}
+
+ConfidenceInterval hoeffding_interval(double sample_mean, std::size_t n,
+                                      double bound_lo, double bound_hi,
+                                      double confidence) {
+  LINKPAD_EXPECTS(bound_hi >= bound_lo);
+  const double eps = hoeffding_epsilon(n, bound_hi - bound_lo, confidence);
+  return clamped(sample_mean, eps, bound_lo, bound_hi);
+}
+
+double bernstein_epsilon(double sample_variance, std::size_t n, double range,
+                         double confidence) {
+  LINKPAD_EXPECTS(n >= 1 && range >= 0.0 && sample_variance >= 0.0);
+  const double log_term = log_two_over_delta(confidence);
+  if (n < 2) return range;  // no variance estimate possible: trivial bound
+  const double nd = static_cast<double>(n);
+  return std::sqrt(2.0 * sample_variance * log_term / nd) +
+         7.0 * range * log_term / (3.0 * (nd - 1.0));
+}
+
+ConfidenceInterval bernstein_interval(double sample_mean,
+                                      double sample_variance, std::size_t n,
+                                      double bound_lo, double bound_hi,
+                                      double confidence) {
+  LINKPAD_EXPECTS(bound_hi >= bound_lo);
+  const double eps =
+      bernstein_epsilon(sample_variance, n, bound_hi - bound_lo, confidence);
+  return clamped(sample_mean, eps, bound_lo, bound_hi);
+}
+
+double dkw_epsilon(std::size_t n, double confidence) {
+  LINKPAD_EXPECTS(n >= 1);
+  return std::sqrt(log_two_over_delta(confidence) /
+                   (2.0 * static_cast<double>(n)));
+}
+
+}  // namespace linkpad::stats

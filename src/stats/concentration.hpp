@@ -1,0 +1,75 @@
+// Finite-sample concentration bounds for sampled population aggregates.
+//
+// When the population axis runs in sampled mode (DESIGN.md §2.11) the engine
+// simulates only m of M flows and must report aggregate metrics with honest
+// error bars. Everything here is a *non-asymptotic* bound:
+//
+//  - Wilson score interval for proportions (detected fraction). Not a
+//    concentration inequality in the strict sense, but the standard
+//    small-sample proportion interval with far better coverage than Wald.
+//  - Hoeffding's inequality for means of values bounded in a known range
+//    (detection rates live in [0, 1]).
+//  - The empirical-Bernstein bound (Maurer & Pontil 2009) for bounded means
+//    with small sample variance — strictly tighter than Hoeffding when the
+//    population is concentrated (e.g. per-flow dummy fractions under a
+//    common policy), at the cost of a 1/(m−1) additive term.
+//  - The Dvoretzky–Kiefer–Wolfowitz band for the whole empirical CDF, which
+//    turns the per-sample quantile sketches into a simultaneous band on the
+//    population distribution.
+//
+// The engine samples WITHOUT replacement from a finite population of M.
+// All four bounds are stated for i.i.d. sampling; by Hoeffding's reduction
+// (1963, §6) the without-replacement versions concentrate at least as fast,
+// so using the i.i.d. forms (no finite-population correction) is
+// conservative: measured coverage ≥ nominal. The coverage harness in
+// tests/core/sampling_test.cpp checks exactly that against brute-force
+// exhaustive runs.
+#pragma once
+
+#include <cstddef>
+
+namespace linkpad::stats {
+
+/// A two-sided confidence interval [lo, hi] around a point estimate.
+struct ConfidenceInterval {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] double half_width() const { return (hi - lo) / 2.0; }
+};
+
+/// Wilson score interval for a Bernoulli proportion from `successes` out of
+/// `trials` (trials ≥ 1) at two-sided level `confidence` in (0, 1).
+ConfidenceInterval wilson_interval(std::size_t successes, std::size_t trials,
+                                   double confidence);
+
+/// Hoeffding deviation ε(n, δ) = range · sqrt(ln(2/δ) / (2n)) for the mean
+/// of n values spanning at most `range`; δ = 1 − confidence.
+double hoeffding_epsilon(std::size_t n, double range, double confidence);
+
+/// Two-sided Hoeffding interval for the mean of n values known to lie in
+/// [bound_lo, bound_hi]; the interval is clamped to those bounds.
+ConfidenceInterval hoeffding_interval(double sample_mean, std::size_t n,
+                                      double bound_lo, double bound_hi,
+                                      double confidence);
+
+/// Empirical-Bernstein deviation (Maurer–Pontil):
+///   ε = sqrt(2 V ln(2/δ) / n) + 7 · range · ln(2/δ) / (3 (n − 1))
+/// where V is the *sample* variance (n−1 denominator). Requires n ≥ 2;
+/// n = 1 falls back to the trivial full-range bound.
+double bernstein_epsilon(double sample_variance, std::size_t n, double range,
+                         double confidence);
+
+/// Two-sided empirical-Bernstein interval for the mean of n values in
+/// [bound_lo, bound_hi] with sample variance `sample_variance`; clamped.
+ConfidenceInterval bernstein_interval(double sample_mean,
+                                      double sample_variance, std::size_t n,
+                                      double bound_lo, double bound_hi,
+                                      double confidence);
+
+/// Dvoretzky–Kiefer–Wolfowitz band half-width: with probability ≥
+/// `confidence`, sup_x |F_n(x) − F(x)| ≤ sqrt(ln(2/δ) / (2n)).
+double dkw_epsilon(std::size_t n, double confidence);
+
+}  // namespace linkpad::stats

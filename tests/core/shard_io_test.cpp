@@ -207,12 +207,25 @@ PopulationShard random_shard(util::Rng& rng) {
   shard.mean_interval = random_double(rng);
   shard.seed = util::SplitMix64::mix(static_cast<std::uint64_t>(rng.uniform(0.0, 1e9)));
   shard.keep_per_flow = rng.uniform01() < 0.5;
+  if (rng.uniform01() < 0.5) {
+    // Sampled campaign: a valid (m, round) pair — chunks then live in the
+    // executed (m-flow) index space, not the deployed M.
+    shard.sample_flows =
+        1 + static_cast<std::size_t>(rng.uniform01() *
+                                     static_cast<double>(shard.flows - 1));
+    const std::size_t max_round =
+        (shard.flows - shard.sample_flows) / shard.sample_flows;
+    shard.sample_round = static_cast<std::size_t>(
+        rng.uniform01() * static_cast<double>(max_round + 1));
+    if (shard.sample_round > max_round) shard.sample_round = max_round;
+  }
 
   for (const std::size_t id : shard.owned_chunk_ids()) {
     ChunkAggregate chunk;
     chunk.first_flow = id * shard.grain;
     const std::size_t count =
-        std::min(shard.flows, chunk.first_flow + shard.grain) - chunk.first_flow;
+        std::min(shard.executed_flows(), chunk.first_flow + shard.grain) -
+        chunk.first_flow;
     chunk.rates.resize(axis_points);
     for (auto& row : chunk.rates) {
       for (std::size_t f = 0; f < count; ++f) row.push_back(random_double(rng));
@@ -606,9 +619,9 @@ TEST(ShardMerge, ForeignCampaignIsALoudError) {
 TEST(ShardParse, FormatVersionDriftIsALoudError) {
   const auto shards = run_all_shards(shard_spec(4, 3), 1, 1, 1);
   std::string text = serialize_shard(shards[0]);
-  const std::string v1 = "{\"linkpad_shard\":1";
-  ASSERT_EQ(text.rfind(v1, 0), 0u);
-  text.replace(0, v1.size(), "{\"linkpad_shard\":2");
+  const std::string v2 = "{\"linkpad_shard\":2";
+  ASSERT_EQ(text.rfind(v2, 0), 0u);
+  text.replace(0, v2.size(), "{\"linkpad_shard\":3");
   try {
     (void)parse_shard(text);
     FAIL() << "expected std::invalid_argument";

@@ -1,0 +1,136 @@
+// stats/concentration: the finite-sample bounds the sampled population mode
+// reports. Checked here as pure math — closed-form anchor values, monotone
+// shrinkage in n, clamping, and degenerate inputs. The statistical coverage
+// claim (measured coverage >= nominal against brute-force exhaustive truth)
+// lives in tests/core/sampling_test.cpp where real populations exist.
+#include "stats/concentration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace linkpad::stats {
+namespace {
+
+// ---------------------------------------------------------------- Wilson
+
+TEST(Wilson, ContainsTheSampleProportion) {
+  const auto ci = wilson_interval(30, 100, 0.95);
+  EXPECT_DOUBLE_EQ(ci.point, 0.3);
+  EXPECT_LT(ci.lo, 0.3);
+  EXPECT_GT(ci.hi, 0.3);
+  EXPECT_GE(ci.lo, 0.0);
+  EXPECT_LE(ci.hi, 1.0);
+}
+
+TEST(Wilson, MatchesTheTextbookValueAt30Of100) {
+  // Wilson 95% for p̂ = 0.3, n = 100: [0.2189, 0.3958] (z = 1.95996...).
+  const auto ci = wilson_interval(30, 100, 0.95);
+  EXPECT_NEAR(ci.lo, 0.21895, 5e-5);
+  EXPECT_NEAR(ci.hi, 0.39585, 5e-5);
+}
+
+TEST(Wilson, ExtremeProportionsStayInsideTheUnitInterval) {
+  const auto none = wilson_interval(0, 20, 0.95);
+  EXPECT_DOUBLE_EQ(none.point, 0.0);
+  EXPECT_DOUBLE_EQ(none.lo, 0.0);
+  EXPECT_GT(none.hi, 0.0);  // zero successes still admit a nonzero rate
+  const auto all = wilson_interval(20, 20, 0.95);
+  EXPECT_DOUBLE_EQ(all.point, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+}
+
+TEST(Wilson, WidthShrinksWithTrialsAndGrowsWithConfidence) {
+  const double w100 = wilson_interval(30, 100, 0.95).half_width();
+  const double w1000 = wilson_interval(300, 1000, 0.95).half_width();
+  EXPECT_LT(w1000, w100);
+  const double w99 = wilson_interval(30, 100, 0.99).half_width();
+  EXPECT_GT(w99, w100);
+}
+
+TEST(Wilson, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)wilson_interval(1, 0, 0.95), ContractViolation);
+  EXPECT_THROW((void)wilson_interval(5, 4, 0.95), ContractViolation);
+  EXPECT_THROW((void)wilson_interval(1, 10, 0.0), ContractViolation);
+  EXPECT_THROW((void)wilson_interval(1, 10, 1.0), ContractViolation);
+}
+
+// -------------------------------------------------------------- Hoeffding
+
+TEST(Hoeffding, ClosedFormEpsilon) {
+  // ε = R sqrt(ln(2/δ)/(2n)): R = 1, δ = 0.05, n = 50.
+  const double expected = std::sqrt(std::log(2.0 / 0.05) / (2.0 * 50.0));
+  EXPECT_DOUBLE_EQ(hoeffding_epsilon(50, 1.0, 0.95), expected);
+  // Scales linearly in the range.
+  EXPECT_DOUBLE_EQ(hoeffding_epsilon(50, 2.0, 0.95), 2.0 * expected);
+}
+
+TEST(Hoeffding, IntervalClampsToTheKnownBounds) {
+  const auto ci = hoeffding_interval(0.02, 10, 0.0, 1.0, 0.95);
+  EXPECT_DOUBLE_EQ(ci.point, 0.02);
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);  // 0.02 - ε < 0 clamps
+  EXPECT_GT(ci.hi, 0.02);
+  EXPECT_LE(ci.hi, 1.0);
+}
+
+TEST(Hoeffding, EpsilonShrinksAtRootNRate) {
+  const double e100 = hoeffding_epsilon(100, 1.0, 0.95);
+  const double e400 = hoeffding_epsilon(400, 1.0, 0.95);
+  EXPECT_NEAR(e400, e100 / 2.0, 1e-12);
+}
+
+// -------------------------------------------------------------- Bernstein
+
+TEST(Bernstein, TighterThanHoeffdingWhenVarianceIsSmall) {
+  // Maurer-Pontil beats Hoeffding once V << R^2/4; dummy fractions under a
+  // common policy concentrate like this.
+  const double hoeff = hoeffding_epsilon(200, 1.0, 0.95);
+  const double bern = bernstein_epsilon(1e-4, 200, 1.0, 0.95);
+  EXPECT_LT(bern, hoeff);
+}
+
+TEST(Bernstein, FallsBackToTheFullRangeWithoutAVariance) {
+  // n = 1 has no sample variance: the bound degrades to the trivial range.
+  EXPECT_DOUBLE_EQ(bernstein_epsilon(0.0, 1, 1.0, 0.95), 1.0);
+  EXPECT_DOUBLE_EQ(bernstein_epsilon(0.0, 1, 2.5, 0.95), 2.5);
+  EXPECT_THROW((void)bernstein_epsilon(0.0, 0, 1.0, 0.95), ContractViolation);
+}
+
+TEST(Bernstein, ClosedFormEpsilon) {
+  const double v = 0.01;
+  const std::size_t n = 100;
+  const double log_term = std::log(2.0 / 0.05);
+  const double expected = std::sqrt(2.0 * v * log_term / n) +
+                          7.0 * log_term / (3.0 * (n - 1.0));
+  EXPECT_DOUBLE_EQ(bernstein_epsilon(v, n, 1.0, 0.95), expected);
+}
+
+TEST(Bernstein, IntervalClampsToTheKnownBounds) {
+  const auto ci = bernstein_interval(0.98, 0.2, 5, 0.0, 1.0, 0.95);
+  EXPECT_LE(ci.hi, 1.0);
+  EXPECT_GE(ci.lo, 0.0);
+}
+
+// -------------------------------------------------------------------- DKW
+
+TEST(Dkw, ClosedFormEpsilon) {
+  const double expected = std::sqrt(std::log(2.0 / 0.05) / (2.0 * 250.0));
+  EXPECT_DOUBLE_EQ(dkw_epsilon(250, 0.95), expected);
+}
+
+TEST(Dkw, MatchesHoeffdingOnTheUnitRange) {
+  // The DKW band half-width IS the Hoeffding epsilon at range 1 — both are
+  // sqrt(ln(2/δ)/(2n)). Keeping them equal is a cross-check on both.
+  EXPECT_DOUBLE_EQ(dkw_epsilon(77, 0.9), hoeffding_epsilon(77, 1.0, 0.9));
+}
+
+TEST(Dkw, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)dkw_epsilon(0, 0.95), ContractViolation);
+  EXPECT_THROW((void)dkw_epsilon(10, -0.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace linkpad::stats
