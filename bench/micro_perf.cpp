@@ -3,7 +3,9 @@
 // vs the pooled InlineCallback + TimerTask core, on the CIT testbed's event
 // pattern), PIAT generation through the full testbed, feature extraction
 // (batch extractors vs streaming window accumulators vs the five-feature
-// DetectorBank inner loop), KDE evaluation, the M/G/1 stationary-wait
+// DetectorBank inner loop), the streaming change-point update loop
+// (two-sided CUSUM / adaptive-EWMA per-PIAT cost), KDE evaluation, the
+// M/G/1 stationary-wait
 // sampler, normal sampling (polar vs Ziggurat) and the prefix-replay
 // curve pipeline (Fig 4(b)'s detection-vs-n workload, one engine run per
 // point vs one collapsed run — outcomes asserted bit-identical), plus the
@@ -268,6 +270,9 @@ struct DerivedMetrics {
   double bank_five_feature_piats_per_sec = 0.0;
   /// Whole-window add_span fan-out vs per-sample add, five-feature bank.
   double bank_span_speedup = 0.0;
+  /// Two-sided CUSUM detector updates/sec (per-PIAT sequential cost of the
+  /// streaming change-point attack, classify/cpd.hpp).
+  double cpd_updates_per_sec = 0.0;
   /// Streaming accumulator vs batch extractor, variance feature.
   double streaming_vs_batch_variance = 0.0;
   /// Fig 4(b) curve points/sec through the prefix-replay engine.
@@ -316,6 +321,8 @@ void print_table(const std::vector<BenchResult>& results,
               "(streaming/batch variance: %.2fx, span path: %.2fx)\n",
               derived.bank_five_feature_piats_per_sec,
               derived.streaming_vs_batch_variance, derived.bank_span_speedup);
+  std::printf("change-point (CUSUM) detector updates: %.3e updates/sec\n",
+              derived.cpd_updates_per_sec);
   std::printf("Fig 4(b) curve throughput: %.3e points/sec "
               "(prefix replay vs per-point sims: %.2fx)\n",
               derived.curve_points_per_sec, derived.curve_speedup_fig4b);
@@ -343,7 +350,7 @@ void print_json(const std::vector<BenchResult>& results,
   // scaling target is meaningless on a 1-core CI box).
   const unsigned hw_threads =
       std::max(1u, std::thread::hardware_concurrency());
-  std::printf("{\n  \"version\": 7,\n  \"hw_threads\": %u,\n"
+  std::printf("{\n  \"version\": 8,\n  \"hw_threads\": %u,\n"
               "  \"benchmarks\": [\n",
               hw_threads);
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -357,6 +364,7 @@ void print_json(const std::vector<BenchResult>& results,
               "    \"event_core_speedup_cit\": %.4f,\n"
               "    \"bank_five_feature_piats_per_sec\": %.6e,\n"
               "    \"bank_span_speedup\": %.4f,\n"
+              "    \"cpd_updates_per_sec\": %.6e,\n"
               "    \"streaming_vs_batch_variance\": %.4f,\n"
               "    \"curve_points_per_sec\": %.6e,\n"
               "    \"curve_speedup_fig4b\": %.4f,\n"
@@ -372,6 +380,7 @@ void print_json(const std::vector<BenchResult>& results,
               derived.event_core_speedup_cit,
               derived.bank_five_feature_piats_per_sec,
               derived.bank_span_speedup,
+              derived.cpd_updates_per_sec,
               derived.streaming_vs_batch_variance,
               derived.curve_points_per_sec, derived.curve_speedup_fig4b,
               derived.ziggurat_normal_speedup,
@@ -628,6 +637,43 @@ int main(int argc, char** argv) {
                                               (v < 0.0 ? 1 : 0));
           }));
       derived.bank_span_speedup = results.back().items_per_sec / per_sample_ips;
+    }
+  }
+
+  // Streaming change-point detectors: per-PIAT cost of one two-sided
+  // update (both sides advanced + threshold bookkeeping) for the CUSUM
+  // (Gaussian LLR) and adaptive-EWMA schemes of classify/cpd.hpp. The
+  // CUSUM number is the headline cpd_updates_per_sec: it bounds how fast a
+  // change-point adversary can ride the DetectorBank pass.
+  {
+    util::Rng rng(11);
+    std::vector<std::vector<double>> pools(2);
+    for (std::size_t c = 0; c < 2; ++c) {
+      const double mean = c == 0 ? 0.10 : 0.11;
+      pools[c].reserve(4096);
+      for (int i = 0; i < 4096; ++i) {
+        pools[c].push_back(mean +
+                           0.01 * stats::sample_standard_normal(rng));
+      }
+    }
+    const std::vector<double>& stream = pools[0];  // null-class replay
+    for (const auto kind :
+         {classify::CpdKind::kCusum, classify::CpdKind::kAdaptiveEwma}) {
+      classify::CpdConfig config;
+      config.kind = kind;
+      const auto model = classify::CpdModel::train(config, pools);
+      auto state = model.initial_state();
+      const std::string name = std::string("cpd/") +
+                               (kind == classify::CpdKind::kCusum
+                                    ? "cusum_update_4k"
+                                    : "ewma_update_4k");
+      results.push_back(run_bench(name, "updates", min_time, [&] {
+        for (const double x : stream) model.update(state, x);
+        return static_cast<std::uint64_t>(stream.size());
+      }));
+      if (kind == classify::CpdKind::kCusum) {
+        derived.cpd_updates_per_sec = results.back().items_per_sec;
+      }
     }
   }
 

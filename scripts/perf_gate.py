@@ -121,7 +121,15 @@ def compare_to_baseline(baseline: dict[str, float], current: dict[str, float],
             missing.append(name)
             continue
         cur = current[name]
-        ratio = cur / base if base > 0.0 else float("inf")
+        if base <= 0.0:
+            # A zero/negative baseline makes every ratio vacuous — any
+            # current value would "pass". That is a broken recording (a
+            # benchmark that measured nothing), not a license to skip the
+            # metric silently: report it loudly so it gets re-recorded.
+            rows.append((name, base, cur, None,
+                         "SKIPPED (non-positive baseline)"))
+            continue
+        ratio = cur / base
         ok = ratio >= 1.0 - threshold
         rows.append((name, base, cur, ratio, "ok" if ok else "REGRESSED"))
         if not ok:
@@ -218,6 +226,21 @@ def self_test() -> int:
                "b/new": 1.0}, 0.25)
     expect(not fail and not miss, "new current-only metrics are informational")
 
+    # A zero (or negative) baseline must never pass silently: it used to
+    # map to ratio = inf, which no threshold can fail. It is surfaced as a
+    # loud SKIPPED row instead — not a failure, but never an "ok" either.
+    rows, fail, miss = compare_to_baseline(
+        {"a/x": 0.0, "a/y": 200.0}, {"a/x": 0.0, "a/y": 200.0}, 0.25)
+    skipped = [r for r in rows if r[0] == "a/x"]
+    expect(len(skipped) == 1 and
+           skipped[0][4] == "SKIPPED (non-positive baseline)",
+           "zero baseline surfaces as a SKIPPED row")
+    expect(skipped[0][3] is None, "zero baseline reports no ratio")
+    expect(not fail and not miss,
+           "zero baseline is a notice, not a regression failure")
+    expect(all(r[4] != "ok" for r in skipped),
+           "zero baseline must never read as ok")
+
     # Floors: below-floor fails, absent fails AND lands in missing,
     # min_hw_threads skips on small hardware.
     record = {"benchmarks": [{"name": "a/x", "items_per_sec": 3.0}],
@@ -280,6 +303,12 @@ def main() -> int:
 
     rows, failures, missing = compare_to_baseline(baseline, current,
                                                   args.threshold)
+    for name, base, _cur, _ratio, status in rows:
+        if status.startswith("SKIPPED"):
+            sys.stderr.write(
+                f"perf_gate: NOTICE — {name} skipped: non-positive baseline "
+                f"({base:g}); this metric gates NOTHING until a valid "
+                f"baseline is recommitted\n")
 
     floor_rows = []
     if args.floors:

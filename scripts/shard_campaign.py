@@ -52,6 +52,7 @@ class CampaignProgress:
         # worker index -> (chunks_done, chunks_total, flows_done,
         #                  flows_total, eta_s)
         self._state: dict[int, tuple[int, int, int, int, float]] = {}
+        self._finished: set[int] = set()
         self._workers = workers
         self._last_print = 0.0
 
@@ -73,6 +74,29 @@ class CampaignProgress:
                 self._state[shard_index] = state
                 self._maybe_print_locked()
         stream.close()
+        # Stream EOF = worker process exited: its last heartbeat's ETA is
+        # stale (the worker is DONE, not eta_s away from done). Zero it so
+        # the campaign max() no longer pins on a finished worker.
+        self.finish(worker)
+
+    def finish(self, worker: int) -> None:
+        """Mark a worker's process as exited: its ETA no longer counts."""
+        with self._lock:
+            self._finished.add(worker)
+            state = self._state.get(worker)
+            if state is not None:
+                self._state[worker] = state[:4] + (0.0,)
+
+    def campaign_eta(self) -> float:
+        """ETA of the slowest still-running worker (0 when all finished)."""
+        with self._lock:
+            return self._eta_locked()
+
+    def _eta_locked(self) -> float:
+        # The campaign finishes when its SLOWEST *running* worker does;
+        # finished workers contribute 0, never their last-seen estimate.
+        return max((s[4] for w, s in self._state.items()
+                    if w not in self._finished), default=0.0)
 
     def _maybe_print_locked(self) -> None:
         now = time.monotonic()
@@ -83,13 +107,68 @@ class CampaignProgress:
         chunks_total = sum(s[1] for s in self._state.values())
         flows_done = sum(s[2] for s in self._state.values())
         flows_total = sum(s[3] for s in self._state.values())
-        # The campaign finishes when its SLOWEST worker does.
-        eta = max((s[4] for s in self._state.values()), default=0.0)
+        eta = self._eta_locked()
         percent = 100 * flows_done // flows_total if flows_total else 0
         print(f"shard_campaign: progress flows={flows_done}/{flows_total} "
               f"({percent}%) chunks={chunks_done}/{chunks_total} "
               f"eta~{eta:.0f}s [{len(self._state)}/{self._workers} workers "
               f"reporting]", file=sys.stderr)
+
+
+def self_test() -> int:
+    """Unit tests for CampaignProgress (run with --self-test; CI runs this)."""
+    failures: list[str] = []
+
+    def expect(condition: bool, label: str) -> None:
+        if not condition:
+            failures.append(label)
+            print(f"self-test FAIL: {label}", file=sys.stderr)
+
+    def heartbeat(shard: int, workers: int, chunks: int, chunks_total: int,
+                  flows: int, flows_total: int, eta: float) -> bytes:
+        return (f"population_shard: progress shard={shard}/{workers} "
+                f"chunks={chunks}/{chunks_total} flows={flows}/{flows_total} "
+                f"eta_s={eta}\n").encode()
+
+    import io
+
+    # A worker's heartbeats feed the aggregate; its ETA counts while running.
+    progress = CampaignProgress(2)
+    progress.consume(0, io.BytesIO(heartbeat(0, 2, 3, 11, 96, 334, 12.4)))
+    expect(progress.campaign_eta() == 0.0,
+           "worker 0 exited (stream EOF) -> its ETA must not linger")
+
+    # The regression: a finished worker's LAST heartbeat must not pin the
+    # campaign ETA while a slower worker is still running.
+    progress = CampaignProgress(2)
+    fast = io.BytesIO(heartbeat(0, 2, 11, 11, 334, 334, 57.0))
+    progress.consume(0, fast)           # fast worker heartbeats, then exits
+    with progress._lock:                # slow worker still mid-flight
+        progress._state[1] = (3, 11, 96, 334, 12.4)
+    expect(progress.campaign_eta() == 12.4,
+           "campaign ETA must track the running worker, not the stale 57 s "
+           "estimate of the finished one")
+
+    # All workers finished: ETA collapses to zero.
+    progress.finish(1)
+    expect(progress.campaign_eta() == 0.0, "all finished -> eta 0")
+
+    # finish() before any heartbeat (a worker that dies instantly) is safe.
+    progress = CampaignProgress(1)
+    progress.finish(0)
+    expect(progress.campaign_eta() == 0.0, "finish before heartbeat is safe")
+
+    # Non-heartbeat lines are forwarded, not parsed (no crash, no state).
+    progress = CampaignProgress(1)
+    progress.consume(0, io.BytesIO(b"population_shard: shard 0/1 done\n"))
+    expect(not progress._state, "diagnostic lines leave no heartbeat state")
+
+    if failures:
+        print(f"shard_campaign --self-test: {len(failures)} failure(s)",
+              file=sys.stderr)
+        return 1
+    print("shard_campaign --self-test: all checks passed")
+    return 0
 
 
 def main() -> int:
@@ -121,6 +200,10 @@ def main() -> int:
     parser.add_argument("--check", action="store_true",
                         help="also run the single-process reference and "
                              "byte-compare the result JSON")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the CampaignProgress unit tests and exit")
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
     args = parser.parse_args()
 
     if args.workers < 1:
@@ -170,9 +253,14 @@ def main() -> int:
 
     failed = False
     for i, proc in procs:
-        if proc.wait() != 0:
+        exit_code = proc.wait()
+        if progress is not None:
+            # Belt and braces: the reader thread also calls finish() at
+            # stream EOF, but the wait() is the authoritative exit signal.
+            progress.finish(i)
+        if exit_code != 0:
             print(f"shard_campaign: worker {i}/{args.workers} failed "
-                  f"(exit {proc.returncode})", file=sys.stderr)
+                  f"(exit {exit_code})", file=sys.stderr)
             failed = True
     for reader in readers:
         reader.join(timeout=5.0)

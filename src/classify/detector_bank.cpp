@@ -21,6 +21,12 @@ Detector::Detector(DetectorSpec spec, std::size_t num_classes)
   // Mirror EdfClassifier::train's floor so a bad knob fails at
   // construction, not deep inside train() with an internal-state message.
   if (is_edf()) LINKPAD_EXPECTS(spec_.edf_max_reference >= 16);
+  if (is_cpd()) {
+    LINKPAD_EXPECTS(!is_edf());
+    // The two-sided schemes target one class per side (cpd.hpp).
+    LINKPAD_EXPECTS(num_classes == 2);
+    LINKPAD_EXPECTS(spec_.cpd->max_training_samples >= 2);
+  }
   if (!needs_bin_width()) prepare();
 }
 
@@ -36,10 +42,13 @@ Detector::Detector(const Detector& other)
       priors_(other.priors_),
       classifier_(other.classifier_),
       confusion_(other.confusion_),
+      cpd_model_(other.cpd_model_),
+      cpd_states_(other.cpd_states_),
       checkpoints_(other.checkpoints_),
       test_consumed_(other.test_consumed_),
       next_checkpoint_(other.next_checkpoint_),
-      checkpoint_rows_(other.checkpoint_rows_) {
+      checkpoint_rows_(other.checkpoint_rows_),
+      cpd_rows_(other.cpd_rows_) {
   accumulators_.reserve(other.accumulators_.size());
   for (const auto& acc : other.accumulators_) {
     accumulators_.push_back(acc->clone());
@@ -54,6 +63,7 @@ Detector& Detector::operator=(const Detector& other) {
 }
 
 std::string Detector::name() const {
+  if (is_cpd()) return spec_.cpd->name();
   if (is_edf()) {
     return spec_.edf == EdfDistance::kKolmogorovSmirnov ? "EDF nearest (KS)"
                                                         : "EDF nearest (CvM)";
@@ -62,7 +72,7 @@ std::string Detector::name() const {
 }
 
 bool Detector::needs_bin_width() const {
-  return !is_edf() &&
+  return !is_edf() && !is_cpd() &&
          spec_.adversary.feature == FeatureKind::kSampleEntropy &&
          bin_width_ <= 0.0;
 }
@@ -76,6 +86,13 @@ void Detector::set_bin_width(double bin_width) {
 
 void Detector::prepare() {
   LINKPAD_EXPECTS(!prepared_);
+  if (is_cpd()) {
+    // Windowless: the only pre-training state is the raw-PIAT pool
+    // (training_features_ doubles as it — capped, first-k per class).
+    training_features_.resize(num_classes_);
+    prepared_ = true;
+    return;
+  }
   if (is_edf()) {
     window_buffers_.resize(num_classes_);
     for (auto& buffer : window_buffers_) {
@@ -151,12 +168,29 @@ void Detector::classify_edf_window(std::size_t true_class) {
 }
 
 std::size_t Detector::window_fill(std::size_t class_index) const {
+  if (is_cpd()) return 0;  // windowless: any chunk size is fine
   return is_edf() ? window_buffers_[class_index].size()
                   : accumulators_[class_index]->count();
 }
 
 void Detector::feed_chunk(std::size_t class_index,
                           std::span<const double> chunk, bool testing) {
+  if (is_cpd()) {
+    if (testing) {
+      auto& state = cpd_states_[class_index];
+      for (double x : chunk) cpd_model_->update(state, x);
+    } else {
+      // First-k raw-PIAT pool per class: the cap is a sample count, so the
+      // pool (and the trained model) is batch-boundary independent.
+      auto& pool = training_features_[class_index];
+      const std::size_t cap = spec_.cpd->max_training_samples;
+      for (double x : chunk) {
+        if (pool.size() >= cap) break;
+        pool.push_back(x);
+      }
+    }
+    return;
+  }
   // The caller guarantees the chunk fits inside the current window.
   const std::size_t n = spec_.adversary.window_size;
   if (is_edf()) {
@@ -197,11 +231,15 @@ void Detector::feed(std::size_t class_index, std::span<const double> batch,
       // snapshot — exactly what a fresh bank stopped here would hold.
       while (next < checkpoints_.size() &&
              test_consumed_[class_index] == checkpoints_[next]) {
-        auto& row = checkpoint_rows_[class_index][next];
-        row.resize(num_classes_);
-        for (std::size_t j = 0; j < num_classes_; ++j) {
-          row[j] = confusion_.count(static_cast<ClassLabel>(class_index),
-                                    static_cast<ClassLabel>(j));
+        if (is_cpd()) {
+          cpd_rows_[class_index][next] = cpd_states_[class_index];
+        } else {
+          auto& row = checkpoint_rows_[class_index][next];
+          row.resize(num_classes_);
+          for (std::size_t j = 0; j < num_classes_; ++j) {
+            row[j] = confusion_.count(static_cast<ClassLabel>(class_index),
+                                      static_cast<ClassLabel>(j));
+          }
         }
         ++next;
       }
@@ -212,6 +250,10 @@ void Detector::feed(std::size_t class_index, std::span<const double> batch,
 void Detector::arm_checkpoints(std::vector<std::size_t> test_prefixes) {
   LINKPAD_EXPECTS(checkpoints_.empty());
   LINKPAD_EXPECTS(confusion_.total() == 0);
+  // A CPD detector's run-time evidence lives in its stream states, not in
+  // the confusion matrix — enforce the "before any consume_test" contract
+  // there too.
+  for (const auto& state : cpd_states_) LINKPAD_EXPECTS(state.n == 0);
   std::sort(test_prefixes.begin(), test_prefixes.end());
   test_prefixes.erase(
       std::unique(test_prefixes.begin(), test_prefixes.end()),
@@ -222,6 +264,10 @@ void Detector::arm_checkpoints(std::vector<std::size_t> test_prefixes) {
   next_checkpoint_.assign(num_classes_, 0);
   checkpoint_rows_.assign(
       num_classes_, std::vector<std::vector<std::uint64_t>>(checkpoints_.size()));
+  if (is_cpd()) {
+    cpd_rows_.assign(num_classes_,
+                     std::vector<CpdClassState>(checkpoints_.size()));
+  }
 }
 
 ConfusionMatrix Detector::confusion_at(std::size_t prefix) const {
@@ -231,6 +277,10 @@ ConfusionMatrix Detector::confusion_at(std::size_t prefix) const {
                   "confusion_at: prefix was not armed as a checkpoint");
   const auto idx =
       static_cast<std::size_t>(std::distance(checkpoints_.begin(), it));
+  // A CPD detector never fills the confusion matrix; its prefix outcome is
+  // cpd_outcome_at(). Return the (empty) matrix so bank-wide evaluate_at
+  // keeps its detector-order shape.
+  if (is_cpd()) return ConfusionMatrix(num_classes_);
   ConfusionMatrix out(num_classes_);
   for (std::size_t c = 0; c < num_classes_; ++c) {
     const bool crossed = next_checkpoint_[c] > idx;
@@ -256,6 +306,15 @@ void Detector::train(const std::vector<double>& priors) {
   LINKPAD_EXPECTS(prepared_ && !trained_);
   LINKPAD_EXPECTS(priors.size() == num_classes_);
   priors_ = priors;
+  if (is_cpd()) {
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      LINKPAD_EXPECTS(training_features_[c].size() >= 2);
+    }
+    cpd_model_ = CpdModel::train(*spec_.cpd, training_features_);
+    cpd_states_.assign(num_classes_, cpd_model_->initial_state());
+    trained_ = true;
+    return;
+  }
   if (is_edf()) {
     for (std::size_t c = 0; c < num_classes_; ++c) {
       window_buffers_[c].clear();  // drop the partial trailing window
@@ -289,6 +348,41 @@ double Detector::detection_rate() const {
 const BayesClassifier& Detector::classifier() const {
   LINKPAD_EXPECTS(classifier_.has_value());
   return *classifier_;
+}
+
+const CpdModel& Detector::cpd_model() const {
+  LINKPAD_EXPECTS(cpd_model_.has_value());
+  return *cpd_model_;
+}
+
+CpdOutcome Detector::cpd_outcome() const {
+  LINKPAD_EXPECTS(is_cpd() && trained_);
+  CpdOutcome out;
+  out.kind = spec_.cpd->kind;
+  out.threshold = cpd_model_->threshold();
+  out.ttd = cpd_model_->time_to_detection(cpd_states_);
+  return out;
+}
+
+CpdOutcome Detector::cpd_outcome_at(std::size_t prefix) const {
+  LINKPAD_EXPECTS(is_cpd() && trained_);
+  const auto it = std::find(checkpoints_.begin(), checkpoints_.end(), prefix);
+  LINKPAD_EXPECTS(it != checkpoints_.end() &&
+                  "cpd_outcome_at: prefix was not armed as a checkpoint");
+  const auto idx =
+      static_cast<std::size_t>(std::distance(checkpoints_.begin(), it));
+  // Same crossed-or-current rule as confusion_at: a class that has not
+  // reached the prefix yet contributes everything it was given — exactly
+  // what a fresh detector fed that short stream would hold.
+  std::vector<CpdClassState> states(num_classes_);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    states[c] = next_checkpoint_[c] > idx ? cpd_rows_[c][idx] : cpd_states_[c];
+  }
+  CpdOutcome out;
+  out.kind = spec_.cpd->kind;
+  out.threshold = cpd_model_->threshold();
+  out.ttd = cpd_model_->time_to_detection(states);
+  return out;
 }
 
 // -------------------------------------------------------------- DetectorBank

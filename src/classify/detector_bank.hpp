@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "classify/adversary.hpp"
+#include "classify/cpd.hpp"
 #include "classify/edf_classifier.hpp"
 #include "classify/window_accumulator.hpp"
 #include "stats/descriptive.hpp"
@@ -69,6 +70,11 @@ struct DetectorSpec {
   std::optional<EdfDistance> edf;
   /// Per-class reference size bound for EDF detectors.
   std::size_t edf_max_reference = 20000;
+  /// When set, the detector is a streaming change-point detector (CUSUM or
+  /// adaptive-EWMA, cpd.hpp): per-sample sequential, windowless — it scores
+  /// every PIAT as it arrives and reports TimeToDetection instead of a
+  /// confusion matrix. Mutually exclusive with `edf`; two classes only.
+  std::optional<CpdConfig> cpd;
 };
 
 /// One streaming detection pipeline: accumulator → features → classifier
@@ -88,7 +94,8 @@ class Detector {
 
   [[nodiscard]] const DetectorSpec& spec() const { return spec_; }
   [[nodiscard]] bool is_edf() const { return spec_.edf.has_value(); }
-  /// "sample entropy", "EDF nearest (KS)", ...
+  [[nodiscard]] bool is_cpd() const { return spec_.cpd.has_value(); }
+  /// "sample entropy", "EDF nearest (KS)", "cusum", ...
   [[nodiscard]] std::string name() const;
 
   /// True until an entropy detector without an explicit Δh gets one.
@@ -117,13 +124,24 @@ class Detector {
   /// Prior-weighted detection rate of the windows consumed so far.
   [[nodiscard]] double detection_rate() const;
 
-  /// Training feature values per class (feature detectors only).
+  /// Training feature values per class (feature detectors; for CPD
+  /// detectors this pool holds the capped RAW training PIATs instead).
   [[nodiscard]] const std::vector<std::vector<double>>& training_features()
       const {
     return training_features_;
   }
   /// The fitted per-feature Bayes rule (feature detectors only).
   [[nodiscard]] const BayesClassifier& classifier() const;
+
+  /// The trained change-point model (CPD detectors only, after train()).
+  [[nodiscard]] const CpdModel& cpd_model() const;
+  /// Scheme + threshold + TimeToDetection over everything consumed so far
+  /// (CPD detectors only).
+  [[nodiscard]] CpdOutcome cpd_outcome() const;
+  /// Like cpd_outcome(), as if only the first `prefix` test PIATs of each
+  /// class had been consumed; `prefix` must be an armed checkpoint —
+  /// bit-identical to stopping a fresh detector there.
+  [[nodiscard]] CpdOutcome cpd_outcome_at(std::size_t prefix) const;
 
  private:
   friend class DetectorBank;
@@ -154,14 +172,21 @@ class Detector {
   std::optional<BayesClassifier> classifier_;
   ConfusionMatrix confusion_;
 
+  // CPD mode: the trained model plus one mid-stream state per true class
+  // (the detector watches each class's test stream independently).
+  std::optional<CpdModel> cpd_model_;
+  std::vector<CpdClassState> cpd_states_;
+
   // Armed test-prefix checkpoints: when class c's consumed test count
   // crosses checkpoints_[i], row c of the confusion is snapshotted into
   // checkpoint_rows_[c][i] (rows are per-true-class, so per-class
-  // snapshots assemble into the full prefix confusion).
+  // snapshots assemble into the full prefix confusion). CPD detectors
+  // snapshot their per-class CpdClassState into cpd_rows_ instead.
   std::vector<std::size_t> checkpoints_;  // ascending, deduplicated
   std::vector<std::size_t> test_consumed_;     // per class
   std::vector<std::size_t> next_checkpoint_;   // per class, index
   std::vector<std::vector<std::vector<std::uint64_t>>> checkpoint_rows_;
+  std::vector<std::vector<CpdClassState>> cpd_rows_;
 };
 
 /// Evaluates all configured detectors over a single pass of the stream.

@@ -1,6 +1,7 @@
 #include "classify/sequential.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "stats/descriptive.hpp"
 #include "util/check.hpp"
@@ -71,11 +72,15 @@ double SequentialDetector::expected_batches(ClassLabel truth) const {
   const double b = config_.beta;
   // Wald: E_0[N] ≈ [(1−a)·lower + a·upper] / E_0[inc],
   //       E_1[N] ≈ [b·lower + (1−b)·upper] / E_1[inc].
+  // A weak adversary whose trained densities do not separate on his own
+  // training features has a drift of the wrong sign (or zero) — the walk
+  // never trends toward the correct boundary, so the expectation is "never":
+  // +inf, not a crash. (decide() still terminates via max_batches.)
   if (truth == 0) {
-    LINKPAD_EXPECTS(mean_llr_low_ < 0.0);
+    if (!(mean_llr_low_ < 0.0)) return std::numeric_limits<double>::infinity();
     return ((1.0 - a) * lower_ + a * upper_) / mean_llr_low_;
   }
-  LINKPAD_EXPECTS(mean_llr_high_ > 0.0);
+  if (!(mean_llr_high_ > 0.0)) return std::numeric_limits<double>::infinity();
   return (b * lower_ + (1.0 - b) * upper_) / mean_llr_high_;
 }
 

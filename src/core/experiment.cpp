@@ -215,7 +215,28 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec) const {
     p.train_stats.resize(num_classes);
     classify::AdversaryConfig adversary = spec.adversary;
     adversary.window_size = p.n;
-    banks.emplace_back(adversary, features, num_classes);
+    // Feature detectors first (detector f == features()[f], the indexing
+    // the result assembly relies on), then the change-point detectors
+    // appended after. Each CPD config gets its calibration seed derived
+    // here — salts 1 and 2 are the training/test streams, so 3 + j can
+    // never collide with a capture stream.
+    std::vector<classify::DetectorSpec> detector_specs;
+    detector_specs.reserve(features.size() + spec.cpd_detectors.size());
+    for (const auto kind : features) {
+      classify::DetectorSpec ds;
+      ds.adversary = adversary;
+      ds.adversary.feature = kind;
+      detector_specs.push_back(std::move(ds));
+    }
+    for (std::size_t j = 0; j < spec.cpd_detectors.size(); ++j) {
+      LINKPAD_EXPECTS(num_classes == 2);
+      classify::DetectorSpec ds;
+      ds.adversary = adversary;
+      ds.cpd = spec.cpd_detectors[j];
+      ds.cpd->calibration_seed = derive_point_seed(spec.seed, 3 + j);
+      detector_specs.push_back(std::move(ds));
+    }
+    banks.emplace_back(std::move(detector_specs), num_classes);
   }
 
   // Training feed for one class: every bank gets its clipped share of the
@@ -413,12 +434,18 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec) const {
       }
       sp.per_feature.push_back(std::move(out));
     }
+    sp.cpd.reserve(spec.cpd_detectors.size());
+    for (std::size_t j = 0; j < spec.cpd_detectors.size(); ++j) {
+      sp.cpd.push_back(
+          banks[i].detector(features.size() + j).cpd_outcome());
+    }
     result.by_sample_size.push_back(std::move(sp));
   }
 
   const SampleSizePoint& top_point = result.by_sample_size.back();
   result.r_hat = top_point.r_hat;
   result.per_feature = top_point.per_feature;
+  result.cpd = top_point.cpd;
   const FeatureOutcome& primary = result.per_feature.front();
   result.detection_rate = primary.detection_rate;
   result.ci = primary.ci;
@@ -620,6 +647,7 @@ std::vector<ExperimentSpec> SweepGrid::expand() const {
                 ? window_size
                 : *std::max_element(sample_sizes.begin(), sample_sizes.end());
         spec.sample_size_axis = sample_sizes;
+        spec.cpd_detectors = cpd_detectors;
         spec.train_windows = train_windows;
         spec.test_windows = test_windows;
         // Per-point seed: streams never collide across grid points, and

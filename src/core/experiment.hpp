@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "classify/adversary.hpp"
+#include "classify/cpd.hpp"
 #include "core/piat_source.hpp"
 #include "core/scenarios.hpp"
 #include "stats/bootstrap.hpp"
@@ -64,6 +65,13 @@ struct ExperimentSpec {
   /// evaluations), so figure-grade axes bound it. Capped points still
   /// consume a prefix; the bit-identity contract is unchanged.
   std::size_t max_windows_per_point = 0;
+  /// Streaming change-point detectors (CUSUM / adaptive-EWMA) riding the
+  /// same capture pass, appended after the feature detectors in every
+  /// bank. Two-class scenarios only. Each config's calibration_seed is
+  /// OVERWRITTEN by the engine with derive_point_seed(seed, 3 + j) for
+  /// detector j, so calibrated thresholds are reproducible per point and
+  /// never collide with the training (salt 1) or test (salt 2) streams.
+  std::vector<classify::CpdConfig> cpd_detectors;
   std::size_t train_windows = 300;  ///< per class, at the largest axis entry
   std::size_t test_windows = 300;   ///< per class, at the largest axis entry
   std::uint64_t seed = 20030324;    ///< date of the paper's campus capture
@@ -93,6 +101,9 @@ struct SampleSizePoint {
   std::size_t test_windows = 0;
   double r_hat = 1.0;                ///< variance ratio over THIS prefix
   std::vector<FeatureOutcome> per_feature;  ///< primary first
+  /// One outcome per spec.cpd_detectors (same order), evaluated over this
+  /// point's prefix of the shared capture.
+  std::vector<classify::CpdOutcome> cpd;
 
   /// Outcome of `kind`; throws if the point did not evaluate it.
   [[nodiscard]] const FeatureOutcome& outcome(classify::FeatureKind kind) const;
@@ -114,6 +125,9 @@ struct ExperimentResult {
   double piat_var_low = 0.0;            ///< padded PIAT variances
   double piat_var_high = 0.0;
   std::vector<FeatureOutcome> per_feature;
+  /// One outcome per spec.cpd_detectors (same order), at the largest
+  /// sample size — scheme, calibrated threshold, time-to-detection.
+  std::vector<classify::CpdOutcome> cpd;
   std::vector<SampleSizePoint> by_sample_size;
   /// Padding-cost accounting of the run-time (test) capture, one entry per
   /// class in class order — empty when the backend cannot account (live).
@@ -302,6 +316,10 @@ struct SweepGrid {
   /// Adversary features, all evaluated per point in one stream pass.
   std::vector<classify::FeatureKind> features = {
       classify::FeatureKind::kSampleVariance};
+  /// Streaming change-point detectors riding each point's capture pass
+  /// (copied into every spec's cpd_detectors; like the feature axis, NOT
+  /// expanded into separate points).
+  std::vector<classify::CpdConfig> cpd_detectors;
 
   std::size_t window_size = 1000;
   std::size_t train_windows = 150;

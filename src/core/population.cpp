@@ -185,6 +185,12 @@ std::vector<ChunkAggregate> PopulationEngine::run_chunks(
   // flow_spec(f) stays the contract: it resolves to exactly this spec.
   const Scenario loaded = spec.loaded_scenario();
   const auto ns = spec.experiment.sample_sizes();
+  const std::size_t n_cpd = spec.experiment.cpd_detectors.size();
+  std::vector<classify::CpdKind> cpd_kinds;
+  cpd_kinds.reserve(n_cpd);
+  for (const auto& config : spec.experiment.cpd_detectors) {
+    cpd_kinds.push_back(config.kind);
+  }
   const ExperimentEngine engine(*backend_, options_.batch_piats);
 
   std::size_t shard_flows = 0;  // flows this call executes (progress total)
@@ -220,6 +226,9 @@ std::vector<ChunkAggregate> PopulationEngine::run_chunks(
         chunk.rates.resize(ns.size());
         for (auto& r : chunk.rates) r.reserve(count);
         chunk.overhead.reserve(count);
+        chunk.cpd_kinds = cpd_kinds;
+        chunk.cpd.resize(n_cpd);
+        for (auto& row : chunk.cpd) row.reserve(count);
         if (spec.keep_per_flow) chunk.per_flow.reserve(count);
 
         for (std::size_t f = begin; f < end; ++f) {
@@ -227,9 +236,15 @@ std::vector<ChunkAggregate> PopulationEngine::run_chunks(
           flow_spec.seed = derive_point_seed(spec.seed, flow_id);
           ExperimentResult result = engine.run(flow_spec);
           LINKPAD_ENSURES(result.by_sample_size.size() == ns.size());
+          LINKPAD_ENSURES(result.cpd.size() == n_cpd);
           for (std::size_t i = 0; i < ns.size(); ++i) {
             chunk.rates[i].push_back(
                 result.by_sample_size[i].per_feature.front().detection_rate);
+          }
+          for (std::size_t j = 0; j < n_cpd; ++j) {
+            const classify::CpdOutcome& out = result.cpd[j];
+            chunk.cpd[j].push_back({out.ttd.detected, out.ttd.n_at_detection,
+                                    out.ttd.false_alarms, out.threshold});
           }
           FlowOverhead oh;
           if (const auto padding = result.mean_padding_bps()) {
@@ -351,6 +366,45 @@ PopulationResult finalize_population(ChunkAggregate all, std::size_t flows,
       result.time_to_first_detection =
           static_cast<double>(sample_sizes[i]) * mean_interval;
     }
+  }
+
+  // Change-point aggregates: one fold per configured detector, flow-id
+  // order (pure sums and min — but the fixed order keeps the float sums
+  // bit-identical across thread counts and shard layouts too).
+  result.cpd.reserve(all.cpd_kinds.size());
+  for (std::size_t j = 0; j < all.cpd_kinds.size(); ++j) {
+    LINKPAD_EXPECTS(all.cpd[j].size() == flows);
+    CpdPopulationPoint point;
+    point.kind = all.cpd_kinds[j];
+    double threshold_sum = 0.0, alarm_sum = 0.0, n_sum = 0.0;
+    std::size_t detected = 0;
+    std::size_t min_n = std::numeric_limits<std::size_t>::max();
+    for (std::size_t f = 0; f < flows; ++f) {
+      const FlowCpd& fc = all.cpd[j][f];
+      threshold_sum += fc.threshold;
+      alarm_sum += static_cast<double>(fc.false_alarms);
+      if (fc.detected) {
+        ++detected;
+        n_sum += static_cast<double>(fc.n_at_detection);
+        if (fc.n_at_detection < min_n) {
+          min_n = fc.n_at_detection;
+          // The REAL flow id, so a sampled campaign's most exposed user is
+          // actionable against the deployed population.
+          point.first_exposed_flow =
+              sampled != nullptr ? sampled->flow_ids[f] : f;
+        }
+      }
+    }
+    point.mean_threshold = threshold_sum / m;
+    point.mean_false_alarms = alarm_sum / m;
+    point.detected_fraction = static_cast<double>(detected) / m;
+    if (detected > 0) {
+      point.mean_n_at_detection = n_sum / static_cast<double>(detected);
+      point.min_n_at_detection = min_n;
+      point.min_time_to_detection =
+          static_cast<double>(min_n) * mean_interval;
+    }
+    result.cpd.push_back(point);
   }
 
   // Population-wide overhead, folded in flow-id order for the same

@@ -154,6 +154,16 @@ struct FlowOverhead {
   Seconds delay_p95 = 0.0;
 };
 
+/// One flow's outcome for ONE configured change-point detector, recorded
+/// in-worker (like FlowOverhead) so the population CPD aggregates survive
+/// keep_per_flow = false.
+struct FlowCpd {
+  bool detected = false;           ///< every class stream tripped its side
+  std::size_t n_at_detection = 0;  ///< worst first-crossing; 0 if undetected
+  std::size_t false_alarms = 0;    ///< wrong-side crossings, all streams
+  double threshold = 0.0;          ///< h in use (post-calibration)
+};
+
 /// Mergeable per-chunk aggregation state (DESIGN.md §2.9). A chunk covers a
 /// contiguous, grain-aligned run of flow ids and stores, in flow order: one
 /// detection rate per (axis point, flow), one overhead summary per flow,
@@ -170,6 +180,10 @@ struct ChunkAggregate {
   std::size_t first_flow = 0;
   std::vector<std::vector<double>> rates;  ///< [axis point][flow - first_flow]
   std::vector<FlowOverhead> overhead;      ///< [flow - first_flow]
+  /// Configured change-point schemes (identical in every chunk of a run —
+  /// carried so finalize and shard validation know the detector layout).
+  std::vector<classify::CpdKind> cpd_kinds;
+  std::vector<std::vector<FlowCpd>> cpd;   ///< [cpd detector][flow - first_flow]
   std::vector<ExperimentResult> per_flow;  ///< kept only when requested
 
   /// Flows this chunk covers (overhead has exactly one entry per flow).
@@ -177,12 +191,16 @@ struct ChunkAggregate {
 
   void merge(ChunkAggregate& right) {
     LINKPAD_EXPECTS(first_flow + overhead.size() == right.first_flow);
+    LINKPAD_EXPECTS(cpd_kinds == right.cpd_kinds);
     for (std::size_t i = 0; i < rates.size(); ++i) {
       rates[i].insert(rates[i].end(), right.rates[i].begin(),
                       right.rates[i].end());
     }
     overhead.insert(overhead.end(), right.overhead.begin(),
                     right.overhead.end());
+    for (std::size_t j = 0; j < cpd.size(); ++j) {
+      cpd[j].insert(cpd[j].end(), right.cpd[j].begin(), right.cpd[j].end());
+    }
     per_flow.insert(per_flow.end(),
                     std::make_move_iterator(right.per_flow.begin()),
                     std::make_move_iterator(right.per_flow.end()));
@@ -242,6 +260,31 @@ struct PopulationPoint {
   RateQuantiles quantiles;
 };
 
+/// Population-level aggregation of ONE configured change-point detector
+/// over all tapped flows (folded in flow-id order, so bit-identical at any
+/// thread count or shard layout).
+struct CpdPopulationPoint {
+  classify::CpdKind kind = classify::CpdKind::kCusum;
+  /// Mean calibrated threshold across flows (per-flow thresholds differ:
+  /// each flow calibrates on its own training capture).
+  double mean_threshold = 0.0;
+  /// Fraction of flows whose every class stream tripped its targeting side.
+  double detected_fraction = 0.0;
+  /// Mean worst first-crossing PIAT count over the DETECTED flows
+  /// (0 when no flow was detected).
+  double mean_n_at_detection = 0.0;
+  /// Fastest detection across the population; 0 when no flow was detected.
+  std::size_t min_n_at_detection = 0;
+  /// REAL flow id of the fastest-detected flow (ties break to the lowest
+  /// execution slot) — the deployment's most exposed user.
+  std::size_t first_exposed_flow = 0;
+  /// min_n_at_detection as observation time: PIATs × mean timer interval.
+  /// nullopt when no flow was detected.
+  std::optional<Seconds> min_time_to_detection;
+  /// Mean wrong-side alarm count per flow.
+  double mean_false_alarms = 0.0;
+};
+
 /// Two-sided confidence level every sampled-mode estimate is computed at
 /// unless a caller (run_sampled_until) asks otherwise. A constant, not a
 /// spec knob: merge_shards must finalize with the same level as the
@@ -284,6 +327,9 @@ struct SampledEstimates {
 struct PopulationResult {
   std::vector<ExperimentResult> per_flow;
   std::vector<PopulationPoint> by_sample_size;
+  /// One aggregate per configured change-point detector
+  /// (PopulationSpec::experiment.cpd_detectors order); empty without CPD.
+  std::vector<CpdPopulationPoint> cpd;
 
   /// Smallest axis sample size at which ANY flow crosses the detection
   /// threshold; empty when the whole population holds at every n.

@@ -409,6 +409,34 @@ FeatureOutcome parse_feature_outcome(const JsonValue& v) {
   return f;
 }
 
+void append_cpd_outcome(std::string& out, const classify::CpdOutcome& c) {
+  out += "{\"kind\":";
+  append_u64(out, static_cast<std::uint64_t>(c.kind));
+  out += ",\"threshold\":";
+  append_hex_double(out, c.threshold);
+  out += ",\"detected\":";
+  append_bool(out, c.ttd.detected);
+  out += ",\"n_at_detection\":";
+  append_u64(out, c.ttd.n_at_detection);
+  out += ",\"false_alarms\":";
+  append_u64(out, c.ttd.false_alarms);
+  out.push_back('}');
+}
+
+classify::CpdOutcome parse_cpd_outcome(const JsonValue& v) {
+  classify::CpdOutcome c;
+  const auto kind = v.at("kind").as_u64();
+  if (kind > static_cast<std::uint64_t>(classify::CpdKind::kAdaptiveEwma)) {
+    throw std::invalid_argument("shard_io: unknown cpd kind");
+  }
+  c.kind = static_cast<classify::CpdKind>(kind);
+  c.threshold = v.at("threshold").as_hex_double();
+  c.ttd.detected = v.at("detected").as_bool();
+  c.ttd.n_at_detection = v.at("n_at_detection").as_size();
+  c.ttd.false_alarms = v.at("false_alarms").as_size();
+  return c;
+}
+
 void append_sample_point(std::string& out, const SampleSizePoint& p) {
   out += "{\"n\":";
   append_u64(out, p.sample_size);
@@ -423,6 +451,11 @@ void append_sample_point(std::string& out, const SampleSizePoint& p) {
     if (i != 0) out.push_back(',');
     append_feature_outcome(out, p.per_feature[i]);
   }
+  out += "],\"cpd\":[";
+  for (std::size_t i = 0; i < p.cpd.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    append_cpd_outcome(out, p.cpd[i]);
+  }
   out += "]}";
 }
 
@@ -434,6 +467,9 @@ SampleSizePoint parse_sample_point(const JsonValue& v) {
   p.r_hat = v.at("r_hat").as_hex_double();
   for (const auto& f : v.at("per_feature").as_array()) {
     p.per_feature.push_back(parse_feature_outcome(f));
+  }
+  for (const auto& c : v.at("cpd").as_array()) {
+    p.cpd.push_back(parse_cpd_outcome(c));
   }
   return p;
 }
@@ -501,6 +537,11 @@ void append_experiment_result(std::string& out, const ExperimentResult& r) {
     if (i != 0) out.push_back(',');
     append_feature_outcome(out, r.per_feature[i]);
   }
+  out += "],\"cpd\":[";
+  for (std::size_t i = 0; i < r.cpd.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    append_cpd_outcome(out, r.cpd[i]);
+  }
   out += "],\"by_sample_size\":[";
   for (std::size_t i = 0; i < r.by_sample_size.size(); ++i) {
     if (i != 0) out.push_back(',');
@@ -530,6 +571,9 @@ ExperimentResult parse_experiment_result(const JsonValue& v) {
   r.per_feature.clear();
   for (const auto& f : v.at("per_feature").as_array()) {
     r.per_feature.push_back(parse_feature_outcome(f));
+  }
+  for (const auto& c : v.at("cpd").as_array()) {
+    r.cpd.push_back(parse_cpd_outcome(c));
   }
   for (const auto& p : v.at("by_sample_size").as_array()) {
     r.by_sample_size.push_back(parse_sample_point(p));
@@ -567,6 +611,27 @@ FlowOverhead parse_flow_overhead(const JsonValue& v) {
   return o;
 }
 
+void append_flow_cpd(std::string& out, const FlowCpd& c) {
+  out += "{\"detected\":";
+  append_bool(out, c.detected);
+  out += ",\"n_at_detection\":";
+  append_u64(out, c.n_at_detection);
+  out += ",\"false_alarms\":";
+  append_u64(out, c.false_alarms);
+  out += ",\"threshold\":";
+  append_hex_double(out, c.threshold);
+  out.push_back('}');
+}
+
+FlowCpd parse_flow_cpd(const JsonValue& v) {
+  FlowCpd c;
+  c.detected = v.at("detected").as_bool();
+  c.n_at_detection = v.at("n_at_detection").as_size();
+  c.false_alarms = v.at("false_alarms").as_size();
+  c.threshold = v.at("threshold").as_hex_double();
+  return c;
+}
+
 ChunkAggregate parse_chunk_line(const JsonValue& v, std::size_t* chunk_id) {
   *chunk_id = v.at("chunk").as_size();
   ChunkAggregate chunk;
@@ -578,6 +643,18 @@ ChunkAggregate parse_chunk_line(const JsonValue& v, std::size_t* chunk_id) {
   }
   for (const auto& o : v.at("overhead").as_array()) {
     chunk.overhead.push_back(parse_flow_overhead(o));
+  }
+  for (const auto& k : v.at("cpd_kinds").as_array()) {
+    const auto kind = k.as_u64();
+    if (kind > static_cast<std::uint64_t>(classify::CpdKind::kAdaptiveEwma)) {
+      throw std::invalid_argument("shard_io: unknown cpd kind in chunk");
+    }
+    chunk.cpd_kinds.push_back(static_cast<classify::CpdKind>(kind));
+  }
+  for (const auto& row : v.at("cpd").as_array()) {
+    std::vector<FlowCpd> flows;
+    for (const auto& c : row.as_array()) flows.push_back(parse_flow_cpd(c));
+    chunk.cpd.push_back(std::move(flows));
   }
   for (const auto& r : v.at("per_flow").as_array()) {
     chunk.per_flow.push_back(parse_experiment_result(r));
@@ -607,6 +684,14 @@ void validate_chunk(const PopulationShard& header, std::size_t chunk_id,
   for (const auto& row : chunk.rates) {
     if (row.size() != chunk.flow_count()) {
       throw std::invalid_argument("shard_io: chunk rates row size mismatch");
+    }
+  }
+  if (chunk.cpd.size() != chunk.cpd_kinds.size()) {
+    throw std::invalid_argument("shard_io: chunk cpd rows do not match cpd_kinds");
+  }
+  for (const auto& row : chunk.cpd) {
+    if (row.size() != chunk.flow_count()) {
+      throw std::invalid_argument("shard_io: chunk cpd row size mismatch");
     }
   }
   if (!chunk.per_flow.empty() && chunk.per_flow.size() != chunk.flow_count()) {
@@ -809,6 +894,21 @@ std::string serialize_chunk(std::size_t chunk_id, const ChunkAggregate& chunk) {
   for (std::size_t i = 0; i < chunk.overhead.size(); ++i) {
     if (i != 0) out.push_back(',');
     append_flow_overhead(out, chunk.overhead[i]);
+  }
+  out += "],\"cpd_kinds\":[";
+  for (std::size_t i = 0; i < chunk.cpd_kinds.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    append_u64(out, static_cast<std::uint64_t>(chunk.cpd_kinds[i]));
+  }
+  out += "],\"cpd\":[";
+  for (std::size_t i = 0; i < chunk.cpd.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out.push_back('[');
+    for (std::size_t j = 0; j < chunk.cpd[i].size(); ++j) {
+      if (j != 0) out.push_back(',');
+      append_flow_cpd(out, chunk.cpd[i][j]);
+    }
+    out.push_back(']');
   }
   out += "],\"per_flow\":[";
   for (std::size_t i = 0; i < chunk.per_flow.size(); ++i) {
@@ -1306,6 +1406,34 @@ std::string population_result_json(const PopulationResult& result) {
     out += "]}";
   }
   out += result.by_sample_size.empty() ? "]" : "\n  ]";
+  out += ",\n  \"cpd\": ";
+  if (result.cpd.empty()) {
+    out += "null";
+  } else {
+    out.push_back('[');
+    for (std::size_t i = 0; i < result.cpd.size(); ++i) {
+      const CpdPopulationPoint& p = result.cpd[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"kind\": \"";
+      out += classify::cpd_kind_name(p.kind);
+      out += "\", \"mean_threshold\": ";
+      append_result_double(out, p.mean_threshold);
+      out += ", \"detected_fraction\": ";
+      append_result_double(out, p.detected_fraction);
+      out += ", \"mean_n_at_detection\": ";
+      append_result_double(out, p.mean_n_at_detection);
+      out += ", \"min_n_at_detection\": ";
+      append_u64(out, p.min_n_at_detection);
+      out += ", \"first_exposed_flow\": ";
+      append_u64(out, p.first_exposed_flow);
+      out += ", \"min_time_to_detection\": ";
+      append_optional_result_double(out, p.min_time_to_detection);
+      out += ", \"mean_false_alarms\": ";
+      append_result_double(out, p.mean_false_alarms);
+      out.push_back('}');
+    }
+    out += "\n  ]";
+  }
   out += ",\n  \"per_flow_rates\": ";
   if (result.per_flow.empty()) {
     out += "null";

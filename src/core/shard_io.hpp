@@ -41,8 +41,10 @@ namespace linkpad::core {
 /// Version stamp of the shard serialization format. Bump on ANY change to
 /// the schema below; merge and resume refuse mismatched versions instead
 /// of guessing. v2 added the sampled-subset fields (sample_flows,
-/// sample_round) to the header.
-inline constexpr std::uint64_t kShardFormatVersion = 2;
+/// sample_round) to the header; v3 added the change-point fields to chunk
+/// lines (cpd_kinds + per-flow FlowCpd rows) and the `cpd` array to
+/// serialized ExperimentResults / SampleSizePoints.
+inline constexpr std::uint64_t kShardFormatVersion = 3;
 
 // ------------------------------------------------------------ exact doubles
 

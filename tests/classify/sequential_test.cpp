@@ -142,6 +142,28 @@ TEST(SequentialDetector, RespectsMaxBatches) {
   EXPECT_LE(out.batches_used, 5u);
 }
 
+TEST(SequentialDetector, OverlappingClassesExpectNeverToDecide) {
+  // Identical class distributions: a legitimate weak-adversary setup (e.g.
+  // a perfectly-padded link). The trained densities cannot separate, so the
+  // per-batch LLR drift is ~0 or of the wrong sign; Wald's expectation is
+  // "never" — infinity — not a contract abort.
+  Adversary adversary([] {
+    AdversaryConfig cfg;
+    cfg.feature = FeatureKind::kSampleVariance;
+    cfg.window_size = 100;
+    return cfg;
+  }());
+  adversary.train({synthetic_piats(10e-3, 10e-6, 100 * 300, 1),
+                   synthetic_piats(10e-3, 10e-6, 100 * 300, 1)});
+  SequentialDetector det(adversary, SequentialConfig{});
+  EXPECT_TRUE(std::isinf(det.expected_batches(0)) ||
+              std::isinf(det.expected_batches(1)));
+  for (ClassLabel truth : {ClassLabel{0}, ClassLabel{1}}) {
+    const double expect = det.expected_batches(truth);
+    EXPECT_TRUE(expect > 0.0) << "truth=" << truth;
+  }
+}
+
 TEST(SequentialDetector, ConfigValidation) {
   Fixture f(2.0);
   SequentialConfig bad;

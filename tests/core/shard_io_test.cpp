@@ -619,9 +619,12 @@ TEST(ShardMerge, ForeignCampaignIsALoudError) {
 TEST(ShardParse, FormatVersionDriftIsALoudError) {
   const auto shards = run_all_shards(shard_spec(4, 3), 1, 1, 1);
   std::string text = serialize_shard(shards[0]);
-  const std::string v2 = "{\"linkpad_shard\":2";
-  ASSERT_EQ(text.rfind(v2, 0), 0u);
-  text.replace(0, v2.size(), "{\"linkpad_shard\":3");
+  const std::string current =
+      "{\"linkpad_shard\":" + std::to_string(kShardFormatVersion);
+  ASSERT_EQ(text.rfind(current, 0), 0u);
+  text.replace(0, current.size(),
+               "{\"linkpad_shard\":" +
+                   std::to_string(kShardFormatVersion + 1));
   try {
     (void)parse_shard(text);
     FAIL() << "expected std::invalid_argument";
