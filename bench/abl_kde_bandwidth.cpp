@@ -16,14 +16,14 @@ double attack(classify::DensityKind density, stats::BandwidthRule rule,
               double fixed_bw, double effort, std::uint64_t seed) {
   core::ExperimentSpec spec;
   spec.scenario = core::lab_zero_cross(core::make_cit());
-  spec.adversary.feature = classify::FeatureKind::kSampleVariance;
-  spec.adversary.window_size = 1000;
-  spec.adversary.density = density;
-  spec.adversary.bandwidth = rule;
-  spec.adversary.fixed_bandwidth = fixed_bw;
-  spec.train_windows =
+  spec.plan.adversary.feature = classify::FeatureKind::kSampleVariance;
+  spec.plan.adversary.window_size = 1000;
+  spec.plan.adversary.density = density;
+  spec.plan.adversary.bandwidth = rule;
+  spec.plan.adversary.fixed_bandwidth = fixed_bw;
+  spec.plan.train_windows =
       std::max<std::size_t>(12, static_cast<std::size_t>(200 * effort));
-  spec.test_windows = spec.train_windows;
+  spec.plan.test_windows = spec.plan.train_windows;
   spec.seed = seed;
   return core::run_experiment(spec).detection_rate;
 }

@@ -23,10 +23,10 @@ int main(int argc, char** argv) {
   for (std::size_t m : {2u, 3u, 4u, 6u}) {
     core::ExperimentSpec spec;
     spec.scenario = core::lab_multirate(core::make_cit(), m);
-    spec.adversary.feature = classify::FeatureKind::kSampleVariance;
-    spec.adversary.window_size = 2000;
-    spec.train_windows = windows;
-    spec.test_windows = windows;
+    spec.plan.adversary.feature = classify::FeatureKind::kSampleVariance;
+    spec.plan.adversary.window_size = 2000;
+    spec.plan.train_windows = windows;
+    spec.plan.test_windows = windows;
     spec.seed = core::derive_point_seed(opts.seed, m);
     const auto result = core::run_experiment(spec);
 

@@ -43,20 +43,20 @@ int main(int argc, char** argv) {
     core::ExperimentSpec spec;
     spec.scenario = core::lab_zero_cross(
         sigma_us > 0.0 ? core::make_vit(sigma_us * 1e-6) : core::make_cit());
-    spec.adversary.feature = classify::FeatureKind::kSampleVariance;
-    spec.adversary.window_size = batch;
+    spec.plan.adversary.feature = classify::FeatureKind::kSampleVariance;
+    spec.plan.adversary.window_size = batch;
     spec.seed = core::derive_point_seed(opts.seed, s);
 
     std::vector<std::vector<double>> train = {
         core::generate_class_stream(spec, 0, train_windows * batch, 1),
         core::generate_class_stream(spec, 1, train_windows * batch, 1)};
-    classify::Adversary adversary(spec.adversary);
+    classify::Adversary adversary(spec.plan.adversary);
     adversary.train(train);
     const double r_hat = analysis::estimate_variance_ratio(train[0], train[1]);
 
     // The fixed-sample counterpart rides the SAME training capture: a
     // one-detector bank (variance over `batch`-sized windows).
-    classify::DetectorBank bank(spec.adversary, {spec.adversary.feature}, 2);
+    classify::DetectorBank bank(spec.plan.adversary, {spec.plan.adversary.feature}, 2);
     for (std::size_t c = 0; c < 2; ++c) bank.consume_training(c, train[c]);
     bank.train();
 

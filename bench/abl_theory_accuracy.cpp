@@ -31,10 +31,10 @@ int main(int argc, char** argv) {
       core::ExperimentSpec spec;
       spec.scenario = core::lab_zero_cross(
           sigma_us > 0.0 ? core::make_vit(sigma_us * 1e-6) : core::make_cit());
-      spec.adversary.feature = classify::FeatureKind::kSampleVariance;
-      spec.adversary.window_size = n;
-      spec.train_windows = windows;
-      spec.test_windows = windows;
+      spec.plan.adversary.feature = classify::FeatureKind::kSampleVariance;
+      spec.plan.adversary.window_size = n;
+      spec.plan.train_windows = windows;
+      spec.plan.test_windows = windows;
       spec.seed = core::derive_point_seed(opts.seed, salt++);
       const auto result = core::run_experiment(spec);
 

@@ -26,11 +26,11 @@ double attack(std::shared_ptr<const sim::TimerPolicy> policy,
               std::uint64_t seed) {
   core::ExperimentSpec spec;
   spec.scenario = core::lab_zero_cross(std::move(policy));
-  spec.adversary.feature = feature;
-  spec.adversary.window_size = 2000;
-  spec.train_windows = std::max<std::size_t>(
+  spec.plan.adversary.feature = feature;
+  spec.plan.adversary.window_size = 2000;
+  spec.plan.train_windows = std::max<std::size_t>(
       10, static_cast<std::size_t>(120 * effort));
-  spec.test_windows = spec.train_windows;
+  spec.plan.test_windows = spec.plan.train_windows;
   spec.seed = seed;
   return core::run_experiment(spec).detection_rate;
 }

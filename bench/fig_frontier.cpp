@@ -26,10 +26,10 @@ int main(int argc, char** argv) {
   core::FrontierSpec spec;
   spec.scenario = core::lab_zero_cross(core::make_cit());
   spec.policies = core::budget_ladder(budgets);
-  spec.window_size = 400;
-  spec.train_windows = std::max<std::size_t>(
+  spec.plan.adversary.window_size = 400;
+  spec.plan.train_windows = std::max<std::size_t>(
       4, static_cast<std::size_t>(40.0 * options.effort));
-  spec.test_windows = spec.train_windows;
+  spec.plan.test_windows = spec.plan.train_windows;
   spec.seed = options.seed;
 
   const core::ExperimentBackend& backend =
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   // diagnosable) with a tolerance of two test-window flips: each point's
   // rate is a Monte-Carlo estimate over 2 · test_windows windows, so
   // adjacent near-equal rungs legitimately differ by sampling noise.
-  const double tolerance = 1.0 / static_cast<double>(spec.test_windows);
+  const double tolerance = 1.0 / static_cast<double>(spec.plan.test_windows);
 
   core::FigureSeries fig;
   fig.title = "budgeted padding: detection vs overhead (lab, n = 400)";

@@ -11,7 +11,9 @@
 // point vs one collapsed run — outcomes asserted bit-identical), plus the
 // population axis: thread scaling, process sharding, and the sampled
 // execution mode (m-of-M strata with contention pinned at the full M,
-// sampled flows asserted bitwise equal to their exhaustive twins).
+// sampled flows asserted bitwise equal to their exhaustive twins), and the
+// best-response tuner (candidate evaluations/sec through tune_adversary's
+// selection stage, the robust frontier's inner loop).
 //
 // Emits machine-readable JSON with --json (one object per benchmark plus
 // derived headline fields: events/sec speedup, features/sec and curve
@@ -34,6 +36,7 @@
 #include "core/experiment.hpp"
 #include "core/frontier.hpp"
 #include "core/population.hpp"
+#include "core/robust_frontier.hpp"
 #include "core/scenarios.hpp"
 #include "core/shard_io.hpp"
 #include "sim/mg1.hpp"
@@ -293,6 +296,10 @@ struct DerivedMetrics {
   /// on the 5-rung budget ladder (gateway queue-feedback seam + overhead
   /// accounting included).
   double frontier_points_per_sec = 0.0;
+  /// Best-response tuner throughput: candidate evaluations/sec through
+  /// tune_adversary on an 8-candidate feature × window grid (the robust
+  /// frontier's selection stage; one full attack pipeline per candidate).
+  double tuning_points_per_sec = 0.0;
   /// End-to-end sharded pipeline (8 shard runs + serialize + parse + merge)
   /// vs the plain in-process run, same M = 1000 workload: ~1.0 means
   /// process sharding costs nothing but the file round-trip.
@@ -336,6 +343,8 @@ void print_table(const std::vector<BenchResult>& results,
               derived.population_thread_speedup);
   std::printf("defense-frontier throughput: %.3e policy points/sec\n",
               derived.frontier_points_per_sec);
+  std::printf("best-response tuner throughput: %.3e candidate evals/sec\n",
+              derived.tuning_points_per_sec);
   std::printf("sharded population pipeline vs in-process run: %.2fx\n",
               derived.population_shard_speedup);
   std::printf("sampled population (m = 1000 of M = 100k): %.3e flows/sec, "
@@ -350,7 +359,7 @@ void print_json(const std::vector<BenchResult>& results,
   // scaling target is meaningless on a 1-core CI box).
   const unsigned hw_threads =
       std::max(1u, std::thread::hardware_concurrency());
-  std::printf("{\n  \"version\": 8,\n  \"hw_threads\": %u,\n"
+  std::printf("{\n  \"version\": 9,\n  \"hw_threads\": %u,\n"
               "  \"benchmarks\": [\n",
               hw_threads);
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -374,6 +383,7 @@ void print_json(const std::vector<BenchResult>& results,
               "    \"population_thread_speedup_2\": %.4f,\n"
               "    \"population_thread_speedup_4\": %.4f,\n"
               "    \"frontier_points_per_sec\": %.6e,\n"
+              "    \"tuning_points_per_sec\": %.6e,\n"
               "    \"population_shard_speedup\": %.4f,\n"
               "    \"population_sampled_flows_per_sec\": %.6e,\n"
               "    \"population_sampling_speedup\": %.4f\n  }\n}\n",
@@ -389,6 +399,7 @@ void print_json(const std::vector<BenchResult>& results,
               derived.population_thread_speedup_2,
               derived.population_thread_speedup_4,
               derived.frontier_points_per_sec,
+              derived.tuning_points_per_sec,
               derived.population_shard_speedup,
               derived.population_sampled_flows_per_sec,
               derived.population_sampling_speedup);
@@ -419,17 +430,17 @@ std::vector<double> run_fig4b_curve(std::size_t windows, bool collapsed) {
 
   core::ExperimentSpec spec;
   spec.scenario = scenario;
-  spec.adversary.feature = features.front();
-  spec.extra_features.assign(features.begin() + 1, features.end());
-  spec.train_windows = windows;
-  spec.test_windows = windows;
+  spec.plan.adversary.feature = features.front();
+  spec.plan.extra_features.assign(features.begin() + 1, features.end());
+  spec.plan.train_windows = windows;
+  spec.plan.test_windows = windows;
   spec.seed = 20030324;
 
   std::vector<double> rates;
   rates.reserve(axis.size() * features.size());
   if (collapsed) {
     spec.sample_size_axis = axis;
-    spec.adversary.window_size = n_max;
+    spec.plan.adversary.window_size = n_max;
     const auto result = core::ExperimentEngine().run(spec);
     for (const auto& point : result.by_sample_size) {
       for (const auto& outcome : point.per_feature) {
@@ -439,9 +450,9 @@ std::vector<double> run_fig4b_curve(std::size_t windows, bool collapsed) {
   } else {
     for (const std::size_t n : axis) {
       core::ExperimentSpec single = spec;
-      single.adversary.window_size = n;
-      single.train_windows = windows * n_max / n;
-      single.test_windows = windows * n_max / n;
+      single.plan.adversary.window_size = n;
+      single.plan.train_windows = windows * n_max / n;
+      single.plan.test_windows = windows * n_max / n;
       const auto result = core::ExperimentEngine().run(single);
       for (const auto& outcome : result.per_feature) {
         rates.push_back(outcome.detection_rate);
@@ -459,10 +470,10 @@ std::vector<double> run_fig4b_curve(std::size_t windows, bool collapsed) {
 core::PopulationSpec population_spec(std::size_t flows) {
   core::PopulationSpec spec;
   spec.experiment.scenario = core::lab_cross_traffic(core::make_cit(), 0.1);
-  spec.experiment.adversary.feature = classify::FeatureKind::kSampleVariance;
-  spec.experiment.adversary.window_size = 40;
-  spec.experiment.train_windows = 2;
-  spec.experiment.test_windows = 2;
+  spec.experiment.plan.adversary.feature = classify::FeatureKind::kSampleVariance;
+  spec.experiment.plan.adversary.window_size = 40;
+  spec.experiment.plan.train_windows = 2;
+  spec.experiment.plan.test_windows = 2;
   spec.flows = flows;
   spec.seed = 20030324;
   return spec;
@@ -747,9 +758,9 @@ int main(int argc, char** argv) {
     core::FrontierSpec fspec;
     fspec.scenario = core::lab_zero_cross(core::make_cit());
     fspec.policies = core::budget_ladder({0.0, 40.0, 70.0, 85.0, 100.0});
-    fspec.window_size = 100;
-    fspec.train_windows = 4;
-    fspec.test_windows = 4;
+    fspec.plan.adversary.window_size = 100;
+    fspec.plan.train_windows = 4;
+    fspec.plan.test_windows = 4;
     fspec.seed = 20030324;
     const double points = static_cast<double>(fspec.policies.size());
     results.push_back(
@@ -758,6 +769,30 @@ int main(int argc, char** argv) {
           return static_cast<std::uint64_t>(points);
         }));
     derived.frontier_points_per_sec = results.back().items_per_sec;
+  }
+
+  // Best-response tuner: tune_adversary over an 8-candidate feature ×
+  // window grid on the full-padding CIT scenario — the robust frontier's
+  // selection stage, one full attack pipeline per candidate, sharded via
+  // SweepRunner. Headline: candidate evaluations/sec.
+  {
+    const core::Scenario scenario = core::lab_zero_cross(core::make_cit());
+    core::AdversaryPlan plan;
+    plan.train_windows = 4;
+    plan.test_windows = 4;
+    classify::DetectorSearchSpace space;
+    space.features = {classify::FeatureKind::kSampleMean,
+                      classify::FeatureKind::kSampleVariance,
+                      classify::FeatureKind::kSampleEntropy,
+                      classify::FeatureKind::kMedianAbsDeviation};
+    space.window_sizes = {100, 200};
+    const std::uint64_t evals = space.size();  // exhaustive: 8 ≤ limit
+    results.push_back(
+        run_bench("tuning/best_response8", "evals", min_time, [&] {
+          (void)core::tune_adversary(scenario, plan, space, 20030324);
+          return evals;
+        }));
+    derived.tuning_points_per_sec = results.back().items_per_sec;
   }
 
   // Population scaling (pop_scaling): M = 1000 concurrent padded flows,

@@ -38,10 +38,10 @@ std::vector<double> detection_over_day(
   grid.environment = env;
   grid.policies = {std::move(policy)};
   grid.hours = hours;
-  grid.features = {classify::FeatureKind::kSampleEntropy};
-  grid.window_size = 1000;
-  grid.train_windows = windows;
-  grid.test_windows = windows;
+  grid.plan.set_features({classify::FeatureKind::kSampleEntropy});
+  grid.plan.adversary.window_size = 1000;
+  grid.plan.train_windows = windows;
+  grid.plan.test_windows = windows;
   grid.seed = seed;
 
   core::SweepOptions options;

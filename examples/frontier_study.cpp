@@ -55,9 +55,9 @@ StudyPolicies study_policies() {
 int main(int argc, char** argv) {
   util::ArgParser args("frontier_study",
                        "overhead vs detectability across defense policies");
-  args.add_option("--n", "400", "adversary window size (PIATs per window)");
-  args.add_option("--windows", "40", "train/test windows per class");
-  args.add_option("--seed", "20030324", "root RNG seed");
+  args.add_int("--n", 400, "adversary window size (PIATs per window)");
+  args.add_int("--windows", 40, "train/test windows per class");
+  args.add_int("--seed", 20030324, "root RNG seed");
   if (!args.parse(argc, argv)) return 1;
 
   const auto policies = study_policies();
@@ -65,9 +65,9 @@ int main(int argc, char** argv) {
   core::FrontierSpec spec;
   spec.scenario = core::lab_zero_cross(core::make_cit());
   spec.policies = policies.all;
-  spec.window_size = static_cast<std::size_t>(args.integer("--n"));
-  spec.train_windows = static_cast<std::size_t>(args.integer("--windows"));
-  spec.test_windows = spec.train_windows;
+  spec.plan.adversary.window_size = static_cast<std::size_t>(args.integer("--n"));
+  spec.plan.train_windows = static_cast<std::size_t>(args.integer("--windows"));
+  spec.plan.test_windows = spec.plan.train_windows;
   spec.seed = static_cast<std::uint64_t>(args.integer("--seed"));
 
   core::SweepOptions options;
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
   const auto frontier = core::run_frontier(spec, core::sim_backend(), options);
 
   std::printf("defense frontier, lab zero-cross, n = %zu, %zu windows:\n\n",
-              spec.window_size, spec.train_windows);
+              spec.plan.adversary.window_size, spec.plan.train_windows);
   util::TextTable table({"policy", "wire kbps", "overhead kbps", "dummy %",
                          "delay p95 ms", "detection", "pareto"});
   for (const auto& point : frontier.points) {
@@ -100,7 +100,7 @@ int main(int argc, char** argv) {
                                       policies.ladder_size));
   // Tolerance of two test-window flips: the rates are Monte-Carlo
   // estimates over 2 · test_windows windows each.
-  const double tolerance = 1.0 / static_cast<double>(spec.test_windows);
+  const double tolerance = 1.0 / static_cast<double>(spec.plan.test_windows);
   const bool monotone =
       core::detection_monotone_nonincreasing(ladder, tolerance);
   std::printf("budget ladder monotone (detection non-increasing in budget, "

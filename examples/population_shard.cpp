@@ -54,11 +54,11 @@ core::PopulationSpec make_spec(const util::ArgParser& args) {
   core::PopulationSpec spec;
   spec.experiment.scenario = core::lab_cross_traffic(
       sigma > 0 ? core::make_vit(sigma) : core::make_cit(), 0.1);
-  spec.experiment.adversary.feature = classify::FeatureKind::kSampleVariance;
-  spec.experiment.adversary.window_size = 400;
+  spec.experiment.plan.adversary.feature = classify::FeatureKind::kSampleVariance;
+  spec.experiment.plan.adversary.window_size = 400;
   spec.experiment.sample_size_axis = {100, 400};
-  spec.experiment.train_windows = windows;
-  spec.experiment.test_windows = windows;
+  spec.experiment.plan.train_windows = windows;
+  spec.experiment.plan.test_windows = windows;
   spec.flows = static_cast<std::size_t>(args.integer("--flows"));
   spec.sample_flows = static_cast<std::size_t>(args.integer("--sample"));
   spec.sample_round = static_cast<std::size_t>(args.integer("--round"));
@@ -168,18 +168,18 @@ int main(int argc, char** argv) {
   args.add_flag("--run", "reference mode: single-process run of the campaign");
   args.add_option("--out", "-",
                   "result JSON destination for --merge/--run (- = stdout)");
-  args.add_option("--flows", "64", "concurrent padded flows M");
-  args.add_option("--sample", "0",
+  args.add_int("--flows", 64, "concurrent padded flows M");
+  args.add_int("--sample", 0,
                   "sampled mode: simulate only m seed-derived flows of M "
                   "(0 = exhaustive); contention stays at M");
-  args.add_option("--round", "0",
+  args.add_int("--round", 0,
                   "sampled mode: which disjoint stratum of the permutation");
-  args.add_option("--windows", "4", "train/test windows per class at n_max");
-  args.add_option("--sigma", "0",
+  args.add_int("--windows", 4, "train/test windows per class at n_max");
+  args.add_num("--sigma", 0,
                   "VIT timer std-dev in microseconds (0 = CIT)");
-  args.add_option("--seed", "7", "root RNG seed");
-  args.add_option("--grain", "0", "chunk grain (0 = flow-count default)");
-  args.add_option("--threads", "0", "worker threads (0 = hardware)");
+  args.add_int("--seed", 7, "root RNG seed");
+  args.add_int("--grain", 0, "chunk grain (0 = flow-count default)");
+  args.add_int("--threads", 0, "worker threads (0 = hardware)");
   args.add_flag("--drop-per-flow",
                 "aggregate-only run (omits per-flow rates from the JSON)");
   args.add_flag("--progress",

@@ -79,12 +79,12 @@ core::PopulationSpec study_spec(std::shared_ptr<const sim::TimerPolicy> policy,
                                 std::uint64_t seed) {
   core::PopulationSpec spec;
   spec.experiment.scenario = core::lab_cross_traffic(std::move(policy), 0.1);
-  spec.experiment.adversary.feature = classify::FeatureKind::kSampleVariance;
-  spec.experiment.extra_features = {classify::FeatureKind::kSampleEntropy};
+  spec.experiment.plan.adversary.feature = classify::FeatureKind::kSampleVariance;
+  spec.experiment.plan.extra_features = {classify::FeatureKind::kSampleEntropy};
   spec.experiment.sample_size_axis = {100, 300, 1000};
-  spec.experiment.adversary.window_size = 1000;
-  spec.experiment.train_windows = windows;
-  spec.experiment.test_windows = windows;
+  spec.experiment.plan.adversary.window_size = 1000;
+  spec.experiment.plan.train_windows = windows;
+  spec.experiment.plan.test_windows = windows;
   spec.flows = flows;
   spec.seed = seed;
   return spec;
@@ -123,13 +123,13 @@ void print_sampled_comparison(const core::PopulationResult& exhaustive,
 int main(int argc, char** argv) {
   util::ArgParser args("population_study",
                        "padding a user population: who leaks, and how fast");
-  args.add_option("--flows", "100", "concurrent padded flows M");
-  args.add_option("--windows", "10", "train/test windows per class at n_max");
-  args.add_option("--sigma", "500", "VIT timer std-dev in microseconds");
-  args.add_option("--seed", "31", "root RNG seed");
-  args.add_option("--sample", "0",
+  args.add_int("--flows", 100, "concurrent padded flows M");
+  args.add_int("--windows", 10, "train/test windows per class at n_max");
+  args.add_num("--sigma", 500, "VIT timer std-dev in microseconds");
+  args.add_int("--seed", 31, "root RNG seed");
+  args.add_int("--sample", 0,
                   "sampled-mode stratum size m (0 = skip the sampled demo)");
-  args.add_option("--half-width", "0.15",
+  args.add_num("--half-width", 0.15,
                   "target detected-fraction half-width for the sampled demo");
   if (!args.parse(argc, argv)) return 1;
 

@@ -26,10 +26,10 @@ void attack(const core::Scenario& scenario, std::uint64_t seed) {
                              classify::FeatureKind::kSampleEntropy}) {
     core::ExperimentSpec spec;
     spec.scenario = scenario;
-    spec.adversary.feature = feature;
-    spec.adversary.window_size = 1000;
-    spec.train_windows = 120;
-    spec.test_windows = 120;
+    spec.plan.adversary.feature = feature;
+    spec.plan.adversary.window_size = 1000;
+    spec.plan.train_windows = 120;
+    spec.plan.test_windows = 120;
     spec.seed = seed;
     const auto result = core::run_experiment(spec);
     std::printf("  %-16s detection rate %5.1f%%  (theory %5.1f%%, r_hat %.3f)\n",

@@ -74,11 +74,11 @@ int main(int argc, char** argv) {
   spec.scenario = core::lab_zero_cross(rec.sigma_timer > 0.0
                                            ? core::make_vit(rec.sigma_timer)
                                            : core::make_cit());
-  spec.adversary.feature = classify::FeatureKind::kSampleVariance;
-  spec.extra_features = {classify::FeatureKind::kSampleEntropy};
-  spec.adversary.window_size = static_cast<std::size_t>(n_max);
-  spec.train_windows = 50;
-  spec.test_windows = 50;
+  spec.plan.adversary.feature = classify::FeatureKind::kSampleVariance;
+  spec.plan.extra_features = {classify::FeatureKind::kSampleEntropy};
+  spec.plan.adversary.window_size = static_cast<std::size_t>(n_max);
+  spec.plan.train_windows = 50;
+  spec.plan.test_windows = 50;
   spec.seed = core::derive_point_seed(seed, 1);
   const auto result = core::run_experiment(spec);
   for (const auto& outcome : result.per_feature) {

@@ -42,7 +42,7 @@ stats::BootstrapResult rate_ci(const classify::ConfusionMatrix& confusion) {
 
 }  // namespace
 
-std::vector<classify::FeatureKind> ExperimentSpec::features() const {
+std::vector<classify::FeatureKind> AdversaryPlan::features() const {
   std::vector<classify::FeatureKind> out;
   out.reserve(1 + extra_features.size());
   out.push_back(adversary.feature);
@@ -54,9 +54,16 @@ std::vector<classify::FeatureKind> ExperimentSpec::features() const {
   return out;
 }
 
+void AdversaryPlan::set_features(
+    const std::vector<classify::FeatureKind>& all) {
+  LINKPAD_EXPECTS(!all.empty());
+  adversary.feature = all.front();
+  extra_features.assign(all.begin() + 1, all.end());
+}
+
 std::vector<std::size_t> ExperimentSpec::sample_sizes() const {
   std::vector<std::size_t> ns = sample_size_axis;
-  if (ns.empty()) ns.push_back(adversary.window_size);
+  if (ns.empty()) ns.push_back(plan.adversary.window_size);
   std::sort(ns.begin(), ns.end());
   ns.erase(std::unique(ns.begin(), ns.end()), ns.end());
   LINKPAD_EXPECTS(ns.front() >= 2);
@@ -182,7 +189,7 @@ std::span<const double> clip_to_limit(std::span<const double> batch,
 ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec) const {
   const std::size_t num_classes = spec.scenario.payload_rates.size();
   LINKPAD_EXPECTS(num_classes >= 2);
-  LINKPAD_EXPECTS(spec.train_windows >= 2 && spec.test_windows >= 1);
+  LINKPAD_EXPECTS(spec.plan.train_windows >= 2 && spec.plan.test_windows >= 1);
 
   // Prefix-replay setup (DESIGN.md §2.6): the capture is sized by the
   // LARGEST sample size; every axis entry n gets its own DetectorBank with
@@ -206,14 +213,15 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec) const {
   for (std::size_t i = 0; i < k; ++i) {
     PrefixPoint& p = points[i];
     p.n = ns[i];
-    p.train_windows = std::min(spec.train_windows * n_max / p.n, window_cap);
-    p.test_windows = std::min(spec.test_windows * n_max / p.n, window_cap);
+    p.train_windows =
+        std::min(spec.plan.train_windows * n_max / p.n, window_cap);
+    p.test_windows = std::min(spec.plan.test_windows * n_max / p.n, window_cap);
     p.train_limit = p.train_windows * p.n;
     p.test_limit = p.test_windows * p.n;
     train_capacity = std::max(train_capacity, p.train_limit);
     test_capacity = std::max(test_capacity, p.test_limit);
     p.train_stats.resize(num_classes);
-    classify::AdversaryConfig adversary = spec.adversary;
+    classify::AdversaryConfig adversary = spec.plan.adversary;
     adversary.window_size = p.n;
     // Feature detectors first (detector f == features()[f], the indexing
     // the result assembly relies on), then the change-point detectors
@@ -221,20 +229,42 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec) const {
     // here — salts 1 and 2 are the training/test streams, so 3 + j can
     // never collide with a capture stream.
     std::vector<classify::DetectorSpec> detector_specs;
-    detector_specs.reserve(features.size() + spec.cpd_detectors.size());
+    detector_specs.reserve(features.size() + spec.plan.cpd_detectors.size() +
+                           spec.plan.extra_detectors.size());
     for (const auto kind : features) {
       classify::DetectorSpec ds;
       ds.adversary = adversary;
       ds.adversary.feature = kind;
       detector_specs.push_back(std::move(ds));
     }
-    for (std::size_t j = 0; j < spec.cpd_detectors.size(); ++j) {
+    for (std::size_t j = 0; j < spec.plan.cpd_detectors.size(); ++j) {
       LINKPAD_EXPECTS(num_classes == 2);
       classify::DetectorSpec ds;
       ds.adversary = adversary;
-      ds.cpd = spec.cpd_detectors[j];
+      ds.cpd = spec.plan.cpd_detectors[j];
       ds.cpd->calibration_seed = derive_point_seed(spec.seed, 3 + j);
       detector_specs.push_back(std::move(ds));
+    }
+    // Fully-specified extra detectors (each with its OWN window size /
+    // quantile / EDF / CPD config) ride ONLY the largest-sample-size bank:
+    // they do not re-window along the axis, so smaller points stay exactly
+    // what an extra-detector-free run would compute. Their calibration
+    // seeds continue the 3 + j ladder after the cpd_detectors.
+    if (i + 1 == k) {
+      for (std::size_t j = 0; j < spec.plan.extra_detectors.size(); ++j) {
+        classify::DetectorSpec ds = spec.plan.extra_detectors[j];
+        if (ds.cpd) {
+          LINKPAD_EXPECTS(num_classes == 2);
+          ds.cpd->calibration_seed = derive_point_seed(
+              spec.seed, 3 + spec.plan.cpd_detectors.size() + j);
+        } else {
+          // A window detector needs ≥ 2 training windows and ≥ 1 test
+          // window of ITS size inside the shared capture budget.
+          LINKPAD_EXPECTS(p.train_limit >= 2 * ds.adversary.window_size);
+          LINKPAD_EXPECTS(p.test_limit >= ds.adversary.window_size);
+        }
+        detector_specs.push_back(std::move(ds));
+      }
     }
     banks.emplace_back(std::move(detector_specs), num_classes);
   }
@@ -298,7 +328,10 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec) const {
   // a live capture cannot be replayed, and a multi-point axis would
   // re-simulate the whole capture, so both materialize the training
   // capture once and run the two passes from memory.
-  const bool prepass = banks.front().needs_prepass();
+  // Any bank may need the pooled-Δh prepass: the banks share a feature set,
+  // but extra detectors ride only the top bank, so probe all of them.
+  bool prepass = false;
+  for (const auto& bank : banks) prepass = prepass || bank.needs_prepass();
   if (prepass && (!backend_->replayable() || k > 1)) {
     std::vector<std::vector<double>> train(num_classes);
     for (std::size_t c = 0; c < num_classes; ++c) {
@@ -434,12 +467,31 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec) const {
       }
       sp.per_feature.push_back(std::move(out));
     }
-    sp.cpd.reserve(spec.cpd_detectors.size());
-    for (std::size_t j = 0; j < spec.cpd_detectors.size(); ++j) {
+    sp.cpd.reserve(spec.plan.cpd_detectors.size());
+    for (std::size_t j = 0; j < spec.plan.cpd_detectors.size(); ++j) {
       sp.cpd.push_back(
           banks[i].detector(features.size() + j).cpd_outcome());
     }
     result.by_sample_size.push_back(std::move(sp));
+  }
+
+  // Extra detectors live only in the top (n_max) bank, after the feature
+  // and cpd detectors. attack_score: confusion detection rate for window
+  // detectors, the chance-floor binary mapping for CPD (see DetectorOutcome).
+  result.per_detector.reserve(spec.plan.extra_detectors.size());
+  for (std::size_t j = 0; j < spec.plan.extra_detectors.size(); ++j) {
+    const classify::Detector& det = banks.back().detector(
+        features.size() + spec.plan.cpd_detectors.size() + j);
+    DetectorOutcome out;
+    out.name = det.name();
+    if (det.is_cpd()) {
+      out.cpd = det.cpd_outcome();
+      out.attack_score = out.cpd->ttd.detected ? 1.0 : 0.5;
+    } else {
+      out.confusion = det.confusion();
+      out.attack_score = out.confusion.detection_rate();
+    }
+    result.per_detector.push_back(std::move(out));
   }
 
   const SampleSizePoint& top_point = result.by_sample_size.back();
@@ -615,7 +667,6 @@ std::size_t SweepGrid::size() const {
 
 std::vector<ExperimentSpec> SweepGrid::expand() const {
   LINKPAD_EXPECTS(!sigma_timers.empty() || !policies.empty());
-  LINKPAD_EXPECTS(!features.empty());
 
   const auto axis = environment_axis(*this);
   // One sentinel keeps the loop structure uniform; it is never read when
@@ -637,19 +688,15 @@ std::vector<ExperimentSpec> SweepGrid::expand() const {
           auto& hops = spec.scenario.base.hops_before_tap;
           hops.resize(std::min(tap, hops.size()));
         }
-        // All features share this point's single simulation: the first is
-        // the primary, the rest ride the DetectorBank pass — and so does
-        // the whole sample-size axis (prefix replay over one capture).
-        spec.adversary.feature = features.front();
-        spec.extra_features.assign(features.begin() + 1, features.end());
-        spec.adversary.window_size =
-            sample_sizes.empty()
-                ? window_size
-                : *std::max_element(sample_sizes.begin(), sample_sizes.end());
+        // All of plan.features() share this point's single simulation: the
+        // first is the primary, the rest ride the DetectorBank pass — and
+        // so does the whole sample-size axis (prefix replay, one capture).
+        spec.plan = plan;
+        if (!sample_sizes.empty()) {
+          spec.plan.adversary.window_size =
+              *std::max_element(sample_sizes.begin(), sample_sizes.end());
+        }
         spec.sample_size_axis = sample_sizes;
-        spec.cpd_detectors = cpd_detectors;
-        spec.train_windows = train_windows;
-        spec.test_windows = test_windows;
         // Per-point seed: streams never collide across grid points, and
         // the mapping depends only on (root seed, point index).
         spec.seed = derive_point_seed(seed, specs.size());

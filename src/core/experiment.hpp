@@ -13,10 +13,12 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "classify/adversary.hpp"
 #include "classify/cpd.hpp"
+#include "classify/detector_bank.hpp"
 #include "core/piat_source.hpp"
 #include "core/scenarios.hpp"
 #include "stats/bootstrap.hpp"
@@ -38,18 +40,54 @@ namespace linkpad::core {
   return util::SplitMix64::mix(root ^ util::SplitMix64::mix(point + 1));
 }
 
-/// One experiment = one scenario × one adversary configuration. When
-/// `extra_features` is non-empty, a DetectorBank evaluates the primary
-/// feature (`adversary.feature`) AND every extra feature over the same
-/// single stream pass — one simulation, N detection verdicts.
-struct ExperimentSpec {
-  Scenario scenario;
+/// The adversary half of an experiment, shared verbatim by every spec kind
+/// that runs the attack pipeline (ExperimentSpec, SweepGrid, FrontierSpec
+/// and the robust-frontier tuner): which detectors watch the stream and how
+/// much capture they train/test on. Extracting it into one struct keeps the
+/// knobs from drifting apart across the spec kinds and gives the attacker
+/// optimizer (core/robust_frontier) a single seam to mutate.
+struct AdversaryPlan {
+  /// Primary detector: feature, window size, entropy / density knobs.
   classify::AdversaryConfig adversary;
   /// Further features detected in the same pass (window size / entropy /
   /// density knobs are shared with `adversary`). Duplicates are ignored.
   std::vector<classify::FeatureKind> extra_features;
+  /// Fully-specified extra detectors (their OWN window size, quantile
+  /// backend, EDF distance or CPD config) riding the same capture pass,
+  /// appended after the feature and cpd detectors in the LARGEST-sample-
+  /// size bank only (they do not re-window along a sample_size_axis).
+  /// Results land in ExperimentResult::per_detector, in this order. This
+  /// is the seam the best-response tuner evaluates candidates through. A
+  /// CPD entry's calibration_seed is overwritten by the engine with
+  /// derive_point_seed(seed, 3 + cpd_detectors.size() + j).
+  std::vector<classify::DetectorSpec> extra_detectors;
+  /// Streaming change-point detectors (CUSUM / adaptive-EWMA) riding the
+  /// same capture pass, appended after the feature detectors in every
+  /// bank. Two-class scenarios only. Each config's calibration_seed is
+  /// OVERWRITTEN by the engine with derive_point_seed(seed, 3 + j) for
+  /// detector j, so calibrated thresholds are reproducible per point and
+  /// never collide with the training (salt 1) or test (salt 2) streams.
+  std::vector<classify::CpdConfig> cpd_detectors;
+  std::size_t train_windows = 300;  ///< per class, at the largest axis entry
+  std::size_t test_windows = 300;   ///< per class, at the largest axis entry
+
+  /// Primary feature followed by the (deduplicated) extra features.
+  [[nodiscard]] std::vector<classify::FeatureKind> features() const;
+
+  /// Inverse of features(): first entry becomes the primary
+  /// (adversary.feature), the rest become extra_features.
+  void set_features(const std::vector<classify::FeatureKind>& all);
+};
+
+/// One experiment = one scenario × one adversary plan. When the plan has
+/// extra features/detectors, a DetectorBank evaluates the primary feature
+/// (`plan.adversary.feature`) AND every extra over the same single stream
+/// pass — one simulation, N detection verdicts.
+struct ExperimentSpec {
+  Scenario scenario;
+  AdversaryPlan plan;
   /// Sample-size (window-size) axis, collapsed into ONE capture. Empty ⇒
-  /// the single window size `adversary.window_size`. Non-empty ⇒
+  /// the single window size `plan.adversary.window_size`. Non-empty ⇒
   /// prefix-replay: the engine simulates one capture sized by the LARGEST
   /// axis entry (train_windows / test_windows count ITS windows) and every
   /// smaller n re-chops the same capture into floor(windows·n_max/n)
@@ -65,22 +103,15 @@ struct ExperimentSpec {
   /// evaluations), so figure-grade axes bound it. Capped points still
   /// consume a prefix; the bit-identity contract is unchanged.
   std::size_t max_windows_per_point = 0;
-  /// Streaming change-point detectors (CUSUM / adaptive-EWMA) riding the
-  /// same capture pass, appended after the feature detectors in every
-  /// bank. Two-class scenarios only. Each config's calibration_seed is
-  /// OVERWRITTEN by the engine with derive_point_seed(seed, 3 + j) for
-  /// detector j, so calibrated thresholds are reproducible per point and
-  /// never collide with the training (salt 1) or test (salt 2) streams.
-  std::vector<classify::CpdConfig> cpd_detectors;
-  std::size_t train_windows = 300;  ///< per class, at the largest axis entry
-  std::size_t test_windows = 300;   ///< per class, at the largest axis entry
   std::uint64_t seed = 20030324;    ///< date of the paper's campus capture
 
   /// Primary feature followed by the (deduplicated) extra features.
-  [[nodiscard]] std::vector<classify::FeatureKind> features() const;
+  [[nodiscard]] std::vector<classify::FeatureKind> features() const {
+    return plan.features();
+  }
 
   /// The effective axis: sample_size_axis sorted ascending and
-  /// deduplicated, or {adversary.window_size} when the axis is empty.
+  /// deduplicated, or {plan.adversary.window_size} when the axis is empty.
   [[nodiscard]] std::vector<std::size_t> sample_sizes() const;
 };
 
@@ -101,16 +132,30 @@ struct SampleSizePoint {
   std::size_t test_windows = 0;
   double r_hat = 1.0;                ///< variance ratio over THIS prefix
   std::vector<FeatureOutcome> per_feature;  ///< primary first
-  /// One outcome per spec.cpd_detectors (same order), evaluated over this
-  /// point's prefix of the shared capture.
+  /// One outcome per spec.plan.cpd_detectors (same order), evaluated over
+  /// this point's prefix of the shared capture.
   std::vector<classify::CpdOutcome> cpd;
 
   /// Outcome of `kind`; throws if the point did not evaluate it.
   [[nodiscard]] const FeatureOutcome& outcome(classify::FeatureKind kind) const;
 };
 
+/// One extra (fully-specified) detector's verdict, evaluated at the
+/// largest sample size. `attack_score` is the tuner's common currency on
+/// [0, 1]: the confusion-matrix detection rate for window (feature / EDF)
+/// detectors, and the conservative chance-floor mapping
+/// `ttd.detected ? 1.0 : 0.5` for change-point detectors — a CPD verdict
+/// is binary per run, and 0.5 keeps an undetected CPD comparable to a
+/// coin-flip window detector instead of ranking below it.
+struct DetectorOutcome {
+  std::string name;                         ///< Detector::name()
+  double attack_score = 0.5;
+  classify::ConfusionMatrix confusion{2};   ///< window detectors only
+  std::optional<classify::CpdOutcome> cpd;  ///< CPD detectors only
+};
+
 /// Outcome of one experiment. The top-level fields describe the PRIMARY
-/// feature (spec.adversary.feature); `per_feature` carries one outcome per
+/// feature (spec.plan.adversary.feature); `per_feature` carries one outcome per
 /// spec.features(), primary first. `by_sample_size` carries one point per
 /// spec.sample_sizes() (ascending n); the top-level fields mirror the
 /// LARGEST sample size — the point whose capture the axis shares.
@@ -125,9 +170,13 @@ struct ExperimentResult {
   double piat_var_low = 0.0;            ///< padded PIAT variances
   double piat_var_high = 0.0;
   std::vector<FeatureOutcome> per_feature;
-  /// One outcome per spec.cpd_detectors (same order), at the largest
+  /// One outcome per spec.plan.cpd_detectors (same order), at the largest
   /// sample size — scheme, calibrated threshold, time-to-detection.
   std::vector<classify::CpdOutcome> cpd;
+  /// One outcome per spec.plan.extra_detectors (same order). Extra
+  /// detectors ride only the largest-sample-size bank, so there is no
+  /// per-SampleSizePoint mirror of this field.
+  std::vector<DetectorOutcome> per_detector;
   std::vector<SampleSizePoint> by_sample_size;
   /// Padding-cost accounting of the run-time (test) capture, one entry per
   /// class in class order — empty when the backend cannot account (live).
@@ -313,17 +362,17 @@ struct SweepGrid {
   /// Tap-position axis: number of hops BEFORE the adversary's tap (clamped
   /// to the scenario's path length). Empty ⇒ the scenario default.
   std::vector<std::size_t> tap_hops;
-  /// Adversary features, all evaluated per point in one stream pass.
-  std::vector<classify::FeatureKind> features = {
-      classify::FeatureKind::kSampleVariance};
-  /// Streaming change-point detectors riding each point's capture pass
-  /// (copied into every spec's cpd_detectors; like the feature axis, NOT
-  /// expanded into separate points).
-  std::vector<classify::CpdConfig> cpd_detectors;
-
-  std::size_t window_size = 1000;
-  std::size_t train_windows = 150;
-  std::size_t test_windows = 150;
+  /// The adversary half, copied into every expanded spec: all of
+  /// plan.features() are evaluated per point in one stream pass, and the
+  /// plan's cpd/extra detectors ride the same pass (like the feature axis,
+  /// NOT expanded into separate points). plan.adversary.window_size is the
+  /// single window size when `sample_sizes` is empty; otherwise the axis
+  /// overrides it per spec.
+  AdversaryPlan plan = {
+      .adversary = {.feature = classify::FeatureKind::kSampleVariance,
+                    .window_size = 1000},
+      .train_windows = 150,
+      .test_windows = 150};
   std::uint64_t seed = 20030324;
 
   /// Number of points the grid expands to.

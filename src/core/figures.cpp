@@ -50,12 +50,12 @@ std::vector<std::vector<FeaturePoint>> evaluate_axis(
     std::size_t test_windows, std::uint64_t seed) {
   ExperimentSpec spec;
   spec.scenario = scenario;
-  spec.adversary.feature = features.front();
-  spec.extra_features.assign(features.begin() + 1, features.end());
+  spec.plan.adversary.feature = features.front();
+  spec.plan.extra_features.assign(features.begin() + 1, features.end());
   spec.sample_size_axis = sample_sizes;
-  spec.adversary.window_size = sample_sizes.back();
-  spec.train_windows = train_windows;
-  spec.test_windows = test_windows;
+  spec.plan.adversary.window_size = sample_sizes.back();
+  spec.plan.train_windows = train_windows;
+  spec.plan.test_windows = test_windows;
   // Small-n points still get up to 2× the window budget of the largest
   // point (tighter rate estimates, free simulation-wise) without letting
   // the quadratic KDE classification cost of a 30×-window point dominate

@@ -13,15 +13,10 @@ namespace linkpad::core {
 ExperimentSpec FrontierSpec::point_spec(std::size_t point) const {
   LINKPAD_EXPECTS(point < policies.size());
   LINKPAD_EXPECTS(policies[point] != nullptr);
-  LINKPAD_EXPECTS(!features.empty());
   ExperimentSpec spec;
   spec.scenario = scenario;
   spec.scenario.base.policy = policies[point];
-  spec.adversary.feature = features.front();
-  spec.extra_features.assign(features.begin() + 1, features.end());
-  spec.adversary.window_size = window_size;
-  spec.train_windows = train_windows;
-  spec.test_windows = test_windows;
+  spec.plan = plan;
   spec.seed = derive_point_seed(seed, point);
   return spec;
 }
@@ -58,6 +53,15 @@ FrontierResult run_frontier(const FrontierSpec& spec,
                             const ExperimentBackend& backend,
                             SweepOptions options) {
   LINKPAD_EXPECTS(!spec.policies.empty());
+  // A partial sweep would leave default-initialized (zero-overhead,
+  // zero-detection) points on the Pareto front; previously this tripped a
+  // bare all_completed() assertion deep in the run. Name the misuse here.
+  if (options.early_stop) {
+    throw std::invalid_argument(
+        "run_frontier: SweepOptions::early_stop must be unset — the "
+        "frontier needs every policy point completed, and a partial sweep "
+        "would silently mark skipped points Pareto-efficient at zero cost");
+  }
   require_overhead_accounting(backend, spec.point_spec(0));
 
   const auto report =

@@ -27,15 +27,15 @@ struct FrontierSpec {
   /// The policy operating points. Labels come from TimerPolicy::name() —
   /// the single naming accessor tables, benches and JSON records share.
   std::vector<std::shared_ptr<const sim::TimerPolicy>> policies;
-  /// Adversary template. Every feature in `features` is detected in one
-  /// stream pass per point (DetectorBank); the frontier scores each point
-  /// by the BEST of them — the adversary picks the strongest weapon.
-  std::vector<classify::FeatureKind> features = {
-      classify::FeatureKind::kSampleMean,
-      classify::FeatureKind::kSampleVariance};
-  std::size_t window_size = 400;
-  std::size_t train_windows = 40;
-  std::size_t test_windows = 40;
+  /// Adversary template. Every feature in `plan.features()` is detected in
+  /// one stream pass per point (DetectorBank); the frontier scores each
+  /// point by the BEST of them — the adversary picks the strongest weapon.
+  AdversaryPlan plan = {
+      .adversary = {.feature = classify::FeatureKind::kSampleMean,
+                    .window_size = 400},
+      .extra_features = {classify::FeatureKind::kSampleVariance},
+      .train_windows = 40,
+      .test_windows = 40};
   std::uint64_t seed = 20030324;
 
   /// The per-point ExperimentSpec (policy cloned into the scenario, seed
@@ -65,9 +65,10 @@ struct FrontierResult {
 
 /// Run the frontier: one ExperimentEngine run per policy point, sharded
 /// across the thread pool (SweepRunner semantics: bit-identical at any
-/// thread count; early_stop must be unset). Throws std::invalid_argument
-/// when the backend provides no padding-cost accounting (e.g. a passive
-/// live tap) — the frontier has no overhead coordinate without it.
+/// thread count). Throws std::invalid_argument when options.early_stop is
+/// set (a partial sweep has no meaningful Pareto front) or when the
+/// backend provides no padding-cost accounting (e.g. a passive live tap) —
+/// the frontier has no overhead coordinate without it.
 [[nodiscard]] FrontierResult run_frontier(const FrontierSpec& spec,
                                           const ExperimentBackend& backend =
                                               sim_backend(),

@@ -185,10 +185,10 @@ std::vector<ChunkAggregate> PopulationEngine::run_chunks(
   // flow_spec(f) stays the contract: it resolves to exactly this spec.
   const Scenario loaded = spec.loaded_scenario();
   const auto ns = spec.experiment.sample_sizes();
-  const std::size_t n_cpd = spec.experiment.cpd_detectors.size();
+  const std::size_t n_cpd = spec.experiment.plan.cpd_detectors.size();
   std::vector<classify::CpdKind> cpd_kinds;
   cpd_kinds.reserve(n_cpd);
-  for (const auto& config : spec.experiment.cpd_detectors) {
+  for (const auto& config : spec.experiment.plan.cpd_detectors) {
     cpd_kinds.push_back(config.kind);
   }
   const ExperimentEngine engine(*backend_, options_.batch_piats);

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
@@ -8,23 +9,65 @@
 
 namespace linkpad::util {
 
+namespace {
+
+/// Strict whole-string parses; nullopt on any trailing junk. Shared by the
+/// typed accessors AND parse()'s typed-option validation so both reject
+/// exactly the same inputs.
+std::optional<std::int64_t> parse_integer_text(const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(text, &used);
+    if (used != text.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<double> parse_number_text(const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
 ArgParser::ArgParser(std::string program, std::string summary)
     : program_(std::move(program)), summary_(std::move(summary)) {}
 
-void ArgParser::add_flag(const std::string& name, const std::string& help_text) {
+void ArgParser::declare(const std::string& name, Spec spec) {
   LINKPAD_EXPECTS(name.rfind("--", 0) == 0);
   LINKPAD_EXPECTS(!specs_.count(name));
-  specs_[name] = Spec{help_text, "false", /*is_flag=*/true};
+  specs_[name] = std::move(spec);
   order_.push_back(name);
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help_text) {
+  declare(name, Spec{help_text, "false", Kind::kFlag});
 }
 
 void ArgParser::add_option(const std::string& name,
                            const std::string& default_value,
                            const std::string& help_text) {
-  LINKPAD_EXPECTS(name.rfind("--", 0) == 0);
-  LINKPAD_EXPECTS(!specs_.count(name));
-  specs_[name] = Spec{help_text, default_value, /*is_flag=*/false};
-  order_.push_back(name);
+  declare(name, Spec{help_text, default_value, Kind::kString});
+}
+
+void ArgParser::add_int(const std::string& name, std::int64_t default_value,
+                        const std::string& help_text) {
+  declare(name, Spec{help_text, std::to_string(default_value), Kind::kInt});
+}
+
+void ArgParser::add_num(const std::string& name, double default_value,
+                        const std::string& help_text) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", default_value);
+  declare(name, Spec{help_text, buf, Kind::kNum});
 }
 
 bool ArgParser::parse(int argc, const char* const* argv) {
@@ -46,7 +89,7 @@ bool ArgParser::parse(int argc, const char* const* argv) {
                 << "Run with --help for usage.\n";
       return false;
     }
-    if (it->second.is_flag) {
+    if (it->second.kind == Kind::kFlag) {
       if (inline_value) {
         std::cerr << program_ << ": flag '" << name << "' takes no value\n";
         return false;
@@ -60,6 +103,20 @@ bool ArgParser::parse(int argc, const char* const* argv) {
         return false;
       }
       values_[name] = argv[++i];
+    }
+    // Typed options are validated HERE, while the offending token is still
+    // attributable to the command line — not at first accessor use.
+    if (it->second.kind == Kind::kInt &&
+        !parse_integer_text(values_[name]).has_value()) {
+      std::cerr << program_ << ": option '" << name << "': '" << values_[name]
+                << "' is not an integer\n";
+      return false;
+    }
+    if (it->second.kind == Kind::kNum &&
+        !parse_number_text(values_[name]).has_value()) {
+      std::cerr << program_ << ": option '" << name << "': '" << values_[name]
+                << "' is not a number\n";
+      return false;
     }
   }
   return true;
@@ -75,7 +132,7 @@ const ArgParser::Spec& ArgParser::spec_for(const std::string& name) const {
 
 bool ArgParser::flag(const std::string& name) const {
   const Spec& spec = spec_for(name);
-  LINKPAD_EXPECTS(spec.is_flag);
+  LINKPAD_EXPECTS(spec.kind == Kind::kFlag);
   auto it = values_.find(name);
   return it != values_.end() && it->second == "true";
 }
@@ -88,28 +145,22 @@ std::string ArgParser::str(const std::string& name) const {
 
 double ArgParser::num(const std::string& name) const {
   const std::string text = str(name);
-  try {
-    std::size_t used = 0;
-    const double v = std::stod(text, &used);
-    if (used != text.size()) throw std::invalid_argument(text);
-    return v;
-  } catch (const std::exception&) {
+  const auto v = parse_number_text(text);
+  if (!v) {
     throw std::invalid_argument("option " + name + ": '" + text +
                                 "' is not a number");
   }
+  return *v;
 }
 
 std::int64_t ArgParser::integer(const std::string& name) const {
   const std::string text = str(name);
-  try {
-    std::size_t used = 0;
-    const long long v = std::stoll(text, &used);
-    if (used != text.size()) throw std::invalid_argument(text);
-    return v;
-  } catch (const std::exception&) {
+  const auto v = parse_integer_text(text);
+  if (!v) {
     throw std::invalid_argument("option " + name + ": '" + text +
                                 "' is not an integer");
   }
+  return *v;
 }
 
 std::string ArgParser::help() const {
@@ -118,7 +169,12 @@ std::string ArgParser::help() const {
   for (const auto& name : order_) {
     const Spec& spec = specs_.at(name);
     out << "  " << name;
-    if (!spec.is_flag) out << " <value = " << spec.default_value << ">";
+    switch (spec.kind) {
+      case Kind::kFlag: break;
+      case Kind::kString: out << " <value = " << spec.default_value << ">"; break;
+      case Kind::kInt: out << " <int = " << spec.default_value << ">"; break;
+      case Kind::kNum: out << " <num = " << spec.default_value << ">"; break;
+    }
     out << "\n      " << spec.help << "\n";
   }
   out << "  --help\n      Show this message.\n";

@@ -21,9 +21,18 @@ class ArgParser {
 
   /// Declare a boolean flag (false unless present).
   void add_flag(const std::string& name, const std::string& help);
-  /// Declare a string / numeric option with a default value.
+  /// Declare a free-form string option with a default value.
   void add_option(const std::string& name, const std::string& default_value,
                   const std::string& help);
+  /// Declare a typed integer option: the value is validated while parse()
+  /// consumes argv, so a typo fails loudly at the command line instead of
+  /// throwing at first access deep inside a run. The typed default appears
+  /// in the generated --help.
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  /// Declare a typed real-number option (same parse-time validation).
+  void add_num(const std::string& name, double default_value,
+               const std::string& help);
 
   /// Parse argv. Returns false (after printing a message) on error or when
   /// --help was requested; callers should then exit.
@@ -38,12 +47,14 @@ class ArgParser {
   [[nodiscard]] std::string help() const;
 
  private:
+  enum class Kind { kFlag, kString, kInt, kNum };
   struct Spec {
     std::string help;
     std::string default_value;
-    bool is_flag = false;
+    Kind kind = Kind::kString;
   };
   const Spec& spec_for(const std::string& name) const;
+  void declare(const std::string& name, Spec spec);
 
   std::string program_;
   std::string summary_;

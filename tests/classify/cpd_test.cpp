@@ -296,17 +296,17 @@ TEST(CpdModel, DetectsShiftedStreamQuickly) {
 core::ExperimentSpec engine_spec() {
   core::ExperimentSpec spec;
   spec.scenario = core::lab_zero_cross(core::make_cit());
-  spec.adversary.feature = FeatureKind::kSampleVariance;
-  spec.adversary.window_size = 50;
-  spec.train_windows = 20;
-  spec.test_windows = 20;
+  spec.plan.adversary.feature = FeatureKind::kSampleVariance;
+  spec.plan.adversary.window_size = 50;
+  spec.plan.train_windows = 20;
+  spec.plan.test_windows = 20;
   for (const auto kind : {CpdKind::kCusum, CpdKind::kAdaptiveEwma}) {
     CpdConfig config;
     config.kind = kind;
     config.target_far = 0.05;
     config.horizon = 400;
     config.trials = 40;
-    spec.cpd_detectors.push_back(config);
+    spec.plan.cpd_detectors.push_back(config);
   }
   return spec;
 }

@@ -1,0 +1,98 @@
+// DetectorSearchSpace expansion contract: candidate count, deterministic
+// order (the tuner's tie-break identity), the quantile axis multiplying
+// only the quantile features, and the candidate labels.
+#include "classify/search.hpp"
+
+#include <gtest/gtest.h>
+
+namespace linkpad::classify {
+namespace {
+
+TEST(SearchSpace, DefaultSpaceSizeCountsQuantileAxisOnlyForQuantileFeatures) {
+  DetectorSearchSpace space;
+  // 5 features × 3 windows, one quantile mode, no EDF, no CPD.
+  EXPECT_EQ(space.size(), 15u);
+  EXPECT_EQ(space.expand().size(), 15u);
+
+  // A second quantile mode multiplies ONLY the MAD / IQR candidates:
+  // (3 plain + 2 quantile × 2 modes) × 3 windows.
+  space.quantile_modes = {QuantileMode::kExact, QuantileMode::kP2Sketch};
+  EXPECT_EQ(space.size(), 21u);
+  EXPECT_EQ(space.expand().size(), 21u);
+
+  space.edf_distances = {EdfDistance::kKolmogorovSmirnov,
+                         EdfDistance::kCramerVonMises};
+  space.cpd_target_fars = {0.01, 0.05};
+  EXPECT_EQ(space.size(), 21u + 2u * 3u + 2u);
+  EXPECT_EQ(space.expand().size(), space.size());
+}
+
+TEST(SearchSpace, ExpansionOrderIsFeaturesThenEdfThenCpd) {
+  DetectorSearchSpace space;
+  space.features = {FeatureKind::kSampleEntropy,
+                    FeatureKind::kMedianAbsDeviation};
+  space.window_sizes = {100, 300};
+  space.quantile_modes = {QuantileMode::kExact, QuantileMode::kP2Sketch};
+  space.edf_distances = {EdfDistance::kCramerVonMises};
+  space.cpd_target_fars = {0.02};
+  space.cpd_base.kind = CpdKind::kAdaptiveEwma;
+
+  const auto candidates = space.expand();
+  // entropy: 2 windows; MAD: 2 windows × 2 modes; EDF: 2; CPD: 1.
+  ASSERT_EQ(candidates.size(), 2u + 4u + 2u + 1u);
+
+  // Feature family first, features outer, windows inner, modes innermost.
+  EXPECT_EQ(candidate_label(candidates[0]), "sample entropy @n=100");
+  EXPECT_EQ(candidate_label(candidates[1]), "sample entropy @n=300");
+  EXPECT_EQ(candidates[2].adversary.feature,
+            FeatureKind::kMedianAbsDeviation);
+  EXPECT_EQ(candidates[2].quantile_mode, QuantileMode::kExact);
+  EXPECT_EQ(candidates[3].quantile_mode, QuantileMode::kP2Sketch);
+  EXPECT_EQ(candidates[3].adversary.window_size, 100u);
+  EXPECT_EQ(candidates[5].quantile_mode, QuantileMode::kP2Sketch);
+  EXPECT_EQ(candidates[5].adversary.window_size, 300u);
+
+  // Then EDF (distance outer × windows), then CPD (windowless).
+  ASSERT_TRUE(candidates[6].edf.has_value());
+  EXPECT_EQ(*candidates[6].edf, EdfDistance::kCramerVonMises);
+  EXPECT_EQ(candidates[6].adversary.window_size, 100u);
+  EXPECT_EQ(candidates[7].adversary.window_size, 300u);
+  ASSERT_TRUE(candidates[8].cpd.has_value());
+  EXPECT_EQ(candidates[8].cpd->kind, CpdKind::kAdaptiveEwma);
+  EXPECT_DOUBLE_EQ(candidates[8].cpd->target_far, 0.02);
+}
+
+TEST(SearchSpace, BaseConfigRidesEveryCandidate) {
+  DetectorSearchSpace space;
+  space.base.entropy_bin_width = 0.25;
+  space.features = {FeatureKind::kSampleMean};
+  space.window_sizes = {64};
+  space.edf_distances = {EdfDistance::kKolmogorovSmirnov};
+  space.edf_max_reference = 123;
+  space.cpd_target_fars = {0.1};
+
+  const auto candidates = space.expand();
+  ASSERT_EQ(candidates.size(), 3u);
+  for (const auto& candidate : candidates) {
+    EXPECT_DOUBLE_EQ(candidate.adversary.entropy_bin_width, 0.25);
+  }
+  EXPECT_EQ(candidates[1].edf_max_reference, 123u);
+}
+
+TEST(SearchSpace, LabelsPinTheKnobsTheNameAloneDoesNot) {
+  DetectorSearchSpace space;
+  space.features = {FeatureKind::kInterquartileRange};
+  space.window_sizes = {200};
+  space.quantile_modes = {QuantileMode::kP2Sketch};
+  space.edf_distances = {EdfDistance::kKolmogorovSmirnov};
+  space.cpd_target_fars = {0.01};
+
+  const auto candidates = space.expand();
+  ASSERT_EQ(candidates.size(), 3u);
+  EXPECT_EQ(candidate_label(candidates[0]), "IQR @n=200 (p2)");
+  EXPECT_EQ(candidate_label(candidates[1]), "EDF nearest (KS) @n=200");
+  EXPECT_EQ(candidate_label(candidates[2]), "cusum @far=0.01");
+}
+
+}  // namespace
+}  // namespace linkpad::classify

@@ -10,10 +10,10 @@ namespace {
 ExperimentSpec quick_spec(classify::FeatureKind feature, std::size_t n = 400) {
   ExperimentSpec spec;
   spec.scenario = lab_zero_cross(make_cit());
-  spec.adversary.feature = feature;
-  spec.adversary.window_size = n;
-  spec.train_windows = 60;
-  spec.test_windows = 60;
+  spec.plan.adversary.feature = feature;
+  spec.plan.adversary.window_size = n;
+  spec.plan.train_windows = 60;
+  spec.plan.test_windows = 60;
   spec.seed = 1;
   return spec;
 }
@@ -94,10 +94,10 @@ TEST(Experiment, SweepPreservesOrderAndMatchesSingleRuns) {
 TEST(Experiment, MultiRateScenarioProducesBiggerConfusionMatrix) {
   ExperimentSpec spec;
   spec.scenario = lab_multirate(make_cit(), 3);
-  spec.adversary.feature = classify::FeatureKind::kSampleVariance;
-  spec.adversary.window_size = 400;
-  spec.train_windows = 40;
-  spec.test_windows = 40;
+  spec.plan.adversary.feature = classify::FeatureKind::kSampleVariance;
+  spec.plan.adversary.window_size = 400;
+  spec.plan.train_windows = 40;
+  spec.plan.test_windows = 40;
   const auto r = run_experiment(spec);
   EXPECT_EQ(r.confusion.num_classes(), 3u);
   EXPECT_GT(r.detection_rate, 1.0 / 3.0);  // above 3-way chance
@@ -114,7 +114,7 @@ TEST(Experiment, GenerateClassStreamIsDeterministic) {
 
 TEST(Experiment, InvalidSpecRejected) {
   auto spec = quick_spec(classify::FeatureKind::kSampleVariance);
-  spec.train_windows = 1;
+  spec.plan.train_windows = 1;
   EXPECT_THROW(run_experiment(spec), linkpad::ContractViolation);
 }
 

@@ -11,7 +11,10 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "analysis/overhead.hpp"
@@ -53,9 +56,9 @@ FrontierSpec golden_ladder_spec() {
   // Peak payload 40 pps vs the 100 pps timer: only the last rung reaches
   // full coverage.
   spec.policies = budget_ladder({0.0, 40.0, 70.0, 85.0, 100.0});
-  spec.window_size = 200;
-  spec.train_windows = 12;
-  spec.test_windows = 12;
+  spec.plan.adversary.window_size = 200;
+  spec.plan.train_windows = 12;
+  spec.plan.test_windows = 12;
   spec.seed = 20030324;  // the default seed the golden values are pinned at
   return spec;
 }
@@ -102,9 +105,9 @@ TEST(FrontierDeterminism, BitIdenticalAcrossThreadCountsForEveryNewPolicy) {
       make_budgeted(/*dummy_budget_per_sec=*/25.0),
       make_adaptive(/*base_gap=*/25e-3, /*gain=*/1.0, /*min_gap=*/2.5e-3),
   };
-  spec.window_size = 100;
-  spec.train_windows = 6;
-  spec.test_windows = 6;
+  spec.plan.adversary.window_size = 100;
+  spec.plan.train_windows = 6;
+  spec.plan.test_windows = 6;
   spec.seed = 77;
 
   const std::size_t hw =
@@ -131,10 +134,10 @@ TEST(FrontierDeterminism, BitIdenticalAcrossThreadCountsForEveryNewPolicy) {
 TEST(FrontierOverhead, EngineAccountingTracksAnalyticRatesForCit) {
   ExperimentSpec spec;
   spec.scenario = lab_zero_cross(make_cit());
-  spec.adversary.feature = classify::FeatureKind::kSampleVariance;
-  spec.adversary.window_size = 200;
-  spec.train_windows = 6;
-  spec.test_windows = 6;
+  spec.plan.adversary.feature = classify::FeatureKind::kSampleVariance;
+  spec.plan.adversary.window_size = 200;
+  spec.plan.train_windows = 6;
+  spec.plan.test_windows = 6;
   spec.seed = 5;
   const auto result = run_experiment(spec);
 
@@ -159,10 +162,10 @@ TEST(FrontierOverhead, MeasuredBudgetedOverheadMatchesStaticModel) {
   const double budget = 30.0;
   ExperimentSpec spec;
   spec.scenario = lab_zero_cross(make_budgeted(budget));
-  spec.adversary.feature = classify::FeatureKind::kSampleMean;
-  spec.adversary.window_size = 200;
-  spec.train_windows = 6;
-  spec.test_windows = 6;
+  spec.plan.adversary.feature = classify::FeatureKind::kSampleMean;
+  spec.plan.adversary.window_size = 200;
+  spec.plan.train_windows = 6;
+  spec.plan.test_windows = 6;
   spec.seed = 9;
   const auto result = run_experiment(spec);
 
@@ -215,12 +218,74 @@ TEST(FrontierMonotone, ToleranceBoundsTotalRiseNotPerRungDrift) {
   EXPECT_FALSE(detection_monotone_nonincreasing(ladder({0.9, 0.95}), 0.025));
 }
 
+TEST(FrontierMisuse, EarlyStopThrowsNamedInvalidArgumentBeforeSweeping) {
+  // Regression: run_frontier used to trip a bare all_completed() assertion
+  // deep in the run when early_stop skipped points; the misuse must be
+  // named at the API boundary, before any simulation cost is paid.
+  const auto spec = golden_ladder_spec();
+  SweepOptions options;
+  options.early_stop = [](std::size_t, const ExperimentResult&) {
+    return true;
+  };
+  try {
+    (void)run_frontier(spec, sim_backend(), options);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("early_stop"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("run_frontier"), std::string::npos);
+  }
+}
+
+/// Build a FrontierResult with the given (overhead, detection) coordinates
+/// and mark Pareto efficiency exactly the way run_frontier does.
+FrontierResult marked_result(
+    const std::vector<std::pair<double, double>>& coords) {
+  FrontierResult result;
+  for (const auto& [overhead, detection] : coords) {
+    FrontierPoint point;
+    point.overhead_bps = overhead;
+    point.detection_rate = detection;
+    result.points.push_back(point);
+  }
+  for (const std::size_t i : analysis::pareto_front(coords)) {
+    result.points[i].pareto_efficient = true;
+  }
+  return result;
+}
+
+TEST(FrontierFront, SinglePointFrontierIsItsOwnFront) {
+  const auto result = marked_result({{100.0, 0.8}});
+  EXPECT_EQ(result.front(), std::vector<std::size_t>({0}));
+}
+
+TEST(FrontierFront, TiedOverheadKeepsOnlyTheLowerDetection) {
+  // Equal overhead, strictly lower detection: the cheaper-to-evade point
+  // dominates its rung-mate.
+  const auto result = marked_result({{100.0, 0.9}, {100.0, 0.8}, {50.0, 0.95}});
+  EXPECT_EQ(result.front(), std::vector<std::size_t>({1, 2}));
+}
+
+TEST(FrontierFront, ExactDuplicateOperatingPointsAreBothKept) {
+  // Dominance needs a STRICT improvement in one coordinate: two policies
+  // landing on the same operating point do not knock each other out, and
+  // both appear in input order.
+  const auto result = marked_result({{100.0, 0.8}, {100.0, 0.8}, {200.0, 0.9}});
+  EXPECT_EQ(result.front(), std::vector<std::size_t>({0, 1}));
+}
+
+TEST(FrontierFront, DominatedTieOnOneCoordinateIsDropped) {
+  // (100, 0.8) vs (100, 0.8) vs (80, 0.8): the cheaper point dominates
+  // both duplicates (overhead strictly better, detection tied).
+  const auto result = marked_result({{100.0, 0.8}, {100.0, 0.8}, {80.0, 0.8}});
+  EXPECT_EQ(result.front(), std::vector<std::size_t>({2}));
+}
+
 TEST(SweepGridPolicyAxis, PoliciesReplaceSigmaAxisPointForPoint) {
   SweepGrid grid;
   grid.environment = SweepGrid::Environment::kLabCrossTraffic;
   grid.policies = {make_cit(), make_budgeted(25.0), make_onoff(20e-3)};
   grid.utilizations = {0.1, 0.3};
-  grid.features = {classify::FeatureKind::kSampleVariance};
+  grid.plan.set_features({classify::FeatureKind::kSampleVariance});
   EXPECT_EQ(grid.size(), 3u * 2u);
   const auto specs = grid.expand();
   ASSERT_EQ(specs.size(), 6u);

@@ -92,11 +92,11 @@ void expect_same_population_point(const PopulationPoint& a,
 PopulationSpec small_spec(std::size_t flows, std::uint64_t seed = 99) {
   PopulationSpec spec;
   spec.experiment.scenario = lab_cross_traffic(make_cit(), 0.15);
-  spec.experiment.adversary.feature = classify::FeatureKind::kSampleVariance;
-  spec.experiment.adversary.window_size = 60;
+  spec.experiment.plan.adversary.feature = classify::FeatureKind::kSampleVariance;
+  spec.experiment.plan.adversary.window_size = 60;
   spec.experiment.sample_size_axis = {30, 60};
-  spec.experiment.train_windows = 3;
-  spec.experiment.test_windows = 3;
+  spec.experiment.plan.train_windows = 3;
+  spec.experiment.plan.test_windows = 3;
   spec.flows = flows;
   spec.seed = seed;
   return spec;
@@ -225,7 +225,7 @@ TEST(PopulationWorkSharing, MFlowRunOpensExactlyMStreamsPerClassAndPhase) {
   // Per flow and class, the variance adversary (no Δh prepass) opens one
   // train and one test stream, each sized by the LARGEST axis entry:
   // train_windows × n_max PIATs.
-  const std::size_t per_phase = spec.experiment.train_windows * 60;
+  const std::size_t per_phase = spec.experiment.plan.train_windows * 60;
 
   CountingBackend backend;
   const auto result = PopulationEngine(backend).run(spec);
@@ -399,10 +399,10 @@ TEST(Population, FlowSpecReproducesPopulationSlotForReactivePolicy) {
   // still be the literal per-flow contract even for measured-rate policies.
   PopulationSpec spec;
   spec.experiment.scenario = lab_cross_traffic(make_budgeted(20.0), 0.1);
-  spec.experiment.adversary.feature = classify::FeatureKind::kSampleMean;
-  spec.experiment.adversary.window_size = 40;
-  spec.experiment.train_windows = 3;
-  spec.experiment.test_windows = 3;
+  spec.experiment.plan.adversary.feature = classify::FeatureKind::kSampleMean;
+  spec.experiment.plan.adversary.window_size = 40;
+  spec.experiment.plan.train_windows = 3;
+  spec.experiment.plan.test_windows = 3;
   spec.flows = 3;
   spec.seed = 7;
 
@@ -426,8 +426,8 @@ TEST(Population, MoreContentionWeakensTheAdversary) {
   // pads the padded flow FOR free — mean detection cannot improve when
   // thousands of peers join the link (Fig 6's mechanism, population form).
   auto quiet = small_spec(3, /*seed=*/42);
-  quiet.experiment.train_windows = 6;
-  quiet.experiment.test_windows = 6;
+  quiet.experiment.plan.train_windows = 6;
+  quiet.experiment.plan.test_windows = 6;
   quiet.contention_flows = 3;
   auto busy = quiet;
   busy.contention_flows = 400000;  // ~0.8 utilization added
@@ -479,10 +479,10 @@ void expect_same_population(const PopulationResult& a,
 PopulationSpec wide_spec(std::size_t flows) {
   PopulationSpec spec;
   spec.experiment.scenario = lab_cross_traffic(make_cit(), 0.1);
-  spec.experiment.adversary.feature = classify::FeatureKind::kSampleVariance;
-  spec.experiment.adversary.window_size = 40;
-  spec.experiment.train_windows = 2;
-  spec.experiment.test_windows = 2;
+  spec.experiment.plan.adversary.feature = classify::FeatureKind::kSampleVariance;
+  spec.experiment.plan.adversary.window_size = 40;
+  spec.experiment.plan.train_windows = 2;
+  spec.experiment.plan.test_windows = 2;
   spec.flows = flows;
   spec.seed = 20030324;
   return spec;

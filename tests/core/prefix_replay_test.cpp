@@ -36,12 +36,12 @@ const std::vector<classify::FeatureKind> kPaperFeatures = {
 ExperimentSpec axis_spec(std::uint64_t seed = 11) {
   ExperimentSpec spec;
   spec.scenario = lab_zero_cross(make_cit());
-  spec.adversary.feature = kPaperFeatures.front();
-  spec.extra_features.assign(kPaperFeatures.begin() + 1, kPaperFeatures.end());
+  spec.plan.adversary.feature = kPaperFeatures.front();
+  spec.plan.extra_features.assign(kPaperFeatures.begin() + 1, kPaperFeatures.end());
   spec.sample_size_axis = {100, 250, 300, 500};
-  spec.adversary.window_size = 500;
-  spec.train_windows = 4;
-  spec.test_windows = 4;
+  spec.plan.adversary.window_size = 500;
+  spec.plan.train_windows = 4;
+  spec.plan.test_windows = 4;
   spec.seed = seed;
   return spec;
 }
@@ -89,19 +89,19 @@ void run_axis_equivalence(const ExperimentSpec& spec,
     ExperimentSpec single = spec;
     single.sample_size_axis.clear();
     single.max_windows_per_point = 0;
-    single.adversary.window_size = n;
-    single.train_windows = spec.train_windows * n_max / n;
-    single.test_windows = spec.test_windows * n_max / n;
+    single.plan.adversary.window_size = n;
+    single.plan.train_windows = spec.plan.train_windows * n_max / n;
+    single.plan.test_windows = spec.plan.test_windows * n_max / n;
     if (cap != 0) {
-      single.train_windows = std::min(single.train_windows, cap);
-      single.test_windows = std::min(single.test_windows, cap);
+      single.plan.train_windows = std::min(single.plan.train_windows, cap);
+      single.plan.test_windows = std::min(single.plan.test_windows, cap);
     }
     const auto reference = ExperimentEngine().run(single);
 
     const auto& point = collapsed.at_sample_size(n);
     const std::string tag = "n = " + std::to_string(n);
-    EXPECT_EQ(point.train_windows, single.train_windows) << tag;
-    EXPECT_EQ(point.test_windows, single.test_windows) << tag;
+    EXPECT_EQ(point.train_windows, single.plan.train_windows) << tag;
+    EXPECT_EQ(point.test_windows, single.plan.test_windows) << tag;
     expect_bitwise_equal(point.r_hat, reference.r_hat, tag + " r_hat");
     ASSERT_EQ(point.per_feature.size(), reference.per_feature.size()) << tag;
     for (std::size_t f = 0; f < point.per_feature.size(); ++f) {
@@ -209,15 +209,15 @@ TEST(PrefixReplayWorkSharing, EightPointGridSimulatesOnce) {
   // class, sized by the largest n. Explicit Δh ⇒ no prepass at all.
   SweepGrid grid;
   grid.sample_sizes = {100, 200, 400, 700, 1000, 1500, 2000, 3000};
-  grid.features = kPaperFeatures;
-  grid.train_windows = 2;
-  grid.test_windows = 2;
+  grid.plan.set_features(kPaperFeatures);
+  grid.plan.train_windows = 2;
+  grid.plan.test_windows = 2;
   grid.seed = 77;
   EXPECT_EQ(grid.size(), 1u);  // the axis does NOT expand into points
 
   auto specs = grid.expand();
   ASSERT_EQ(specs.size(), 1u);
-  specs[0].adversary.entropy_bin_width = 3e-6;
+  specs[0].plan.adversary.entropy_bin_width = 3e-6;
   EXPECT_EQ(specs[0].sample_sizes().size(), 8u);
 
   const std::size_t train_capacity = 2 * 3000;
@@ -237,9 +237,9 @@ TEST(PrefixReplayWorkSharing, AutoBinWidthAddsNoSimulationPass) {
   // one simulation, within the "at most 1 extra training pass" budget.
   SweepGrid grid;
   grid.sample_sizes = {100, 200, 400, 700, 1000, 1500, 2000, 3000};
-  grid.features = kPaperFeatures;  // entropy WITHOUT explicit Δh
-  grid.train_windows = 2;
-  grid.test_windows = 2;
+  grid.plan.set_features(kPaperFeatures);  // entropy WITHOUT explicit Δh
+  grid.plan.train_windows = 2;
+  grid.plan.test_windows = 2;
   grid.seed = 78;
 
   CountingBackend backend;
@@ -253,9 +253,9 @@ TEST(PrefixReplay, BitIdenticalAcrossSweepThreadCounts) {
   SweepGrid grid;
   grid.sigma_timers = {0.0, 100e-6};
   grid.sample_sizes = {100, 200, 400};
-  grid.features = kPaperFeatures;
-  grid.train_windows = 3;
-  grid.test_windows = 3;
+  grid.plan.set_features(kPaperFeatures);
+  grid.plan.train_windows = 3;
+  grid.plan.test_windows = 3;
   grid.seed = 4242;
   const auto specs = grid.expand();
   ASSERT_EQ(specs.size(), 2u);

@@ -49,11 +49,11 @@ void expect_bits(double a, double b, const std::string& label) {
 PopulationSpec cheap_spec(std::size_t flows, std::uint64_t seed = 20030324) {
   PopulationSpec spec;
   spec.experiment.scenario = lab_cross_traffic(make_cit(), 0.1);
-  spec.experiment.adversary.feature = classify::FeatureKind::kSampleVariance;
-  spec.experiment.adversary.window_size = 40;
+  spec.experiment.plan.adversary.feature = classify::FeatureKind::kSampleVariance;
+  spec.experiment.plan.adversary.window_size = 40;
   spec.experiment.sample_size_axis = {20, 40};
-  spec.experiment.train_windows = 2;
-  spec.experiment.test_windows = 2;
+  spec.experiment.plan.train_windows = 2;
+  spec.experiment.plan.test_windows = 2;
   spec.flows = flows;
   spec.seed = seed;
   return spec;

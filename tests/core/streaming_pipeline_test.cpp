@@ -32,9 +32,9 @@ const std::vector<classify::FeatureKind> kAllFeatures = {
 ExperimentSpec small_spec(std::uint64_t seed = 5) {
   ExperimentSpec spec;
   spec.scenario = lab_zero_cross(make_cit());
-  spec.adversary.window_size = 100;
-  spec.train_windows = 12;
-  spec.test_windows = 12;
+  spec.plan.adversary.window_size = 100;
+  spec.plan.train_windows = 12;
+  spec.plan.test_windows = 12;
   spec.seed = seed;
   return spec;
 }
@@ -43,15 +43,15 @@ ExperimentSpec small_spec(std::uint64_t seed = 5) {
 /// batch Adversary, evaluate window by window.
 classify::ConfusionMatrix batch_reference(const ExperimentSpec& spec,
                                           classify::FeatureKind kind) {
-  const std::size_t n = spec.adversary.window_size;
+  const std::size_t n = spec.plan.adversary.window_size;
   std::vector<std::vector<double>> train(2), test(2);
   for (std::size_t c = 0; c < 2; ++c) {
     train[c] = pull_stream(sim_backend(), spec.scenario, c, spec.seed, 1,
-                           spec.train_windows * n);
+                           spec.plan.train_windows * n);
     test[c] = pull_stream(sim_backend(), spec.scenario, c, spec.seed, 2,
-                          spec.test_windows * n);
+                          spec.plan.test_windows * n);
   }
-  classify::AdversaryConfig cfg = spec.adversary;
+  classify::AdversaryConfig cfg = spec.plan.adversary;
   cfg.feature = kind;
   classify::Adversary adversary(cfg);
   adversary.train(train);
@@ -74,14 +74,14 @@ void expect_same_confusion(const classify::ConfusionMatrix& a,
 TEST(StreamingEquivalence, EveryFeatureMatchesBatchPathAtEveryBatchSize) {
   const auto spec_base = small_spec();
   const std::size_t whole =
-      spec_base.train_windows * spec_base.adversary.window_size;
+      spec_base.plan.train_windows * spec_base.plan.adversary.window_size;
 
   for (const auto kind : kAllFeatures) {
     const auto reference = batch_reference(spec_base, kind);
     for (const std::size_t batch : {std::size_t{64}, std::size_t{8192},
                                     whole}) {
       ExperimentSpec spec = spec_base;
-      spec.adversary.feature = kind;
+      spec.plan.adversary.feature = kind;
       const auto result = ExperimentEngine(sim_backend(), batch).run(spec);
       const std::string label = classify::feature_name(kind) + " batch " +
                                 std::to_string(batch);
@@ -93,8 +93,8 @@ TEST(StreamingEquivalence, EveryFeatureMatchesBatchPathAtEveryBatchSize) {
 
 TEST(StreamingEquivalence, MultiFeatureRunMatchesPerFeatureBatchReferences) {
   ExperimentSpec spec = small_spec(9);
-  spec.adversary.feature = kAllFeatures.front();
-  spec.extra_features.assign(kAllFeatures.begin() + 1, kAllFeatures.end());
+  spec.plan.adversary.feature = kAllFeatures.front();
+  spec.plan.extra_features.assign(kAllFeatures.begin() + 1, kAllFeatures.end());
 
   const auto result = ExperimentEngine(sim_backend(), 256).run(spec);
   ASSERT_EQ(result.per_feature.size(), kAllFeatures.size());
@@ -114,10 +114,10 @@ TEST(StreamingEquivalence, SweepPoolsMatchBatchReferences) {
   // streamed per-feature verdicts.
   SweepGrid grid;
   grid.sigma_timers = {0.0, 100e-6};
-  grid.features = kAllFeatures;
-  grid.window_size = 100;
-  grid.train_windows = 10;
-  grid.test_windows = 10;
+  grid.plan.set_features(kAllFeatures);
+  grid.plan.adversary.window_size = 100;
+  grid.plan.train_windows = 10;
+  grid.plan.test_windows = 10;
   grid.seed = 4242;
   const auto specs = grid.expand();
 
@@ -189,14 +189,14 @@ class CountingBackend final : public ExperimentBackend {
 
 TEST(StreamingWorkSharing, FiveFeaturePointSimulatesOnce) {
   ExperimentSpec spec = small_spec(17);
-  spec.adversary.feature = kAllFeatures.front();
-  spec.extra_features.assign(kAllFeatures.begin() + 1, kAllFeatures.end());
+  spec.plan.adversary.feature = kAllFeatures.front();
+  spec.plan.extra_features.assign(kAllFeatures.begin() + 1, kAllFeatures.end());
   // Explicit Δh: no prepass, so the capture is pulled exactly once.
-  spec.adversary.entropy_bin_width = 3e-6;
+  spec.plan.adversary.entropy_bin_width = 3e-6;
 
-  const std::size_t n = spec.adversary.window_size;
+  const std::size_t n = spec.plan.adversary.window_size;
   const std::size_t per_class =
-      (spec.train_windows + spec.test_windows) * n;
+      (spec.plan.train_windows + spec.plan.test_windows) * n;
 
   CountingBackend backend;
   const auto result = SweepRunner(backend).run({spec});
@@ -211,13 +211,13 @@ TEST(StreamingWorkSharing, FiveFeaturePointSimulatesOnce) {
 
 TEST(StreamingWorkSharing, AutoBinWidthCostsExactlyOneExtraTrainingPass) {
   ExperimentSpec spec = small_spec(18);
-  spec.adversary.feature = classify::FeatureKind::kSampleEntropy;
-  spec.extra_features = {classify::FeatureKind::kSampleVariance};
+  spec.plan.adversary.feature = classify::FeatureKind::kSampleEntropy;
+  spec.plan.extra_features = {classify::FeatureKind::kSampleVariance};
   // entropy_bin_width left at 0.0: the Scott-rule prepass replays the
   // training streams once.
-  const std::size_t n = spec.adversary.window_size;
-  const std::size_t train = spec.train_windows * n;
-  const std::size_t test = spec.test_windows * n;
+  const std::size_t n = spec.plan.adversary.window_size;
+  const std::size_t train = spec.plan.train_windows * n;
+  const std::size_t test = spec.plan.test_windows * n;
 
   CountingBackend backend;
   (void)ExperimentEngine(backend).run(spec);
@@ -230,14 +230,14 @@ TEST(StreamingWorkSharing, CollapsedGridCutsSimulationByFeatureCount) {
   // a 1-feature grid.
   SweepGrid grid;
   grid.sigma_timers = {0.0};
-  grid.features = kAllFeatures;
-  grid.window_size = 100;
-  grid.train_windows = 8;
-  grid.test_windows = 8;
+  grid.plan.set_features(kAllFeatures);
+  grid.plan.adversary.window_size = 100;
+  grid.plan.train_windows = 8;
+  grid.plan.test_windows = 8;
   ASSERT_EQ(grid.size(), 1u);
 
   auto specs = grid.expand();
-  for (auto& spec : specs) spec.adversary.entropy_bin_width = 3e-6;
+  for (auto& spec : specs) spec.plan.adversary.entropy_bin_width = 3e-6;
 
   CountingBackend backend;
   const auto report = SweepRunner(backend).run(specs);

@@ -64,11 +64,11 @@ void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
 std::vector<ExperimentSpec> eight_point_grid() {
   SweepGrid grid;
   grid.sigma_timers = {0.0, 10e-6, 20e-6, 50e-6, 100e-6, 200e-6, 500e-6, 1e-3};
-  grid.features = {classify::FeatureKind::kSampleVariance,
-                   classify::FeatureKind::kSampleEntropy};
-  grid.window_size = 100;
-  grid.train_windows = 10;
-  grid.test_windows = 10;
+  grid.plan.set_features({classify::FeatureKind::kSampleVariance,
+                          classify::FeatureKind::kSampleEntropy});
+  grid.plan.adversary.window_size = 100;
+  grid.plan.train_windows = 10;
+  grid.plan.test_windows = 10;
   grid.seed = 99;
   return grid.expand();
 }
@@ -192,8 +192,8 @@ TEST(SweepGridTest, ExpandsRowMajorWithDistinctSeeds) {
   grid.environment = SweepGrid::Environment::kLabCrossTraffic;
   grid.sigma_timers = {0.0, 50e-6};
   grid.utilizations = {0.1, 0.3, 0.5};
-  grid.features = {classify::FeatureKind::kSampleVariance,
-                   classify::FeatureKind::kSampleMean};
+  grid.plan.set_features({classify::FeatureKind::kSampleVariance,
+                          classify::FeatureKind::kSampleMean});
   // The feature axis rides each point's DetectorBank instead of multiplying
   // the number of points (and simulations).
   EXPECT_EQ(grid.size(), 2u * 3u);
@@ -208,7 +208,7 @@ TEST(SweepGridTest, ExpandsRowMajorWithDistinctSeeds) {
   }
   // Every point carries the full feature list, grid order preserved.
   for (const auto& spec : specs) {
-    EXPECT_EQ(spec.adversary.feature, classify::FeatureKind::kSampleVariance);
+    EXPECT_EQ(spec.plan.adversary.feature, classify::FeatureKind::kSampleVariance);
     const auto features = spec.features();
     ASSERT_EQ(features.size(), 2u);
     EXPECT_EQ(features[0], classify::FeatureKind::kSampleVariance);
@@ -268,10 +268,10 @@ TEST(PiatSourceTest, StreamsAreKeyedBySeedSaltAndClass) {
 TEST(ExperimentEngineTest, BatchSizeDoesNotChangeResults) {
   ExperimentSpec spec;
   spec.scenario = lab_zero_cross(make_cit());
-  spec.adversary.feature = classify::FeatureKind::kSampleVariance;
-  spec.adversary.window_size = 100;
-  spec.train_windows = 10;
-  spec.test_windows = 10;
+  spec.plan.adversary.feature = classify::FeatureKind::kSampleVariance;
+  spec.plan.adversary.window_size = 100;
+  spec.plan.train_windows = 10;
+  spec.plan.test_windows = 10;
   spec.seed = 3;
 
   const auto small_batches = ExperimentEngine(sim_backend(), 256).run(spec);

@@ -41,10 +41,10 @@ TEST(FullPipeline, CitFailsVitSurvivesEndToEnd) {
   auto run = [](std::shared_ptr<const sim::TimerPolicy> policy) {
     core::ExperimentSpec spec;
     spec.scenario = core::lab_zero_cross(std::move(policy));
-    spec.adversary.feature = classify::FeatureKind::kSampleEntropy;
-    spec.adversary.window_size = 700;
-    spec.train_windows = 60;
-    spec.test_windows = 60;
+    spec.plan.adversary.feature = classify::FeatureKind::kSampleEntropy;
+    spec.plan.adversary.window_size = 700;
+    spec.plan.train_windows = 60;
+    spec.plan.test_windows = 60;
     spec.seed = 3;
     return core::run_experiment(spec).detection_rate;
   };
@@ -59,10 +59,10 @@ TEST(FullPipeline, TheoryPredictsExperimentAcrossSampleSizes) {
   for (std::size_t n : {300u, 900u}) {
     core::ExperimentSpec spec;
     spec.scenario = core::lab_zero_cross(core::make_cit());
-    spec.adversary.feature = classify::FeatureKind::kSampleVariance;
-    spec.adversary.window_size = n;
-    spec.train_windows = 70;
-    spec.test_windows = 70;
+    spec.plan.adversary.feature = classify::FeatureKind::kSampleVariance;
+    spec.plan.adversary.window_size = n;
+    spec.plan.train_windows = 70;
+    spec.plan.test_windows = 70;
     spec.seed = 5;
     const auto r = core::run_experiment(spec);
     ASSERT_TRUE(r.predicted.has_value());
@@ -88,10 +88,10 @@ TEST(FullPipeline, DesignGuidelineSurvivesEmpiricalAttack) {
 
   core::ExperimentSpec spec;
   spec.scenario = core::lab_zero_cross(core::make_vit(rec.sigma_timer));
-  spec.adversary.feature = classify::FeatureKind::kSampleVariance;
-  spec.adversary.window_size = 800;
-  spec.train_windows = 60;
-  spec.test_windows = 60;
+  spec.plan.adversary.feature = classify::FeatureKind::kSampleVariance;
+  spec.plan.adversary.window_size = 800;
+  spec.plan.train_windows = 60;
+  spec.plan.test_windows = 60;
   spec.seed = 7;
   const auto result = core::run_experiment(spec);
   EXPECT_LT(result.detection_rate, in.v_max + 0.08);
@@ -103,10 +103,10 @@ TEST(FullPipeline, RemoteTapWeakensTheAdversary) {
   auto run = [](core::Scenario scenario) {
     core::ExperimentSpec spec;
     spec.scenario = std::move(scenario);
-    spec.adversary.feature = classify::FeatureKind::kSampleEntropy;
-    spec.adversary.window_size = 700;
-    spec.train_windows = 50;
-    spec.test_windows = 50;
+    spec.plan.adversary.feature = classify::FeatureKind::kSampleEntropy;
+    spec.plan.adversary.window_size = 700;
+    spec.plan.train_windows = 50;
+    spec.plan.test_windows = 50;
     spec.seed = 9;
     return core::run_experiment(spec).detection_rate;
   };
@@ -123,10 +123,10 @@ TEST(FullPipeline, PayloadProcessShapeDoesNotChangeTheStory) {
     core::ExperimentSpec spec;
     spec.scenario = core::lab_zero_cross(core::make_cit());
     spec.scenario.base.payload_kind = kind;
-    spec.adversary.feature = classify::FeatureKind::kSampleVariance;
-    spec.adversary.window_size = 700;
-    spec.train_windows = 50;
-    spec.test_windows = 50;
+    spec.plan.adversary.feature = classify::FeatureKind::kSampleVariance;
+    spec.plan.adversary.window_size = 700;
+    spec.plan.train_windows = 50;
+    spec.plan.test_windows = 50;
     spec.seed = 13;
     EXPECT_GT(core::run_experiment(spec).detection_rate, 0.8);
   }

@@ -31,10 +31,10 @@ TEST_P(DeterminismSweep, ExperimentIsAPureFunctionOfSpec) {
     case 1: spec.scenario = core::lab_zero_cross(core::make_vit(30e-6)); break;
     default: spec.scenario = core::lab_cross_traffic(core::make_cit(), 0.3);
   }
-  spec.adversary.feature = classify::FeatureKind::kSampleVariance;
-  spec.adversary.window_size = 300;
-  spec.train_windows = 25;
-  spec.test_windows = 25;
+  spec.plan.adversary.feature = classify::FeatureKind::kSampleVariance;
+  spec.plan.adversary.window_size = 300;
+  spec.plan.train_windows = 25;
+  spec.plan.test_windows = 25;
   spec.seed = seed;
 
   const auto a = core::run_experiment(spec);
@@ -143,10 +143,10 @@ TEST(ParallelReproducibility, SweepEqualsSerialExecution) {
   for (int i = 0; i < 4; ++i) {
     core::ExperimentSpec spec;
     spec.scenario = core::lab_zero_cross(core::make_cit());
-    spec.adversary.feature = classify::FeatureKind::kSampleEntropy;
-    spec.adversary.window_size = 250;
-    spec.train_windows = 20;
-    spec.test_windows = 20;
+    spec.plan.adversary.feature = classify::FeatureKind::kSampleEntropy;
+    spec.plan.adversary.window_size = 250;
+    spec.plan.train_windows = 20;
+    spec.plan.test_windows = 20;
     spec.seed = 100 + static_cast<std::uint64_t>(i);
     specs.push_back(std::move(spec));
   }

@@ -90,6 +90,50 @@ TEST(ArgParser, HelpTextMentionsAllOptions) {
   EXPECT_NE(text.find("--count"), std::string::npos);
 }
 
+ArgParser make_typed_parser() {
+  ArgParser p("prog", "typed test parser");
+  p.add_int("--count", 42, "an integer");
+  p.add_num("--sigma", 1.5, "a number");
+  return p;
+}
+
+TEST(ArgParserTyped, TypedDefaultsApplyAndParse) {
+  auto p = make_typed_parser();
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_EQ(p.integer("--count"), 42);
+  EXPECT_DOUBLE_EQ(p.num("--sigma"), 1.5);
+  ASSERT_TRUE(parse(p, {"--count", "-7", "--sigma=2.75"}));
+  EXPECT_EQ(p.integer("--count"), -7);
+  EXPECT_DOUBLE_EQ(p.num("--sigma"), 2.75);
+}
+
+TEST(ArgParserTyped, BadValuesFailAtParseTimeNotOnAccess) {
+  // Typed options reject the bad token while argv is being consumed —
+  // the run never starts with a typo'd parameter.
+  auto p = make_typed_parser();
+  EXPECT_FALSE(parse(p, {"--count", "abc"}));
+  auto q = make_typed_parser();
+  EXPECT_FALSE(parse(q, {"--count", "12x"}));
+  auto r = make_typed_parser();
+  EXPECT_FALSE(parse(r, {"--sigma=fast"}));
+  // A float is not an integer.
+  auto s = make_typed_parser();
+  EXPECT_FALSE(parse(s, {"--count", "1.5"}));
+  // But an integer is a fine number, and scientific notation parses.
+  auto t = make_typed_parser();
+  EXPECT_TRUE(parse(t, {"--sigma", "3"}));
+  EXPECT_DOUBLE_EQ(t.num("--sigma"), 3.0);
+  auto u = make_typed_parser();
+  EXPECT_TRUE(parse(u, {"--sigma", "1e-3"}));
+  EXPECT_DOUBLE_EQ(u.num("--sigma"), 1e-3);
+}
+
+TEST(ArgParserTyped, HelpShowsTypedDefaults) {
+  const auto text = make_typed_parser().help();
+  EXPECT_NE(text.find("<int = 42>"), std::string::npos);
+  EXPECT_NE(text.find("<num = 1.5>"), std::string::npos);
+}
+
 TEST(ParseDoubleList, SplitsOnCommas) {
   const auto xs = parse_double_list("1,2.5,10");
   ASSERT_EQ(xs.size(), 3u);
